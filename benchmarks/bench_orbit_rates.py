@@ -1,0 +1,52 @@
+"""Section I — orbital upset-rate predictions.
+
+Paper claims reproduced:
+  * Virtex per-bit Weibull curve with threshold LET 1.2 MeV.cm^2/mg and
+    saturation cross-section 8.0e-8 cm^2;
+  * the nine-XQVR1000 payload sees 1.2 upsets/hour in quiet Low Earth
+    Orbit and 9.6/hour during solar flares.
+"""
+
+import pytest
+
+from repro.fpga import get_device
+from repro.radiation import (
+    DeviceCrossSection,
+    LEO_FLARE,
+    LEO_QUIET,
+    WeibullCrossSection,
+)
+
+
+def test_paper_orbit_rates(report, benchmark):
+    dev = get_device("XQVR1000")
+    xs = DeviceCrossSection(WeibullCrossSection(), dev.block0_bits)
+
+    def rates():
+        return (
+            LEO_QUIET.system_upsets_per_hour(xs, 9),
+            LEO_FLARE.system_upsets_per_hour(xs, 9),
+        )
+
+    quiet, flare = benchmark(rates)
+    report(
+        "",
+        "== Section I: orbital upset rates (9x XQVR1000 payload) ==",
+        f"quiet LEO : {quiet:.2f} upsets/hour (paper: 1.2)",
+        f"solar flare: {flare:.2f} upsets/hour (paper: 9.6)",
+        f"device cross-section at plateau: {xs.total_sigma(37.0):.3f} cm^2 "
+        f"({dev.block0_bits:,} bits x 8.0e-8 cm^2/bit, + hidden state)",
+    )
+    assert quiet == pytest.approx(1.2, rel=0.02)
+    assert flare == pytest.approx(9.6, rel=0.02)
+
+
+def test_weibull_curve_shape(report, benchmark):
+    w = WeibullCrossSection()
+    sig = benchmark(lambda: [float(w.sigma(l)) for l in (1.0, 1.2, 5.0, 37.0, 125.0)])
+    report(
+        "Weibull per-bit curve: "
+        + ", ".join(f"LET {l}: {s:.2e}" for l, s in zip((1.0, 1.2, 5.0, 37.0, 125.0), sig))
+    )
+    assert sig[0] == 0.0 and sig[1] == 0.0  # below/at threshold
+    assert sig[2] < sig[3] < sig[4] <= w.sigma_sat_cm2

@@ -1,0 +1,99 @@
+"""Sections II-C / IV — limits of readback-based fault detection.
+
+The paper's limitations discussion, quantified:
+
+  * LUT RAMs / shift registers force frames out of the CRC check; on
+    Virtex that costs 16 (one slice) or 32 (both) of a column's 48
+    frames, while Virtex-II's frame organisation concentrates the LUT
+    data in two frames — the architectural suggestion of section IV-A;
+  * BRAM content cannot be scanned while running, and readback corrupts
+    the BRAM output register;
+  * a LUT-RAM write racing a readback corrupts the memory unless the
+    design schedules them apart (section IV-A's last escape).
+"""
+
+import numpy as np
+
+from repro.bitstream import ConfigBitstream
+from repro.fpga import get_device
+from repro.fpga.bram import BlockRAM
+from repro.scrub import (
+    DynamicStoragePlan,
+    LutRamRegion,
+    ReadbackPolicy,
+    ReadbackRace,
+)
+
+
+def test_lutram_masking_cost_virtex_vs_virtex2(report, benchmark):
+    dev = get_device("XCV1000")
+
+    def coverages():
+        out = {}
+        for arch in ("virtex", "virtex2"):
+            plan = DynamicStoragePlan(dev, mask_bram_content=False)
+            for col in range(0, dev.cols, 8):  # LUT RAM in every 8th column
+                plan.add_region(LutRamRegion(col, 2, architecture=arch))
+            out[arch] = plan.coverage()
+        return out
+
+    cov = benchmark(coverages)
+    report(
+        "",
+        "== Sections II-C / IV-A: readback coverage under LUT-RAM masking ==",
+        f"XCV1000 with LUT RAM in 12 of 96 columns:",
+        f"  Virtex    frame layout: {100 * cov['virtex']:.1f}% of block-0 "
+        "bits still CRC-protected (32 of 48 frames masked per column)",
+        f"  Virtex-II frame layout: {100 * cov['virtex2']:.1f}% "
+        "(2 frames masked per column) — the paper's section IV-A point",
+    )
+    assert cov["virtex2"] > cov["virtex"]
+    assert cov["virtex"] < 0.95 and cov["virtex2"] > 0.99
+
+
+def test_bram_readback_side_effects(report, benchmark):
+    dev = get_device("S8")
+
+    def run():
+        memory = ConfigBitstream(dev.geometry)
+        bram = BlockRAM(memory, 0, 0)
+        bram.write(7, 0x0707)
+        bram.read(7)
+        bram.begin_readback()
+        blocked = False
+        try:
+            bram.read(7)
+        except Exception:
+            blocked = True
+        bram.end_readback()
+        return blocked, bram.output_register_valid, bram.read(7)
+
+    blocked, reg_valid, content = benchmark(run)
+    report(
+        "BRAM during readback: port access blocked: "
+        f"{blocked}; output register valid afterwards: {reg_valid}; "
+        f"content intact: {content == 0x0707}",
+    )
+    assert blocked and not reg_valid and content == 0x0707
+
+
+def test_lutram_write_race_policies(report, benchmark):
+    def run():
+        outcomes = {}
+        for policy in (ReadbackPolicy.MASK_FRAMES, ReadbackPolicy.SCHEDULE):
+            ram = ReadbackRace(seed=3)
+            ram.begin_readback()
+            wrote = ram.write(5, 1, policy)
+            ram.end_readback()
+            outcomes[policy] = (wrote, ram.corrupted)
+        return outcomes
+
+    outcomes = benchmark(run)
+    report(
+        "LUT-RAM write during readback: "
+        f"MASK_FRAMES -> corrupted={outcomes[ReadbackPolicy.MASK_FRAMES][1]}; "
+        f"SCHEDULE -> stalled={not outcomes[ReadbackPolicy.SCHEDULE][0]}, "
+        f"corrupted={outcomes[ReadbackPolicy.SCHEDULE][1]}",
+    )
+    assert outcomes[ReadbackPolicy.MASK_FRAMES] == (True, True)
+    assert outcomes[ReadbackPolicy.SCHEDULE] == (False, False)

@@ -1,0 +1,68 @@
+"""Section III-A — hardware-emulated fault injection vs software.
+
+The paper's motivation for the SLAAC-1V methodology: "By using dynamic
+reconfiguration, we can run the corrupted designs directly on the FPGA
+hardware, giving many orders of magnitude speed-up over purely software
+techniques."
+
+We quantify three rungs of that ladder on the same workload:
+  1. modeled SLAAC-1V hardware: 214 us/bit regardless of design size;
+  2. this library's *batched* software simulation (the campaign engine:
+     structural pre-filters + lock-step vectorised machines);
+  3. naive software simulation: full re-simulation of the whole design
+     per bit, one machine at a time — the baseline the paper's claim is
+     measured against.
+"""
+
+import time
+
+import numpy as np
+
+from repro.netlist import BatchSimulator
+from repro.seu import CampaignConfig, run_campaign
+from repro.testbed import HostTiming
+
+
+def _naive_per_bit_cost(hw, cycles: int, n_bits: int = 12) -> float:
+    """Seconds/bit for flip -> full re-decode -> simulate, single machine."""
+    from repro.place.decoder import decode_bitstream
+
+    stim = hw.spec.stimulus(cycles, 0)
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, hw.device.block0_bits, size=n_bits)
+    t0 = time.perf_counter()
+    for bit in bits:
+        corrupted = hw.bitstream.copy()
+        corrupted.flip_bit(int(bit))
+        decoded = decode_bitstream(hw.device, corrupted, hw.io)
+        BatchSimulator.golden_trace(decoded.design, stim)
+    return (time.perf_counter() - t0) / n_bits
+
+
+def test_speedup_ladder(table1_campaigns, report, benchmark):
+    hw, _ = table1_campaigns[0]
+    cfg = CampaignConfig(detect_cycles=64, persist_cycles=0, classify_persistence=False)
+    bits = np.arange(0, hw.device.block0_bits, 20, dtype=np.int64)
+
+    def batched():
+        return run_campaign(hw, cfg, candidate_bits=bits)
+
+    result = benchmark.pedantic(batched, rounds=1, iterations=1)
+    batched_per_bit = result.host_seconds / result.n_candidates
+    naive_per_bit = _naive_per_bit_cost(hw, cfg.detect_cycles)
+    hardware_per_bit = HostTiming().iteration_s
+
+    report(
+        "",
+        "== Section III-A: fault-injection throughput ladder ==",
+        f"modeled SLAAC-1V hardware : {1e6 * hardware_per_bit:10.0f} us/bit",
+        f"this library (batched sim): {1e6 * batched_per_bit:10.1f} us/bit",
+        f"naive software (re-decode + single-machine sim): "
+        f"{1e6 * naive_per_bit:10.0f} us/bit",
+        f"batched vs naive speedup : {naive_per_bit / batched_per_bit:,.0f}x",
+        f"hardware vs naive speedup: {naive_per_bit / hardware_per_bit:,.0f}x "
+        "(the paper's 'orders of magnitude', on our workload)",
+    )
+    # The claims that must hold in any environment:
+    assert naive_per_bit / batched_per_bit > 50
+    assert naive_per_bit / hardware_per_bit > 100

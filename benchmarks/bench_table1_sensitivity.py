@@ -1,0 +1,122 @@
+"""Table I — SEU simulator results for test designs.
+
+Paper values (XCV1000, exhaustive 5.8 Mbit sweeps):
+
+    design      sensitivity   normalized sensitivity
+    LFSR 18-72  1.15-4.81 %   7.3-7.6 %
+    VMULT 18-72 1.05-14.75 %  24.5-25.9 %
+    MULT 12-48  0.23-3.79 %   21.9-23.8 %
+
+Shape requirements reproduced here on scaled designs/device:
+  * sensitivity grows with design size within each family;
+  * normalized sensitivity is roughly a family constant;
+  * multiplier families run several times the LFSR family per unit area.
+"""
+
+import numpy as np
+import pytest
+
+from repro.seu import CampaignConfig, format_table1, run_campaign, table1_row
+
+PAPER_ROWS = [
+    ("LFSR 18", 1.15, 7.3), ("LFSR 36", 2.37, 7.5), ("LFSR 54", 3.59, 7.6),
+    ("LFSR 72", 4.81, 7.6), ("VMULT 18", 1.05, 24.9), ("VMULT 36", 4.00, 25.0),
+    ("VMULT 54", 8.96, 25.9), ("VMULT 72", 14.75, 24.5), ("MULT 12", 0.23, 21.9),
+    ("MULT 24", 0.90, 22.2), ("MULT 36", 2.11, 23.4), ("MULT 48", 3.79, 23.8),
+]
+
+
+def _rows(table1_campaigns):
+    return [table1_row(hw, res) for hw, res in table1_campaigns]
+
+
+def test_table1_reproduction(table1_campaigns, report, benchmark):
+    rows = _rows(table1_campaigns)
+    hw0, _ = table1_campaigns[0]
+
+    # Benchmark kernel: a strided campaign over the smallest design.
+    bits = np.arange(0, hw0.device.block0_bits, 50, dtype=np.int64)
+    cfg = CampaignConfig(detect_cycles=64, persist_cycles=0, classify_persistence=False)
+    benchmark(lambda: run_campaign(hw0, cfg, candidate_bits=bits))
+
+    report(
+        "",
+        "== Table I: SEU simulator results (scaled reproduction on S12) ==",
+        format_table1(rows),
+        "",
+        "paper (XCV1000): LFSR norm ~7.5%, VMULT ~25%, MULT ~22-24%",
+    )
+
+    by_family: dict[str, list] = {}
+    for row in rows:
+        by_family.setdefault(row.design.split()[0], []).append(row)
+
+    # Shape 1: sensitivity grows with size within each family.
+    for family, frows in by_family.items():
+        sens = [r.sensitivity for r in frows]
+        assert sens == sorted(sens), f"{family} sensitivity not monotone"
+
+    # Shape 2: normalized sensitivity is a family near-constant.
+    for family, frows in by_family.items():
+        norms = [r.normalized_sensitivity for r in frows]
+        assert max(norms) / min(norms) < 2.0, f"{family} norm spread too wide"
+
+    # Shape 3: multipliers several times denser than LFSR per area.
+    lfsr = np.mean([r.normalized_sensitivity for r in by_family["LFSR"]])
+    mult = np.mean([r.normalized_sensitivity for r in by_family["MULT"]])
+    vmult = np.mean([r.normalized_sensitivity for r in by_family["VMULT"]])
+    assert mult > 1.8 * lfsr
+    assert vmult > 1.2 * lfsr
+    report(
+        f"normalized sensitivity family means: LFSR {100 * lfsr:.1f}%, "
+        f"VMULT {100 * vmult:.1f}%, MULT {100 * mult:.1f}% "
+        f"(MULT/LFSR ratio {mult / lfsr:.1f}x; paper ~3x)"
+    )
+
+
+def test_table1_logic_slices_paper_scale(report, benchmark):
+    """The 'Logic Slices' column at true paper scale: the twelve Table I
+    designs placed on the real XCV1000 geometry (no routing needed for
+    area numbers)."""
+    from repro.designs import paper_suite_table1
+    from repro.fpga import get_device
+    from repro.place import place_design
+
+    dev = get_device("XCV1000")
+    paper_slices = {
+        "LFSR 18": 2178, "LFSR 36": 4356, "LFSR 54": 6534, "LFSR 72": 8712,
+        "VMULT 18": 583, "VMULT 36": 2206, "VMULT 54": 4781, "VMULT 72": 8308,
+        "MULT 12": 144, "MULT 24": 561, "MULT 36": 1249, "MULT 48": 2205,
+    }
+
+    def place_all():
+        return {
+            spec.name: place_design(spec.netlist, dev).used_slices
+            for spec in paper_suite_table1()
+        }
+
+    ours = benchmark.pedantic(place_all, rounds=1, iterations=1)
+    report("", "== Table I 'Logic Slices' column (XCV1000, paper scale) ==",
+           f"{'design':<10} {'paper':>7} {'ours':>7}  ratio")
+    for name, paper_n in paper_slices.items():
+        report(f"{name:<10} {paper_n:>7} {ours[name]:>7}  {ours[name] / paper_n:5.2f}")
+
+    # Shape: ordering within families and MULT ~ n^2 scaling.
+    assert ours["MULT 12"] < ours["MULT 24"] < ours["MULT 36"] < ours["MULT 48"]
+    assert 3.0 < ours["MULT 24"] / ours["MULT 12"] < 5.0  # ~quadratic
+    assert ours["VMULT 36"] > ours["MULT 36"]
+    assert ours["LFSR 72"] == pytest.approx(4 * ours["LFSR 18"], rel=0.1)
+
+
+def test_table1_failure_counts_scale_with_area(table1_campaigns, report, benchmark):
+    rows = _rows(table1_campaigns)
+    benchmark(lambda: [r.failures for r in rows])
+    mult_rows = [r for r in rows if r.design.startswith("MULT")]
+    areas = np.array([r.logic_slices for r in mult_rows], dtype=float)
+    fails = np.array([r.failures for r in mult_rows], dtype=float)
+    ratio = fails / areas
+    assert ratio.max() / ratio.min() < 2.5
+    report(
+        "failures per slice (MULT family): "
+        + ", ".join(f"{x:.0f}" for x in ratio)
+    )

@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures.
+
+Campaign artifacts are expensive; they are computed once per session and
+shared across the table/figure benchmarks.  The ``report`` fixture
+prints reproduction tables straight to the terminal (outside pytest's
+capture) so ``pytest benchmarks/ --benchmark-only`` leaves a readable
+paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs import scaled_suite_table1, scaled_suite_table2
+from repro.fpga import get_device
+from repro.place import implement
+from repro.seu import CampaignConfig, run_campaign
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print outside pytest capture: report("line") shows on the terminal."""
+
+    def _report(*lines: str) -> None:
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def bench_device():
+    return get_device("S12")
+
+
+@pytest.fixture(scope="session")
+def campaign_config():
+    return CampaignConfig(detect_cycles=96, persist_cycles=64, batch_size=192)
+
+
+@pytest.fixture(scope="session")
+def table1_campaigns(bench_device, campaign_config):
+    """(hw, result) per scaled Table I design — the session's big compute."""
+    out = []
+    for spec in scaled_suite_table1():
+        hw = implement(spec, bench_device)
+        out.append((hw, run_campaign(hw, campaign_config)))
+    return out
+
+
+@pytest.fixture(scope="session")
+def table2_campaigns(bench_device, campaign_config):
+    out = []
+    for spec in scaled_suite_table2():
+        hw = implement(spec, bench_device)
+        out.append((hw, run_campaign(hw, campaign_config)))
+    return out

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The designer's mitigation flow (sections III-A / III-C).
+
+1. Measure a design's sensitivity and persistence with the SEU simulator.
+2. Enumerate its half-latches and find the critical ones (Figure 14).
+3. Let the persistence ratio pick a mitigation strategy (Table II).
+4. Apply RadDRC (half-latch removal) and TMR, and re-measure.
+"""
+
+from repro import CampaignConfig, get_device, implement, run_campaign, run_halflatch_campaign
+from repro.designs import lfsr_cluster_design
+from repro.mitigation import apply_tmr, recommend_strategy, remove_half_latches
+
+
+def measure(hw, config):
+    result = run_campaign(hw, config)
+    hl = run_halflatch_campaign(hw, config)
+    critical = sum(hl.values())
+    return result, hl, critical
+
+
+def main() -> None:
+    device = get_device("S12")
+    config = CampaignConfig(detect_cycles=96, persist_cycles=64)
+    spec = lfsr_cluster_design(2, n_bits=8, per_cluster=2)
+
+    # -- baseline ----------------------------------------------------------
+    hw = implement(spec, device)
+    result, hl, critical = measure(hw, config)
+    print(f"baseline         : {result.summary()}")
+    print(
+        f"  half-latches: {len(hl)} sites, {critical} critical "
+        f"(e.g. the always-enabled clock enables of Figure 14)"
+    )
+
+    # -- strategy ----------------------------------------------------------
+    rec = recommend_strategy(
+        result, critical_halflatch_fraction=critical / max(len(hl), 1)
+    )
+    print(f"  recommendation: {rec}")
+
+    # -- RadDRC: remove half-latches ----------------------------------------
+    rd_spec = remove_half_latches(spec)
+    rd_hw = implement(rd_spec, device)
+    rd_result, rd_hl, rd_critical = measure(rd_hw, config)
+    print(f"\nafter RadDRC     : {rd_result.summary()}")
+    print(
+        f"  critical half-latches: {critical} -> {rd_critical} "
+        "(the paper observed ~100x beam-failure improvement)"
+    )
+
+    # -- TMR ----------------------------------------------------------------
+    tmr_spec = apply_tmr(spec)
+    tmr_hw = implement(tmr_spec, device)
+    tmr_result = run_campaign(tmr_hw, config)
+    print(f"\nafter full TMR   : {tmr_result.summary()}")
+    factor = result.sensitivity / max(tmr_result.sensitivity, 1e-9)
+    print(
+        f"  sensitivity reduced {factor:.1f}x "
+        f"({100 * result.sensitivity:.2f}% -> {100 * tmr_result.sensitivity:.2f}%) "
+        f"at {tmr_hw.used_slices / hw.used_slices:.1f}x the area"
+    )
+
+
+if __name__ == "__main__":
+    main()

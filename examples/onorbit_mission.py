@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""On-orbit mission rehearsal: scrubbing a three-FPGA board (Figure 4).
+
+Simulates a board of the paper's reconfigurable radio flying through a
+solar-flare environment: Poisson configuration upsets arrive, the
+radiation-hardened fault manager scans each device's configuration over
+SelectMAP, CRC-checks every frame against the codebook, and repairs
+corrupted frames from ECC-protected flash.  Prints the state-of-health
+telemetry a ground station would receive.
+"""
+
+import numpy as np
+
+from repro import get_design, get_device, implement
+from repro.radiation import LEO_FLARE, OrbitEnvironment
+from repro.scrub import OnOrbitSystem
+from repro.utils.units import format_duration
+
+
+def main() -> None:
+    device = get_device("S12")
+    # Fly a real design's configuration, not random bits.
+    hw = implement(get_design("COUNTER24"), device)
+    print(f"payload configuration: {hw.summary()}")
+
+    # The S12 has ~3000x less cross-section than an XQVR1000; scale the
+    # flux up so one simulated hour shows meaningful activity.
+    environment = OrbitEnvironment(
+        "solar flare (area-scaled)", LEO_FLARE.effective_flux_cm2_s * 2000
+    )
+    system = OnOrbitSystem(
+        device, hw.bitstream, n_devices=3, environment=environment, seed=2026
+    )
+
+    print("\nflying 2 simulated hours through a flare...")
+    report = system.fly(2 * 3600.0)
+    print(report.summary())
+
+    print(f"\nscan period (3 devices): {format_duration(report.scan_period_s)}")
+    print(
+        "  [XQVR1000 equivalent: ~180 ms per 3-device scan, as the paper reports]"
+    )
+    if report.detection_latencies_s:
+        lat = np.array(report.detection_latencies_s)
+        print(
+            f"detection latency: mean {format_duration(float(lat.mean()))}, "
+            f"max {format_duration(float(lat.max()))}"
+        )
+
+    print("\nstate-of-health counters:")
+    print(f"  {report.soh.summary()}")
+    print("\nupsets per device:")
+    for name, count in sorted(report.soh.by_device().items()):
+        print(f"  {name}: {count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""The reconfigurable radio as a system: chained FPGAs under scrubbing.
+
+Paper Figures 2-3: the digitised IF stream flows through a chain of
+Virtex parts over FPDP channels while the radiation-hardened fault
+manager watches every configuration.  This demo builds a two-stage
+signal chain — a window-sum preprocessor feeding the impulsive-event
+detector — upsets the front-end mid-flight, and shows the scrub loop
+bringing the system back.
+"""
+
+import numpy as np
+
+from repro.designs import filter_preprocessor, impulse_detector
+from repro.fpga import get_device
+from repro.place import implement
+from repro.seu import CampaignConfig, run_campaign
+from repro.system import FpdpPipeline
+
+
+def main() -> None:
+    device = get_device("S8")
+    stages = [
+        implement(filter_preprocessor(2, 6), device),  # background conditioning
+        implement(impulse_detector(7, 4), device),  # event detection
+    ]
+    for hw in stages:
+        print(f"stage: {hw.summary()}")
+
+    pipeline = FpdpPipeline(stages)
+    print(
+        f"\nFPDP channel: {pipeline.channel.width_bits}-bit @ "
+        f"{pipeline.channel.clock_hz / 1e6:.0f} MHz = "
+        f"{pipeline.channel.bandwidth_bytes_per_s / 1e6:.0f} MB/s (paper: 200 MB/s)"
+    )
+
+    # A quiet background with occasional impulses.
+    rng = np.random.default_rng(7)
+    cycles = 300
+    stim = np.zeros((cycles, pipeline.n_inputs), dtype=np.uint8)
+    stim[:, 0] = rng.integers(0, 2, cycles)  # low-level noise
+    for t in (80, 160, 240):
+        stim[t, :] = 1  # full-scale impulses
+
+    golden = pipeline.run(stim)
+    events_clean = int(golden[-1, 1:].dot(1 << np.arange(golden.shape[1] - 1)))
+    print(f"\nclean run: event counter ends at {events_clean}")
+
+    # Find a bit that matters in the front-end and upset it mid-flight.
+    res = run_campaign(
+        stages[0],
+        CampaignConfig(detect_cycles=48, persist_cycles=0, classify_persistence=False),
+        candidate_bits=np.arange(0, device.block0_bits, 11, dtype=np.int64),
+    )
+    # Sensitivity is stimulus-dependent: pick a sensitive bit that this
+    # particular signal actually exercises.
+    manager = None
+    for candidate in res.sensitive_bits[:40]:
+        pipeline.reset()
+        manager = pipeline.attach_fault_manager()
+        for t in range(100):
+            pipeline.step(stim[t])
+        pipeline.upset(0, int(candidate))
+        corrupted = sum(
+            int(not np.array_equal(pipeline.step(stim[t]), golden[t]))
+            for t in range(100, 200)
+        )
+        if corrupted:
+            bit = int(candidate)
+            break
+        pipeline.upset(0, int(candidate))  # flip back before the next try
+    else:
+        raise SystemExit("no exercised sensitive bit found")
+    print(f"\nupset injected into stage0 configuration bit {bit} at cycle 100")
+    print(f"system outputs wrong on {corrupted}/100 cycles while corrupted")
+
+    report = manager.scan_cycle()
+    print(
+        f"scrub scan: detected {report.detected}, repaired {report.repaired} "
+        f"in {1e3 * report.duration_s:.1f} ms modeled"
+    )
+    pipeline.reset()
+    healed = pipeline.run(stim)
+    print(f"after repair + reset: outputs golden again: "
+          f"{np.array_equal(healed, golden)}")
+
+
+if __name__ == "__main__":
+    main()

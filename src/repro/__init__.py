@@ -1,0 +1,41 @@
+"""repro — dynamic reconfiguration for radiation-fault management in FPGAs.
+
+A full-system reproduction of Gokhale, Graham, Wirthlin, Johnson &
+Rollins, *Dynamic Reconfiguration for Management of Radiation-Induced
+Faults in FPGAs* (2004): a Virtex-class FPGA model with frame-organised
+configuration memory, an SEU fault-injection simulator with sensitivity
+and persistence analysis, on-orbit configuration scrubbing, BIST for
+permanent faults, half-latch modelling with the RadDRC removal tool, and
+proton-beam validation — all in pure Python/numpy.
+
+Quick start::
+
+    from repro import get_device, get_design, implement, run_campaign
+
+    hw = implement(get_design("MULT6"), get_device("S12"))
+    result = run_campaign(hw)
+    print(result.summary())
+"""
+
+from repro.designs import get_design
+from repro.fpga import get_device
+from repro.place import implement
+from repro.seu import (
+    CampaignConfig,
+    SensitivityMap,
+    run_campaign,
+    run_halflatch_campaign,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "get_device",
+    "get_design",
+    "implement",
+    "run_campaign",
+    "run_halflatch_campaign",
+    "CampaignConfig",
+    "SensitivityMap",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Statistics and table helpers shared by benchmarks and reports."""
+
+from repro.analysis.reliability import ReliabilityModel, ReliabilityReport
+from repro.analysis.stats import (
+    binomial_ci,
+    bootstrap_mean_ci,
+    poisson_rate_ci,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "binomial_ci",
+    "poisson_rate_ci",
+    "bootstrap_mean_ci",
+    "format_table",
+    "ReliabilityModel",
+    "ReliabilityReport",
+]

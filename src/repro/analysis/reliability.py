@@ -1,0 +1,107 @@
+"""On-orbit reliability predictions: sensitivity x environment x scrub.
+
+The quantities a mission planner derives from the paper's measurements:
+given a design's configuration sensitivity and persistence ratio, the
+orbital upset rate, and the scrub period, predict how often the design
+produces wrong outputs, how long errors linger, and what fraction of
+mission time is lost — with and without the reset protocol and TMR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.radiation.cross_section import DeviceCrossSection
+from repro.radiation.environment import OrbitEnvironment
+from repro.seu.campaign import CampaignResult
+from repro.utils.units import HOUR
+
+__all__ = ["ReliabilityModel", "ReliabilityReport"]
+
+
+@dataclass(frozen=True)
+class ReliabilityReport:
+    """Predicted on-orbit behaviour of one design."""
+
+    device_upsets_per_hour: float
+    output_error_rate_per_hour: float
+    persistent_error_rate_per_hour: float
+    mean_outage_s: float
+    availability: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.device_upsets_per_hour:.3g} upsets/hr -> "
+            f"{self.output_error_rate_per_hour:.3g} output errors/hr "
+            f"({self.persistent_error_rate_per_hour:.3g} persistent); "
+            f"mean outage {self.mean_outage_s:.3g} s, "
+            f"availability {100 * self.availability:.4f}%"
+        )
+
+
+@dataclass(frozen=True)
+class ReliabilityModel:
+    """Fold campaign statistics with the environment and scrub policy.
+
+    ``scrub_period_s`` is the full scan cycle (the paper's 180 ms per
+    three XQVR1000s); ``reset_on_repair`` is the paper's recovery
+    protocol for persistent errors; ``reset_time_s`` is the outage a
+    reset inflicts.
+    """
+
+    environment: OrbitEnvironment
+    cross_section: DeviceCrossSection
+    scrub_period_s: float = 0.180
+    reset_on_repair: bool = True
+    reset_time_s: float = 0.010
+
+    def device_upset_rate_per_hour(self) -> float:
+        return self.environment.device_upset_rate(self.cross_section) * HOUR
+
+    def predict(self, result: CampaignResult) -> ReliabilityReport:
+        """Predict on-orbit error behaviour from a campaign result.
+
+        An upset is an output error with probability ``sensitivity``.
+        Transient errors last about half a scrub period (detection) on
+        average; persistent errors last detection plus the reset (or
+        forever-until-reset if the protocol is off — modelled as a full
+        period).
+        """
+        upsets_hr = self.device_upset_rate_per_hour()
+        error_rate = upsets_hr * result.sensitivity
+        persistent_rate = error_rate * result.persistence_ratio
+        transient_rate = error_rate - persistent_rate
+
+        mean_detect = self.scrub_period_s / 2 + self.scrub_period_s / 2
+        transient_outage = mean_detect
+        if self.reset_on_repair:
+            persistent_outage = mean_detect + self.reset_time_s
+        else:
+            # Without the reset protocol a persistent error survives the
+            # repair; assume it is only cleared by the next full
+            # reconfiguration opportunity, one scan period later.
+            persistent_outage = mean_detect + self.scrub_period_s
+
+        if error_rate > 0:
+            mean_outage = (
+                transient_rate * transient_outage
+                + persistent_rate * persistent_outage
+            ) / error_rate
+        else:
+            mean_outage = 0.0
+        downtime_per_hour = (
+            transient_rate * transient_outage + persistent_rate * persistent_outage
+        )
+        availability = max(0.0, 1.0 - downtime_per_hour / HOUR)
+        return ReliabilityReport(
+            device_upsets_per_hour=upsets_hr,
+            output_error_rate_per_hour=error_rate,
+            persistent_error_rate_per_hour=persistent_rate,
+            mean_outage_s=mean_outage,
+            availability=availability,
+        )
+
+    def mean_time_between_output_errors_s(self, result: CampaignResult) -> float:
+        """MTBF of visible output errors, in seconds."""
+        rate = self.device_upset_rate_per_hour() * result.sensitivity / HOUR
+        return float("inf") if rate == 0 else 1.0 / rate

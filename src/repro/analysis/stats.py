@@ -1,0 +1,57 @@
+"""Small statistics toolbox for experiment reporting.
+
+Sensitivities are binomial proportions over millions of trials; orbit
+upset rates are Poisson; detection latencies get bootstrap intervals.
+Implemented directly (Wilson score, gamma quantiles) so benchmark output
+carries uncertainty without extra dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = ["binomial_ci", "poisson_rate_ci", "bootstrap_mean_ci"]
+
+
+def binomial_ci(successes: int, trials: int, confidence: float = 0.95) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be within [0, trials]")
+    z = float(sps.norm.ppf(0.5 + confidence / 2))
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = z * np.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials)) / denom
+    return max(0.0, centre - half), min(1.0, centre + half)
+
+
+def poisson_rate_ci(count: int, exposure: float, confidence: float = 0.95) -> tuple[float, float]:
+    """Exact (Garwood) CI for a Poisson rate given a count and exposure."""
+    if exposure <= 0:
+        raise ValueError("exposure must be positive")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    alpha = 1 - confidence
+    lo = 0.0 if count == 0 else float(sps.chi2.ppf(alpha / 2, 2 * count)) / 2
+    hi = float(sps.chi2.ppf(1 - alpha / 2, 2 * count + 2)) / 2
+    return lo / exposure, hi / exposure
+
+
+def bootstrap_mean_ci(
+    samples: np.ndarray,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean of a sample."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("need at least one sample")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, samples.size, size=(n_resamples, samples.size))
+    means = samples[idx].mean(axis=1)
+    alpha = 1 - confidence
+    return float(np.quantile(means, alpha / 2)), float(np.quantile(means, 1 - alpha / 2))

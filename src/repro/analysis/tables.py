@@ -1,0 +1,5 @@
+"""Table formatting (re-exported from the SEU report module)."""
+
+from repro.seu.report import format_table
+
+__all__ = ["format_table"]

@@ -1,0 +1,39 @@
+"""Built-in self-test for permanent-fault detection (paper section II-B).
+
+On orbit, opens/shorts and other hard failures must be found and
+isolated with a minimum number of stored diagnostic configurations.
+The paper's coverage-optimised suite:
+
+* **CLB test** — cascaded 34-bit LFSR registers driven by a 6-bit LFSR
+  counter, adjacent registers compared, mismatches latched; two
+  complementary placements cover every CLB;
+* **BRAM test** — each location stores its own address in both bytes;
+  comparison logic logs mismatches;
+* **wire test** — a chain-of-inverters design repeatedly partially
+  reconfigured across the output-mux wires (paper Figure 5): two
+  readbacks per configuration check stuck-at-1 then stuck-at-0.
+"""
+
+from repro.bist.faults import StuckAtFault, FaultSite, fault_patch, sample_faults
+from repro.bist.patterns import clb_test_design
+from repro.bist.bram_test import BramTestResult, run_bram_test
+from repro.bist.wire_test import WireTestPlan, WireTestResult, run_wire_test
+from repro.bist.coverage import CoverageReport, run_coverage
+from repro.bist.runner import BistRunner, BistReport
+
+__all__ = [
+    "StuckAtFault",
+    "FaultSite",
+    "fault_patch",
+    "sample_faults",
+    "clb_test_design",
+    "BramTestResult",
+    "run_bram_test",
+    "WireTestPlan",
+    "WireTestResult",
+    "run_wire_test",
+    "CoverageReport",
+    "run_coverage",
+    "BistRunner",
+    "BistReport",
+]

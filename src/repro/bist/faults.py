@@ -1,0 +1,136 @@
+"""Permanent (hard) fault models: stuck-at LUTs, flip-flops and wires.
+
+Unlike SEUs, these are physical failures — opens and shorts — that no
+amount of scrubbing repairs.  They are expressed as simulator patches
+against a decoded design, so BIST configurations detect them by running
+on the same hardware model the SEU machinery uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BISTError
+from repro.netlist.compiled import (
+    NODE_CONST0,
+    NODE_CONST1,
+    FFField,
+    Patch,
+)
+from repro.place.decoder import DecodedDesign
+from repro.utils.rng import derive_rng
+
+__all__ = ["FaultSite", "StuckAtFault", "fault_patch", "sample_faults"]
+
+
+class FaultSite(enum.Enum):
+    """What physical resource is broken."""
+
+    LUT_OUTPUT = "lut_output"
+    FF_OUTPUT = "ff_output"
+    WIRE = "wire"
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """A stuck-at-0/1 hard fault at one site.
+
+    ``where`` is ``(row, col, pos)`` for LUT/FF sites and
+    ``(row, col, direction, index)`` for wires.
+    """
+
+    site: FaultSite
+    where: tuple[int, ...]
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise BISTError(f"stuck value must be 0/1, got {self.value}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"stuck-at-{self.value} {self.site.value}@{self.where}"
+
+
+def fault_patch(decoded: DecodedDesign, fault: StuckAtFault) -> Patch:
+    """Express a hard fault as a simulator patch."""
+    const = NODE_CONST1 if fault.value else NODE_CONST0
+    if fault.site is FaultSite.LUT_OUTPUT:
+        row, col, pos = fault.where
+        lrow = decoded.lut_row(row, col, pos)
+        table = np.full(16, fault.value, dtype=np.uint8)
+        return Patch(lut_tables=[(lrow, table)])
+    if fault.site is FaultSite.FF_OUTPUT:
+        row, col, pos = fault.where
+        frow = decoded.ff_row(row, col, pos)
+        # Output node pinned: freeze the FF at the stuck value.
+        return Patch(
+            ff_fields=[
+                (frow, FFField.D, const),
+                (frow, FFField.CE, NODE_CONST1),
+                (frow, FFField.SR, NODE_CONST0),
+                (frow, FFField.INIT, fault.value),
+            ]
+        )
+    if fault.site is FaultSite.WIRE:
+        from repro.fpga.resources import CTRL_CE
+
+        patch = Patch()
+        row, col, d, w = fault.where
+        worklist = [(row, col, int(d), w)]
+        seen = set(worklist)
+        while worklist:
+            key = worklist.pop()
+            for consumer in decoded.wire_consumers.get(key, ()):  # nobody reads -> latent
+                if consumer[0] == "pin":
+                    _, r, c, pos, pin = consumer
+                    patch.lut_inputs.append((decoded.lut_row(r, c, pos), pin, const))
+                    frow = decoded.ff_row(r, c, pos)
+                    old = decoded.pin_source.get((r, c, pos, pin), -2)
+                    if pin == 0 and int(decoded.design.ff_d[frow]) == old:
+                        patch.ff_fields.append((frow, FFField.D, const))
+                elif consumer[0] == "ctrl":
+                    _, r, c, slc, which = consumer
+                    if which == CTRL_CE:
+                        for pos in (2 * slc, 2 * slc + 1):
+                            frow = decoded.ff_row(r, c, pos)
+                            patch.ff_fields.append((frow, FFField.CE, const))
+                elif consumer[0] == "wire":
+                    # Downstream wires inherit the stuck value through
+                    # their forwarding PIPs.
+                    k2 = consumer[1]
+                    if k2 not in seen:
+                        seen.add(k2)
+                        worklist.append(k2)
+        return patch
+    raise BISTError(f"unknown fault site {fault.site}")  # pragma: no cover
+
+
+def sample_faults(
+    decoded: DecodedDesign,
+    n: int,
+    seed: int = 0,
+    sites: tuple[FaultSite, ...] = (FaultSite.LUT_OUTPUT, FaultSite.FF_OUTPUT, FaultSite.WIRE),
+) -> list[StuckAtFault]:
+    """Draw random hard faults across the device fabric."""
+    rng = derive_rng(seed, "hardfaults")
+    dev = decoded.device
+    out: list[StuckAtFault] = []
+    for _ in range(n):
+        site = sites[int(rng.integers(len(sites)))]
+        value = int(rng.integers(2))
+        row = int(rng.integers(dev.rows))
+        col = int(rng.integers(dev.cols))
+        if site is FaultSite.WIRE:
+            where: tuple[int, ...] = (
+                row,
+                col,
+                int(rng.integers(4)),
+                int(rng.integers(24)),
+            )
+        else:
+            where = (row, col, int(rng.integers(4)))
+        out.append(StuckAtFault(site, where, value))
+    return out

@@ -1,0 +1,87 @@
+"""BIST orchestration: the on-orbit diagnostic session.
+
+Ties the three test families into one session the way the flight system
+would run them between mission configurations: load each stored
+diagnostic configuration, execute, collect results, and account the
+configuration/readback budget (diagnostic configurations compete with
+mission algorithms for flash space — paper section II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bist.bram_test import BramTestResult, initialize_bram_test, run_bram_test
+from repro.bist.coverage import CoverageReport, run_coverage
+from repro.bist.faults import StuckAtFault
+from repro.bist.wire_test import WireTestResult, run_wire_test
+from repro.bitstream.bitstream import ConfigBitstream
+from repro.fpga.device import VirtexDevice
+
+__all__ = ["BistReport", "BistRunner"]
+
+
+@dataclass
+class BistReport:
+    """Combined results of one diagnostic session."""
+
+    clb: CoverageReport | None = None
+    wire: WireTestResult | None = None
+    bram: BramTestResult | None = None
+
+    def summary(self) -> str:
+        parts = []
+        if self.clb:
+            parts.append(f"CLB: {self.clb.summary()}")
+        if self.wire:
+            parts.append(
+                f"wires: {len(self.wire.detected)}/"
+                f"{len(self.wire.detected) + len(self.wire.missed)} detected, "
+                f"{self.wire.n_configs_run} partial reconfigs, "
+                f"{self.wire.n_readbacks_run} readbacks"
+            )
+        if self.bram:
+            parts.append(
+                f"BRAM: {'pass' if self.bram.passed else 'FAIL'} "
+                f"({len(self.bram.mismatches)} mismatches)"
+            )
+        return "; ".join(parts)
+
+
+@dataclass
+class BistRunner:
+    """Run the diagnostic suite on one device."""
+
+    device: VirtexDevice
+    n_register_pairs: int = 4
+
+    def run(
+        self,
+        logic_faults: list[StuckAtFault] | None = None,
+        wire_faults: list[StuckAtFault] | None = None,
+        bram_fault_bits: list[tuple[int, int]] | None = None,
+        wire_indices: list[int] | None = None,
+    ) -> BistReport:
+        """Execute all three test families against injected faults.
+
+        ``bram_fault_bits`` are (block, content-bit) pairs flipped after
+        pattern initialisation (stuck content cells).
+        """
+        report = BistReport()
+        if logic_faults is not None:
+            report.clb = run_coverage(self.device, logic_faults, self.n_register_pairs)
+        if wire_faults is not None:
+            report.wire = run_wire_test(self.device, wire_faults, wire_indices=wire_indices)
+        if bram_fault_bits is not None:
+            memory = ConfigBitstream(self.device.geometry)
+            array = initialize_bram_test(memory)
+            for block, bit in bram_fault_bits:
+                frame, off = self.device.geometry.bram_content_bit(
+                    block // self.device.geometry.bram_blocks_per_col,
+                    block % self.device.geometry.bram_blocks_per_col,
+                    bit,
+                )
+                linear = self.device.geometry.frame_offset(frame) + off
+                memory.flip_bit(linear)
+            report.bram = run_bram_test(array)
+        return report

@@ -1,0 +1,35 @@
+"""Configuration bitstream: storage, CRC checking, SelectMAP access.
+
+The bitstream is the central artifact of the paper: SEUs corrupt it,
+readback observes it, partial reconfiguration repairs it, and the fault
+injector flips chosen bits in it.
+"""
+
+from repro.bitstream.bitstream import ConfigBitstream
+from repro.bitstream.crc import crc16, crc16_bits, crc16_frame_matrix
+from repro.bitstream.codebook import CRCCodebook
+from repro.bitstream.frame import FrameData
+from repro.bitstream.packets import (
+    ConfigPacket,
+    PacketOp,
+    decode_packet_stream,
+    encode_readback,
+    encode_write_frame,
+)
+from repro.bitstream.selectmap import SelectMapPort, SelectMapTiming
+
+__all__ = [
+    "ConfigBitstream",
+    "FrameData",
+    "crc16",
+    "crc16_bits",
+    "crc16_frame_matrix",
+    "CRCCodebook",
+    "ConfigPacket",
+    "PacketOp",
+    "encode_write_frame",
+    "encode_readback",
+    "decode_packet_stream",
+    "SelectMapPort",
+    "SelectMapTiming",
+]

@@ -1,0 +1,131 @@
+"""Frame-addressable configuration memory backed by one numpy array.
+
+One :class:`ConfigBitstream` is the full configuration state of one
+device: every CLB, IOB, clock, BRAM-interconnect and BRAM-content bit.
+Storage is a flat ``uint8`` bit vector; frames are views into it, so
+frame writes are in-place and bit flips are O(1) — both matter in the
+fault-injection hot loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BitstreamError, FrameAddressError
+from repro.bitstream.frame import FrameData
+from repro.fpga.geometry import DeviceGeometry
+
+__all__ = ["ConfigBitstream"]
+
+
+class ConfigBitstream:
+    """Mutable configuration memory for one device geometry."""
+
+    def __init__(self, geometry: DeviceGeometry, bits: np.ndarray | None = None):
+        self.geometry = geometry
+        if bits is None:
+            self._bits = np.zeros(geometry.total_bits, dtype=np.uint8)
+        else:
+            bits = np.asarray(bits, dtype=np.uint8)
+            if bits.shape != (geometry.total_bits,):
+                raise BitstreamError(
+                    f"bitstream shape {bits.shape} does not match geometry "
+                    f"({geometry.total_bits} bits)"
+                )
+            self._bits = bits.copy()
+
+    # -- whole-stream access ------------------------------------------------
+
+    @property
+    def bits(self) -> np.ndarray:
+        """The underlying bit vector.  Mutations are visible immediately.
+
+        Exposed read-write deliberately: the fault injector and the batch
+        campaign patch bits in place.
+        """
+        return self._bits
+
+    @property
+    def n_bits(self) -> int:
+        return int(self._bits.size)
+
+    def copy(self) -> "ConfigBitstream":
+        return ConfigBitstream(self.geometry, self._bits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConfigBitstream):
+            return NotImplemented
+        return self.geometry == other.geometry and np.array_equal(
+            self._bits, other._bits
+        )
+
+    # -- single-bit access ----------------------------------------------------
+
+    def get_bit(self, linear: int) -> int:
+        self._check_linear(linear)
+        return int(self._bits[linear])
+
+    def set_bit(self, linear: int, value: int) -> None:
+        self._check_linear(linear)
+        if value not in (0, 1):
+            raise BitstreamError(f"bit value must be 0 or 1, got {value}")
+        self._bits[linear] = value
+
+    def flip_bit(self, linear: int) -> int:
+        """Invert one bit (the SEU model); returns the new value."""
+        self._check_linear(linear)
+        self._bits[linear] ^= 1
+        return int(self._bits[linear])
+
+    def _check_linear(self, linear: int) -> None:
+        if not 0 <= linear < self._bits.size:
+            raise BitstreamError(
+                f"linear bit {linear} out of range [0, {self._bits.size})"
+            )
+
+    # -- frame access ------------------------------------------------------
+
+    def frame_view(self, frame_index: int) -> np.ndarray:
+        """Writable view of one frame's bits (no copy)."""
+        off = self.geometry.frame_offset(frame_index)
+        n = self.geometry.frame_bits_of(frame_index)
+        return self._bits[off : off + n]
+
+    def read_frame(self, frame_index: int) -> FrameData:
+        """Copy of one frame, as readback would return it."""
+        return FrameData(frame_index, self.frame_view(frame_index).copy())
+
+    def write_frame(self, frame: FrameData) -> None:
+        """Overwrite one frame (a partial reconfiguration)."""
+        view = self.frame_view(frame.frame_index)
+        if frame.n_bits != view.size:
+            raise FrameAddressError(
+                f"frame {frame.frame_index} expects {view.size} bits, "
+                f"got {frame.n_bits}"
+            )
+        view[:] = frame.bits
+
+    def locate(self, linear: int) -> tuple[int, int]:
+        """(frame_index, bit_in_frame) of a linear bit offset.
+
+        Binary search over the monotone frame-offset table.
+        """
+        self._check_linear(linear)
+        offsets = self.geometry.frame_offsets
+        frame = int(np.searchsorted(offsets, linear, side="right")) - 1
+        return frame, linear - int(offsets[frame])
+
+    # -- comparison ------------------------------------------------------------
+
+    def diff(self, other: "ConfigBitstream") -> np.ndarray:
+        """Linear indices where this bitstream differs from ``other``."""
+        if self.geometry != other.geometry:
+            raise BitstreamError("cannot diff bitstreams of different geometries")
+        return np.flatnonzero(self._bits != other._bits)
+
+    def corrupted_frames(self, golden: "ConfigBitstream") -> list[int]:
+        """Frame indices containing at least one differing bit."""
+        seen: set[int] = set()
+        for linear in self.diff(golden):
+            seen.add(self.locate(int(linear))[0])
+        return sorted(seen)

@@ -1,0 +1,83 @@
+"""Golden-CRC codebook (paper Figure 4, "Load CRC Codebook").
+
+On orbit the Actel fault manager holds, in local SRAM, the expected CRC
+of every frame of every loaded configuration.  Readback CRCs are compared
+against this codebook; any mismatch identifies the corrupted device and
+frame, which is then repaired by partial reconfiguration.
+
+The codebook supports *masking*: frames whose content legitimately
+changes at run time (LUT RAMs, BRAM content — see paper section II-C)
+are excluded from checking, exactly as the flight system must either
+mask or stop the clock for them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitstream.bitstream import ConfigBitstream
+from repro.bitstream.crc import crc16_bits
+from repro.errors import FrameAddressError
+
+__all__ = ["CRCCodebook"]
+
+
+class CRCCodebook:
+    """Expected per-frame CRCs for one golden configuration."""
+
+    def __init__(self, crcs: np.ndarray, masked: set[int] | None = None):
+        self._crcs = np.asarray(crcs, dtype=np.uint16)
+        self.masked = set(masked or ())
+
+    @classmethod
+    def from_bitstream(
+        cls, golden: ConfigBitstream, masked: set[int] | None = None
+    ) -> "CRCCodebook":
+        """Compute the codebook of a golden bitstream.
+
+        Frames have unequal lengths across block types, so this packs and
+        CRCs each frame individually; it runs once per configuration load,
+        not per scrub scan.
+        """
+        crcs = np.empty(golden.geometry.n_frames, dtype=np.uint16)
+        for f in range(golden.geometry.n_frames):
+            crcs[f] = crc16_bits(golden.frame_view(f))
+        return cls(crcs, masked)
+
+    @property
+    def n_frames(self) -> int:
+        return int(self._crcs.size)
+
+    def expected(self, frame_index: int) -> int:
+        if not 0 <= frame_index < self._crcs.size:
+            raise FrameAddressError(f"frame {frame_index} not in codebook")
+        return int(self._crcs[frame_index])
+
+    def check_frame(self, frame_index: int, bits: np.ndarray) -> bool:
+        """True when the frame readback matches (or the frame is masked)."""
+        if frame_index in self.masked:
+            return True
+        return crc16_bits(bits) == self.expected(frame_index)
+
+    def check_crcs(self, crcs: np.ndarray) -> np.ndarray:
+        """Frame indices whose CRC mismatches, given all readback CRCs.
+
+        This is the vectorised scan path: the scrub manager computes all
+        frame CRCs with :func:`repro.bitstream.crc.crc16_frame_matrix`
+        and diffs them against the codebook in one shot.
+        """
+        crcs = np.asarray(crcs, dtype=np.uint16)
+        if crcs.shape != self._crcs.shape:
+            raise FrameAddressError(
+                f"expected {self._crcs.size} CRCs, got {crcs.size}"
+            )
+        bad = np.flatnonzero(crcs != self._crcs)
+        if self.masked:
+            bad = np.array([f for f in bad if int(f) not in self.masked], dtype=bad.dtype)
+        return bad
+
+    def mask_frame(self, frame_index: int) -> None:
+        """Exclude a frame from checking (LUT-RAM / BRAM content frames)."""
+        if not 0 <= frame_index < self._crcs.size:
+            raise FrameAddressError(f"frame {frame_index} not in codebook")
+        self.masked.add(frame_index)

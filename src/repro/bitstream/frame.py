@@ -1,0 +1,59 @@
+"""A single configuration frame: bits plus its address.
+
+Frames are the smallest reconfigurable unit on Virtex (the paper repairs
+exactly one — 156 bytes on the XQVR1000).  :class:`FrameData` is a small
+value object passed between readback, CRC checking and repair paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BitstreamError
+from repro.utils.bitops import pack_bits, unpack_bits
+
+__all__ = ["FrameData"]
+
+
+@dataclass
+class FrameData:
+    """Bits of one frame, tagged with its linear frame index."""
+
+    frame_index: int
+    bits: np.ndarray  # uint8 vector, one element per bit
+
+    def __post_init__(self) -> None:
+        self.bits = np.asarray(self.bits, dtype=np.uint8)
+        if self.bits.ndim != 1:
+            raise BitstreamError("frame bits must be a 1-D vector")
+        if not np.all(self.bits <= 1):
+            raise BitstreamError("frame bits must be 0/1 valued")
+
+    @property
+    def n_bits(self) -> int:
+        return int(self.bits.size)
+
+    @property
+    def n_bytes(self) -> int:
+        return (self.n_bits + 7) // 8
+
+    def to_bytes(self) -> np.ndarray:
+        """Pack into a byte vector (for SelectMAP transfer / flash storage)."""
+        return pack_bits(self.bits)
+
+    @classmethod
+    def from_bytes(cls, frame_index: int, data: np.ndarray, n_bits: int) -> "FrameData":
+        """Unpack a byte vector received over SelectMAP."""
+        return cls(frame_index, unpack_bits(data, n_bits))
+
+    def copy(self) -> "FrameData":
+        return FrameData(self.frame_index, self.bits.copy())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FrameData):
+            return NotImplemented
+        return self.frame_index == other.frame_index and np.array_equal(
+            self.bits, other.bits
+        )

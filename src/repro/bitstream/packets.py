@@ -1,0 +1,119 @@
+"""Configuration packet encoding for SelectMAP transfers.
+
+The flight system stores configuration data in flash and replays it over
+SelectMAP; ground commands upload new configurations as packet streams.
+We model a compact packet format (inspired by the Virtex type-1/type-2
+packet headers) sufficient for full configuration, partial frame writes
+and readback commands:
+
+========  ======================================================
+byte      meaning
+========  ======================================================
+0         sync byte ``0xAA``
+1         opcode (:class:`PacketOp`)
+2..5      frame index, little-endian (0 for non-frame ops)
+6..7      payload byte count, little-endian
+8..       payload
+========  ======================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import BitstreamError
+
+__all__ = [
+    "PacketOp",
+    "ConfigPacket",
+    "encode_write_frame",
+    "encode_readback",
+    "decode_packet_stream",
+    "HEADER_BYTES",
+    "SYNC_BYTE",
+]
+
+HEADER_BYTES = 8
+SYNC_BYTE = 0xAA
+
+
+class PacketOp(enum.IntEnum):
+    """Operations a configuration packet can request."""
+
+    WRITE_FRAME = 1
+    READ_FRAME = 2
+    FULL_CONFIG = 3
+    STARTUP = 4
+    RESET = 5
+
+
+@dataclass
+class ConfigPacket:
+    """One decoded configuration packet."""
+
+    op: PacketOp
+    frame_index: int = 0
+    payload: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.uint8))
+
+    def __post_init__(self) -> None:
+        self.payload = np.asarray(self.payload, dtype=np.uint8)
+        if self.payload.size > 0xFFFF:
+            raise BitstreamError("packet payload exceeds 64 KiB")
+
+    def encode(self) -> np.ndarray:
+        """Serialise to a byte vector."""
+        header = np.zeros(HEADER_BYTES, dtype=np.uint8)
+        header[0] = SYNC_BYTE
+        header[1] = int(self.op)
+        header[2:6] = np.frombuffer(
+            int(self.frame_index).to_bytes(4, "little"), dtype=np.uint8
+        )
+        header[6:8] = np.frombuffer(
+            int(self.payload.size).to_bytes(2, "little"), dtype=np.uint8
+        )
+        return np.concatenate([header, self.payload])
+
+    @property
+    def n_bytes(self) -> int:
+        return HEADER_BYTES + int(self.payload.size)
+
+
+def encode_write_frame(frame_index: int, frame_bytes: np.ndarray) -> np.ndarray:
+    """Packet stream performing one partial-reconfiguration frame write."""
+    return ConfigPacket(PacketOp.WRITE_FRAME, frame_index, frame_bytes).encode()
+
+
+def encode_readback(frame_index: int) -> np.ndarray:
+    """Packet stream requesting readback of one frame."""
+    return ConfigPacket(PacketOp.READ_FRAME, frame_index).encode()
+
+
+def decode_packet_stream(data: np.ndarray | bytes) -> list[ConfigPacket]:
+    """Parse a byte stream into packets; raises on any framing error."""
+    buf = (
+        np.frombuffer(bytes(data), dtype=np.uint8)
+        if isinstance(data, (bytes, bytearray))
+        else np.asarray(data, dtype=np.uint8)
+    )
+    packets: list[ConfigPacket] = []
+    pos = 0
+    while pos < buf.size:
+        if buf.size - pos < HEADER_BYTES:
+            raise BitstreamError(f"truncated packet header at byte {pos}")
+        if buf[pos] != SYNC_BYTE:
+            raise BitstreamError(f"bad sync byte 0x{int(buf[pos]):02x} at byte {pos}")
+        try:
+            op = PacketOp(int(buf[pos + 1]))
+        except ValueError:
+            raise BitstreamError(f"unknown opcode {int(buf[pos + 1])} at byte {pos}") from None
+        frame_index = int.from_bytes(bytes(buf[pos + 2 : pos + 6]), "little")
+        n_payload = int.from_bytes(bytes(buf[pos + 6 : pos + 8]), "little")
+        end = pos + HEADER_BYTES + n_payload
+        if end > buf.size:
+            raise BitstreamError(f"truncated payload for packet at byte {pos}")
+        packets.append(ConfigPacket(op, frame_index, buf[pos + HEADER_BYTES : end].copy()))
+        pos = end
+    return packets

@@ -1,0 +1,161 @@
+"""SelectMAP configuration port with a byte-rate timing model.
+
+The Virtex SelectMAP interface is the byte-wide port through which the
+Actel fault manager reads back configurations (while the design keeps
+running — "no interruption of service", paper section II-A) and through
+which corrupted frames are repaired.
+
+Every operation advances an attached :class:`~repro.utils.simtime.SimClock`
+by its modeled cost.  Default timing is calibrated so that a full
+readback + CRC scan of one XQVR1000 takes ~60 ms — three devices per
+board then take the paper's ~180 ms cycle.
+
+Observers can subscribe to configuration events; the configured-device
+model uses this to re-decode after writes and to apply the paper's
+readback side effects (half-latch initialisation happens only on *full*
+configuration start-up; BRAM output registers are corrupted by readback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.bitstream.bitstream import ConfigBitstream
+from repro.bitstream.crc import crc16_frame_matrix
+from repro.bitstream.frame import FrameData
+from repro.errors import BitstreamError
+from repro.fpga.geometry import FrameKind
+from repro.utils.simtime import SimClock
+
+__all__ = ["SelectMapTiming", "SelectMapPort"]
+
+
+@dataclass(frozen=True)
+class SelectMapTiming:
+    """Timing parameters of the port.
+
+    ``per_byte_s`` covers the raw byte clock; ``scan_overhead_per_byte_s``
+    adds the fault manager's CRC/compare pipeline cost during scans;
+    ``op_overhead_s`` is fixed command setup per operation.
+    """
+
+    per_byte_s: float = 20e-9  # 50 MHz byte clock
+    scan_overhead_per_byte_s: float = 62.6e-9
+    op_overhead_s: float = 5e-6
+
+    def transfer_time(self, n_bytes: int) -> float:
+        return self.op_overhead_s + n_bytes * self.per_byte_s
+
+    def scan_time(self, n_bytes: int) -> float:
+        return self.op_overhead_s + n_bytes * (
+            self.per_byte_s + self.scan_overhead_per_byte_s
+        )
+
+
+class SelectMapPort:
+    """Byte-wide configuration access to one device's config memory."""
+
+    def __init__(
+        self,
+        memory: ConfigBitstream,
+        clock: SimClock | None = None,
+        timing: SelectMapTiming | None = None,
+    ):
+        self.memory = memory
+        self.clock = clock if clock is not None else SimClock()
+        self.timing = timing if timing is not None else SelectMapTiming()
+        #: called after a full configuration (start-up sequence runs)
+        self.on_full_configure: list[Callable[[], None]] = []
+        #: called after each partial frame write, with the frame index
+        self.on_partial_write: list[Callable[[int], None]] = []
+        #: called after each frame readback, with the frame index
+        self.on_readback: list[Callable[[int], None]] = []
+        # Statistics the benchmarks report.
+        self.n_full_configs = 0
+        self.n_frame_writes = 0
+        self.n_frame_reads = 0
+        self.bytes_transferred = 0
+
+    # -- configuration ---------------------------------------------------
+
+    def full_configure(self, golden: ConfigBitstream) -> float:
+        """Load a complete bitstream and run the start-up sequence.
+
+        Returns the modeled duration.  This is the only operation that
+        re-initialises half-latches (observers implement that).
+        """
+        if golden.geometry != self.memory.geometry:
+            raise BitstreamError("bitstream geometry does not match device")
+        self.memory.bits[:] = golden.bits
+        n_bytes = (self.memory.n_bits + 7) // 8
+        dt = self.timing.transfer_time(n_bytes)
+        self.clock.advance(dt)
+        self.bytes_transferred += n_bytes
+        self.n_full_configs += 1
+        for cb in self.on_full_configure:
+            cb()
+        return dt
+
+    def write_frame(self, frame: FrameData) -> float:
+        """Partial reconfiguration of a single frame (no start-up).
+
+        This is the paper's repair primitive: 156 bytes on the XQVR1000.
+        """
+        self.memory.write_frame(frame)
+        dt = self.timing.transfer_time(frame.n_bytes)
+        self.clock.advance(dt)
+        self.bytes_transferred += frame.n_bytes
+        self.n_frame_writes += 1
+        for cb in self.on_partial_write:
+            cb(frame.frame_index)
+        return dt
+
+    # -- readback -----------------------------------------------------------
+
+    def read_frame(self, frame_index: int) -> FrameData:
+        """Read one frame back; design keeps running."""
+        frame = self.memory.read_frame(frame_index)
+        self.clock.advance(self.timing.transfer_time(frame.n_bytes))
+        self.bytes_transferred += frame.n_bytes
+        self.n_frame_reads += 1
+        for cb in self.on_readback:
+            cb(frame_index)
+        return frame
+
+    def scan_crcs(self, include_bram_content: bool = False) -> tuple[np.ndarray, float]:
+        """Read back every frame and return all frame CRCs.
+
+        CRCs of equal-length frame groups are computed with the
+        vectorised column-parallel kernel.  Returns ``(crcs, dt)`` where
+        ``crcs[f]`` is the CRC of frame ``f`` (0xFFFF placeholder for
+        skipped BRAM-content frames) and ``dt`` the modeled scan time.
+        """
+        geo = self.memory.geometry
+        crcs = np.full(geo.n_frames, 0xFFFF, dtype=np.uint16)
+        scanned_bytes = 0
+        # Group frames by bit length so each group packs into a matrix.
+        groups: dict[int, list[int]] = {}
+        for f in range(geo.n_frames):
+            kind = geo.frame_address(f).kind
+            if kind is FrameKind.BRAM_CONTENT and not include_bram_content:
+                continue
+            groups.setdefault(geo.frame_bits_of(f), []).append(f)
+        for n_bits, frame_indices in groups.items():
+            n_bytes = (n_bits + 7) // 8
+            mat = np.zeros((len(frame_indices), n_bytes), dtype=np.uint8)
+            for i, f in enumerate(frame_indices):
+                mat[i] = np.packbits(self.memory.frame_view(f), bitorder="little")
+            crcs[frame_indices] = crc16_frame_matrix(mat)
+            scanned_bytes += n_bytes * len(frame_indices)
+        dt = self.timing.scan_time(scanned_bytes)
+        self.clock.advance(dt)
+        self.bytes_transferred += scanned_bytes
+        self.n_frame_reads += len([f for fs in groups.values() for f in fs])
+        for frame_indices in groups.values():
+            for f in frame_indices:
+                for cb in self.on_readback:
+                    cb(f)
+        return crcs, dt

@@ -1,0 +1,188 @@
+"""Command-line interface: the experiments as shell one-liners.
+
+Installed as the ``repro`` console script::
+
+    repro devices                        # list the device catalog
+    repro implement MULT6 --device S12   # place/route/bitgen summary
+    repro campaign MULT6 --device S12    # exhaustive SEU sweep
+    repro table1                         # scaled Table I reproduction
+    repro table2                         # scaled Table II reproduction
+    repro orbit --hours 2                # mission rehearsal
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic reconfiguration for radiation-fault management "
+        "in FPGAs (paper reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list the device catalog")
+
+    p = sub.add_parser("implement", help="place/route/bitgen one design")
+    p.add_argument("design", help="catalog name, e.g. MULT6 or LFSR2")
+    p.add_argument("--device", default="S12")
+
+    p = sub.add_parser("campaign", help="exhaustive SEU campaign on one design")
+    p.add_argument("design")
+    p.add_argument("--device", default="S12")
+    p.add_argument("--detect-cycles", type=int, default=96)
+    p.add_argument("--persist-cycles", type=int, default=64)
+    p.add_argument("--stride", type=int, default=1, help="test every k-th bit")
+    p.add_argument("--save-map", metavar="PATH", help="save the sensitivity map (.npz)")
+
+    p = sub.add_parser("table1", help="reproduce Table I on scaled designs")
+    p.add_argument("--device", default="S12")
+
+    p = sub.add_parser("table2", help="reproduce Table II on scaled designs")
+    p.add_argument("--device", default="S12")
+
+    p = sub.add_parser("orbit", help="fly a scrubbed board through LEO")
+    p.add_argument("--device", default="S12")
+    p.add_argument("--hours", type=float, default=1.0)
+    p.add_argument("--devices", type=int, default=3, dest="n_devices")
+    p.add_argument("--flare", action="store_true", help="solar-flare flux")
+    p.add_argument(
+        "--flux-scale", type=float, default=2000.0,
+        help="area-compensation factor for scaled devices",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_devices() -> int:
+    from repro.fpga import DEVICE_CATALOG, get_device
+
+    for name in DEVICE_CATALOG:
+        dev = get_device(name)
+        print(
+            f"{name:<9} {dev.rows:>3}x{dev.cols:<3} CLBs  "
+            f"{dev.n_slices:>6} slices  "
+            f"{dev.total_config_bits:>9,} config bits"
+        )
+    return 0
+
+
+def _cmd_implement(args: argparse.Namespace) -> int:
+    from repro import get_design, get_device, implement
+
+    hw = implement(get_design(args.design), get_device(args.device))
+    print(hw.summary())
+    print(
+        f"routing: {hw.routed.n_pips_on} PIPs, {hw.routed.n_escapes} long-line "
+        f"escapes, {hw.routed.n_route_throughs} route-throughs"
+    )
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro import CampaignConfig, get_design, get_device, implement, run_campaign
+    from repro.seu import SensitivityMap, format_table1, table1_row
+
+    hw = implement(get_design(args.design), get_device(args.device))
+    config = CampaignConfig(
+        detect_cycles=args.detect_cycles,
+        persist_cycles=args.persist_cycles,
+        stride=args.stride,
+    )
+    result = run_campaign(hw, config)
+    print(result.summary())
+    print(format_table1([table1_row(hw, result)]))
+    print(f"persistence ratio: {100 * result.persistence_ratio:.1f}%")
+    if args.save_map:
+        SensitivityMap.from_campaign(hw.device, result).save(args.save_map)
+        print(f"sensitivity map saved to {args.save_map}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro import CampaignConfig, get_device, implement, run_campaign
+    from repro.designs import scaled_suite_table1
+    from repro.seu import format_table1, table1_row
+
+    device = get_device(args.device)
+    config = CampaignConfig(detect_cycles=96, persist_cycles=0, classify_persistence=False)
+    rows = []
+    for spec in scaled_suite_table1():
+        hw = implement(spec, device)
+        rows.append(table1_row(hw, run_campaign(hw, config)))
+        print(f"  done: {rows[-1].design}", file=sys.stderr)
+    print(format_table1(rows))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro import CampaignConfig, get_device, implement, run_campaign
+    from repro.designs import scaled_suite_table2
+    from repro.seu import format_table2
+
+    device = get_device(args.device)
+    config = CampaignConfig(detect_cycles=96, persist_cycles=64)
+    rows = []
+    for spec in scaled_suite_table2():
+        hw = implement(spec, device)
+        res = run_campaign(hw, config)
+        rows.append(
+            (spec.name, hw.used_slices, hw.utilization, res.sensitivity, res.persistence_ratio)
+        )
+        print(f"  done: {spec.name}", file=sys.stderr)
+    print(format_table2(rows))
+    return 0
+
+
+def _cmd_orbit(args: argparse.Namespace) -> int:
+    from repro.bitstream import ConfigBitstream
+    from repro.fpga import get_device
+    from repro.radiation import LEO_FLARE, LEO_QUIET, OrbitEnvironment
+    from repro.scrub import OnOrbitSystem
+
+    device = get_device(args.device)
+    rng = np.random.default_rng(args.seed)
+    golden = ConfigBitstream(
+        device.geometry,
+        rng.integers(0, 2, device.geometry.total_bits).astype(np.uint8),
+    )
+    base = LEO_FLARE if args.flare else LEO_QUIET
+    env = OrbitEnvironment(
+        f"{base.name} (x{args.flux_scale:g})",
+        base.effective_flux_cm2_s * args.flux_scale,
+    )
+    system = OnOrbitSystem(
+        device, golden, n_devices=args.n_devices, environment=env, seed=args.seed
+    )
+    report = system.fly(args.hours * 3600.0)
+    print(report.summary())
+    print(f"state of health: {report.soh.summary()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "devices":
+        return _cmd_devices()
+    if args.command == "implement":
+        return _cmd_implement(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "table1":
+        return _cmd_table1(args)
+    if args.command == "table2":
+        return _cmd_table2(args)
+    if args.command == "orbit":
+        return _cmd_orbit(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Generators for the paper's benchmark designs.
+
+Two design classes drive the paper's evaluation (section III-A):
+
+* **feed-forward, datapath-dominated** designs — array multipliers,
+  multiply-add trees, filter preprocessors — probing SEU impact on
+  computation hardware;
+* **local-feedback** designs — LFSR clusters, counters — probing error
+  feedback and persistence.
+
+Each generator returns a :class:`~repro.designs.spec.DesignSpec` pairing
+the netlist with its stimulus generator and catalog metadata.
+"""
+
+from repro.designs.spec import DesignSpec
+from repro.designs.lfsr import lfsr_cluster_design, single_lfsr
+from repro.designs.mult import array_multiplier
+from repro.designs.vmult import pipelined_multiplier
+from repro.designs.multadd import multiply_add
+from repro.designs.counter import counter_adder
+from repro.designs.filterpre import filter_preprocessor
+from repro.designs.fir import fir_filter
+from repro.designs.impulse import impulse_detector
+from repro.designs.lfsrmult import lfsr_multiplier
+from repro.designs.library import (
+    DESIGN_FAMILIES,
+    get_design,
+    paper_suite_table1,
+    paper_suite_table2,
+    scaled_suite_table1,
+    scaled_suite_table2,
+)
+
+__all__ = [
+    "DesignSpec",
+    "lfsr_cluster_design",
+    "single_lfsr",
+    "array_multiplier",
+    "pipelined_multiplier",
+    "multiply_add",
+    "counter_adder",
+    "filter_preprocessor",
+    "fir_filter",
+    "impulse_detector",
+    "lfsr_multiplier",
+    "DESIGN_FAMILIES",
+    "get_design",
+    "paper_suite_table1",
+    "paper_suite_table2",
+    "scaled_suite_table1",
+    "scaled_suite_table2",
+]

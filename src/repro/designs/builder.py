@@ -1,0 +1,148 @@
+"""Structural building blocks shared by the design generators.
+
+All helpers append cells to an existing :class:`Netlist` and return the
+names of the signals they produce.  Arithmetic is LUT-mapped the way the
+placer expects it: full adders as XOR3 + MAJ3 pairs, partial products
+folded into 4-input LUTs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.cells import (
+    LUT_AND2,
+    LUT_MAJ3,
+    LUT_XOR2,
+    LUT_XOR3,
+    lut_table,
+)
+from repro.netlist.netlist import Netlist
+
+__all__ = [
+    "add_register",
+    "add_xor_tree",
+    "add_ripple_adder",
+    "add_full_adder",
+    "add_pp_adder",
+    "add_increment",
+]
+
+#: (a & b) ^ c ^ d — a full adder whose first operand is a partial product.
+LUT_PP_SUM = lut_table(lambda a, b, c, d: ((a & b) ^ c) ^ d, 4)
+#: majority(a & b, c, d) — matching carry.
+LUT_PP_CARRY = lut_table(
+    lambda a, b, c, d: ((a & b) & c) | ((a & b) & d) | (c & d), 4
+)
+
+
+def add_register(
+    nl: Netlist,
+    prefix: str,
+    signals: list[str],
+    init: list[int] | None = None,
+    ce: str | None = None,
+) -> list[str]:
+    """Register a vector of signals; returns the FF output names."""
+    if init is not None and len(init) != len(signals):
+        raise NetlistError(f"{prefix}: init vector length mismatch")
+    out = []
+    for i, sig in enumerate(signals):
+        out.append(
+            nl.add_ff(f"{prefix}[{i}]", sig, ce=ce, init=init[i] if init else 0)
+        )
+    return out
+
+
+def add_xor_tree(nl: Netlist, prefix: str, signals: list[str]) -> str:
+    """Reduce signals with a tree of XOR3/XOR2 LUTs; returns the root."""
+    if not signals:
+        raise NetlistError(f"{prefix}: cannot XOR an empty list")
+    level = list(signals)
+    stage = 0
+    while len(level) > 1:
+        nxt = []
+        i = 0
+        while i < len(level):
+            chunk = level[i : i + 3]
+            if len(chunk) == 1:
+                nxt.append(chunk[0])
+            else:
+                name = f"{prefix}_x{stage}_{len(nxt)}"
+                table = LUT_XOR3 if len(chunk) == 3 else LUT_XOR2
+                nl.add_lut(name, table, chunk)
+                nxt.append(name)
+            i += 3
+        level = nxt
+        stage += 1
+    return level[0]
+
+
+def add_full_adder(
+    nl: Netlist, prefix: str, a: str, b: str, cin: str | None
+) -> tuple[str, str]:
+    """One full adder; returns (sum, carry) signal names."""
+    if cin is None:
+        s = nl.add_lut(f"{prefix}_s", LUT_XOR2, [a, b])
+        c = nl.add_lut(f"{prefix}_c", LUT_AND2, [a, b])
+    else:
+        s = nl.add_lut(f"{prefix}_s", LUT_XOR3, [a, b, cin])
+        c = nl.add_lut(f"{prefix}_c", LUT_MAJ3, [a, b, cin])
+    return s, c
+
+
+def add_ripple_adder(
+    nl: Netlist, prefix: str, a: list[str], b: list[str], cin: str | None = None
+) -> tuple[list[str], str]:
+    """Ripple-carry adder over equal-width vectors; returns (sum, cout)."""
+    if len(a) != len(b):
+        raise NetlistError(f"{prefix}: operand widths differ ({len(a)} vs {len(b)})")
+    if not a:
+        raise NetlistError(f"{prefix}: zero-width adder")
+    sums: list[str] = []
+    carry = cin
+    for i, (ai, bi) in enumerate(zip(a, b)):
+        s, carry = add_full_adder(nl, f"{prefix}_b{i}", ai, bi, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def add_pp_adder(
+    nl: Netlist, prefix: str, a: str, b: str, add_in: str, carry_in: str
+) -> tuple[str, str]:
+    """Multiplier cell: (a AND b) + add_in + carry_in as (sum, carry).
+
+    Folds the partial-product AND into the adder LUTs, so one multiplier
+    cell is exactly two 4-input LUTs — one slice, which is how the
+    paper-scale slice counts (MULT *n* ~ n^2 slices) come about.
+
+    Pin order differs between the two LUTs: carry_in sits on pin 2 of the
+    sum LUT and pin 3 of the carry LUT, the pins whose local imux
+    candidates reach the neighbouring positions the placer packs the
+    carry chain into (both tables are symmetric in add_in/carry_in, so
+    the swap is free).
+    """
+    s = nl.add_lut(f"{prefix}_s", LUT_PP_SUM, [a, b, carry_in, add_in])
+    c = nl.add_lut(f"{prefix}_c", LUT_PP_CARRY, [a, b, add_in, carry_in])
+    return s, c
+
+
+def add_increment(nl: Netlist, prefix: str, q: list[str]) -> list[str]:
+    """Next-state logic of a binary up-counter over FF outputs ``q``.
+
+    Uses an AND chain (``all lower bits set``) plus per-bit XOR toggles —
+    2 LUTs per bit above the LSB.
+    """
+    if not q:
+        raise NetlistError(f"{prefix}: zero-width counter")
+    nxt = []
+    inv = lut_table(lambda x: 1 - x, 1)
+    nxt.append(nl.add_lut(f"{prefix}_d0", inv, [q[0]]))
+    chain = q[0]
+    for i in range(1, len(q)):
+        # chain on pin 0, own FF on pin 1: the pin-1 local candidates
+        # include the FF of the same position, where the packer merges
+        # this LUT with q[i]'s flip-flop.
+        nxt.append(nl.add_lut(f"{prefix}_d{i}", LUT_XOR2, [chain, q[i]]))
+        if i < len(q) - 1:
+            chain = nl.add_lut(f"{prefix}_and{i}", LUT_AND2, [chain, q[i]])
+    return nxt

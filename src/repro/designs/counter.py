@@ -1,0 +1,78 @@
+"""Counter/adder design (paper Table II "36 Counter/Adder", Figure 7).
+
+A free-running binary counter (the feedback core whose state a
+persistent upset corrupts forever — Figure 7's "actual counter value
+never matches the expected result" after cycle 502) feeding a wider
+feed-forward adder datapath whose errors flush.  The mix yields the
+paper's intermediate persistence ratio (~10 %): only upsets reaching the
+counter state persist.
+"""
+
+from __future__ import annotations
+
+from repro.designs.builder import add_increment, add_register, add_ripple_adder
+from repro.designs.spec import DesignSpec
+from repro.errors import NetlistError
+from repro.netlist.netlist import Netlist
+
+__all__ = ["counter_design", "counter_adder"]
+
+
+def counter_design(width: int) -> DesignSpec:
+    """A plain ``width``-bit up-counter with its value as the output bus.
+
+    Used for the Figure 7 persistent-error trace.
+    """
+    if width < 2:
+        raise NetlistError("counter width must be >= 2")
+    nl = Netlist(f"counter_{width}")
+    q = [f"q{i}" for i in range(width)]
+    nxt = add_increment(nl, "inc", q)
+    for i in range(width):
+        nl.add_ff(q[i], nxt[i])
+    nl.set_outputs(q)
+    return DesignSpec(
+        name=f"Counter {width}", netlist=nl, family="COUNTER", size=width, feedback=True
+    )
+
+
+def counter_adder(
+    datapath_bits: int, counter_bits: int | None = None, pipeline_depth: int = 2
+) -> DesignSpec:
+    """Counter/adder: small counter core + wide feed-forward adder path.
+
+    ``datapath_bits`` names the design (the paper's is 36);
+    ``counter_bits`` defaults to ``datapath_bits // 4`` — the counter is
+    deliberately a small fraction of the design so the persistent
+    fraction is small but non-zero.
+    """
+    if counter_bits is None:
+        counter_bits = max(2, datapath_bits // 4)
+    if datapath_bits < counter_bits:
+        raise NetlistError("datapath must be at least as wide as the counter")
+    nl = Netlist(f"cntadd_{datapath_bits}")
+
+    # Feedback core: the counter.
+    q = [f"q{i}" for i in range(counter_bits)]
+    nxt = add_increment(nl, "inc", q)
+    for i in range(counter_bits):
+        nl.add_ff(q[i], nxt[i])
+
+    # Feed-forward datapath: extend the count by replication, add a
+    # rotated copy, pipeline, add again.
+    x = [q[i % counter_bits] for i in range(datapath_bits)]
+    rot = x[1:] + x[:1]
+    s1, _ = add_ripple_adder(nl, "add1", x, rot)
+    stage = add_register(nl, "p0", s1)
+    for p in range(1, pipeline_depth):
+        rot2 = stage[2:] + stage[:2]
+        s2, _ = add_ripple_adder(nl, f"add{p + 1}", stage, rot2)
+        stage = add_register(nl, f"p{p}", s2)
+    nl.set_outputs(stage)
+    return DesignSpec(
+        name=f"{datapath_bits} Counter/Adder",
+        netlist=nl,
+        family="COUNTER",
+        size=datapath_bits,
+        feedback=True,
+    )

@@ -1,0 +1,59 @@
+"""Filter preprocessor (paper Table II "Filter Preproc.").
+
+A moving-window preprocessor of the kind the payload's ionospheric /
+lightning impulse detectors use: a tapped delay line over the incoming
+sample stream and an adder tree computing the window sum.  Entirely
+feed-forward — corrupted state shifts out of the delay line — which is
+why the paper measures only 1.2 % persistence for it.
+"""
+
+from __future__ import annotations
+
+from repro.designs.builder import add_register, add_ripple_adder
+from repro.designs.spec import DesignSpec
+from repro.errors import NetlistError
+from repro.netlist.netlist import Netlist
+
+__all__ = ["filter_preprocessor"]
+
+
+def filter_preprocessor(n_taps: int = 8, width: int = 12) -> DesignSpec:
+    """Window-sum preprocessor: ``n_taps`` delayed samples, adder tree.
+
+    ``n_taps`` must be a power of two so the tree is balanced.
+    """
+    if n_taps < 2 or n_taps & (n_taps - 1):
+        raise NetlistError(f"n_taps must be a power of two >= 2, got {n_taps}")
+    if width < 2:
+        raise NetlistError("sample width must be >= 2")
+    nl = Netlist(f"filtpre_{n_taps}x{width}")
+    zero = nl.add_const("zero", 0)
+
+    sample = [nl.add_input(f"in{i}") for i in range(width)]
+    # Tapped delay line of registered sample vectors.
+    taps: list[list[str]] = []
+    cur = sample
+    for t in range(n_taps):
+        cur = add_register(nl, f"tap{t}", cur)
+        taps.append(cur)
+
+    # Balanced adder tree; width grows one bit per level.
+    level = taps
+    stage = 0
+    while len(level) > 1:
+        nxt: list[list[str]] = []
+        for k in range(0, len(level), 2):
+            a, b = level[k], level[k + 1]
+            s, cout = add_ripple_adder(nl, f"t{stage}_{k}", a, b)
+            s = s + [cout]
+            nxt.append(add_register(nl, f"t{stage}_{k}_r", s))
+        level = nxt
+        stage += 1
+    nl.set_outputs(level[0])
+    return DesignSpec(
+        name="Filter Preproc.",
+        netlist=nl,
+        family="FILTER",
+        size=n_taps,
+        feedback=False,
+    )

@@ -1,0 +1,82 @@
+"""Constant-coefficient FIR stage: the radio's IF processing workhorse.
+
+The payload's signal chain runs filters over the digitised IF; a
+constant-coefficient FIR maps onto the fabric as shift-add networks —
+no general multipliers, just delayed copies added with per-tap binary
+weights.  A realistic mixed design: the delay line is feed-forward, the
+adder network is datapath.
+"""
+
+from __future__ import annotations
+
+from repro.designs.builder import add_register, add_ripple_adder
+from repro.designs.spec import DesignSpec
+from repro.errors import NetlistError
+from repro.netlist.netlist import Netlist
+
+__all__ = ["fir_filter"]
+
+
+def fir_filter(
+    coefficients: tuple[int, ...] = (1, 2, 2, 1), width: int = 6
+) -> DesignSpec:
+    """FIR with small non-negative integer coefficients.
+
+    Output ``y[n] = sum_k c_k * x[n-k]`` computed by shift-add: each
+    coefficient contributes its set bits as shifted copies of the
+    delayed sample.  Coefficients must be positive; width is the input
+    sample width.
+    """
+    if not coefficients or any(c <= 0 for c in coefficients):
+        raise NetlistError("coefficients must be positive integers")
+    if width < 2:
+        raise NetlistError("sample width must be >= 2")
+    gain = sum(coefficients)
+    out_width = width + int(gain - 1).bit_length()
+
+    nl = Netlist(f"fir_{'-'.join(map(str, coefficients))}x{width}")
+    zero = nl.add_const("zero", 0)
+    sample = [nl.add_input(f"in{i}") for i in range(width)]
+
+    # Tapped delay line.
+    taps: list[list[str]] = []
+    cur = add_register(nl, "x0", sample)
+    taps.append(cur)
+    for k in range(1, len(coefficients)):
+        cur = add_register(nl, f"x{k}", cur)
+        taps.append(cur)
+
+    # Shift-add terms: coefficient bit b of tap k contributes x[n-k] << b.
+    terms: list[list[str]] = []
+    for k, coeff in enumerate(coefficients):
+        b = 0
+        while coeff:
+            if coeff & 1:
+                shifted = [zero] * b + taps[k]
+                shifted = (shifted + [zero] * out_width)[:out_width]
+                terms.append(shifted)
+            coeff >>= 1
+            b += 1
+
+    # Balanced accumulation tree with pipeline registers per level.
+    level = terms
+    stage = 0
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            s, cout = add_ripple_adder(nl, f"a{stage}_{i}", level[i], level[i + 1])
+            # Width is already final: the carry out of the top bit is 0
+            # by construction (gain bound), but keep it for safety.
+            nxt.append(add_register(nl, f"a{stage}_{i}_r", s))
+        if len(level) % 2:
+            nxt.append(add_register(nl, f"a{stage}_odd", level[-1]))
+        level = nxt
+        stage += 1
+    nl.set_outputs(level[0])
+    return DesignSpec(
+        name=f"FIR {len(coefficients)}-tap x{width}",
+        netlist=nl,
+        family="FIR",
+        size=len(coefficients),
+        feedback=False,
+    )

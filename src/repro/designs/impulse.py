@@ -1,0 +1,122 @@
+"""Impulsive-event detector: the payload's signal-processing mission.
+
+Paper section II: "The objective is to detect and measure impulsive
+events that might occur in a complex background" (ionospheric and
+lightning studies on the digitised IF stream).  The classic front end
+for that is reproduced structurally: a moving-window background
+estimate, a threshold comparison of the incoming sample against the
+scaled background, and an event counter — a realistic mixed
+feedforward/feedback workload for the fault-management experiments.
+"""
+
+from __future__ import annotations
+
+from repro.designs.builder import (
+    add_increment,
+    add_register,
+    add_ripple_adder,
+)
+from repro.designs.spec import DesignSpec
+from repro.errors import NetlistError
+from repro.netlist.cells import lut_table
+from repro.netlist.netlist import Netlist
+
+__all__ = ["impulse_detector"]
+
+#: out = a AND NOT b — the borrow-free "greater" reduction step.
+LUT_GT = lut_table(lambda a, b: a & (1 - b), 2)
+#: out = (a == b) — bit equality.
+LUT_EQ = lut_table(lambda a, b: 1 - (a ^ b), 2)
+#: mux: pick g if e else keep lower-significance verdict.
+LUT_GT_CHAIN = lut_table(lambda g, e, lower: g | (e & lower), 3)
+
+
+def _add_greater_than(nl: Netlist, prefix: str, a: list[str], b: list[str]) -> str:
+    """Comparator: returns signal '1 when value(a) > value(b)'.
+
+    Bit-serial from MSB: a>b at bit i if a_i>b_i, or equal and greater
+    below.
+    """
+    if len(a) != len(b):
+        raise NetlistError(f"{prefix}: width mismatch")
+    verdict = nl.add_lut(f"{prefix}_gt0", LUT_GT, [a[0], b[0]])
+    for i in range(1, len(a)):
+        g = nl.add_lut(f"{prefix}_g{i}", LUT_GT, [a[i], b[i]])
+        e = nl.add_lut(f"{prefix}_e{i}", LUT_EQ, [a[i], b[i]])
+        verdict = nl.add_lut(f"{prefix}_c{i}", LUT_GT_CHAIN, [g, e, verdict])
+    return verdict
+
+
+def impulse_detector(
+    width: int = 8, window: int = 4, counter_bits: int = 8
+) -> DesignSpec:
+    """Impulse detector over a ``width``-bit sample stream.
+
+    Structure: a ``window``-tap delay line feeds a background adder
+    tree; an incoming sample scaled by the window size (left shift) is
+    compared against the background sum; threshold crossings increment
+    an event counter.  Outputs: the event count and the live trigger.
+    """
+    if window < 2 or window & (window - 1):
+        raise NetlistError("window must be a power of two >= 2")
+    if width < 2 or counter_bits < 2:
+        raise NetlistError("width and counter_bits must be >= 2")
+
+    nl = Netlist(f"impulse_{width}w{window}")
+    zero = nl.add_const("zero", 0)
+    sample = [nl.add_input(f"in{i}") for i in range(width)]
+    cur = add_register(nl, "s0", sample)
+    head = cur
+
+    # Background: sum of the trailing window.
+    taps = []
+    for t in range(window):
+        cur = add_register(nl, f"tap{t}", cur)
+        taps.append(cur)
+    level = taps
+    stage = 0
+    while len(level) > 1:
+        nxt = []
+        for k in range(0, len(level), 2):
+            s, cout = add_ripple_adder(nl, f"bg{stage}_{k}", level[k], level[k + 1])
+            nxt.append(add_register(nl, f"bg{stage}_{k}_r", s + [cout]))
+        level = nxt
+        stage += 1
+    background = level[0]
+
+    # Scale the current sample by the window (shift left by log2(window))
+    # and align pipelines: the sample is delayed as many register stages
+    # as the background path consumed.
+    shift = window.bit_length() - 1
+    aligned = head
+    depth = window + stage - 1
+    for d in range(depth):
+        aligned = add_register(nl, f"al{d}", aligned)
+    scaled = [zero] * shift + aligned
+    scaled = scaled[: len(background)] + [zero] * max(
+        0, len(background) - len(scaled)
+    )
+    scaled = scaled[: len(background)]
+
+    trigger = _add_greater_than(nl, "thr", scaled, background)
+    trig_ff = nl.add_ff("trig", trigger)
+
+    # Event counter: increments while the trigger is asserted.
+    q = [f"evt{i}" for i in range(counter_bits)]
+    nxt = add_increment(nl, "evtinc", q)
+    for i in range(counter_bits):
+        gated = nl.add_lut(
+            f"evtmux{i}",
+            lut_table(lambda n, old, en: n if en else old, 3),
+            [nxt[i], q[i], trig_ff],
+        )
+        nl.add_ff(q[i], gated)
+
+    nl.set_outputs([trig_ff] + q)
+    return DesignSpec(
+        name=f"Impulse Detector {width}x{window}",
+        netlist=nl,
+        family="IMPULSE",
+        size=width,
+        feedback=True,
+    )

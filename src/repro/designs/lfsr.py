@@ -1,0 +1,88 @@
+"""LFSR cluster design (paper Figure 10).
+
+Clusters of six 20-bit linear feedback shift registers whose outputs are
+XOR'ed to form one output bit; the flight design instantiated 72
+clusters to fill the SLAAC-1V's 72 output pins.  The design is almost
+pure sequential state with local feedback — the paper's probe for error
+feedback and the champion of persistence (93.9 % of sensitive bits).
+"""
+
+from __future__ import annotations
+
+from repro.designs.builder import add_xor_tree
+from repro.designs.spec import DesignSpec
+from repro.errors import NetlistError
+from repro.netlist.netlist import Netlist
+
+__all__ = ["single_lfsr", "lfsr_cluster_design"]
+
+#: Maximal-length taps for common widths (Fibonacci form, 0-based FF
+#: indices XOR'ed into the new bit 0).
+_TAPS: dict[int, tuple[int, ...]] = {
+    8: (7, 5, 4, 3),
+    12: (11, 10, 9, 3),
+    16: (15, 14, 12, 3),
+    20: (19, 2),
+    24: (23, 22, 21, 16),
+}
+
+
+def single_lfsr(
+    nl: Netlist, prefix: str, n_bits: int = 20, seed: int = 1
+) -> list[str]:
+    """Append one LFSR to ``nl``; returns its FF output names (q0..qN-1).
+
+    ``seed`` sets the FF INIT pattern; it must be non-zero or the LFSR
+    would be stuck at the all-zero state.
+    """
+    if n_bits not in _TAPS:
+        raise NetlistError(
+            f"no maximal taps known for {n_bits}-bit LFSR "
+            f"(supported: {sorted(_TAPS)})"
+        )
+    if seed % (1 << n_bits) == 0:
+        raise NetlistError("LFSR seed must be non-zero within the register width")
+    taps = _TAPS[n_bits]
+
+    q = [f"{prefix}_q{i}" for i in range(n_bits)]
+    fb = add_xor_tree(nl, f"{prefix}_fb", [q[t] for t in taps]) if len(taps) > 1 else q[taps[0]]
+    # The XOR tree references q names before the FFs exist; create them now.
+    # (Netlist is name-based, so forward references are resolved at
+    # validate time.)
+    nl.add_ff(q[0], fb, init=seed & 1)
+    for i in range(1, n_bits):
+        nl.add_ff(q[i], q[i - 1], init=(seed >> i) & 1)
+    return q
+
+
+def lfsr_cluster_design(
+    n_clusters: int,
+    n_bits: int = 20,
+    per_cluster: int = 6,
+) -> DesignSpec:
+    """Figure 10: ``n_clusters`` clusters of ``per_cluster`` LFSRs each.
+
+    One output bit per cluster, registered.  Self-stimulating: the design
+    has no primary inputs.
+    """
+    if n_clusters < 1 or per_cluster < 1:
+        raise NetlistError("need at least one cluster of one LFSR")
+    nl = Netlist(f"lfsr_{n_clusters}x{per_cluster}x{n_bits}")
+    outputs = []
+    for c in range(n_clusters):
+        tips = []
+        for k in range(per_cluster):
+            # Distinct non-zero seeds so clusters produce differing streams.
+            seed = (0x9E3779B9 * (c * per_cluster + k + 1)) & ((1 << n_bits) - 1) or 1
+            q = single_lfsr(nl, f"c{c}_l{k}", n_bits, seed)
+            tips.append(q[-1])
+        x = add_xor_tree(nl, f"c{c}_out", tips)
+        outputs.append(nl.add_ff(f"c{c}_o", x))
+    nl.set_outputs(outputs)
+    return DesignSpec(
+        name=f"LFSR {n_clusters}",
+        netlist=nl,
+        family="LFSR",
+        size=n_clusters,
+        feedback=True,
+    )

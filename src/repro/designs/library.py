@@ -1,0 +1,113 @@
+"""Design catalog at paper sizes and at campaign-friendly scaled sizes.
+
+``paper_suite_table1()`` / ``paper_suite_table2()`` return the exact
+design line-up of the paper's Tables I and II; the ``scaled_*`` variants
+shrink each member proportionally so an *exhaustive* SEU campaign on a
+scaled device finishes in CI time.  Sensitivity and persistence are
+intensive (ratio) quantities, so the scaled suites preserve the paper's
+shape — that claim is itself tested (``tests/seu/test_scaling.py``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.designs.counter import counter_adder, counter_design
+from repro.designs.filterpre import filter_preprocessor
+from repro.designs.lfsr import lfsr_cluster_design
+from repro.designs.lfsrmult import lfsr_multiplier
+from repro.designs.mult import array_multiplier
+from repro.designs.multadd import multiply_add
+from repro.designs.spec import DesignSpec
+from repro.designs.vmult import pipelined_multiplier
+from repro.errors import NetlistError
+
+__all__ = [
+    "DESIGN_FAMILIES",
+    "get_design",
+    "paper_suite_table1",
+    "paper_suite_table2",
+    "scaled_suite_table1",
+    "scaled_suite_table2",
+]
+
+#: Family name -> constructor taking the size parameter.
+DESIGN_FAMILIES: dict[str, Callable[[int], DesignSpec]] = {
+    "LFSR": lfsr_cluster_design,
+    "MULT": array_multiplier,
+    "VMULT": pipelined_multiplier,
+    "MULTADD": multiply_add,
+    "COUNTER": counter_adder,
+    "CNT": counter_design,
+    "FILTER": lambda n: filter_preprocessor(n_taps=n),
+    "LFSRMULT": lfsr_multiplier,
+}
+
+
+def get_design(name: str) -> DesignSpec:
+    """Build a catalog design from a compact name like ``"MULT12"``.
+
+    The name is ``<FAMILY><size>`` with families from
+    :data:`DESIGN_FAMILIES` (longest match wins, case-insensitive).
+    """
+    m = re.fullmatch(r"([A-Za-z]+)\s*(\d+)", name.strip())
+    if not m:
+        raise NetlistError(f"cannot parse design name {name!r} (want e.g. 'MULT12')")
+    family, size = m.group(1).upper(), int(m.group(2))
+    if family not in DESIGN_FAMILIES:
+        known = ", ".join(sorted(DESIGN_FAMILIES))
+        raise NetlistError(f"unknown design family {family!r}; known: {known}")
+    return DESIGN_FAMILIES[family](size)
+
+
+def paper_suite_table1() -> list[DesignSpec]:
+    """The twelve Table I designs at paper sizes (XCV1000-scale)."""
+    suite = []
+    for n in (18, 36, 54, 72):
+        suite.append(lfsr_cluster_design(n))
+    for n in (18, 36, 54, 72):
+        suite.append(pipelined_multiplier(n))
+    for n in (12, 24, 36, 48):
+        suite.append(array_multiplier(n))
+    return suite
+
+
+def scaled_suite_table1(scale: int = 1) -> list[DesignSpec]:
+    """Table I line-up shrunk for exhaustive campaigns on scaled devices.
+
+    ``scale`` >= 1 grows the suite back toward paper sizes; the default
+    fits comfortably on the ``S8``/``S12`` devices.
+    """
+    if scale < 1:
+        raise NetlistError("scale must be >= 1")
+    suite = []
+    for n in (1, 2, 3, 4):
+        suite.append(lfsr_cluster_design(n * scale, n_bits=8, per_cluster=2))
+    for n in (3, 4, 5, 6):
+        suite.append(pipelined_multiplier(n * scale))
+    for n in (3, 4, 5, 6):
+        suite.append(array_multiplier(n * scale))
+    return suite
+
+
+def paper_suite_table2() -> list[DesignSpec]:
+    """The five Table II designs at paper sizes."""
+    return [
+        multiply_add(54),
+        counter_adder(36),
+        lfsr_cluster_design(72),
+        lfsr_multiplier(12),
+        filter_preprocessor(8, 12),
+    ]
+
+
+def scaled_suite_table2() -> list[DesignSpec]:
+    """Table II line-up shrunk for exhaustive campaigns."""
+    return [
+        multiply_add(8),
+        counter_adder(12, counter_bits=4, pipeline_depth=2),
+        lfsr_cluster_design(3, n_bits=8, per_cluster=2),
+        lfsr_multiplier(4, lfsr_bits=8),
+        filter_preprocessor(4, 6),
+    ]

@@ -1,0 +1,49 @@
+"""Pipelined multiply-add tree (paper Figure 9, Table II "54 Multiply-Add").
+
+The paper's data-path exemplar: a parallel tree of multipliers and
+adders (A, B in; scaled product out), fully pipelined and feed-forward —
+the design for which the SEU simulator found **zero** persistent bits.
+We realise O = A*B + C*D from two pipelined array multipliers and a
+final registered adder.
+"""
+
+from __future__ import annotations
+
+from repro.designs.builder import add_register, add_ripple_adder
+from repro.designs.spec import DesignSpec
+from repro.designs.vmult import build_pipelined_array
+from repro.errors import NetlistError
+from repro.netlist.netlist import Netlist
+
+__all__ = ["multiply_add"]
+
+
+def multiply_add(width: int) -> DesignSpec:
+    """Multiply-add of ``width``-bit operands: O = A*B + C*D.
+
+    ``width`` is the total design size label (the paper's "54
+    Multiply-Add"); each multiplier is ``width // 2`` bits wide.
+    """
+    half = width // 2
+    if half < 2:
+        raise NetlistError(f"multiply-add width {width} too small (need >= 4)")
+    nl = Netlist(f"multadd_{width}")
+    zero = nl.add_const("zero", 0)
+
+    ops = {}
+    for tag in "abcd":
+        raw = [nl.add_input(f"{tag}{i}") for i in range(half)]
+        ops[tag] = add_register(nl, f"{tag}reg", raw)
+
+    p1 = build_pipelined_array(nl, "m1", ops["a"], ops["b"], zero)
+    p2 = build_pipelined_array(nl, "m2", ops["c"], ops["d"], zero)
+    total, cout = add_ripple_adder(nl, "sum", p1, p2)
+    outs = add_register(nl, "oreg", total + [cout])
+    nl.set_outputs(outs)
+    return DesignSpec(
+        name=f"{width} Multiply-Add",
+        netlist=nl,
+        family="MULTADD",
+        size=width,
+        feedback=False,
+    )

@@ -1,0 +1,49 @@
+"""Design specification: netlist + stimulus + catalog metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import derive_rng
+
+__all__ = ["DesignSpec"]
+
+
+@dataclass
+class DesignSpec:
+    """A runnable benchmark design.
+
+    ``stimulus(cycles, rng)`` returns a ``(cycles, n_inputs)`` uint8
+    array; self-stimulating designs (LFSRs, counters) have zero inputs
+    and return an empty matrix.  ``family`` groups designs for the
+    normalised-sensitivity analysis of Table I ("LFSR", "VMULT", ...).
+    """
+
+    name: str
+    netlist: Netlist
+    family: str
+    size: int  #: the family's size parameter (bit width / cluster count)
+    feedback: bool  #: True for designs with architectural feedback loops
+
+    def stimulus(self, cycles: int, seed: int | np.random.Generator = 0) -> np.ndarray:
+        """Deterministic pseudo-random input stream for this design.
+
+        Golden and faulty machines must see *identical* stimulus (the
+        SLAAC-1V feeds X1 and X2 from the same source), so the stream is
+        a pure function of (design name, seed).
+        """
+        rng = derive_rng(seed, "stimulus", self.name)
+        n_inputs = len(self.netlist.inputs)
+        if n_inputs == 0:
+            return np.zeros((cycles, 0), dtype=np.uint8)
+        return rng.integers(0, 2, size=(cycles, n_inputs), dtype=np.uint8)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.netlist.stats()
+        return (
+            f"DesignSpec({self.name!r}, family={self.family}, size={self.size}, "
+            f"{s['luts']} LUTs, {s['ffs']} FFs)"
+        )

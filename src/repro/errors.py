@@ -1,0 +1,86 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors such
+as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "BitstreamError",
+    "FrameAddressError",
+    "CRCError",
+    "NetlistError",
+    "PlacementError",
+    "RoutingError",
+    "DecodeError",
+    "CampaignError",
+    "ScrubError",
+    "ECCUncorrectableError",
+    "BISTError",
+    "MitigationError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Invalid device geometry or an out-of-range resource coordinate."""
+
+
+class BitstreamError(ReproError):
+    """Malformed configuration bitstream or illegal bitstream operation."""
+
+
+class FrameAddressError(BitstreamError):
+    """A frame address does not exist on the target device."""
+
+
+class CRCError(BitstreamError):
+    """A frame failed its cyclic-redundancy check."""
+
+
+class NetlistError(ReproError):
+    """Structurally invalid netlist (dangling net, bad cell pin, ...)."""
+
+
+class PlacementError(ReproError):
+    """The placer could not fit the design onto the device."""
+
+
+class RoutingError(ReproError):
+    """The router could not realise a net with the available wires."""
+
+
+class DecodeError(ReproError):
+    """The bitstream decoder met an unrecoverable inconsistency."""
+
+
+class CampaignError(ReproError):
+    """A fault-injection campaign was misconfigured."""
+
+
+class ScrubError(ReproError):
+    """The on-orbit scrub manager met an unrecoverable condition."""
+
+
+class ECCUncorrectableError(ScrubError):
+    """An ECC word contained more errors than the code can correct."""
+
+
+class BISTError(ReproError):
+    """A built-in self-test harness was misconfigured."""
+
+
+class MitigationError(ReproError):
+    """A mitigation transform (TMR, RadDRC) could not be applied."""
+
+
+class ValidationError(ReproError):
+    """A beam-validation campaign was misconfigured."""

@@ -1,0 +1,43 @@
+"""Virtex-class FPGA architectural model.
+
+This subpackage is the hardware substrate the paper assumes: a Virtex
+XCV1000-style device with a frame-organised configuration memory, CLBs of
+two slices (each 2x LUT4 + 2x FF), single-length routing wires with
+programmable interconnect points, block RAM, and half-latch keeper
+circuits on unconnected inputs.
+
+The public entry point is :func:`repro.fpga.family.get_device` /
+:class:`repro.fpga.device.VirtexDevice`.
+"""
+
+from repro.fpga.geometry import DeviceGeometry, FrameAddress, FrameKind
+from repro.fpga.resources import (
+    BitLocation,
+    Direction,
+    LocalSource,
+    ResourceKind,
+    Source,
+    UnconnectedSource,
+    WireSource,
+)
+from repro.fpga.device import VirtexDevice
+from repro.fpga.family import DEVICE_CATALOG, get_device
+from repro.fpga.halflatch import HalfLatchSite, HalfLatchState
+
+__all__ = [
+    "DeviceGeometry",
+    "FrameAddress",
+    "FrameKind",
+    "ResourceKind",
+    "BitLocation",
+    "Direction",
+    "Source",
+    "LocalSource",
+    "WireSource",
+    "UnconnectedSource",
+    "VirtexDevice",
+    "DEVICE_CATALOG",
+    "get_device",
+    "HalfLatchSite",
+    "HalfLatchState",
+]

@@ -1,0 +1,118 @@
+"""Block SelectRAM model with the paper's readback interactions.
+
+Virtex BRAMs are 4-kbit dual-aspect blocks whose *content* lives in
+dedicated configuration frames.  Two behaviours from paper section II-C
+matter for fault management and are modelled here:
+
+* during readback the configuration logic takes over the address lines,
+  so user reads/writes while a readback is in progress are unreliable
+  (we raise unless the caller stops the clock);
+* readback corrupts the BRAM *output register*, so designs must not
+  trust the registered read value right after a readback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitstream.bitstream import ConfigBitstream
+from repro.errors import BitstreamError
+from repro.fpga.geometry import BRAM_BITS_PER_BLOCK
+
+__all__ = ["BlockRAM", "BRAMArray"]
+
+
+class BlockRAM:
+    """One 4-kbit block, organised as 256 x 16 (address-in-data friendly).
+
+    Content is *backed by the configuration bitstream*: writes go to the
+    BRAM-content frames, which is why readback and scrubbing interact
+    with live memories at all.
+    """
+
+    WIDTH = 16
+    DEPTH = BRAM_BITS_PER_BLOCK // WIDTH
+
+    def __init__(self, bitstream: ConfigBitstream, bram_col: int, block: int):
+        self.bitstream = bitstream
+        self.bram_col = bram_col
+        self.block = block
+        geo = bitstream.geometry
+        # Precompute the linear offsets of all 4096 content bits.
+        idx = np.empty(BRAM_BITS_PER_BLOCK, dtype=np.int64)
+        for off in range(BRAM_BITS_PER_BLOCK):
+            frame, bit = geo.bram_content_bit(bram_col, block, off)
+            idx[off] = geo.frame_offset(frame) + bit
+        self._linear = idx
+        self.output_register = 0
+        self.output_register_valid = True
+        self._readback_active = False
+
+    # -- user ports -------------------------------------------------------
+
+    def write(self, addr: int, value: int) -> None:
+        """Synchronous write of one 16-bit word."""
+        self._check_port_access("write")
+        self._check_addr(addr)
+        if not 0 <= value < 1 << self.WIDTH:
+            raise BitstreamError(f"value {value} exceeds {self.WIDTH} bits")
+        base = addr * self.WIDTH
+        for i in range(self.WIDTH):
+            self.bitstream.bits[self._linear[base + i]] = (value >> i) & 1
+        self.output_register = value
+        self.output_register_valid = True
+
+    def read(self, addr: int) -> int:
+        """Synchronous read; loads (and returns) the output register."""
+        self._check_port_access("read")
+        self._check_addr(addr)
+        base = addr * self.WIDTH
+        value = 0
+        for i in range(self.WIDTH):
+            if self.bitstream.bits[self._linear[base + i]]:
+                value |= 1 << i
+        self.output_register = value
+        self.output_register_valid = True
+        return value
+
+    def _check_addr(self, addr: int) -> None:
+        if not 0 <= addr < self.DEPTH:
+            raise BitstreamError(f"address {addr} out of range [0, {self.DEPTH})")
+
+    def _check_port_access(self, op: str) -> None:
+        if self._readback_active:
+            raise BitstreamError(
+                f"BRAM {op} during readback: the configuration logic owns "
+                "the address lines (stop the clock, paper section II-C)"
+            )
+
+    # -- readback interactions -----------------------------------------------
+
+    def begin_readback(self) -> None:
+        self._readback_active = True
+
+    def end_readback(self, rng: np.random.Generator | None = None) -> None:
+        """Readback completion corrupts the output register."""
+        self._readback_active = False
+        if rng is not None:
+            self.output_register = int(rng.integers(1 << self.WIDTH))
+        else:
+            self.output_register ^= 0xA5A5  # deterministic corruption
+        self.output_register_valid = False
+
+
+class BRAMArray:
+    """All block RAMs of one device, backed by one configuration memory."""
+
+    def __init__(self, bitstream: ConfigBitstream):
+        geo = bitstream.geometry
+        self.blocks: list[BlockRAM] = []
+        for col in range(geo.n_bram_cols):
+            for blk in range(geo.bram_blocks_per_col):
+                self.blocks.append(BlockRAM(bitstream, col, blk))
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __getitem__(self, i: int) -> BlockRAM:
+        return self.blocks[i]

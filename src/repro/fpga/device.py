@@ -1,0 +1,190 @@
+"""The device object: geometry plus the complete bit -> resource map.
+
+:class:`VirtexDevice` is the object everything else is built around: the
+configuration generator asks it where a LUT's bits live, the SEU campaign
+asks it what a flipped bit means, and the scrub manager asks it for frame
+addresses.  It is immutable; configuration state lives in
+:class:`repro.bitstream.ConfigBitstream`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import GeometryError
+from repro.fpga.geometry import (
+    CLB_BITS_PER_CLB,
+    DeviceGeometry,
+    FrameKind,
+)
+from repro.fpga.resources import (
+    BitLocation,
+    Direction,
+    ResourceKind,
+    WIRES_PER_DIRECTION,
+    classify_intra,
+)
+
+__all__ = ["VirtexDevice", "WireId"]
+
+
+@dataclass(frozen=True)
+class WireId:
+    """A single-length routing wire, named by its *driving* CLB.
+
+    Wire ``(row, col, direction, index)`` is driven by CLB ``(row, col)``
+    toward ``direction`` and is readable by the neighbour on that side.
+    """
+
+    row: int
+    col: int
+    direction: Direction
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"wire[{self.row},{self.col}]->{self.direction.name}{self.index}"
+
+
+@dataclass(frozen=True)
+class VirtexDevice:
+    """An immutable Virtex-class device: name + geometry + bit map."""
+
+    name: str
+    geometry: DeviceGeometry
+
+    # -- convenience size accessors -------------------------------------
+
+    @property
+    def rows(self) -> int:
+        return self.geometry.rows
+
+    @property
+    def cols(self) -> int:
+        return self.geometry.cols
+
+    @property
+    def n_clbs(self) -> int:
+        return self.geometry.n_clbs
+
+    @property
+    def n_slices(self) -> int:
+        return self.geometry.n_slices
+
+    @property
+    def n_luts(self) -> int:
+        return 4 * self.n_clbs
+
+    @property
+    def n_ffs(self) -> int:
+        return 4 * self.n_clbs
+
+    @property
+    def total_config_bits(self) -> int:
+        return self.geometry.total_bits
+
+    @property
+    def block0_bits(self) -> int:
+        return self.geometry.block0_bits
+
+    @property
+    def n_frames(self) -> int:
+        return self.geometry.n_frames
+
+    @cached_property
+    def frame_bytes(self) -> int:
+        """Bytes per CLB-block frame (156 for the XCV1000, as in the paper)."""
+        return (self.geometry.clb_frame_bits + 7) // 8
+
+    # -- CLB indexing -----------------------------------------------------
+
+    def clb_index(self, row: int, col: int) -> int:
+        """Dense index of CLB (row, col): row-major."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise GeometryError(
+                f"CLB ({row}, {col}) outside {self.rows}x{self.cols} grid"
+            )
+        return row * self.cols + col
+
+    def clb_position(self, index: int) -> tuple[int, int]:
+        """Inverse of :meth:`clb_index`."""
+        if not 0 <= index < self.n_clbs:
+            raise GeometryError(f"CLB index {index} out of range")
+        return divmod(index, self.cols)
+
+    # -- bit classification -------------------------------------------------
+
+    def classify_bit(self, frame_index: int, bit: int) -> BitLocation:
+        """Full identity of configuration bit (frame, bit).
+
+        This is the map the SEU campaign's structural pre-filter walks:
+        given a flipped bit it answers "which resource of which CLB
+        changed, and how".
+        """
+        kind = self.geometry.frame_address(frame_index).kind
+        if kind is FrameKind.CLB:
+            clb = self.geometry.clb_of_bit(frame_index, bit)
+            if clb is None:
+                return BitLocation(ResourceKind.COLUMN_OVERHEAD, -1, -1, (frame_index, bit))
+            row, col, intra = clb
+            rk, detail = classify_intra(intra)
+            return BitLocation(rk, row, col, detail)
+        if kind is FrameKind.CLOCK:
+            return BitLocation(ResourceKind.CLOCK_CONFIG, -1, -1, (frame_index, bit))
+        if kind is FrameKind.IOB:
+            return BitLocation(ResourceKind.IOB_CONFIG, -1, -1, (frame_index, bit))
+        if kind is FrameKind.BRAM_INTERCONNECT:
+            return BitLocation(ResourceKind.BRAM_INTERCONNECT, -1, -1, (frame_index, bit))
+        return BitLocation(ResourceKind.BRAM_CONTENT, -1, -1, (frame_index, bit))
+
+    def clb_bit_linear(self, row: int, col: int, intra: int) -> int:
+        """Linear (whole-bitstream) offset of a CLB-relative bit."""
+        frame, bit = self.geometry.clb_bit(row, col, intra)
+        return self.geometry.frame_offset(frame) + bit
+
+    def clb_bit_frame(self, row: int, col: int, intra: int) -> tuple[int, int]:
+        """(frame_index, bit_in_frame) of a CLB-relative bit."""
+        return self.geometry.clb_bit(row, col, intra)
+
+    def iter_clb_bits(self, row: int, col: int):
+        """Yield (intra, frame_index, bit_in_frame) for all 864 CLB bits."""
+        for intra in range(CLB_BITS_PER_CLB):
+            frame, bit = self.geometry.clb_bit(row, col, intra)
+            yield intra, frame, bit
+
+    # -- wires --------------------------------------------------------------
+
+    @property
+    def n_wires(self) -> int:
+        return self.n_clbs * 4 * WIRES_PER_DIRECTION
+
+    def wire_index(self, wire: WireId) -> int:
+        """Dense index of a wire (for simulator node tables)."""
+        clb = self.clb_index(wire.row, wire.col)
+        return (clb * 4 + int(wire.direction)) * WIRES_PER_DIRECTION + wire.index
+
+    def wire_id(self, index: int) -> WireId:
+        """Inverse of :meth:`wire_index`."""
+        if not 0 <= index < self.n_wires:
+            raise GeometryError(f"wire index {index} out of range")
+        rest, widx = divmod(index, WIRES_PER_DIRECTION)
+        clb, d = divmod(rest, 4)
+        row, col = self.clb_position(clb)
+        return WireId(row, col, Direction(d), widx)
+
+    def incoming_wire(self, row: int, col: int, from_dir: Direction, index: int) -> WireId | None:
+        """The wire CLB (row, col) sees arriving from ``from_dir``.
+
+        That is the neighbour's outgoing wire pointed back at us, or
+        ``None`` at the die edge (edge wires are where primary I/O enters
+        and leaves the fabric; see :mod:`repro.place.router`).
+        """
+        d_row, d_col = from_dir.delta
+        n_row, n_col = row + d_row, col + d_col
+        if not (0 <= n_row < self.rows and 0 <= n_col < self.cols):
+            return None
+        return WireId(n_row, n_col, from_dir.opposite, index)
+
+    def describe(self) -> str:
+        """Human-readable device summary."""
+        return f"{self.name}: {self.geometry.describe()}"

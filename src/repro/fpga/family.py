@@ -1,0 +1,61 @@
+"""Device catalog: the Virtex family plus scaled test devices.
+
+CLB grid dimensions are the real Virtex values (XCV50 = 16x24 ...
+XCV1000 = 64x96).  ``XQVR1000`` — the radiation-tolerant part flown in
+the paper's payload — shares the XCV1000 mask and therefore the same
+geometry.
+
+Scaled devices (``S4``/``S8``/``S12``) keep the exact frame organisation
+but shrink the grid so exhaustive SEU sweeps finish in seconds.  Because
+sensitivity and persistence are ratios over the used area, results keep
+the paper's *shape* at any scale (see DESIGN.md section 4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import GeometryError
+from repro.fpga.device import VirtexDevice
+from repro.fpga.geometry import DeviceGeometry
+
+__all__ = ["DEVICE_CATALOG", "get_device"]
+
+_GRIDS: dict[str, tuple[int, int, int]] = {
+    # name: (rows, cols, n_bram_cols)
+    "XCV50": (16, 24, 2),
+    "XCV100": (20, 30, 2),
+    "XCV150": (24, 36, 2),
+    "XCV200": (28, 42, 2),
+    "XCV300": (32, 48, 2),
+    "XCV400": (40, 60, 2),
+    "XCV600": (48, 72, 2),
+    "XCV800": (56, 84, 2),
+    "XCV1000": (64, 96, 2),
+    "XQVR300": (32, 48, 2),
+    "XQVR1000": (64, 96, 2),
+    # Scaled devices for fast exhaustive campaigns.
+    "S4": (4, 6, 0),
+    "S8": (8, 12, 2),
+    "S12": (12, 18, 2),
+    "S16": (16, 24, 2),
+}
+
+#: All known device names, mapped lazily to built devices.
+DEVICE_CATALOG: tuple[str, ...] = tuple(_GRIDS)
+
+_cache: dict[str, VirtexDevice] = {}
+
+
+def get_device(name: str) -> VirtexDevice:
+    """Look up a device by name (case-insensitive).
+
+    >>> get_device("xcv1000").n_slices
+    12288
+    """
+    key = name.upper()
+    if key not in _GRIDS:
+        known = ", ".join(sorted(_GRIDS))
+        raise GeometryError(f"unknown device {name!r}; known devices: {known}")
+    if key not in _cache:
+        rows, cols, brams = _GRIDS[key]
+        _cache[key] = VirtexDevice(key, DeviceGeometry(rows, cols, brams))
+    return _cache[key]

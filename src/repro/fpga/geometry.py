@@ -1,0 +1,369 @@
+"""Frame-organised configuration-memory geometry.
+
+A Virtex configuration memory is addressed by *frames* — vertical slivers
+of bits spanning a full column of the die.  The frame is the smallest unit
+of configuration and readback (the paper repairs exactly one frame, 156
+bytes on the XQVR1000).  This module reproduces that organisation:
+
+* one **clock** column (8 frames),
+* one **CLB** column per CLB grid column (48 frames each),
+* two **IOB** columns (20 frames each),
+* two **BRAM interconnect** columns (27 frames each),
+* two **BRAM content** columns (64 frames each).
+
+CLB-block frames are ``18 * rows + 96`` bits long: 18 configuration bits
+per CLB row per frame (so ``48 * 18 = 864`` bits per CLB) plus 96 bits of
+column overhead (clock spine, IOB interface).  For the XCV1000 (64 x 96
+CLBs) this yields 1248-bit = 156-byte frames and a block-0 bitstream of
+5,810,688 bits — the "5.8 million bits" the paper sweeps exhaustively.
+
+Geometry is pure arithmetic: no configuration state lives here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import FrameAddressError, GeometryError
+
+__all__ = [
+    "FrameKind",
+    "FrameAddress",
+    "DeviceGeometry",
+    "CLB_FRAMES_PER_COL",
+    "CLB_BITS_PER_ROW",
+    "CLB_BITS_PER_CLB",
+    "COLUMN_OVERHEAD_BITS",
+    "IOB_FRAMES_PER_COL",
+    "CLOCK_FRAMES",
+    "BRAM_CONTENT_FRAMES_PER_COL",
+    "BRAM_INTERCONNECT_FRAMES_PER_COL",
+    "BRAM_BITS_PER_BLOCK",
+]
+
+#: Number of configuration frames per CLB column (Virtex value).
+CLB_FRAMES_PER_COL = 48
+#: Configuration bits each CLB row contributes to one frame (Virtex value).
+CLB_BITS_PER_ROW = 18
+#: Total configuration bits owned by one CLB: 48 frames x 18 bits.
+CLB_BITS_PER_CLB = CLB_FRAMES_PER_COL * CLB_BITS_PER_ROW
+#: Per-frame overhead bits (clock spine, IOB interface rows).
+COLUMN_OVERHEAD_BITS = 96
+#: Frames per IOB column.
+IOB_FRAMES_PER_COL = 20
+#: Frames in the centre clock column.
+CLOCK_FRAMES = 8
+#: Frames per BRAM content column.
+BRAM_CONTENT_FRAMES_PER_COL = 64
+#: Frames per BRAM interconnect column.
+BRAM_INTERCONNECT_FRAMES_PER_COL = 27
+#: Content bits of one block RAM (Virtex 4-kbit blocks).
+BRAM_BITS_PER_BLOCK = 4096
+
+
+class FrameKind(enum.Enum):
+    """Which column family a frame belongs to (Virtex block types)."""
+
+    CLOCK = "clock"
+    CLB = "clb"
+    IOB = "iob"
+    BRAM_INTERCONNECT = "bram_interconnect"
+    BRAM_CONTENT = "bram_content"
+
+
+@dataclass(frozen=True)
+class FrameAddress:
+    """Symbolic frame address: column family, column number, minor index.
+
+    ``major`` counts columns *within the same kind* (CLB column 0..cols-1,
+    IOB column 0..1, ...); ``minor`` is the frame index within the column.
+    """
+
+    kind: FrameKind
+    major: int
+    minor: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}[{self.major}].{self.minor}"
+
+
+@dataclass(frozen=True)
+class _ColumnSpan:
+    """Internal: a run of frames belonging to one column."""
+
+    kind: FrameKind
+    major: int
+    first_frame: int
+    n_frames: int
+    frame_bits: int
+    first_bit: int
+
+
+@dataclass(frozen=True)
+class DeviceGeometry:
+    """Complete frame map of one device.
+
+    Parameters
+    ----------
+    rows, cols:
+        CLB grid dimensions.  The XCV1000 is ``rows=64, cols=96``.
+    n_bram_cols:
+        Block-RAM column pairs (content + interconnect).  Virtex parts
+        have two; scaled test devices may have zero.
+    """
+
+    rows: int
+    cols: int
+    n_bram_cols: int = 2
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise GeometryError(
+                f"device must have a positive CLB grid, got {self.rows}x{self.cols}"
+            )
+        if self.n_bram_cols not in (0, 2, 4):
+            raise GeometryError(
+                f"n_bram_cols must be 0, 2 or 4, got {self.n_bram_cols}"
+            )
+        if self.n_bram_cols and self.rows % 4 != 0:
+            raise GeometryError(
+                "BRAM columns require rows divisible by 4 "
+                f"(one block spans 4 CLB rows), got rows={self.rows}"
+            )
+
+    # -- derived sizes -------------------------------------------------
+
+    @property
+    def clb_frame_bits(self) -> int:
+        """Bits per frame in CLB/IOB/clock/BRAM-interconnect columns."""
+        return CLB_BITS_PER_ROW * self.rows + COLUMN_OVERHEAD_BITS
+
+    @property
+    def bram_blocks_per_col(self) -> int:
+        """Block RAMs stacked in one BRAM column (one per 4 CLB rows)."""
+        return self.rows // 4
+
+    @property
+    def bram_content_frame_bits(self) -> int:
+        """Bits per BRAM content frame (column content / 64 frames)."""
+        return (
+            self.bram_blocks_per_col
+            * BRAM_BITS_PER_BLOCK
+            // BRAM_CONTENT_FRAMES_PER_COL
+        )
+
+    @property
+    def n_bram_blocks(self) -> int:
+        return self.n_bram_cols * self.bram_blocks_per_col
+
+    @property
+    def n_clbs(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def n_slices(self) -> int:
+        """Logic slices: two per CLB (Virtex)."""
+        return 2 * self.n_clbs
+
+    # -- frame table ----------------------------------------------------
+
+    @cached_property
+    def _columns(self) -> tuple[_ColumnSpan, ...]:
+        spans: list[_ColumnSpan] = []
+        frame = 0
+        bit = 0
+
+        def add(kind: FrameKind, major: int, n_frames: int, frame_bits: int) -> None:
+            nonlocal frame, bit
+            spans.append(
+                _ColumnSpan(kind, major, frame, n_frames, frame_bits, bit)
+            )
+            frame += n_frames
+            bit += n_frames * frame_bits
+
+        add(FrameKind.CLOCK, 0, CLOCK_FRAMES, self.clb_frame_bits)
+        for c in range(self.cols):
+            add(FrameKind.CLB, c, CLB_FRAMES_PER_COL, self.clb_frame_bits)
+        for i in range(2):
+            add(FrameKind.IOB, i, IOB_FRAMES_PER_COL, self.clb_frame_bits)
+        for i in range(self.n_bram_cols):
+            add(
+                FrameKind.BRAM_INTERCONNECT,
+                i,
+                BRAM_INTERCONNECT_FRAMES_PER_COL,
+                self.clb_frame_bits,
+            )
+        for i in range(self.n_bram_cols):
+            add(
+                FrameKind.BRAM_CONTENT,
+                i,
+                BRAM_CONTENT_FRAMES_PER_COL,
+                self.bram_content_frame_bits,
+            )
+        return tuple(spans)
+
+    @cached_property
+    def n_frames(self) -> int:
+        last = self._columns[-1]
+        return last.first_frame + last.n_frames
+
+    @cached_property
+    def total_bits(self) -> int:
+        """Total configuration bits across every frame (incl. BRAM)."""
+        last = self._columns[-1]
+        return last.first_bit + last.n_frames * last.frame_bits
+
+    @cached_property
+    def block0_bits(self) -> int:
+        """Bits in the non-BRAM-content part of the bitstream.
+
+        This is the "configuration bitstream" figure the paper quotes
+        (~5.8 million bits for the XCV1000): BRAM content is normally
+        masked out of readback-based SEU detection.
+        """
+        return sum(
+            s.n_frames * s.frame_bits
+            for s in self._columns
+            if s.kind is not FrameKind.BRAM_CONTENT
+        )
+
+    @cached_property
+    def _frame_tables(self) -> tuple["np.ndarray", "np.ndarray", tuple[_ColumnSpan, ...]]:
+        """Per-frame (offset, bits) arrays plus span lookup, for O(1) access."""
+        import numpy as np
+
+        offsets = np.empty(self.n_frames + 1, dtype=np.int64)
+        bits = np.empty(self.n_frames, dtype=np.int64)
+        spans: list[_ColumnSpan] = []
+        for span in self._columns:
+            for k in range(span.n_frames):
+                f = span.first_frame + k
+                offsets[f] = span.first_bit + k * span.frame_bits
+                bits[f] = span.frame_bits
+                spans.append(span)
+        offsets[self.n_frames] = self.total_bits
+        return offsets, bits, tuple(spans)
+
+    @property
+    def frame_offsets(self):
+        """Monotone array: linear bit offset of each frame (plus total)."""
+        return self._frame_tables[0]
+
+    def _span_of_frame(self, frame_index: int) -> _ColumnSpan:
+        if not 0 <= frame_index < self.n_frames:
+            raise FrameAddressError(
+                f"frame {frame_index} out of range [0, {self.n_frames})"
+            )
+        return self._frame_tables[2][frame_index]
+
+    # -- address conversions ---------------------------------------------
+
+    def frame_bits_of(self, frame_index: int) -> int:
+        """Length in bits of frame ``frame_index``."""
+        if not 0 <= frame_index < self.n_frames:
+            raise FrameAddressError(
+                f"frame {frame_index} out of range [0, {self.n_frames})"
+            )
+        return int(self._frame_tables[1][frame_index])
+
+    def frame_offset(self, frame_index: int) -> int:
+        """Linear bit offset of the first bit of ``frame_index``."""
+        if not 0 <= frame_index < self.n_frames:
+            raise FrameAddressError(
+                f"frame {frame_index} out of range [0, {self.n_frames})"
+            )
+        return int(self._frame_tables[0][frame_index])
+
+    def frame_address(self, frame_index: int) -> FrameAddress:
+        """Symbolic address of a linear frame index."""
+        span = self._span_of_frame(frame_index)
+        return FrameAddress(span.kind, span.major, frame_index - span.first_frame)
+
+    def frame_index(self, address: FrameAddress) -> int:
+        """Linear index of a symbolic frame address."""
+        for span in self._columns:
+            if span.kind is address.kind and span.major == address.major:
+                if not 0 <= address.minor < span.n_frames:
+                    raise FrameAddressError(
+                        f"minor {address.minor} out of range for {address.kind.value}"
+                        f" column {address.major} (has {span.n_frames} frames)"
+                    )
+                return span.first_frame + address.minor
+        raise FrameAddressError(f"no such column: {address.kind.value}[{address.major}]")
+
+    def clb_frame_index(self, col: int, minor: int) -> int:
+        """Linear frame index of frame ``minor`` of CLB column ``col``."""
+        if not 0 <= col < self.cols:
+            raise FrameAddressError(f"CLB column {col} out of range [0, {self.cols})")
+        if not 0 <= minor < CLB_FRAMES_PER_COL:
+            raise FrameAddressError(
+                f"CLB frame minor {minor} out of range [0, {CLB_FRAMES_PER_COL})"
+            )
+        return self.frame_index(FrameAddress(FrameKind.CLB, col, minor))
+
+    def clb_bit(self, row: int, col: int, intra: int) -> tuple[int, int]:
+        """Map a CLB-relative bit to a (frame_index, bit_in_frame) pair.
+
+        ``intra`` is the CLB-internal offset in ``[0, 864)`` laid out as
+        ``minor * 18 + i``: consecutive 18-bit groups live in consecutive
+        frames of the CLB's column, exactly one group per frame.
+        """
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise GeometryError(f"CLB ({row}, {col}) outside {self.rows}x{self.cols} grid")
+        if not 0 <= intra < CLB_BITS_PER_CLB:
+            raise GeometryError(f"intra-CLB offset {intra} out of [0, {CLB_BITS_PER_CLB})")
+        minor, i = divmod(intra, CLB_BITS_PER_ROW)
+        frame = self.clb_frame_index(col, minor)
+        bit = COLUMN_OVERHEAD_BITS + row * CLB_BITS_PER_ROW + i
+        return frame, bit
+
+    def clb_of_bit(self, frame_index: int, bit: int) -> tuple[int, int, int] | None:
+        """Inverse of :meth:`clb_bit`.
+
+        Returns ``(row, col, intra)`` when the bit belongs to a CLB, or
+        ``None`` for overhead/IOB/clock/BRAM bits.
+        """
+        span = self._span_of_frame(frame_index)
+        if span.kind is not FrameKind.CLB:
+            return None
+        if not 0 <= bit < span.frame_bits:
+            raise FrameAddressError(
+                f"bit {bit} out of range for frame of {span.frame_bits} bits"
+            )
+        if bit < COLUMN_OVERHEAD_BITS:
+            return None
+        row, i = divmod(bit - COLUMN_OVERHEAD_BITS, CLB_BITS_PER_ROW)
+        minor = frame_index - span.first_frame
+        return row, span.major, minor * CLB_BITS_PER_ROW + i
+
+    def bram_content_bit(self, bram_col: int, block: int, offset: int) -> tuple[int, int]:
+        """Map a BRAM content bit to (frame_index, bit_in_frame).
+
+        Content of one column is striped across its 64 frames: global
+        column offset ``block * 4096 + offset`` maps to frame
+        ``off // frame_bits`` at position ``off % frame_bits``.
+        """
+        if not 0 <= bram_col < self.n_bram_cols:
+            raise GeometryError(f"BRAM column {bram_col} out of range")
+        if not 0 <= block < self.bram_blocks_per_col:
+            raise GeometryError(f"BRAM block {block} out of range")
+        if not 0 <= offset < BRAM_BITS_PER_BLOCK:
+            raise GeometryError(f"BRAM offset {offset} out of range")
+        col_off = block * BRAM_BITS_PER_BLOCK + offset
+        minor, bit = divmod(col_off, self.bram_content_frame_bits)
+        frame = self.frame_index(FrameAddress(FrameKind.BRAM_CONTENT, bram_col, minor))
+        return frame, bit
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the frame map."""
+        lines = [
+            f"{self.rows}x{self.cols} CLBs ({self.n_slices} slices), "
+            f"{self.n_bram_blocks} BRAMs",
+            f"frames: {self.n_frames}, CLB frame = {self.clb_frame_bits} bits "
+            f"({(self.clb_frame_bits + 7) // 8} bytes)",
+            f"configuration bits: {self.total_bits:,} "
+            f"(block 0: {self.block0_bits:,})",
+        ]
+        return "\n".join(lines)

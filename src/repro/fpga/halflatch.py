@@ -1,0 +1,137 @@
+"""Half-latch model: hidden constant-generator state (paper Figure 13).
+
+A half-latch is a weak PMOS keeper plus inverter that holds a logic 1 at
+any resource input with no routed source.  The CAD flow exploits them as
+free constant generators — the paper found "hundreds to thousands" in
+large designs, typically driving flip-flop clock enables.
+
+Three properties make them the paper's villain:
+
+* their state is **not** in the configuration bitstream, so readback
+  cannot see an upset;
+* partial reconfiguration does **not** restore them (no start-up
+  sequence), only a full reconfiguration does;
+* an upset flips the constant (e.g. CE 1 -> 0, freezing a flip-flop,
+  Figure 14), silently corrupting the design.
+
+:class:`HalfLatchSite` names a half-latch by the input it feeds;
+:class:`HalfLatchState` is the mutable bank of keeper values owned by a
+configured device, with the upset / recovery / start-up behaviours the
+paper describes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = ["HalfLatchKind", "HalfLatchSite", "HalfLatchState"]
+
+
+class HalfLatchKind(enum.Enum):
+    """What kind of input the half-latch feeds."""
+
+    LUT_PIN = "lut_pin"  #: unconnected LUT input (redundant encoding usually masks it)
+    CTRL = "ctrl"  #: slice CE / SR / CLK control input — usually critical
+    OUTPUT_PORT = "output_port"  #: unselected output-port mux
+    WIRE = "wire"  #: undriven routing wire
+
+
+@dataclass(frozen=True)
+class HalfLatchSite:
+    """Identity of one half-latch: CLB position + the input it feeds.
+
+    ``detail`` disambiguates within the CLB: ``(lut, pin)`` for LUT pins,
+    ``(slice, which)`` for control inputs, ``(port,)`` for output ports,
+    ``(direction, index)`` for wires.
+    """
+
+    kind: HalfLatchKind
+    row: int
+    col: int
+    detail: tuple[int, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"half-latch[{self.kind.value}@{self.row},{self.col}:{self.detail}]"
+
+
+class HalfLatchState:
+    """Mutable bank of half-latch keeper values.
+
+    The bank is created by the bitstream decoder, one entry per half-latch
+    the decoded design actually depends on.  Values are 1 after a full
+    configuration (start-up sequence initialises every keeper); upsets
+    flip individual values; *partial* reconfiguration leaves them alone.
+    """
+
+    def __init__(self, sites: list[HalfLatchSite]):
+        self._sites = list(sites)
+        self._index = {s: i for i, s in enumerate(self._sites)}
+        if len(self._index) != len(self._sites):
+            raise GeometryError("duplicate half-latch sites")
+        self.values = np.ones(len(self._sites), dtype=np.uint8)
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    @property
+    def sites(self) -> list[HalfLatchSite]:
+        return list(self._sites)
+
+    def index_of(self, site: HalfLatchSite) -> int:
+        try:
+            return self._index[site]
+        except KeyError:
+            raise GeometryError(f"unknown half-latch site {site}") from None
+
+    def value_of(self, site: HalfLatchSite) -> int:
+        return int(self.values[self.index_of(site)])
+
+    def upset(self, site: HalfLatchSite) -> None:
+        """Radiation upset: invert the keeper's held value."""
+        self.values[self.index_of(site)] ^= 1
+
+    def upset_index(self, index: int) -> None:
+        """Upset by dense index (used by the beam sampler)."""
+        self.values[index] ^= 1
+
+    def n_upset(self) -> int:
+        """How many keepers currently hold the wrong (0) value."""
+        return int(np.count_nonzero(self.values == 0))
+
+    def spontaneous_recovery(self, rng: np.random.Generator, probability: float) -> int:
+        """Stochastic self-recovery observed during proton testing.
+
+        Each upset keeper independently recovers with ``probability``.
+        Returns the number that recovered.  This is *not* a reliable
+        repair mechanism — the paper notes only a full reconfiguration
+        guarantees recovery.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        upset = self.values == 0
+        recover = upset & (rng.random(len(self._sites)) < probability)
+        self.values[recover] = 1
+        return int(np.count_nonzero(recover))
+
+    def full_reconfiguration_startup(self) -> None:
+        """Start-up sequence after *full* reconfiguration: all keepers -> 1.
+
+        Partial reconfiguration must NOT call this — that asymmetry is the
+        paper's point (Figure 14: the upset "cannot be ... repaired via
+        partial reconfiguration").
+        """
+        self.values[:] = 1
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the keeper values (for campaign bookkeeping)."""
+        return self.values.copy()
+
+    def restore(self, snapshot: np.ndarray) -> None:
+        if snapshot.shape != self.values.shape:
+            raise GeometryError("half-latch snapshot shape mismatch")
+        self.values[:] = snapshot

@@ -1,0 +1,27 @@
+"""SEU design-mitigation transforms (paper sections III-A and III-C).
+
+* **TMR** — triple modular redundancy with per-domain majority voters;
+  combined with scrubbing it masks any single configuration upset and
+  self-heals state divergence.
+* **Selective TMR** — the paper's use of the sensitivity map: apply
+  redundancy only to the sensitive cross-section.
+* **RadDRC** — the half-latch removal tool: replaces implicit keeper
+  constants with explicit LUT-ROM (or externally sourced) constants;
+  "mitigated designs were found to be 100X [more] resistant to failure".
+* **Strategy selection** — the persistence ratio tells the designer
+  whether scrubbing alone suffices or reset/TMR protocols are needed.
+"""
+
+from repro.mitigation.tmr import apply_tmr
+from repro.mitigation.selective import apply_selective_tmr, sensitive_cells
+from repro.mitigation.raddrc import remove_half_latches
+from repro.mitigation.strategy import MitigationStrategy, recommend_strategy
+
+__all__ = [
+    "apply_tmr",
+    "apply_selective_tmr",
+    "sensitive_cells",
+    "remove_half_latches",
+    "MitigationStrategy",
+    "recommend_strategy",
+]

@@ -1,0 +1,137 @@
+"""Selective TMR over the sensitive cross-section (paper section III-A).
+
+"High correlation between specific locations in the bit stream and
+output area helps to characterize the sensitive cross-section of the
+design.  Selective Triple Module Redundancy (TMR) or other mitigation
+techniques can then be selectively applied to the sensitive cross
+section."
+
+:func:`sensitive_cells` attributes a campaign's sensitive bits back to
+netlist cells through the placement; :func:`apply_selective_tmr`
+triplicates exactly those cells, voting at the boundary where protected
+nets feed unprotected logic.
+"""
+
+from __future__ import annotations
+
+from repro.designs.spec import DesignSpec
+from repro.errors import MitigationError
+from repro.netlist.cells import CellKind, LUT_MAJ3
+from repro.netlist.netlist import Netlist
+from repro.place.flow import HardwareDesign
+from repro.seu.campaign import CampaignResult
+
+__all__ = ["sensitive_cells", "apply_selective_tmr"]
+
+_DOMAINS = ("A", "B", "C")
+
+
+def sensitive_cells(hw: HardwareDesign, result: CampaignResult) -> dict[str, int]:
+    """Cell name -> sensitive-bit count attributed to its CLB.
+
+    Attribution is positional: a sensitive bit belongs to the cells
+    placed in its CLB (the granularity at which selective hardening is
+    applied in practice: you harden a region, not a bit).
+    """
+    placement = hw.placement
+    by_clb: dict[tuple[int, int], int] = {}
+    for bit in result.sensitive_bits:
+        frame, off = hw.bitstream.locate(int(bit))
+        loc = hw.device.classify_bit(frame, off)
+        if loc.row >= 0:
+            by_clb[(loc.row, loc.col)] = by_clb.get((loc.row, loc.col), 0) + 1
+    out: dict[str, int] = {}
+    for cell, site in list(placement.lut_site.items()) + list(placement.ff_site.items()):
+        out[cell] = max(out.get(cell, 0), by_clb.get((site.row, site.col), 0))
+    return out
+
+
+def apply_selective_tmr(spec: DesignSpec, protect: set[str]) -> DesignSpec:
+    """Triplicate only the cells in ``protect``.
+
+    Boundary rules: a protected cell reading an unprotected signal reads
+    it directly in all three domains; an unprotected cell reading a
+    protected signal reads a majority vote of the three copies.
+    Protected FFs vote per domain (as in full TMR) so their state
+    self-heals.
+    """
+    src = spec.netlist
+    src.validate()
+    for name in protect:
+        if name not in src:
+            raise MitigationError(f"protected cell {name!r} not in netlist")
+        if src.cell(name).kind is CellKind.INPUT:
+            raise MitigationError("primary inputs cannot be triplicated")
+    nl = Netlist(f"{src.name}_stmr")
+
+    def dname(cell: str, d: str) -> str:
+        return f"{cell}__tmr{d}"
+
+    ff_protected = {
+        c.name for c in src.cells() if c.kind is CellKind.FF and c.name in protect
+    }
+
+    def domain_ref(pin: str, d: str) -> str:
+        if pin not in protect:
+            return pin
+        if pin in ff_protected:
+            return f"{pin}__vote{d}"
+        return dname(pin, d)
+
+    def boundary_ref(pin: str) -> str:
+        """What unprotected logic reads for signal ``pin``."""
+        return f"{pin}__outvote" if pin in protect else pin
+
+    for cell in src.cells():
+        if cell.kind is CellKind.INPUT:
+            nl.add_input(cell.name)
+            continue
+        if cell.name in protect:
+            for d in _DOMAINS:
+                if cell.kind is CellKind.CONST:
+                    nl.add_const(dname(cell.name, d), cell.value)
+                elif cell.kind is CellKind.LUT:
+                    nl.add_lut(
+                        dname(cell.name, d),
+                        cell.table,
+                        [domain_ref(p, d) for p in cell.pins],
+                    )
+                else:
+                    pins = [domain_ref(p, d) for p in cell.pins]
+                    nl.add_ff(
+                        dname(cell.name, d),
+                        pins[0],
+                        ce=pins[1] if len(pins) > 1 else None,
+                        sr=pins[2] if len(pins) > 2 else None,
+                        init=cell.init,
+                    )
+            copies = [dname(cell.name, d) for d in _DOMAINS]
+            if cell.name in ff_protected:
+                for d in _DOMAINS:
+                    nl.add_lut(f"{cell.name}__vote{d}", LUT_MAJ3, copies)
+            # Boundary voter for unprotected readers (and outputs).
+            nl.add_lut(f"{cell.name}__outvote", LUT_MAJ3, copies)
+        else:
+            if cell.kind is CellKind.CONST:
+                nl.add_const(cell.name, cell.value)
+            elif cell.kind is CellKind.LUT:
+                nl.add_lut(cell.name, cell.table, [boundary_ref(p) for p in cell.pins])
+            else:
+                pins = [boundary_ref(p) for p in cell.pins]
+                nl.add_ff(
+                    cell.name,
+                    pins[0],
+                    ce=pins[1] if len(pins) > 1 else None,
+                    sr=pins[2] if len(pins) > 2 else None,
+                    init=cell.init,
+                )
+
+    nl.set_outputs([boundary_ref(o) for o in src.outputs])
+    nl.validate()
+    return DesignSpec(
+        name=f"{spec.name} (selective TMR, {len(protect)} cells)",
+        netlist=nl,
+        family=spec.family,
+        size=spec.size,
+        feedback=spec.feedback,
+    )

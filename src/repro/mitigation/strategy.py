@@ -1,0 +1,82 @@
+"""Persistence-driven mitigation strategy selection.
+
+Paper Table II's closing point: "The persistent configuration bits
+ratio is an important parameter that will be used to help the designer
+select the appropriate SEU design mitigation strategy."  The rules here
+encode the standard trade-offs:
+
+* no persistence -> configuration scrubbing alone restores correctness
+  (errors flush with the pipeline);
+* modest persistence -> scrubbing plus a reset protocol after repair;
+* high persistence or high sensitivity -> TMR (full or selective) so
+  state divergence is outvoted instead of requiring resets;
+* designs with many critical half-latches need RadDRC regardless.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.seu.campaign import CampaignResult
+
+__all__ = ["MitigationStrategy", "Recommendation", "recommend_strategy"]
+
+
+class MitigationStrategy(enum.Enum):
+    SCRUB_ONLY = "scrubbing only"
+    SCRUB_PLUS_RESET = "scrubbing + reset protocol"
+    SELECTIVE_TMR = "selective TMR + scrubbing"
+    FULL_TMR = "full TMR + scrubbing"
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    strategy: MitigationStrategy
+    add_raddrc: bool
+    rationale: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = " + RadDRC half-latch removal" if self.add_raddrc else ""
+        return f"{self.strategy.value}{extra} ({self.rationale})"
+
+
+def recommend_strategy(
+    result: CampaignResult,
+    critical_halflatch_fraction: float = 0.0,
+    persistence_low: float = 0.02,
+    persistence_high: float = 0.30,
+    sensitivity_high: float = 0.10,
+    halflatch_threshold: float = 0.01,
+) -> Recommendation:
+    """Recommend a mitigation strategy from campaign statistics."""
+    p = result.persistence_ratio
+    s = result.sensitivity
+    raddrc = critical_halflatch_fraction > halflatch_threshold
+
+    if p <= persistence_low and s < sensitivity_high:
+        return Recommendation(
+            MitigationStrategy.SCRUB_ONLY,
+            raddrc,
+            f"persistence {100 * p:.1f}% — errors flush after repair",
+        )
+    if p <= persistence_high and s < sensitivity_high:
+        return Recommendation(
+            MitigationStrategy.SCRUB_PLUS_RESET,
+            raddrc,
+            f"persistence {100 * p:.1f}% — some upsets corrupt state; "
+            "reset after each repair",
+        )
+    if s < sensitivity_high:
+        return Recommendation(
+            MitigationStrategy.SELECTIVE_TMR,
+            raddrc,
+            f"persistence {100 * p:.1f}% — protect the feedback core "
+            "so state divergence is outvoted",
+        )
+    return Recommendation(
+        MitigationStrategy.FULL_TMR,
+        raddrc,
+        f"sensitivity {100 * s:.1f}% and persistence {100 * p:.1f}% — "
+        "broad cross-section needs full redundancy",
+    )

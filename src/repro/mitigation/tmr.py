@@ -1,0 +1,102 @@
+"""Triple modular redundancy with per-domain voters.
+
+The XTMR discipline: every cell is triplicated into domains A/B/C; after
+every flip-flop, three majority voters (one per domain) vote the three
+domain copies, and each domain's downstream logic reads its own voter.
+Feedback through voters self-heals single-domain state corruption, so a
+TMR'd design under scrubbing has (ideally) zero persistent bits; primary
+outputs are voted once more.
+"""
+
+from __future__ import annotations
+
+from repro.designs.spec import DesignSpec
+from repro.errors import MitigationError
+from repro.netlist.cells import CellKind, LUT_MAJ3
+from repro.netlist.netlist import Netlist
+
+__all__ = ["apply_tmr"]
+
+_DOMAINS = ("A", "B", "C")
+
+
+def apply_tmr(spec: DesignSpec) -> DesignSpec:
+    """Triplicate a design with per-domain voters after every FF.
+
+    Primary inputs are shared (the SLAAC-1V feeds one stimulus), outputs
+    are majority-voted.  Raises if the netlist already uses reserved
+    ``__tmr`` names.
+    """
+    src = spec.netlist
+    src.validate()
+    nl = Netlist(f"{src.name}_tmr")
+
+    def dname(cell: str, d: str) -> str:
+        return f"{cell}__tmr{d}"
+
+    def vname(cell: str, d: str) -> str:
+        return f"{cell}__vote{d}"
+
+    for cell in src.cells():
+        if "__tmr" in cell.name or "__vote" in cell.name:
+            raise MitigationError(f"cell {cell.name!r} collides with TMR naming")
+
+    # Shared inputs.
+    for cell in src.cells():
+        if cell.kind is CellKind.INPUT:
+            nl.add_input(cell.name)
+
+    ff_names = {c.name for c in src.cells() if c.kind is CellKind.FF}
+
+    def domain_ref(pin: str, d: str) -> str:
+        """What domain ``d`` reads for source signal ``pin``."""
+        src_cell = src.cell(pin)
+        if src_cell.kind is CellKind.INPUT:
+            return pin
+        if pin in ff_names:
+            return vname(pin, d)  # FFs are read through the domain voter
+        return dname(pin, d)
+
+    for cell in src.cells():
+        if cell.kind is CellKind.INPUT:
+            continue
+        for d in _DOMAINS:
+            if cell.kind is CellKind.CONST:
+                nl.add_const(dname(cell.name, d), cell.value)
+            elif cell.kind is CellKind.LUT:
+                nl.add_lut(
+                    dname(cell.name, d),
+                    cell.table,
+                    [domain_ref(p, d) for p in cell.pins],
+                )
+            elif cell.kind is CellKind.FF:
+                pins = [domain_ref(p, d) for p in cell.pins]
+                nl.add_ff(
+                    dname(cell.name, d),
+                    pins[0],
+                    ce=pins[1] if len(pins) > 1 else None,
+                    sr=pins[2] if len(pins) > 2 else None,
+                    init=cell.init,
+                )
+        if cell.kind is CellKind.FF:
+            copies = [dname(cell.name, d) for d in _DOMAINS]
+            for d in _DOMAINS:
+                nl.add_lut(vname(cell.name, d), LUT_MAJ3, copies)
+
+    outputs = []
+    for out in src.outputs:
+        copies = [
+            domain_ref(out, d) if out in ff_names or src.cell(out).kind is CellKind.INPUT
+            else dname(out, d)
+            for d in _DOMAINS
+        ]
+        outputs.append(nl.add_lut(f"{out}__outvote", LUT_MAJ3, copies))
+    nl.set_outputs(outputs)
+    nl.validate()
+    return DesignSpec(
+        name=f"{spec.name} (TMR)",
+        netlist=nl,
+        family=spec.family,
+        size=spec.size,
+        feedback=spec.feedback,
+    )

@@ -1,0 +1,33 @@
+"""Gate-level netlists and the vectorised batch simulator.
+
+A :class:`Netlist` is the logical design (LUT4s, flip-flops, constants,
+primary I/O).  :func:`compile_netlist` lowers it to a
+:class:`CompiledDesign` — flat numpy arrays the :class:`BatchSimulator`
+evaluates.  The simulator's batch mode runs many *faulty variants* of one
+design in lock-step, which is what makes an exhaustive SEU sweep
+tractable in pure Python (see DESIGN.md section 4).
+"""
+
+from repro.netlist.cells import Cell, CellKind, LUT_AND2, LUT_BUF, LUT_XOR2, lut_table
+from repro.netlist.netlist import Netlist
+from repro.netlist.levelize import levelize
+from repro.netlist.compiled import CompiledDesign, NodeKind, Patch
+from repro.netlist.compile import compile_netlist
+from repro.netlist.simulator import BatchSimulator, GoldenTrace
+
+__all__ = [
+    "Cell",
+    "CellKind",
+    "Netlist",
+    "lut_table",
+    "LUT_BUF",
+    "LUT_AND2",
+    "LUT_XOR2",
+    "levelize",
+    "CompiledDesign",
+    "NodeKind",
+    "Patch",
+    "compile_netlist",
+    "BatchSimulator",
+    "GoldenTrace",
+]

@@ -1,0 +1,112 @@
+"""Cell library: the primitives a Virtex slice offers.
+
+Everything combinational is a 4-input LUT (truth table stored as a
+16-bit integer: bit ``i`` is the output for input vector ``i``, with pin
+0 the least-significant address bit).  State is a D flip-flop with
+clock-enable and optional synchronous reset.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import NetlistError
+
+__all__ = [
+    "CellKind",
+    "Cell",
+    "lut_table",
+    "LUT_BUF",
+    "LUT_INV",
+    "LUT_AND2",
+    "LUT_OR2",
+    "LUT_XOR2",
+    "LUT_XOR3",
+    "LUT_MAJ3",
+    "LUT_MUX21",
+    "LUT_AND2_XOR",
+]
+
+
+class CellKind(enum.Enum):
+    """Primitive cell kinds."""
+
+    INPUT = "input"  #: primary input (stimulus-driven)
+    CONST = "const"  #: constant 0/1 (may be realised as a half-latch)
+    LUT = "lut"  #: 4-input look-up table
+    FF = "ff"  #: D flip-flop with CE and sync reset
+
+
+@dataclass
+class Cell:
+    """One netlist cell.
+
+    ``pins`` holds the names of driving cells: up to 4 for a LUT
+    (missing pins are unconnected and read as constant 1 in hardware —
+    the half-latch), ``[d]`` or ``[d, ce]`` or ``[d, ce, sr]`` for a FF.
+    """
+
+    name: str
+    kind: CellKind
+    pins: tuple[str, ...] = ()
+    table: int = 0  #: LUT truth table (LUTs only)
+    value: int = 0  #: constant value (CONST only)
+    init: int = 0  #: reset state (FFs only)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetlistError("cell must have a non-empty name")
+        if self.kind is CellKind.LUT:
+            if not 0 <= self.table < 1 << 16:
+                raise NetlistError(f"LUT table {self.table:#x} out of 16-bit range")
+            if len(self.pins) > 4:
+                raise NetlistError(f"LUT {self.name} has {len(self.pins)} pins (max 4)")
+        elif self.kind is CellKind.FF:
+            if not 1 <= len(self.pins) <= 3:
+                raise NetlistError(f"FF {self.name} needs 1-3 pins (d[, ce[, sr]])")
+            if self.init not in (0, 1):
+                raise NetlistError(f"FF init must be 0/1, got {self.init}")
+        elif self.kind is CellKind.CONST:
+            if self.value not in (0, 1):
+                raise NetlistError(f"const value must be 0/1, got {self.value}")
+            if self.pins:
+                raise NetlistError("const cells take no pins")
+        elif self.kind is CellKind.INPUT:
+            if self.pins:
+                raise NetlistError("input cells take no pins")
+
+
+def lut_table(fn: Callable[..., int], n_pins: int) -> int:
+    """Build a 16-bit LUT table from a boolean function of ``n_pins`` args.
+
+    Unused high pins are don't-care: the table is replicated across them,
+    which mirrors how the CAD tool encodes LUTs redundantly (the paper
+    notes this redundancy is why half-latch upsets on unused LUT pins are
+    harmless).
+
+    >>> hex(lut_table(lambda a, b: a ^ b, 2))
+    '0x6666'
+    """
+    if not 1 <= n_pins <= 4:
+        raise NetlistError(f"n_pins must be 1..4, got {n_pins}")
+    table = 0
+    for addr in range(16):
+        args = [(addr >> p) & 1 for p in range(n_pins)]
+        if fn(*args):
+            table |= 1 << addr
+    return table
+
+
+#: Common tables.
+LUT_BUF = lut_table(lambda a: a, 1)
+LUT_INV = lut_table(lambda a: 1 - a, 1)
+LUT_AND2 = lut_table(lambda a, b: a & b, 2)
+LUT_OR2 = lut_table(lambda a, b: a | b, 2)
+LUT_XOR2 = lut_table(lambda a, b: a ^ b, 2)
+LUT_XOR3 = lut_table(lambda a, b, c: a ^ b ^ c, 3)
+LUT_MAJ3 = lut_table(lambda a, b, c: (a & b) | (a & c) | (b & c), 3)
+LUT_MUX21 = lut_table(lambda a, b, s: b if s else a, 3)
+#: Partial-product cell: (a AND b) XOR c — one half of a multiplier cell.
+LUT_AND2_XOR = lut_table(lambda a, b, c: (a & b) ^ c, 3)

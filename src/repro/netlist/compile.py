@@ -1,0 +1,132 @@
+"""Lower a logical :class:`~repro.netlist.netlist.Netlist` to arrays.
+
+This is the *reference* compiler: it preserves the netlist exactly (no
+placement, no routing, no half-latches beyond unconnected LUT pins).
+The hardware path — place, generate configuration bits, decode them
+back — must produce a behaviourally identical :class:`CompiledDesign`;
+tests assert that equivalence cycle-by-cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.netlist.cells import CellKind
+from repro.netlist.compiled import (
+    NODE_CONST0,
+    NODE_CONST1,
+    CompiledDesign,
+    NodeKind,
+)
+from repro.netlist.levelize import levelize
+from repro.netlist.netlist import Netlist
+
+__all__ = ["compile_netlist"]
+
+
+def compile_netlist(netlist: Netlist) -> CompiledDesign:
+    """Compile a validated netlist into its executable array form.
+
+    Unconnected LUT pins are tied to the constant-1 node, matching the
+    half-latch value they would see in hardware (the reference compiler
+    uses the hard constant because there is no hidden state to model at
+    this level).
+    """
+    netlist.validate()
+
+    node_names: dict[str, int] = {}
+    kinds: list[int] = [int(NodeKind.CONST), int(NodeKind.CONST)]
+    const_vals: list[int] = [0, 1]
+
+    def new_node(kind: NodeKind, const: int = 0) -> int:
+        kinds.append(int(kind))
+        const_vals.append(const)
+        return len(kinds) - 1
+
+    # Assign a node to every cell, in insertion order.
+    inputs: list[int] = []
+    lut_cells = []
+    ff_cells = []
+    for cell in netlist.cells():
+        if cell.kind is CellKind.INPUT:
+            node = new_node(NodeKind.INPUT)
+            inputs.append(node)
+        elif cell.kind is CellKind.CONST:
+            node = new_node(NodeKind.CONST, cell.value)
+        elif cell.kind is CellKind.LUT:
+            node = new_node(NodeKind.LUT)
+            lut_cells.append(cell)
+        elif cell.kind is CellKind.FF:
+            node = new_node(NodeKind.FF)
+            ff_cells.append(cell)
+        else:  # pragma: no cover - exhaustive enum
+            raise NetlistError(f"unknown cell kind {cell.kind}")
+        node_names[cell.name] = node
+
+    n_luts = len(lut_cells)
+    lut_nodes = np.zeros(n_luts, dtype=np.int32)
+    lut_inputs = np.full((n_luts, 4), NODE_CONST1, dtype=np.int32)
+    lut_tables = np.zeros((n_luts, 16), dtype=np.uint8)
+    lut_row_of_node: dict[int, int] = {}
+    for row, cell in enumerate(lut_cells):
+        node = node_names[cell.name]
+        lut_nodes[row] = node
+        lut_row_of_node[node] = row
+        for pin, src in enumerate(cell.pins):
+            lut_inputs[row, pin] = node_names[src]
+        for entry in range(16):
+            lut_tables[row, entry] = (cell.table >> entry) & 1
+
+    n_ffs = len(ff_cells)
+    ff_nodes = np.zeros(n_ffs, dtype=np.int32)
+    ff_d = np.zeros(n_ffs, dtype=np.int32)
+    ff_ce = np.full(n_ffs, NODE_CONST1, dtype=np.int32)
+    ff_sr = np.full(n_ffs, NODE_CONST0, dtype=np.int32)
+    ff_init = np.zeros(n_ffs, dtype=np.uint8)
+    for row, cell in enumerate(ff_cells):
+        ff_nodes[row] = node_names[cell.name]
+        ff_d[row] = node_names[cell.pins[0]]
+        if len(cell.pins) >= 2:
+            ff_ce[row] = node_names[cell.pins[1]]
+        if len(cell.pins) >= 3:
+            ff_sr[row] = node_names[cell.pins[2]]
+        ff_init[row] = cell.init
+
+    # Levelize over LUT-to-LUT dependencies only.
+    lut_sources: list[list[int]] = []
+    for row, cell in enumerate(lut_cells):
+        srcs = []
+        for pin in cell.pins:
+            src_node = node_names[pin]
+            if src_node in lut_row_of_node:
+                srcs.append(lut_row_of_node[src_node])
+        lut_sources.append(srcs)
+    levels, in_cycle = levelize(n_luts, lut_sources)
+    if np.any(in_cycle):
+        names = [lut_cells[i].name for i in np.flatnonzero(in_cycle)[:5]]
+        raise NetlistError(
+            f"netlist {netlist.name!r} has a combinational cycle through {names}"
+        )
+
+    design = CompiledDesign(
+        name=netlist.name,
+        n_nodes=len(kinds),
+        node_kind=np.array(kinds, dtype=np.uint8),
+        const_values=np.array(const_vals, dtype=np.uint8),
+        input_nodes=np.array(inputs, dtype=np.int32),
+        output_nodes=np.array([node_names[o] for o in netlist.outputs], dtype=np.int32),
+        lut_nodes=lut_nodes,
+        lut_inputs=lut_inputs,
+        lut_tables=lut_tables,
+        levels=levels,
+        ff_nodes=ff_nodes,
+        ff_d=ff_d,
+        ff_ce=ff_ce,
+        ff_sr=ff_sr,
+        ff_init=ff_init,
+        ff_clocked=np.ones(n_ffs, dtype=np.uint8),
+        node_names=node_names,
+    )
+    design.validate()
+    return design

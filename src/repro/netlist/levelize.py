@@ -1,0 +1,127 @@
+"""Topological levelization of combinational logic.
+
+The batch simulator evaluates LUTs level by level: every LUT in level
+*k* depends only on sequential elements, inputs, constants and LUTs of
+levels < *k*.  Faulty machines may contain combinational cycles (an SEU
+can reroute a LUT input onto its own cone); levelization therefore works
+on the strongly-connected-component condensation: every multi-node SCC
+(and every self-loop) becomes a *relaxation group* scheduled at its
+topological position, whose members evaluate with one-pass-stale
+operands, while everything downstream still levels normally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["levelize"]
+
+
+def _tarjan_sccs(n: int, succ: list[list[int]]) -> list[list[int]]:
+    """Strongly connected components, iteratively (no recursion limit)."""
+    index = [-1] * n
+    low = [0] * n
+    on_stack = [False] * n
+    stack: list[int] = []
+    sccs: list[list[int]] = []
+    counter = 0
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        work = [(root, 0)]
+        while work:
+            v, pi = work[-1]
+            if pi == 0:
+                index[v] = low[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack[v] = True
+            advanced = False
+            while pi < len(succ[v]):
+                w = succ[v][pi]
+                pi += 1
+                if index[w] == -1:
+                    work[-1] = (v, pi)
+                    work.append((w, 0))
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            if pi >= len(succ[v]):
+                if low[v] == index[v]:
+                    comp = []
+                    while True:
+                        w = stack.pop()
+                        on_stack[w] = False
+                        comp.append(w)
+                        if w == v:
+                            break
+                    sccs.append(comp)
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[v])
+    return sccs
+
+
+def levelize(
+    n_luts: int, lut_sources: list[list[int]]
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Group LUTs into evaluation levels.
+
+    Parameters
+    ----------
+    n_luts:
+        Number of LUT rows.
+    lut_sources:
+        For each LUT row, the LUT rows it reads (non-LUT operands —
+        FFs, inputs, constants — are already level-0 and omitted).
+
+    Returns
+    -------
+    levels:
+        List of int arrays of LUT rows, in evaluation order.
+    in_cycle:
+        Boolean mask of LUT rows on a combinational cycle (members of a
+        multi-node SCC or a self-loop).
+    """
+    in_cycle = np.zeros(n_luts, dtype=bool)
+    if n_luts == 0:
+        return [], in_cycle
+
+    succ: list[list[int]] = [[] for _ in range(n_luts)]
+    for i, srcs in enumerate(lut_sources):
+        for s in set(srcs):
+            succ[s].append(i)
+
+    sccs = _tarjan_sccs(n_luts, succ)
+    comp_of = np.empty(n_luts, dtype=np.int64)
+    for ci, comp in enumerate(sccs):
+        for v in comp:
+            comp_of[v] = ci
+    for i, srcs in enumerate(lut_sources):
+        if len(sccs[comp_of[i]]) > 1 or i in set(srcs):
+            in_cycle[i] = True
+
+    # Level the condensation DAG (components in Tarjan's output are in
+    # reverse topological order: sources last).
+    n_comp = len(sccs)
+    comp_level = np.zeros(n_comp, dtype=np.int64)
+    for ci in range(n_comp - 1, -1, -1):
+        best = 0
+        for v in sccs[ci]:
+            for s in set(lut_sources[v]):
+                cs = comp_of[s]
+                if cs != ci:
+                    best = max(best, int(comp_level[cs]) + 1)
+        comp_level[ci] = best
+
+    depth = comp_level[comp_of]
+    levels = [
+        np.flatnonzero(depth == d).astype(np.int64)
+        for d in range(int(depth.max()) + 1)
+    ]
+    return [lv for lv in levels if lv.size], in_cycle

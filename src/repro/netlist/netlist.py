@@ -1,0 +1,154 @@
+"""The logical netlist: a named graph of cells.
+
+This is the designer-facing representation produced by the generators in
+:mod:`repro.designs` and consumed by the placer.  It is deliberately
+simple — a dict of cells plus an ordered list of primary outputs — with
+validation concentrated in :meth:`Netlist.validate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import NetlistError
+from repro.netlist.cells import Cell, CellKind
+
+__all__ = ["Netlist"]
+
+
+class Netlist:
+    """A mutable gate-level design."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise NetlistError("netlist must have a non-empty name")
+        self.name = name
+        self._cells: dict[str, Cell] = {}
+        self._outputs: list[str] = []
+
+    # -- construction -----------------------------------------------------
+
+    def _add(self, cell: Cell) -> str:
+        if cell.name in self._cells:
+            raise NetlistError(f"duplicate cell name {cell.name!r}")
+        self._cells[cell.name] = cell
+        return cell.name
+
+    def add_input(self, name: str) -> str:
+        """Declare a primary input."""
+        return self._add(Cell(name, CellKind.INPUT))
+
+    def add_const(self, name: str, value: int) -> str:
+        """Declare a constant-generator cell.
+
+        The mapper decides how to realise it: a half-latch (the CAD
+        default the paper criticises) or a LUT ROM (the RadDRC fix).
+        """
+        return self._add(Cell(name, CellKind.CONST, value=value))
+
+    def add_lut(self, name: str, table: int, pins: Iterable[str]) -> str:
+        """Add a LUT4.  ``pins`` are driving-cell names, pin 0 first."""
+        return self._add(Cell(name, CellKind.LUT, tuple(pins), table=table))
+
+    def add_ff(
+        self, name: str, d: str, ce: str | None = None, sr: str | None = None, init: int = 0
+    ) -> str:
+        """Add a D flip-flop.
+
+        A ``None`` clock-enable means "always enabled" — in hardware the
+        CE input is then unconnected and a **half-latch** supplies the
+        constant 1 (paper Figure 14(b)).
+        """
+        pins: tuple[str, ...] = (d,)
+        if ce is not None:
+            pins += (ce,)
+            if sr is not None:
+                pins += (sr,)
+        elif sr is not None:
+            raise NetlistError(f"FF {name}: sr requires an explicit ce")
+        return self._add(Cell(name, CellKind.FF, pins, init=init))
+
+    def set_outputs(self, names: Iterable[str]) -> None:
+        """Declare the primary outputs (order defines the output bus)."""
+        names = list(names)
+        for n in names:
+            if n not in self._cells:
+                raise NetlistError(f"output {n!r} is not a cell")
+        self._outputs = names
+
+    # -- access --------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def cell(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise NetlistError(f"no cell named {name!r}") from None
+
+    def cells(self) -> Iterator[Cell]:
+        return iter(self._cells.values())
+
+    @property
+    def outputs(self) -> list[str]:
+        return list(self._outputs)
+
+    @property
+    def inputs(self) -> list[str]:
+        """Primary inputs in insertion order."""
+        return [c.name for c in self._cells.values() if c.kind is CellKind.INPUT]
+
+    def count(self, kind: CellKind) -> int:
+        return sum(1 for c in self._cells.values() if c.kind is kind)
+
+    @property
+    def n_luts(self) -> int:
+        return self.count(CellKind.LUT)
+
+    @property
+    def n_ffs(self) -> int:
+        return self.count(CellKind.FF)
+
+    def fanout(self) -> dict[str, list[str]]:
+        """Map of cell name -> names of cells reading it."""
+        out: dict[str, list[str]] = {name: [] for name in self._cells}
+        for cell in self._cells.values():
+            for pin in cell.pins:
+                if pin in out:
+                    out[pin].append(cell.name)
+        return out
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`NetlistError` on dangling pins or missing outputs."""
+        for cell in self._cells.values():
+            for pin in cell.pins:
+                if pin not in self._cells:
+                    raise NetlistError(
+                        f"cell {cell.name!r} reads undefined signal {pin!r}"
+                    )
+        if not self._outputs:
+            raise NetlistError(f"netlist {self.name!r} declares no outputs")
+
+    def stats(self) -> dict[str, int]:
+        """Cell counts by kind plus output width."""
+        return {
+            "inputs": self.count(CellKind.INPUT),
+            "consts": self.count(CellKind.CONST),
+            "luts": self.n_luts,
+            "ffs": self.n_ffs,
+            "outputs": len(self._outputs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"Netlist({self.name!r}: {s['luts']} LUTs, {s['ffs']} FFs, "
+            f"{s['inputs']} in, {s['outputs']} out)"
+        )

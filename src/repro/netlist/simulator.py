@@ -1,0 +1,412 @@
+"""Vectorised lock-step simulator for batches of faulty machines.
+
+This is the performance core of the reproduction.  The paper gets its
+"many orders of magnitude" speed-up by running corrupted designs on real
+silicon; we get ours by simulating B corrupted variants of one design
+simultaneously with numpy:
+
+* node values live in a ``(B, n_nodes)`` uint8 matrix;
+* each LUT level evaluates for all machines at once via two
+  ``take_along_axis`` gathers (operand fetch, table lookup);
+* flip-flops update in one vectorised step honouring per-machine CE, SR
+  and clock health.
+
+Per-machine hardware differences come in as :class:`Patch` objects; the
+simulator records undo information so a machine can be *repaired*
+mid-run (configuration scrubbing restores the bitstream but not the
+state — exactly the persistence experiment of paper section III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.netlist.compiled import (
+    CompiledDesign,
+    FFField,
+    NodeKind,
+    Patch,
+)
+
+__all__ = ["GoldenTrace", "MachineVerdict", "BatchSimulator"]
+
+
+@dataclass
+class GoldenTrace:
+    """Reference behaviour of the fault-free design.
+
+    ``addr_seen[lut]`` is a 16-bit occupancy mask of the truth-table
+    entries the run actually addressed — the structural pre-filter uses
+    it to skip LUT-content faults on never-exercised entries.
+    """
+
+    outputs: np.ndarray  # (cycles, n_outputs) uint8
+    addr_seen: np.ndarray  # (n_luts,) uint16
+    final_state: np.ndarray  # (n_ffs,) uint8
+
+    @property
+    def n_cycles(self) -> int:
+        return int(self.outputs.shape[0])
+
+
+@dataclass
+class MachineVerdict:
+    """Outcome of one faulty machine in a detect/repair/persist run."""
+
+    failed: bool
+    first_error_cycle: int  # -1 when no error observed
+    persistent: bool  # meaningful only when failed
+    recovered_cycle: int  # cycle outputs re-matched after repair; -1 if never
+
+
+class BatchSimulator:
+    """Simulates ``B`` patched variants of one compiled design in lock-step."""
+
+    def __init__(
+        self,
+        design: CompiledDesign,
+        patches: list[Patch] | None = None,
+        settle_passes: int | None = None,
+        initial_values: np.ndarray | None = None,
+        active_nodes: np.ndarray | None = None,
+    ):
+        """``initial_values`` (a ``(n_nodes,)`` snapshot from a golden run)
+        makes :meth:`reset` restore that mid-run state instead of the
+        power-on state — faults are injected into *running* designs, as
+        on the SLAAC-1V (paper Figure 8).
+
+        ``active_nodes`` (bool per node) prunes evaluation to a node
+        subset.  The caller must guarantee closure: every node an active
+        LUT/FF reads — under golden wiring *or* any machine's patch — is
+        itself active.  Campaigns compute this as the backward cone of
+        the outputs plus all patch edges; it cuts the per-cycle work by
+        the device's idle-fabric fraction.
+
+        ``settle_passes=None`` (default) auto-detects: patches that
+        reroute a LUT operand onto a node computed at the same or a
+        later level violate the golden evaluation schedule; each extra
+        pass absorbs one stale step, so the batch runs with enough
+        passes that acyclic rewirings settle to their exact fixpoint
+        (golden-equivalent machines are unaffected — levelized
+        evaluation is idempotent)."""
+        self.design = design
+        if settle_passes is None:
+            settle_passes = 1 + min(3, self._max_schedule_violations(design, patches))
+        if settle_passes < 1:
+            raise NetlistError("settle_passes must be >= 1")
+        self.settle_passes = settle_passes
+        self._initial_values = (
+            None if initial_values is None else np.asarray(initial_values, dtype=np.uint8)
+        )
+        if self._initial_values is not None and self._initial_values.shape != (design.n_nodes,):
+            raise NetlistError("initial_values must be a (n_nodes,) snapshot")
+        self.patches = list(patches) if patches else [Patch()]
+        self.B = len(self.patches)
+        if self.B < 1:
+            raise NetlistError("batch must contain at least one machine")
+
+        d = design
+        B = self.B
+        # Per-machine hardware arrays (patched copies of the golden arrays).
+        self.lut_inputs = np.broadcast_to(d.lut_inputs, (B, d.n_luts, 4)).copy()
+        self.lut_tables = np.broadcast_to(d.lut_tables, (B, d.n_luts, 16)).copy()
+        self.ff_d = np.broadcast_to(d.ff_d, (B, d.n_ffs)).copy()
+        self.ff_ce = np.broadcast_to(d.ff_ce, (B, d.n_ffs)).copy()
+        self.ff_sr = np.broadcast_to(d.ff_sr, (B, d.n_ffs)).copy()
+        self.ff_init = np.broadcast_to(d.ff_init, (B, d.n_ffs)).copy()
+        self.ff_clocked = np.broadcast_to(d.ff_clocked, (B, d.n_ffs)).copy()
+        self.const_values = np.broadcast_to(d.const_values, (B, d.n_nodes)).copy()
+        self.output_nodes = np.broadcast_to(d.output_nodes, (B, d.n_outputs)).copy()
+
+        self._broken = np.zeros(B, dtype=bool)  # patched (faulty) machines
+        for m, patch in enumerate(self.patches):
+            self._apply_patch(m, patch)
+
+        if active_nodes is None:
+            self._levels = d.levels
+            self._ff_rows = np.arange(d.n_ffs, dtype=np.int64)
+        else:
+            active_nodes = np.asarray(active_nodes, dtype=bool)
+            if active_nodes.shape != (d.n_nodes,):
+                raise NetlistError("active_nodes must be a (n_nodes,) mask")
+            lut_active = active_nodes[d.lut_nodes]
+            self._levels = [lv[lut_active[lv]] for lv in d.levels]
+            self._levels = [lv for lv in self._levels if lv.size]
+            self._ff_rows = np.flatnonzero(active_nodes[d.ff_nodes])
+
+        self.values = np.zeros((B, d.n_nodes), dtype=np.uint8)
+        self._const_mask = np.isin(
+            d.node_kind, (int(NodeKind.CONST), int(NodeKind.HALF_LATCH))
+        )
+        self.reset()
+
+    @staticmethod
+    def _max_schedule_violations(design: CompiledDesign, patches: list[Patch] | None) -> int:
+        """Largest per-machine count of LUT edges defying golden levels."""
+        if not patches:
+            return 0
+        level_of = design.level_of_row
+        row_of = design.row_of_lut_node
+        worst = 0
+        for patch in patches:
+            v = 0
+            for row, _pin, node in patch.lut_inputs:
+                src_row = row_of.get(int(node))
+                if src_row is not None and level_of[src_row] >= level_of[row]:
+                    v += 1
+            worst = max(worst, v)
+        return worst
+
+    # -- patching ------------------------------------------------------------
+
+    def _apply_patch(self, m: int, patch: Patch) -> None:
+        if patch.is_empty():
+            return
+        self._broken[m] = True
+        d = self.design
+        for row, table in patch.lut_tables:
+            self.lut_tables[m, row] = table
+        for row, pin, node in patch.lut_inputs:
+            self.lut_inputs[m, row, pin] = node
+        for row, fieldname, value in patch.ff_fields:
+            if fieldname is FFField.D:
+                self.ff_d[m, row] = value
+            elif fieldname is FFField.CE:
+                self.ff_ce[m, row] = value
+            elif fieldname is FFField.SR:
+                self.ff_sr[m, row] = value
+            elif fieldname is FFField.INIT:
+                self.ff_init[m, row] = value
+            elif fieldname is FFField.CLOCKED:
+                self.ff_clocked[m, row] = value
+            else:  # pragma: no cover - exhaustive enum
+                raise NetlistError(f"unknown FF field {fieldname}")
+        for node, value in patch.consts:
+            kind = NodeKind(int(d.node_kind[node]))
+            if kind not in (NodeKind.CONST, NodeKind.HALF_LATCH):
+                raise NetlistError(f"const patch targets non-constant node {node}")
+            self.const_values[m, node] = value
+        for pos, node in patch.outputs:
+            self.output_nodes[m, pos] = node
+
+    def repair_machine(self, m: int) -> None:
+        """Restore machine ``m``'s *hardware* to golden; keep its state.
+
+        Models a configuration scrub: the corrupted frame is rewritten,
+        but flip-flop contents — and half-latch keepers — are untouched.
+        """
+        d = self.design
+        self.lut_inputs[m] = d.lut_inputs
+        self.lut_tables[m] = d.lut_tables
+        self.ff_d[m] = d.ff_d
+        self.ff_ce[m] = d.ff_ce
+        self.ff_sr[m] = d.ff_sr
+        self.ff_init[m] = d.ff_init
+        self.ff_clocked[m] = d.ff_clocked
+        self.output_nodes[m] = d.output_nodes
+        # Constants: CONST nodes are configuration (repaired); HALF_LATCH
+        # keepers are hidden state and deliberately NOT restored.
+        const_only = d.node_kind == int(NodeKind.CONST)
+        self.const_values[m, const_only] = d.const_values[const_only]
+        self.values[m, const_only] = d.const_values[const_only]
+        self._broken[m] = False
+
+    # -- execution ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore the start state.
+
+        Power-on semantics (constants asserted, FFs to INIT) by default;
+        with ``initial_values`` the golden mid-run snapshot is restored
+        and per-machine constant patches (e.g. half-latch upsets) are
+        applied on top.
+        """
+        d = self.design
+        if self._initial_values is not None:
+            self.values[:] = self._initial_values[None, :]
+            self.values[:, self._const_mask] = self.const_values[:, self._const_mask]
+            return
+        self.values[:] = 0
+        self.values[:, self._const_mask] = self.const_values[:, self._const_mask]
+        if d.n_ffs:
+            self.values[
+                np.arange(self.B)[:, None], d.ff_nodes[None, :]
+            ] = self.ff_init
+
+    def state_snapshot(self) -> np.ndarray:
+        """Copy of machine 0's node values (for mid-run injection starts)."""
+        return self.values[0].copy()
+
+    def _eval_combinational(self) -> None:
+        d = self.design
+        B = self.B
+        for _ in range(self.settle_passes):
+            for rows in self._levels:
+                idx = self.lut_inputs[:, rows, :]  # (B, L, 4)
+                flat = np.take_along_axis(
+                    self.values, idx.reshape(B, -1), axis=1
+                ).reshape(B, rows.size, 4)
+                addr = (
+                    flat[:, :, 0].astype(np.int32)
+                    | (flat[:, :, 1].astype(np.int32) << 1)
+                    | (flat[:, :, 2].astype(np.int32) << 2)
+                    | (flat[:, :, 3].astype(np.int32) << 3)
+                )
+                tabs = self.lut_tables[:, rows, :]  # (B, L, 16)
+                out = np.take_along_axis(tabs, addr[:, :, None], axis=2)[:, :, 0]
+                self.values[:, d.lut_nodes[rows]] = out
+
+    def _clock_ffs(self) -> None:
+        d = self.design
+        rows = self._ff_rows
+        if rows.size == 0:
+            return
+        dval = np.take_along_axis(self.values, self.ff_d[:, rows], axis=1)
+        ce = np.take_along_axis(self.values, self.ff_ce[:, rows], axis=1)
+        sr = np.take_along_axis(self.values, self.ff_sr[:, rows], axis=1)
+        nodes = d.ff_nodes[rows]
+        cur = self.values[:, nodes]
+        new = np.where(ce == 1, dval, cur)
+        new = np.where(sr == 1, np.uint8(0), new)
+        new = np.where(self.ff_clocked[:, rows] == 1, new, cur)
+        self.values[:, nodes] = new
+
+    def step(self, stimulus_row: np.ndarray) -> np.ndarray:
+        """Advance one clock cycle; returns outputs as (B, n_outputs).
+
+        ``stimulus_row`` is the primary-input vector for this cycle,
+        shared by every machine (golden and faulty parts see identical
+        stimulus, as on the SLAAC-1V).
+        """
+        d = self.design
+        if stimulus_row.shape != (d.n_inputs,):
+            raise NetlistError(
+                f"stimulus row must have {d.n_inputs} entries, got {stimulus_row.shape}"
+            )
+        if d.n_inputs:
+            self.values[:, d.input_nodes] = stimulus_row[None, :]
+        self._eval_combinational()
+        out = np.take_along_axis(self.values, self.output_nodes, axis=1)
+        self._clock_ffs()
+        return out
+
+    def run(self, stimulus: np.ndarray, record_addresses: bool = False) -> np.ndarray:
+        """Run all machines over a (cycles, n_inputs) stimulus.
+
+        Returns outputs of shape ``(cycles, B, n_outputs)``.  With
+        ``record_addresses`` the LUT address-occupancy mask is collected
+        into :attr:`last_addr_seen` (meaningful for the golden machine).
+        """
+        d = self.design
+        stimulus = np.asarray(stimulus, dtype=np.uint8)
+        cycles = stimulus.shape[0]
+        outputs = np.empty((cycles, self.B, d.n_outputs), dtype=np.uint8)
+        addr_seen = np.zeros(d.n_luts, dtype=np.uint16)
+        for t in range(cycles):
+            outputs[t] = self.step(stimulus[t])
+            if record_addresses and d.n_luts:
+                flat = np.take_along_axis(
+                    self.values, self.lut_inputs[0].reshape(1, -1), axis=1
+                ).reshape(d.n_luts, 4)
+                addr = (
+                    flat[:, 0].astype(np.uint16)
+                    | (flat[:, 1].astype(np.uint16) << 1)
+                    | (flat[:, 2].astype(np.uint16) << 2)
+                    | (flat[:, 3].astype(np.uint16) << 3)
+                )
+                addr_seen |= np.left_shift(np.uint16(1), addr)
+        self.last_addr_seen = addr_seen
+        return outputs
+
+    # -- golden reference ------------------------------------------------------
+
+    @classmethod
+    def golden_trace(
+        cls, design: CompiledDesign, stimulus: np.ndarray, settle_passes: int = 1
+    ) -> GoldenTrace:
+        """Run the fault-free design once, recording the reference trace."""
+        sim = cls(design, settle_passes=settle_passes)
+        outputs = sim.run(stimulus, record_addresses=True)
+        final_state = sim.values[0, design.ff_nodes].copy() if design.n_ffs else np.zeros(0, np.uint8)
+        return GoldenTrace(outputs[:, 0, :].copy(), sim.last_addr_seen, final_state)
+
+    # -- detect / repair / persist campaign step ---------------------------------
+
+    def run_verdicts(
+        self,
+        stimulus: np.ndarray,
+        golden: GoldenTrace,
+        detect_cycles: int,
+        persist_cycles: int,
+        converge_run: int = 8,
+    ) -> list[MachineVerdict]:
+        """The paper's injection protocol, for every machine in the batch.
+
+        Phase 1 (up to ``detect_cycles``): outputs are compared against
+        the golden trace each cycle.  On the first mismatch the machine's
+        configuration is repaired in place (scrub, no reset) and it
+        enters phase 2.  Phase 2 (up to ``persist_cycles`` more cycles):
+        if outputs match golden for ``converge_run`` consecutive cycles
+        the fault was **non-persistent**; machines still diverging when
+        the budget runs out are **persistent** (they need a reset, paper
+        Figure 7).
+        """
+        stimulus = np.asarray(stimulus, dtype=np.uint8)
+        total_needed = detect_cycles + persist_cycles
+        if stimulus.shape[0] < total_needed:
+            raise NetlistError(
+                f"stimulus has {stimulus.shape[0]} cycles; need {total_needed}"
+            )
+        if golden.n_cycles < total_needed:
+            raise NetlistError("golden trace shorter than the verdict run")
+
+        B = self.B
+        phase = np.zeros(B, dtype=np.int8)  # 0 watch, 1 converge, 2 done
+        first_error = np.full(B, -1, dtype=np.int64)
+        recovered = np.full(B, -1, dtype=np.int64)
+        run_len = np.zeros(B, dtype=np.int64)
+        persistent = np.zeros(B, dtype=bool)
+
+        self.reset()
+        for t in range(total_needed):
+            out = self.step(stimulus[t])
+            mismatch = np.any(out != golden.outputs[t][None, :], axis=1)
+
+            # Phase 0: first mismatch -> repair, enter phase 1.
+            hits = np.flatnonzero((phase == 0) & mismatch)
+            for m in hits:
+                first_error[m] = t
+                self.repair_machine(int(m))
+                phase[m] = 1
+                run_len[m] = 0
+            # Machines that never err within the detect window are done.
+            if t == detect_cycles - 1:
+                phase[(phase == 0)] = 2
+
+            # Phase 1: count consecutive matching cycles.
+            watching = phase == 1
+            if np.any(watching):
+                good = watching & ~mismatch
+                run_len[good] += 1
+                run_len[watching & mismatch] = 0
+                conv = watching & (run_len >= converge_run)
+                if np.any(conv):
+                    recovered[conv] = t
+                    phase[conv] = 2
+            if np.all(phase == 2):
+                break
+
+        # Anything still in phase 1 never re-converged: persistent error.
+        persistent[phase == 1] = True
+        return [
+            MachineVerdict(
+                failed=first_error[m] >= 0,
+                first_error_cycle=int(first_error[m]),
+                persistent=bool(persistent[m]),
+                recovered_cycle=int(recovered[m]),
+            )
+            for m in range(B)
+        ]

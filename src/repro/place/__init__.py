@@ -1,0 +1,37 @@
+"""Technology mapping: netlist -> placement -> routing -> bitstream.
+
+The pipeline replaces the Xilinx CAD flow:
+
+* :mod:`repro.place.placer` packs cells into CLB positions (LUT/FF
+  pairing, slice counting — Table I's "Logic Slices" column);
+* :mod:`repro.place.router` realises nets on the single-wire fabric
+  (output ports, drive/straight/turn PIPs, input-mux selections);
+* :mod:`repro.place.configgen` writes the configuration bits;
+* :mod:`repro.place.decoder` reads *any* bitstream — including corrupted
+  ones — back into an executable :class:`CompiledDesign`, and computes
+  sparse :class:`Patch` objects for single-bit flips (the fault-injection
+  fast path).
+"""
+
+from repro.place.placer import Placement, Site, place_design
+from repro.place.router import RoutedDesign, route_design
+from repro.place.configgen import IOBinding, generate_bitstream
+from repro.place.decoder import DecodedDesign, decode_bitstream
+from repro.place.flow import HardwareDesign, implement
+from repro.place.serde import load_configuration, save_configuration
+
+__all__ = [
+    "Placement",
+    "Site",
+    "place_design",
+    "RoutedDesign",
+    "route_design",
+    "IOBinding",
+    "generate_bitstream",
+    "DecodedDesign",
+    "decode_bitstream",
+    "HardwareDesign",
+    "implement",
+    "save_configuration",
+    "load_configuration",
+]

@@ -1,0 +1,1006 @@
+"""Bitstream decoder: configuration bits -> executable hardware model.
+
+The decoder gives the configuration memory its *meaning*: it reads every
+CLB's fields and produces a :class:`CompiledDesign` whose behaviour is
+exactly what the configured fabric would compute.  Crucially it decodes
+**any** bit pattern, not only router output — a flipped input-mux bit
+reroutes a LUT operand, a flipped PIP shorts two nets (modelled as the
+AND a keeper-pulled pass-transistor fabric settles to), a flipped clock
+mux freezes a slice.  That property is what makes bitstream fault
+injection meaningful.
+
+Two entry points:
+
+* :func:`decode_bitstream` — full decode of a golden configuration,
+  producing a :class:`DecodedDesign` with resolution caches;
+* :meth:`DecodedDesign.patch_for_bit` — the fault-injection fast path:
+  the sparse hardware difference caused by flipping one configuration
+  bit, computed in ~O(affected cone) without re-decoding the device.
+
+Half-latches appear wherever a mux field selects nothing; each floating
+field that the decoded hardware actually reads gets its own
+HALF_LATCH node (hidden state the beam can flip but readback cannot see).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bitstream.bitstream import ConfigBitstream
+from repro.errors import DecodeError
+from repro.fpga.device import VirtexDevice
+from repro.fpga.geometry import CLB_BITS_PER_CLB, COLUMN_OVERHEAD_BITS, CLB_BITS_PER_ROW
+from repro.fpga.halflatch import HalfLatchKind, HalfLatchSite
+from repro.fpga.resources import (
+    CTRL_CE,
+    CTRL_CLK,
+    CTRL_SR,
+    FF_BYPASS,
+    FF_CE_INV,
+    FF_INIT,
+    FF_LATCH_MODE,
+    FF_SR_EN,
+    Direction,
+    LocalSource,
+    MUX_FIELD_BITS,
+    ResourceKind,
+    UnconnectedSource,
+    WireSource,
+    classify_intra,
+    ctrl_candidates,
+    ctrl_mux_offset,
+    ff_config_offset,
+    imux_candidates,
+    imux_offset,
+    lut_content_offset,
+    output_mux_offset,
+    pip_drive_offset,
+    pip_straight_offset,
+    pip_turn_offset,
+)
+from repro.netlist.compiled import (
+    NODE_CONST0,
+    NODE_CONST1,
+    CompiledDesign,
+    FFField,
+    NodeKind,
+    Patch,
+)
+from repro.netlist.levelize import levelize
+from repro.place.configgen import IOBinding
+
+__all__ = ["DecodedDesign", "decode_bitstream"]
+
+#: AND-of-all-four-pins truth table (unused pins tied to const 1).
+_AND4_TABLE = np.zeros(16, dtype=np.uint8)
+_AND4_TABLE[15] = 1
+#: NOT(pin0) with pins 1..3 tied to const 1.
+_INV_TABLE = np.zeros(16, dtype=np.uint8)
+_INV_TABLE[14] = 1
+
+WireKey = tuple[int, int, int, int]  # (row, col, direction, index) — outgoing
+InKey = tuple[int, int, int, int]  # (row, col, side, index) — incoming view
+
+
+@dataclass
+class _Builder:
+    """Growable node/LUT-row tables used during decode."""
+
+    kinds: list[int] = field(default_factory=lambda: [int(NodeKind.CONST), int(NodeKind.CONST)])
+    const_vals: list[int] = field(default_factory=lambda: [0, 1])
+    lut_nodes: list[int] = field(default_factory=list)
+    lut_inputs: list[list[int]] = field(default_factory=list)
+    lut_tables: list[np.ndarray] = field(default_factory=list)
+
+    def new_node(self, kind: NodeKind, const: int = 0) -> int:
+        self.kinds.append(int(kind))
+        self.const_vals.append(const)
+        return len(self.kinds) - 1
+
+    def new_lut_row(self, node: int, inputs: list[int], table: np.ndarray) -> int:
+        self.lut_nodes.append(node)
+        self.lut_inputs.append(list(inputs))
+        self.lut_tables.append(table)
+        return len(self.lut_nodes) - 1
+
+
+class DecodedDesign:
+    """A decoded configuration plus the caches for incremental patching."""
+
+    def __init__(
+        self,
+        device: VirtexDevice,
+        bits: ConfigBitstream,
+        io: IOBinding,
+        n_spare: int = 32,
+    ):
+        self.device = device
+        self.bits = bits
+        self.io = io
+        self.n_spare = n_spare
+
+        # Vectorised CLB bit gather: linear offsets of every intra-CLB bit.
+        self._clb_matrix = self._build_clb_matrix()
+
+        b = _Builder()
+        self._b = b
+        n_inputs = len(io.input_order)
+        self.input_nodes = [b.new_node(NodeKind.INPUT) for _ in range(n_inputs)]
+
+        nc = device.n_clbs
+        # Fabric LUT/FF nodes: row for position p of CLB i is 4*i + p.
+        self.first_lut_node = len(b.kinds)
+        for _ in range(4 * nc):
+            b.new_node(NodeKind.LUT)
+        self.first_ff_node = len(b.kinds)
+        for _ in range(4 * nc):
+            b.new_node(NodeKind.FF)
+
+        # Resolution caches (golden state).
+        self.wire_value: dict[WireKey, int] = {}
+        self.wire_consumers: dict[WireKey, list[tuple]] = {}
+        self.port_value: dict[tuple[int, int, int], int] = {}
+        self.port_wires: dict[tuple[int, int, int], list[WireKey]] = {}
+        self.pin_source: dict[tuple[int, int, int, int], int] = {}
+        self.ctrl_node: dict[tuple[int, int, int, int], int] = {}
+        self.halflatch_node: dict[tuple, int] = {}
+        self.halflatch_site_of_node: dict[int, HalfLatchSite] = {}
+        self._resolving: set[WireKey] = set()
+
+        self._decode_all()
+        self.design = self._finalize()
+        # Output cone membership, for the structural pre-filter.
+        self._cone = self._compute_cone()
+
+    # ------------------------------------------------------------------
+    # raw bit access
+    # ------------------------------------------------------------------
+
+    def _build_clb_matrix(self) -> np.ndarray:
+        """(rows, cols, 864) linear bit offsets of every CLB bit."""
+        geo = self.device.geometry
+        rows, cols = geo.rows, geo.cols
+        fb = geo.clb_frame_bits
+        col_base = np.empty(cols, dtype=np.int64)
+        for c in range(cols):
+            col_base[c] = geo.frame_offset(geo.clb_frame_index(c, 0))
+        intra = np.arange(CLB_BITS_PER_CLB, dtype=np.int64)
+        minor, i = np.divmod(intra, CLB_BITS_PER_ROW)
+        r = np.arange(rows, dtype=np.int64)
+        # offset = col_base[c] + minor*frame_bits + overhead + row*18 + i
+        mat = (
+            col_base[None, :, None]
+            + (minor * fb)[None, None, :]
+            + COLUMN_OVERHEAD_BITS
+            + (r * CLB_BITS_PER_ROW)[:, None, None]
+            + i[None, None, :]
+        )
+        return mat
+
+    def clb_bits(self, row: int, col: int) -> np.ndarray:
+        """The 864 configuration bits of one CLB (a gather, not a view)."""
+        return self.bits.bits[self._clb_matrix[row, col]]
+
+    def _bit(self, row: int, col: int, intra: int) -> int:
+        return int(self.bits.bits[self._clb_matrix[row, col, intra]])
+
+    def _field(self, row: int, col: int, base_offset: int) -> tuple[int, ...]:
+        """Selected candidate indices of an 8-bit one-hot field."""
+        mat = self._clb_matrix[row, col]
+        vals = self.bits.bits[mat[base_offset : base_offset + MUX_FIELD_BITS]]
+        return tuple(int(x) for x in np.flatnonzero(vals))
+
+    # ------------------------------------------------------------------
+    # node helpers
+    # ------------------------------------------------------------------
+
+    def lut_node(self, row: int, col: int, pos: int) -> int:
+        return self.first_lut_node + 4 * self.device.clb_index(row, col) + pos
+
+    def ff_node(self, row: int, col: int, pos: int) -> int:
+        return self.first_ff_node + 4 * self.device.clb_index(row, col) + pos
+
+    def lut_row(self, row: int, col: int, pos: int) -> int:
+        return 4 * self.device.clb_index(row, col) + pos
+
+    def ff_row(self, row: int, col: int, pos: int) -> int:
+        return 4 * self.device.clb_index(row, col) + pos
+
+    def _get_halflatch(self, key: tuple, site: HalfLatchSite) -> int:
+        node = self.halflatch_node.get(key)
+        if node is None:
+            node = self._b.new_node(NodeKind.HALF_LATCH, 1)
+            self.halflatch_node[key] = node
+            self.halflatch_site_of_node[node] = site
+        return node
+
+    def _and_node(self, sources: list[int]) -> int:
+        """A fabric-contention node: AND of up to 4 sources (extra LUT row)."""
+        srcs = sources[:4] + [NODE_CONST1] * (4 - min(len(sources), 4))
+        node = self._b.new_node(NodeKind.LUT)
+        self._b.new_lut_row(node, srcs, _AND4_TABLE.copy())
+        return node
+
+    # ------------------------------------------------------------------
+    # golden resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_local(self, row: int, col: int, index: int) -> int:
+        return (
+            self.lut_node(row, col, index)
+            if index < 4
+            else self.ff_node(row, col, index - 4)
+        )
+
+    def _resolve_incoming(self, row: int, col: int, side: Direction, w: int, consumer: tuple) -> int:
+        coords: InKey = (row, col, int(side), w)
+        tap = self.io.taps.get(coords)
+        if tap is not None:
+            return self.input_nodes[tap]
+        net_tap = self.io.net_taps.get(coords)
+        if net_tap is not None:
+            return self._resolve_local(net_tap[0], net_tap[1], net_tap[2])
+        nb = self.device.incoming_wire(row, col, side, w)
+        if nb is None:
+            site = HalfLatchSite(HalfLatchKind.WIRE, row, col, (int(side), w))
+            return self._get_halflatch(("pad", coords), site)
+        key: WireKey = (nb.row, nb.col, int(nb.direction), nb.index)
+        node = self._resolve_wire(key)
+        self.wire_consumers.setdefault(key, []).append(consumer)
+        return node
+
+    def _wire_driver_specs(self, key: WireKey) -> list[tuple]:
+        """Who can drive outgoing wire ``key``, per the *current* bits.
+
+        Returns specs: ("port", r, c, p) or ("in", r, c, side, w).
+        """
+        r, c, d, w = key
+        specs: list[tuple] = []
+        if self._bit(r, c, pip_drive_offset(Direction(d), w)):
+            specs.append(("port", r, c, w % 4))
+        back = Direction(d).opposite
+        if self._bit(r, c, pip_straight_offset(back, w)):
+            specs.append(("in", r, c, int(back), w))
+        for a in Direction:
+            for p, perp in enumerate(a.perpendicular):
+                if int(perp) == d and self._bit(r, c, pip_turn_offset(a, p, w)):
+                    specs.append(("in", r, c, int(a), w))
+        return specs
+
+    def _resolve_wire(self, key: WireKey) -> int:
+        if key in self.wire_value:
+            return self.wire_value[key]
+        if key in self._resolving:
+            # Combinational wire loop: floats at the keeper value.
+            return NODE_CONST1
+        self._resolving.add(key)
+        try:
+            nodes: list[int] = []
+            for spec in self._wire_driver_specs(key):
+                if spec[0] == "port":
+                    _, r, c, p = spec
+                    nodes.append(self._resolve_port(r, c, p))
+                    self.port_wires.setdefault((r, c, p), []).append(key)
+                else:
+                    _, r, c, side, w = spec
+                    nodes.append(
+                        self._resolve_incoming(r, c, Direction(side), w, ("wire", key))
+                    )
+            nodes = sorted(set(nodes))
+            if not nodes:
+                r, c, d, w = key
+                site = HalfLatchSite(HalfLatchKind.WIRE, r, c, (d, w))
+                node = self._get_halflatch(("wire", key), site)
+            elif len(nodes) == 1:
+                node = nodes[0]
+            else:
+                node = self._and_node(nodes)
+            self.wire_value[key] = node
+            return node
+        finally:
+            self._resolving.discard(key)
+
+    def _resolve_port(self, row: int, col: int, port: int) -> int:
+        pkey = (row, col, port)
+        if pkey in self.port_value:
+            return self.port_value[pkey]
+        sel = self._field(row, col, output_mux_offset(port, 0))
+        if not sel:
+            site = HalfLatchSite(HalfLatchKind.OUTPUT_PORT, row, col, (port,))
+            node = self._get_halflatch(("portfloat", pkey), site)
+        else:
+            nodes = sorted({self._resolve_local(row, col, s) for s in sel})
+            node = nodes[0] if len(nodes) == 1 else self._and_node(nodes)
+        self.port_value[pkey] = node
+        return node
+
+    def _resolve_pin(self, row: int, col: int, pos: int, pin: int) -> int:
+        key = (row, col, pos, pin)
+        if key in self.pin_source:
+            return self.pin_source[key]
+        node = self._pin_value(row, col, pos, pin, register=True)
+        self.pin_source[key] = node
+        return node
+
+    def _pin_value(self, row: int, col: int, pos: int, pin: int, register: bool) -> int:
+        sel = self._field(row, col, imux_offset(pos, pin, 0))
+        cands = imux_candidates(pos, pin)
+        consumer = ("pin", row, col, pos, pin)
+        nodes: list[int] = []
+        for ci in sel:
+            cand = cands[ci]
+            if isinstance(cand, LocalSource):
+                nodes.append(self._resolve_local(row, col, cand.index))
+            elif isinstance(cand, WireSource):
+                nodes.append(
+                    self._resolve_incoming(row, col, cand.direction, cand.index, consumer)
+                    if register
+                    else self._transient_incoming(row, col, cand.direction, cand.index, {})
+                )
+            else:  # pragma: no cover - UnconnectedSource never in candidate lists
+                raise DecodeError("unexpected candidate kind")
+        nodes = sorted(set(nodes))
+        if not nodes:
+            site = HalfLatchSite(HalfLatchKind.LUT_PIN, row, col, (pos, pin))
+            return self._get_halflatch(("imux", row, col, pos, pin), site)
+        if len(nodes) == 1:
+            return nodes[0]
+        return self._and_node(nodes)
+
+    def _resolve_ctrl(self, row: int, col: int, slc: int, which: int) -> int:
+        key = (row, col, slc, which)
+        if key in self.ctrl_node:
+            return self.ctrl_node[key]
+        node = self._ctrl_value(row, col, slc, which, register=True)
+        self.ctrl_node[key] = node
+        return node
+
+    def _ctrl_value(self, row: int, col: int, slc: int, which: int, register: bool) -> int:
+        sel = self._field(row, col, ctrl_mux_offset(slc, which, 0))
+        cands = ctrl_candidates(slc, which)
+        consumer = ("ctrl", row, col, slc, which)
+        nodes: list[int] = []
+        for ci in sel:
+            cand = cands[ci]
+            if isinstance(cand, LocalSource):
+                nodes.append(self._resolve_local(row, col, cand.index))
+            elif isinstance(cand, WireSource):
+                nodes.append(
+                    self._resolve_incoming(row, col, cand.direction, cand.index, consumer)
+                    if register
+                    else self._transient_incoming(row, col, cand.direction, cand.index, {})
+                )
+        nodes = sorted(set(nodes))
+        if not nodes:
+            site = HalfLatchSite(HalfLatchKind.CTRL, row, col, (slc, which))
+            return self._get_halflatch(("ctrl", row, col, slc, which), site)
+        if len(nodes) == 1:
+            return nodes[0]
+        return self._and_node(nodes)
+
+    def _slice_clocked(self, row: int, col: int, slc: int) -> bool:
+        """Clocked iff the CLK field is exactly the one-hot global-clock tap."""
+        return self._field(row, col, ctrl_mux_offset(slc, CTRL_CLK, 0)) == (0,)
+
+    # ------------------------------------------------------------------
+    # full decode
+    # ------------------------------------------------------------------
+
+    def _decode_all(self) -> None:
+        dev = self.device
+        b = self._b
+        nc = dev.n_clbs
+        self._ff_d = np.zeros(4 * nc, dtype=np.int32)
+        self._ff_ce = np.full(4 * nc, NODE_CONST1, dtype=np.int32)
+        self._ff_sr = np.full(4 * nc, NODE_CONST0, dtype=np.int32)
+        self._ff_init = np.zeros(4 * nc, dtype=np.uint8)
+        self._ff_clocked = np.ones(4 * nc, dtype=np.uint8)
+
+        # Fabric LUT rows must occupy rows [0, 4*nc) in order; reserve them
+        # first, then fill (extra AND rows created during resolution land
+        # after them).
+        for row in range(dev.rows):
+            for col in range(dev.cols):
+                for pos in range(4):
+                    node = self.lut_node(row, col, pos)
+                    table = np.zeros(16, dtype=np.uint8)
+                    b.new_lut_row(node, [NODE_CONST1] * 4, table)
+
+        for row in range(dev.rows):
+            for col in range(dev.cols):
+                cbits = self.clb_bits(row, col)
+                for pos in range(4):
+                    lrow = self.lut_row(row, col, pos)
+                    b.lut_tables[lrow] = cbits[
+                        lut_content_offset(pos, 0) : lut_content_offset(pos, 0) + 16
+                    ].astype(np.uint8).copy()
+                    b.lut_inputs[lrow] = [
+                        self._resolve_pin(row, col, pos, pin) for pin in range(4)
+                    ]
+                for slc in range(2):
+                    ce = self._resolve_ctrl(row, col, slc, CTRL_CE)
+                    sr = self._resolve_ctrl(row, col, slc, CTRL_SR)
+                    clocked = self._slice_clocked(row, col, slc)
+                    for pos in (2 * slc, 2 * slc + 1):
+                        frow = self.ff_row(row, col, pos)
+                        init = int(cbits[ff_config_offset(pos, FF_INIT)])
+                        bypass = int(cbits[ff_config_offset(pos, FF_BYPASS)])
+                        ce_inv = int(cbits[ff_config_offset(pos, FF_CE_INV)])
+                        sr_en = int(cbits[ff_config_offset(pos, FF_SR_EN)])
+                        latch = int(cbits[ff_config_offset(pos, FF_LATCH_MODE)])
+                        self._ff_d[frow] = (
+                            self._resolve_pin(row, col, pos, 0)
+                            if bypass
+                            else self.lut_node(row, col, pos)
+                        )
+                        self._ff_ce[frow] = self._invert(ce) if ce_inv else ce
+                        self._ff_sr[frow] = sr if sr_en else NODE_CONST0
+                        self._ff_init[frow] = init
+                        self._ff_clocked[frow] = 1 if (clocked and not latch) else 0
+
+        # Spare rows for fault patches: inert AND4 gates fed by const 1.
+        self.spare_rows: list[int] = []
+        self.spare_nodes: list[int] = []
+        for _ in range(self.n_spare):
+            node = b.new_node(NodeKind.LUT)
+            srow = b.new_lut_row(node, [NODE_CONST1] * 4, _AND4_TABLE.copy())
+            self.spare_rows.append(srow)
+            self.spare_nodes.append(node)
+
+    def _invert(self, node: int) -> int:
+        if node == NODE_CONST0:
+            return NODE_CONST1
+        if node == NODE_CONST1:
+            return NODE_CONST0
+        inv = self._b.new_node(NodeKind.LUT)
+        self._b.new_lut_row(inv, [node] + [NODE_CONST1] * 3, _INV_TABLE.copy())
+        return inv
+
+    def _finalize(self) -> CompiledDesign:
+        b = self._b
+        dev = self.device
+        n_luts = len(b.lut_nodes)
+        lut_nodes = np.array(b.lut_nodes, dtype=np.int32)
+        lut_inputs = np.array(b.lut_inputs, dtype=np.int32)
+        lut_tables = np.stack(b.lut_tables).astype(np.uint8)
+
+        node_of_lut_row = {int(lut_nodes[r]): r for r in range(n_luts)}
+        lut_sources: list[list[int]] = []
+        for r in range(n_luts):
+            if r in set(self.spare_rows):
+                lut_sources.append([])  # spares forced into the last level below
+                continue
+            srcs = [
+                node_of_lut_row[int(s)]
+                for s in lut_inputs[r]
+                if int(s) in node_of_lut_row
+            ]
+            lut_sources.append(srcs)
+        levels, _ = levelize(n_luts, lut_sources)
+        # Pull spare rows out of whatever level they landed in and append
+        # them as a dedicated final level so patches may wire them to any
+        # signal (evaluated last; consumers see them next pass).
+        spare_set = set(self.spare_rows)
+        levels = [lv[~np.isin(lv, list(spare_set))] for lv in levels]
+        levels = [lv for lv in levels if lv.size]
+        levels.append(np.array(sorted(spare_set), dtype=np.int64))
+
+        outputs = [
+            self._resolve_local(r, c, s) for (r, c, s) in self.io.output_probes
+        ]
+        ff_nodes = np.arange(
+            self.first_ff_node, self.first_ff_node + 4 * dev.n_clbs, dtype=np.int32
+        )
+        design = CompiledDesign(
+            name=f"decoded[{dev.name}]",
+            n_nodes=len(b.kinds),
+            node_kind=np.array(b.kinds, dtype=np.uint8),
+            const_values=np.array(b.const_vals, dtype=np.uint8),
+            input_nodes=np.array(self.input_nodes, dtype=np.int32),
+            output_nodes=np.array(outputs, dtype=np.int32),
+            lut_nodes=lut_nodes,
+            lut_inputs=lut_inputs,
+            lut_tables=lut_tables,
+            levels=levels,
+            ff_nodes=ff_nodes,
+            ff_d=self._ff_d,
+            ff_ce=self._ff_ce,
+            ff_sr=self._ff_sr,
+            ff_init=self._ff_init,
+            ff_clocked=self._ff_clocked,
+        )
+        design.validate()
+        return design
+
+    # ------------------------------------------------------------------
+    # output cone (structural pre-filter)
+    # ------------------------------------------------------------------
+
+    def _compute_cone(self) -> np.ndarray:
+        d = self.design
+        in_cone = np.zeros(d.n_nodes, dtype=bool)
+        row_of_lut_node = {int(n): r for r, n in enumerate(d.lut_nodes)}
+        row_of_ff_node = {int(n): r for r, n in enumerate(d.ff_nodes)}
+        stack = [int(n) for n in d.output_nodes]
+        while stack:
+            n = stack.pop()
+            if in_cone[n]:
+                continue
+            in_cone[n] = True
+            if n in row_of_lut_node:
+                stack.extend(int(s) for s in d.lut_inputs[row_of_lut_node[n]])
+            elif n in row_of_ff_node:
+                r = row_of_ff_node[n]
+                stack.extend(
+                    (int(d.ff_d[r]), int(d.ff_ce[r]), int(d.ff_sr[r]))
+                )
+        return in_cone
+
+    def node_in_cone(self, node: int) -> bool:
+        return bool(self._cone[node])
+
+    def patch_is_relevant(self, patch: Patch) -> bool:
+        """Can this patch possibly change the outputs?
+
+        True iff some patch entry targets a node inside the output cone.
+        Spare-row entries count as relevant only through the consumer
+        entry that points a cone node at them, which the same patch must
+        contain.
+        """
+        d = self.design
+        spare_set = set(self.spare_rows)
+        for row, _ in patch.lut_tables:
+            if row not in spare_set and self._cone[d.lut_nodes[row]]:
+                return True
+        for row, _, _ in patch.lut_inputs:
+            if row not in spare_set and self._cone[d.lut_nodes[row]]:
+                return True
+        for row, _, _ in patch.ff_fields:
+            if self._cone[d.ff_nodes[row]]:
+                return True
+        for node, _ in patch.consts:
+            if self._cone[node]:
+                return True
+        return bool(patch.outputs)
+
+    # ------------------------------------------------------------------
+    # transient (overlay) resolution for patch computation
+    # ------------------------------------------------------------------
+
+    def _transient_wire(self, key: WireKey, overlay: dict, stack: set | None = None) -> int:
+        if key in overlay:
+            return overlay[key]
+        stack = stack if stack is not None else set()
+        if key in stack:
+            return NODE_CONST1
+        stack.add(key)
+        try:
+            nodes: list[int] = []
+            for spec in self._wire_driver_specs(key):
+                if spec[0] == "port":
+                    _, r, c, p = spec
+                    nodes.append(self._transient_port(r, c, p, overlay))
+                else:
+                    _, r, c, side, w = spec
+                    nodes.append(
+                        self._transient_incoming(r, c, Direction(side), w, overlay, stack)
+                    )
+            nodes = sorted(set(nodes))
+            if not nodes:
+                # Use the golden keeper node when one exists; else const 1.
+                return self.halflatch_node.get(("wire", key), NODE_CONST1)
+            if len(nodes) == 1:
+                return nodes[0]
+            return -1 - self._overlay_and(nodes, overlay)
+        finally:
+            stack.discard(key)
+
+    def _transient_port(self, r: int, c: int, p: int, overlay: dict) -> int:
+        """Port value under the current bits, without allocating nodes.
+
+        Unlike :meth:`_resolve_port` (golden decode) this never mutates
+        the builder — patch computation runs after the design is frozen.
+        """
+        key = ("port", r, c, p)
+        if key in overlay:
+            return overlay[key]
+        if (r, c, p) in self.port_value:
+            return self.port_value[(r, c, p)]
+        sel = self._field(r, c, output_mux_offset(p, 0))
+        if not sel:
+            return self.halflatch_node.get(("portfloat", (r, c, p)), NODE_CONST1)
+        nodes = sorted({self._resolve_local(r, c, s) for s in sel})
+        if len(nodes) == 1:
+            return nodes[0]
+        return -1 - self._overlay_and(nodes, overlay)
+
+    def _overlay_and(self, nodes: list[int], overlay: dict) -> int:
+        """Record an AND requirement in the overlay; returns its ticket.
+
+        Transient resolution cannot allocate real nodes (patches must not
+        mutate the golden design), so multi-driver results are returned
+        as negative tickets ``-1 - k`` referring to ``overlay['_ands'][k]``.
+        """
+        ands = overlay.setdefault("_ands", [])
+        ands.append(nodes)
+        return len(ands) - 1
+
+    def _transient_incoming(
+        self, row: int, col: int, side: Direction, w: int, overlay: dict, stack: set | None = None
+    ) -> int:
+        coords: InKey = (row, col, int(side), w)
+        tap = self.io.taps.get(coords)
+        if tap is not None:
+            return self.input_nodes[tap]
+        net_tap = self.io.net_taps.get(coords)
+        if net_tap is not None:
+            return self._resolve_local(net_tap[0], net_tap[1], net_tap[2])
+        nb = self.device.incoming_wire(row, col, side, w)
+        if nb is None:
+            return self.halflatch_node.get(("pad", coords), NODE_CONST1)
+        key: WireKey = (nb.row, nb.col, int(nb.direction), nb.index)
+        return self._transient_wire(key, overlay, stack)
+
+    def _transient_pin(self, row: int, col: int, pos: int, pin: int, overlay: dict) -> int:
+        sel = self._field(row, col, imux_offset(pos, pin, 0))
+        cands = imux_candidates(pos, pin)
+        nodes: list[int] = []
+        for ci in sel:
+            cand = cands[ci]
+            if isinstance(cand, LocalSource):
+                nodes.append(self._resolve_local(row, col, cand.index))
+            else:
+                nodes.append(
+                    self._transient_incoming(row, col, cand.direction, cand.index, overlay)
+                )
+        nodes = sorted(set(nodes))
+        if not nodes:
+            return self.halflatch_node.get(
+                ("imux", row, col, pos, pin), NODE_CONST1
+            )
+        if len(nodes) == 1:
+            return nodes[0]
+        return -1 - self._overlay_and(nodes, overlay)
+
+    def _transient_ctrl(self, row: int, col: int, slc: int, which: int, overlay: dict) -> int:
+        sel = self._field(row, col, ctrl_mux_offset(slc, which, 0))
+        cands = ctrl_candidates(slc, which)
+        nodes: list[int] = []
+        for ci in sel:
+            cand = cands[ci]
+            if isinstance(cand, LocalSource):
+                nodes.append(self._resolve_local(row, col, cand.index))
+            else:
+                nodes.append(
+                    self._transient_incoming(row, col, cand.direction, cand.index, overlay)
+                )
+        nodes = sorted(set(nodes))
+        if not nodes:
+            return self.halflatch_node.get(("ctrl", row, col, slc, which), NODE_CONST1)
+        if len(nodes) == 1:
+            return nodes[0]
+        return -1 - self._overlay_and(nodes, overlay)
+
+    # ------------------------------------------------------------------
+    # patch assembly
+    # ------------------------------------------------------------------
+
+    def _materialize(self, value: int, overlay: dict, patch: Patch, spare_cursor: list[int]) -> int:
+        """Turn a transient result (maybe an AND ticket) into a real node.
+
+        AND tickets consume spare rows; exhaustion degrades to the first
+        source (logged via DecodeError would abort campaigns, so degrade
+        silently — a single-bit fault never needs more than two spares in
+        practice).
+        """
+        if value >= 0:
+            return value
+        ticket = -1 - value
+        sources = overlay["_ands"][ticket]
+        real = [self._materialize(s, overlay, patch, spare_cursor) for s in sources]
+        if spare_cursor[0] >= len(self.spare_rows):
+            return real[0]
+        srow = self.spare_rows[spare_cursor[0]]
+        spare_cursor[0] += 1
+        for pin, src in enumerate(real[:4]):
+            patch.lut_inputs.append((srow, pin, src))
+        return self.spare_nodes[self.spare_rows.index(srow)]
+
+    def _pin_patch(
+        self, row: int, col: int, pos: int, pin: int, new_value: int,
+        overlay: dict, patch: Patch, spare_cursor: list[int],
+    ) -> None:
+        """Emit patch entries retargeting one LUT pin (and a bypass FF's D)."""
+        old = self.pin_source.get((row, col, pos, pin))
+        node = self._materialize(new_value, overlay, patch, spare_cursor)
+        if old is not None and node == old:
+            return
+        lrow = self.lut_row(row, col, pos)
+        patch.lut_inputs.append((lrow, pin, node))
+        if pin == 0:
+            frow = self.ff_row(row, col, pos)
+            if int(self.design.ff_d[frow]) == (old if old is not None else -2):
+                # Bypass FF reads pin 0 directly.
+                if int(self._bit(row, col, ff_config_offset(pos, FF_BYPASS))):
+                    patch.ff_fields.append((frow, FFField.D, node))
+
+    def _ctrl_patch(
+        self, row: int, col: int, slc: int, which: int, new_value: int,
+        overlay: dict, patch: Patch, spare_cursor: list[int],
+    ) -> None:
+        old = self.ctrl_node.get((row, col, slc, which))
+        node = self._materialize(new_value, overlay, patch, spare_cursor)
+        if old is not None and node == old:
+            return
+        for pos in (2 * slc, 2 * slc + 1):
+            frow = self.ff_row(row, col, pos)
+            if which == CTRL_CE:
+                if int(self._bit(row, col, ff_config_offset(pos, FF_CE_INV))):
+                    continue  # inverted CE not retargeted incrementally
+                patch.ff_fields.append((frow, FFField.CE, node))
+            elif which == CTRL_SR:
+                if int(self._bit(row, col, ff_config_offset(pos, FF_SR_EN))):
+                    patch.ff_fields.append((frow, FFField.SR, node))
+
+    def _propagate_wire_change(
+        self, seeds: dict[WireKey, int], overlay: dict, patch: Patch, spare_cursor: list[int]
+    ) -> None:
+        """Push re-resolved wire values through the consumer graph."""
+        worklist = list(seeds.keys())
+        changed = dict(seeds)
+        for key, val in seeds.items():
+            overlay[key] = val
+        seen = set(worklist)
+        while worklist:
+            key = worklist.pop()
+            for consumer in self.wire_consumers.get(key, ()):  # golden readers
+                if consumer[0] == "wire":
+                    k2: WireKey = consumer[1]
+                    if k2 in seen:
+                        continue
+                    new_val = self._transient_wire(k2, overlay)
+                    if new_val != self.wire_value.get(k2):
+                        overlay[k2] = new_val
+                        changed[k2] = new_val
+                        seen.add(k2)
+                        worklist.append(k2)
+                elif consumer[0] == "pin":
+                    _, r, c, pos, pin = consumer
+                    self._pin_patch(
+                        r, c, pos, pin,
+                        self._transient_pin(r, c, pos, pin, overlay),
+                        overlay, patch, spare_cursor,
+                    )
+                elif consumer[0] == "ctrl":
+                    _, r, c, slc, which = consumer
+                    self._ctrl_patch(
+                        r, c, slc, which,
+                        self._transient_ctrl(r, c, slc, which, overlay),
+                        overlay, patch, spare_cursor,
+                    )
+
+    # ------------------------------------------------------------------
+    # the fault-injection fast path
+    # ------------------------------------------------------------------
+
+    def _bit_may_matter(self, kind: ResourceKind, row: int, col: int, detail: tuple) -> bool:
+        """Cheap pre-screen: can this bit's resource reach the outputs?
+
+        Saves the transient-resolution work for the vast majority of
+        bits, which sit in unused fabric.  PIP/port cases defer to their
+        consumer caches; everything else checks output-cone membership of
+        the directly affected LUT/FF rows.
+        """
+        d = self.design
+        if kind is ResourceKind.LUT_CONTENT:
+            lut, _ = detail
+            return bool(self._cone[d.lut_nodes[self.lut_row(row, col, lut)]])
+        if kind is ResourceKind.LUT_INPUT_MUX:
+            lut, pin, _ = detail
+            if self._cone[d.lut_nodes[self.lut_row(row, col, lut)]]:
+                return True
+            return pin == 0 and bool(self._cone[d.ff_nodes[self.ff_row(row, col, lut)]])
+        if kind is ResourceKind.FF_CONFIG:
+            ff, _ = detail
+            return bool(self._cone[d.ff_nodes[self.ff_row(row, col, ff)]])
+        if kind is ResourceKind.CTRL_MUX:
+            slc, _, _ = detail
+            return bool(
+                self._cone[d.ff_nodes[self.ff_row(row, col, 2 * slc)]]
+                or self._cone[d.ff_nodes[self.ff_row(row, col, 2 * slc + 1)]]
+            )
+        if kind is ResourceKind.OUTPUT_MUX:
+            port, _ = detail
+            return (row, col, port) in self.port_value
+        return True  # PIPs handle their own consumer check
+
+    def patch_for_bit(self, linear_bit: int) -> Patch | None:
+        """Hardware difference caused by flipping one configuration bit.
+
+        Returns ``None`` when the flip provably does not alter the
+        decoded hardware (reserved/overhead bits, INIT bits under the
+        no-reset injection protocol, changes outside any consumer).  The
+        golden bitstream is restored before returning.
+        """
+        frame, off = self.bits.locate(linear_bit)
+        loc = self.device.classify_bit(frame, off)
+        kind = loc.kind
+        if kind in (
+            ResourceKind.COLUMN_OVERHEAD,
+            ResourceKind.CLOCK_CONFIG,
+            ResourceKind.IOB_CONFIG,
+            ResourceKind.BRAM_CONTENT,
+            ResourceKind.BRAM_INTERCONNECT,
+            ResourceKind.CARRY,
+            ResourceKind.RESERVED,
+            ResourceKind.PIP_RESERVED,
+        ):
+            return None
+
+        row, col = loc.row, loc.col
+        if not self._bit_may_matter(kind, row, col, loc.detail):
+            return None
+        self.bits.bits[linear_bit] ^= 1
+        try:
+            return self._patch_clb_bit(row, col, kind, loc.detail)
+        finally:
+            self.bits.bits[linear_bit] ^= 1
+
+    def _patch_clb_bit(
+        self, row: int, col: int, kind: ResourceKind, detail: tuple
+    ) -> Patch | None:
+        patch = Patch()
+        overlay: dict = {}
+        spare_cursor = [0]
+
+        if kind is ResourceKind.LUT_CONTENT:
+            lut, entry = detail
+            lrow = self.lut_row(row, col, lut)
+            table = self.design.lut_tables[lrow].copy()
+            table[entry] ^= 1
+            patch.lut_tables.append((lrow, table))
+
+        elif kind is ResourceKind.LUT_INPUT_MUX:
+            lut, pin, _ = detail
+            self._pin_patch(
+                row, col, lut, pin,
+                self._transient_pin(row, col, lut, pin, overlay),
+                overlay, patch, spare_cursor,
+            )
+
+        elif kind is ResourceKind.FF_CONFIG:
+            ff, role = detail
+            frow = self.ff_row(row, col, ff)
+            cbit = lambda r: int(self._bit(row, col, ff_config_offset(ff, r)))
+            if role == FF_INIT:
+                return None  # no reset occurs under the injection protocol
+            if role == FF_BYPASS:
+                new_d = (
+                    self._materialize(
+                        self._transient_pin(row, col, ff, 0, overlay),
+                        overlay, patch, spare_cursor,
+                    )
+                    if cbit(FF_BYPASS)
+                    else self.lut_node(row, col, ff)
+                )
+                if new_d != int(self.design.ff_d[frow]):
+                    patch.ff_fields.append((frow, FFField.D, new_d))
+            elif role == FF_CE_INV:
+                base = self.ctrl_node[(row, col, ff // 2, CTRL_CE)]
+                if cbit(FF_CE_INV):
+                    # Now inverted: keepers hold 1 -> enable becomes 0.
+                    if base == NODE_CONST1:
+                        new_ce = NODE_CONST0
+                    elif base == NODE_CONST0:
+                        new_ce = NODE_CONST1
+                    else:
+                        srow = (
+                            self.spare_rows[spare_cursor[0]]
+                            if spare_cursor[0] < len(self.spare_rows)
+                            else None
+                        )
+                        if srow is None:
+                            new_ce = NODE_CONST0
+                        else:
+                            spare_cursor[0] += 1
+                            patch.lut_tables.append((srow, _INV_TABLE.copy()))
+                            patch.lut_inputs.append((srow, 0, base))
+                            new_ce = self.spare_nodes[self.spare_rows.index(srow)]
+                else:
+                    new_ce = base
+                if new_ce != int(self.design.ff_ce[frow]):
+                    patch.ff_fields.append((frow, FFField.CE, new_ce))
+            elif role == FF_SR_EN:
+                sr = (
+                    self.ctrl_node[(row, col, ff // 2, CTRL_SR)]
+                    if cbit(FF_SR_EN)
+                    else NODE_CONST0
+                )
+                if sr != int(self.design.ff_sr[frow]):
+                    patch.ff_fields.append((frow, FFField.SR, sr))
+            elif role == FF_LATCH_MODE:
+                clocked = 0 if cbit(FF_LATCH_MODE) else (
+                    1 if self._slice_clocked(row, col, ff // 2) else 0
+                )
+                if clocked != int(self.design.ff_clocked[frow]):
+                    patch.ff_fields.append((frow, FFField.CLOCKED, clocked))
+            else:
+                return None  # FF_RESERVED
+
+        elif kind is ResourceKind.CTRL_MUX:
+            slc, which, _ = detail
+            if which == CTRL_CLK:
+                clocked = 1 if self._slice_clocked(row, col, slc) else 0
+                for pos in (2 * slc, 2 * slc + 1):
+                    frow = self.ff_row(row, col, pos)
+                    latch = int(self._bit(row, col, ff_config_offset(pos, FF_LATCH_MODE)))
+                    eff = 0 if latch else clocked
+                    if eff != int(self.design.ff_clocked[frow]):
+                        patch.ff_fields.append((frow, FFField.CLOCKED, eff))
+            else:
+                self._ctrl_patch(
+                    row, col, slc, which,
+                    self._transient_ctrl(row, col, slc, which, overlay),
+                    overlay, patch, spare_cursor,
+                )
+
+        elif kind is ResourceKind.OUTPUT_MUX:
+            port, _ = detail
+            pkey = (row, col, port)
+            sel = self._field(row, col, output_mux_offset(port, 0))
+            if sel:
+                nodes = sorted({self._resolve_local(row, col, s) for s in sel})
+                new_val = nodes[0] if len(nodes) == 1 else -1 - self._overlay_and(nodes, overlay)
+            else:
+                new_val = self.halflatch_node.get(("portfloat", pkey), NODE_CONST1)
+            new_node = self._materialize(new_val, overlay, patch, spare_cursor)
+            if pkey in self.port_value and new_node != self.port_value[pkey]:
+                overlay[("port",) + pkey] = new_node
+                seeds: dict[WireKey, int] = {}
+                for wkey in self.port_wires.get(pkey, ()):  # re-resolve driven wires
+                    nv = self._transient_wire(wkey, overlay)
+                    nv = self._materialize(nv, overlay, patch, spare_cursor)
+                    if nv != self.wire_value.get(wkey):
+                        seeds[wkey] = nv
+                self._propagate_wire_change(seeds, overlay, patch, spare_cursor)
+            # A port nobody drives onto a wire has no consumers: no patch.
+
+        elif kind in (
+            ResourceKind.PIP_DRIVE,
+            ResourceKind.PIP_STRAIGHT,
+            ResourceKind.PIP_TURN,
+        ):
+            if kind is ResourceKind.PIP_DRIVE:
+                d, w = detail
+                wkey: WireKey = (row, col, d, w)
+            elif kind is ResourceKind.PIP_STRAIGHT:
+                d_in, w = detail
+                wkey = (row, col, int(Direction(d_in).opposite), w)
+            else:
+                d_in, p, w = detail
+                wkey = (row, col, int(Direction(d_in).perpendicular[p]), w)
+            if wkey not in self.wire_value and wkey not in self.wire_consumers:
+                # Nobody reads this wire in the golden design: turning it
+                # on/off feeds nothing.
+                return None
+            nv = self._transient_wire(wkey, overlay)
+            nv = self._materialize(nv, overlay, patch, spare_cursor)
+            if nv != self.wire_value.get(wkey):
+                self._propagate_wire_change({wkey: nv}, overlay, patch, spare_cursor)
+
+        else:  # pragma: no cover - exhaustive over CLB kinds
+            raise DecodeError(f"unhandled CLB resource kind {kind}")
+
+        return patch if not patch.is_empty() else None
+
+
+def decode_bitstream(
+    device: VirtexDevice,
+    bits: ConfigBitstream,
+    io: IOBinding,
+    n_spare: int = 32,
+) -> DecodedDesign:
+    """Decode a configuration into an executable hardware model."""
+    return DecodedDesign(device, bits, io, n_spare)

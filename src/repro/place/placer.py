@@ -1,0 +1,172 @@
+"""Deterministic placer: pack netlist cells into CLB positions.
+
+A CLB offers four *positions*, each pairing LUT *k* with FF *k*
+(positions 0/1 = slice 0, positions 2/3 = slice 1).  The placer:
+
+* merges a flip-flop with its driving LUT when that LUT drives nothing
+  else (the FF then latches the LUT output directly — no routing);
+* realises standalone FFs in *bypass* mode (D arrives via the paired
+  LUT's pin-0 input mux; the LUT itself is unused);
+* realises constant cells as LUT ROMs (all-0 / all-1 tables), the
+  explicit alternative to half-latches that RadDRC later exploits;
+* fills CLBs four positions at a time along a column-snake order, so
+  cells created consecutively by the design generators land in adjacent
+  CLBs and most nets are short.
+
+Primary inputs occupy no sites (they arrive on edge/long-line wires, see
+the router); design outputs are probed from their cells directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlacementError
+from repro.fpga.device import VirtexDevice
+from repro.netlist.cells import CellKind
+from repro.netlist.netlist import Netlist
+
+__all__ = ["Site", "Placement", "place_design"]
+
+
+@dataclass(frozen=True)
+class Site:
+    """One CLB position: (row, col, pos) with pos in 0..3."""
+
+    row: int
+    col: int
+    pos: int
+
+    @property
+    def slice_index(self) -> int:
+        """Slice within the CLB: positions 0/1 -> 0, positions 2/3 -> 1."""
+        return self.pos // 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"site({self.row},{self.col}:{self.pos})"
+
+
+@dataclass
+class Placement:
+    """Result of placing one netlist on one device."""
+
+    device: VirtexDevice
+    netlist: Netlist
+    #: cell name -> site, for cells realised as a LUT (incl. const ROMs)
+    lut_site: dict[str, Site] = field(default_factory=dict)
+    #: cell name -> site, for flip-flop cells
+    ff_site: dict[str, Site] = field(default_factory=dict)
+    #: FF cells merged with their driving LUT (D = LUT output, no bypass)
+    merged_ffs: set[str] = field(default_factory=set)
+    #: const cells realised as LUT ROMs (name -> constant value)
+    const_roms: dict[str, int] = field(default_factory=dict)
+
+    def site_of(self, cell: str) -> Site:
+        """Site of any placed cell (LUT or FF realisation)."""
+        if cell in self.lut_site:
+            return self.lut_site[cell]
+        if cell in self.ff_site:
+            return self.ff_site[cell]
+        raise PlacementError(f"cell {cell!r} has no site (input or unplaced)")
+
+    def signal_index(self, cell: str) -> int:
+        """CLB-internal signal index of a cell's output (0-3 LUT, 4-7 FF)."""
+        if cell in self.ff_site:
+            return 4 + self.ff_site[cell].pos
+        if cell in self.lut_site:
+            return self.lut_site[cell].pos
+        raise PlacementError(f"cell {cell!r} produces no placed signal")
+
+    # -- statistics ------------------------------------------------------
+
+    @property
+    def used_positions(self) -> set[Site]:
+        return set(self.lut_site.values()) | set(self.ff_site.values())
+
+    @property
+    def used_clbs(self) -> set[tuple[int, int]]:
+        return {(s.row, s.col) for s in self.used_positions}
+
+    @property
+    def used_slices(self) -> int:
+        """Occupied slices — the paper's design-size metric (Table I)."""
+        return len({(s.row, s.col, s.slice_index) for s in self.used_positions})
+
+    @property
+    def utilization(self) -> float:
+        """Used slices / device slices (Table I's percentage column)."""
+        return self.used_slices / self.device.n_slices
+
+
+def _snake_sites(device: VirtexDevice):
+    """Yield sites CLB by CLB along a boustrophedon column order."""
+    for col in range(device.cols):
+        rows = range(device.rows) if col % 2 == 0 else range(device.rows - 1, -1, -1)
+        for row in rows:
+            for pos in range(4):
+                yield Site(row, col, pos)
+
+
+def place_design(netlist: Netlist, device: VirtexDevice) -> Placement:
+    """Place ``netlist`` onto ``device``; raises on overflow.
+
+    Deterministic: the same netlist always yields the same placement, so
+    campaigns are reproducible bit-for-bit.
+    """
+    netlist.validate()
+    placement = Placement(device, netlist)
+    fanout = netlist.fanout()
+
+    # Decide LUT/FF merges: an FF absorbs its driving LUT when that LUT
+    # feeds only this FF (classic packing; keeps multiplier cells at one
+    # slice per two LUTs).
+    merged_lut_of_ff: dict[str, str] = {}
+    lut_taken: set[str] = set()
+    for cell in netlist.cells():
+        if cell.kind is not CellKind.FF:
+            continue
+        d_src = cell.pins[0]
+        src = netlist.cell(d_src) if d_src in netlist else None
+        if (
+            src is not None
+            and src.kind is CellKind.LUT
+            and src.name not in lut_taken
+            and fanout[src.name] == [cell.name]
+        ):
+            merged_lut_of_ff[cell.name] = src.name
+            lut_taken.add(src.name)
+
+    site_iter = _snake_sites(device)
+
+    def next_site() -> Site:
+        try:
+            return next(site_iter)
+        except StopIteration:
+            raise PlacementError(
+                f"design {netlist.name!r} does not fit on {device.name} "
+                f"({device.n_slices} slices)"
+            ) from None
+
+    placed_luts: set[str] = set()
+    for cell in netlist.cells():
+        if cell.kind is CellKind.INPUT:
+            continue  # arrives on routing, no site
+        if cell.kind is CellKind.CONST:
+            site = next_site()
+            placement.lut_site[cell.name] = site
+            placement.const_roms[cell.name] = cell.value
+        elif cell.kind is CellKind.LUT:
+            if cell.name in lut_taken:
+                continue  # placed together with its FF
+            site = next_site()
+            placement.lut_site[cell.name] = site
+            placed_luts.add(cell.name)
+        elif cell.kind is CellKind.FF:
+            site = next_site()
+            placement.ff_site[cell.name] = site
+            if cell.name in merged_lut_of_ff:
+                placement.lut_site[merged_lut_of_ff[cell.name]] = site
+                placement.merged_ffs.add(cell.name)
+        else:  # pragma: no cover - exhaustive
+            raise PlacementError(f"unknown cell kind {cell.kind}")
+    return placement

@@ -1,0 +1,79 @@
+"""On-disk configuration artifacts.
+
+The flight system stores configurations in flash and uploads new ones
+from the ground; downstream users of this library likewise need to
+store an implemented configuration — the bitstream plus its I/O binding
+— and reload it without re-running place and route.  One artifact is a
+single ``.npz`` holding the device name, the raw bits and the flattened
+binding tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitstream.bitstream import ConfigBitstream
+from repro.errors import BitstreamError
+from repro.fpga.device import VirtexDevice
+from repro.fpga.family import get_device
+from repro.place.configgen import IOBinding
+
+__all__ = ["save_configuration", "load_configuration"]
+
+_FORMAT_VERSION = 1
+
+
+def save_configuration(
+    path: str, device: VirtexDevice, bits: ConfigBitstream, io: IOBinding
+) -> None:
+    """Write a configuration artifact to ``path`` (.npz)."""
+    if bits.geometry != device.geometry:
+        raise BitstreamError("bitstream geometry does not match device")
+    taps = np.array(
+        [list(coords) + [idx] for coords, idx in sorted(io.taps.items())],
+        dtype=np.int64,
+    ).reshape(-1, 5)
+    net_taps = np.array(
+        [list(coords) + list(sig) for coords, sig in sorted(io.net_taps.items())],
+        dtype=np.int64,
+    ).reshape(-1, 7)
+    probes = np.array(io.output_probes, dtype=np.int64).reshape(-1, 3)
+    np.savez_compressed(
+        path,
+        version=_FORMAT_VERSION,
+        device=device.name,
+        bits=np.packbits(bits.bits, bitorder="little"),
+        n_bits=bits.n_bits,
+        input_order=np.array(io.input_order, dtype="U64"),
+        taps=taps,
+        net_taps=net_taps,
+        output_probes=probes,
+    )
+
+
+def load_configuration(path: str) -> tuple[VirtexDevice, ConfigBitstream, IOBinding]:
+    """Read a configuration artifact; returns (device, bits, io)."""
+    data = np.load(path, allow_pickle=False)
+    version = int(data["version"])
+    if version != _FORMAT_VERSION:
+        raise BitstreamError(f"unsupported artifact version {version}")
+    device = get_device(str(data["device"]))
+    n_bits = int(data["n_bits"])
+    if n_bits != device.geometry.total_bits:
+        raise BitstreamError(
+            f"artifact has {n_bits} bits; {device.name} expects "
+            f"{device.geometry.total_bits}"
+        )
+    raw = np.unpackbits(data["bits"], bitorder="little")[:n_bits]
+    bits = ConfigBitstream(device.geometry, raw.astype(np.uint8))
+    io = IOBinding(input_order=[str(s) for s in data["input_order"]])
+    for row in data["taps"]:
+        io.taps[(int(row[0]), int(row[1]), int(row[2]), int(row[3]))] = int(row[4])
+    for row in data["net_taps"]:
+        io.net_taps[(int(row[0]), int(row[1]), int(row[2]), int(row[3]))] = (
+            int(row[4]),
+            int(row[5]),
+            int(row[6]),
+        )
+    io.output_probes = [(int(r), int(c), int(s)) for r, c, s in data["output_probes"]]
+    return device, bits, io

@@ -1,0 +1,30 @@
+"""Radiation environment models: orbits, beams, cross-sections.
+
+Replaces the physical radiation sources of the paper — the Low Earth
+Orbit environment the payload flies in (section I's 1.2 upsets/hour
+quiet, 9.6/hour during solar flares for the nine-FPGA system) and the
+Crocker cyclotron's 63.3 MeV proton beam used for validation.
+"""
+
+from repro.radiation.cross_section import WeibullCrossSection, DeviceCrossSection
+from repro.radiation.environment import (
+    LEO_FLARE,
+    LEO_QUIET,
+    OrbitEnvironment,
+    sample_upset_times,
+)
+from repro.radiation.beam import BeamUpset, ProtonBeam, UpsetTarget
+from repro.radiation.hiddenstate import HiddenStateModel
+
+__all__ = [
+    "WeibullCrossSection",
+    "DeviceCrossSection",
+    "OrbitEnvironment",
+    "LEO_QUIET",
+    "LEO_FLARE",
+    "sample_upset_times",
+    "ProtonBeam",
+    "BeamUpset",
+    "UpsetTarget",
+    "HiddenStateModel",
+]

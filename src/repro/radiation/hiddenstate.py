@@ -1,0 +1,50 @@
+"""Hidden-state inventory: the cross-section readback cannot see.
+
+Paper section III-C: corrupting the bitstream "can only upset those
+parts of the FPGA that are defined by configuration bits", i.e. 99.58 %
+of the sensitive cross-section.  The remainder is hidden state — above
+all the half-latch keepers, plus configuration control logic whose
+upsets leave the device "unprogrammed".  This module enumerates a
+design's hidden sites so the beam model can sample them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fpga.halflatch import HalfLatchSite
+from repro.place.decoder import DecodedDesign
+
+__all__ = ["HiddenStateModel"]
+
+
+@dataclass
+class HiddenStateModel:
+    """Hidden upsettable state of one decoded design."""
+
+    nodes: np.ndarray  #: half-latch node indices, beam-sampleable
+    sites: list[HalfLatchSite]
+
+    @classmethod
+    def from_decoded(cls, decoded: DecodedDesign) -> "HiddenStateModel":
+        nodes = []
+        sites = []
+        for key, node in decoded.halflatch_node.items():
+            nodes.append(node)
+            sites.append(decoded.halflatch_site_of_node[node])
+        return cls(np.array(nodes, dtype=np.int64), sites)
+
+    @property
+    def n_sites(self) -> int:
+        return int(self.nodes.size)
+
+    def critical_mask(self, decoded: DecodedDesign) -> np.ndarray:
+        """Which hidden sites sit inside the output cone.
+
+        Keepers feeding unused logic (or redundantly-encoded LUT pins)
+        cannot produce output errors; the cone is the cheap structural
+        over-approximation of criticality.
+        """
+        return np.array([decoded.node_in_cone(int(n)) for n in self.nodes], dtype=bool)

@@ -1,0 +1,42 @@
+"""On-orbit SEU detection and correction (paper section II, Figure 4).
+
+The flight fault-management stack: a radiation-hardened fault manager
+(the Actel) continuously reads back each Virtex configuration and
+compares frame CRCs against a codebook; mismatches interrupt the
+RAD6000, which fetches the golden frame from ECC-protected flash,
+partially reconfigures the device, and resets the design.  One scan of a
+three-FPGA board takes ~180 ms.
+"""
+
+from repro.scrub.ecc import SECDED_DATA_BITS, secded_decode, secded_encode
+from repro.scrub.flash import FlashMemory
+from repro.scrub.events import ScrubEvent, ScrubEventKind, StateOfHealth
+from repro.scrub.lutram import (
+    DynamicStoragePlan,
+    LutRamRegion,
+    ReadbackPolicy,
+    ReadbackRace,
+)
+from repro.scrub.manager import FaultManager, ManagedDevice
+from repro.scrub.mission import DesignMission, DesignMissionReport
+from repro.scrub.orbit import OnOrbitSystem, MissionReport
+
+__all__ = [
+    "secded_encode",
+    "secded_decode",
+    "SECDED_DATA_BITS",
+    "FlashMemory",
+    "ScrubEvent",
+    "ScrubEventKind",
+    "StateOfHealth",
+    "FaultManager",
+    "ManagedDevice",
+    "OnOrbitSystem",
+    "MissionReport",
+    "DesignMission",
+    "DesignMissionReport",
+    "ReadbackPolicy",
+    "LutRamRegion",
+    "DynamicStoragePlan",
+    "ReadbackRace",
+]

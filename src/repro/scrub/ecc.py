@@ -1,0 +1,105 @@
+"""SEC-DED Hamming code for flash/EEPROM words (paper section II).
+
+The flight memory module protects stored configurations with error
+control coding so SEUs in the flash do not propagate into repairs.  We
+implement the classic Hamming(72, 64) single-error-correct /
+double-error-detect code over 64-bit data words, vectorised over whole
+word arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ECCUncorrectableError
+
+__all__ = ["SECDED_DATA_BITS", "SECDED_CODE_BITS", "secded_encode", "secded_decode"]
+
+SECDED_DATA_BITS = 64
+#: 7 Hamming parity bits + 1 overall parity bit.
+SECDED_CODE_BITS = 72
+
+
+def _build_positions() -> tuple[np.ndarray, np.ndarray]:
+    """Map data bits into codeword positions (1-based Hamming layout).
+
+    Positions that are powers of two hold parity; the rest hold data in
+    order.  Returns (data_positions, parity_positions).
+    """
+    data_pos = []
+    parity_pos = []
+    pos = 1
+    while len(data_pos) < SECDED_DATA_BITS:
+        if pos & (pos - 1) == 0:
+            parity_pos.append(pos)
+        else:
+            data_pos.append(pos)
+        pos += 1
+    return np.array(data_pos, dtype=np.int64), np.array(parity_pos, dtype=np.int64)
+
+
+_DATA_POS, _PARITY_POS = _build_positions()
+_N_POSITIONS = int(max(_DATA_POS.max(), _PARITY_POS.max()))
+
+
+def secded_encode(data_bits: np.ndarray) -> np.ndarray:
+    """Encode a (..., 64) bit array into (..., 72) codewords.
+
+    Codeword layout: bits 0..70 are the Hamming codeword (1-based
+    positions 1..71), bit 71 is overall parity.
+    """
+    data_bits = np.asarray(data_bits, dtype=np.uint8)
+    if data_bits.shape[-1] != SECDED_DATA_BITS:
+        raise ValueError(f"expected {SECDED_DATA_BITS} data bits per word")
+    shape = data_bits.shape[:-1]
+    code = np.zeros(shape + (_N_POSITIONS + 1,), dtype=np.uint8)  # 1-based
+    code[..., _DATA_POS] = data_bits
+    for p in _PARITY_POS:
+        covered = np.arange(1, _N_POSITIONS + 1)
+        covered = covered[(covered & p) != 0]
+        code[..., p] = np.bitwise_xor.reduce(code[..., covered], axis=-1) ^ code[..., p]
+    hamming = code[..., 1:]  # drop the unused 0 slot
+    overall = np.bitwise_xor.reduce(hamming, axis=-1, keepdims=True)
+    return np.concatenate([hamming, overall], axis=-1)
+
+
+def secded_decode(codewords: np.ndarray) -> tuple[np.ndarray, int]:
+    """Decode (..., 72) codewords; returns (data, corrected_count).
+
+    Single-bit errors are corrected; double-bit errors raise
+    :class:`ECCUncorrectableError` (the flight software would fall back
+    to a redundant image).
+    """
+    codewords = np.asarray(codewords, dtype=np.uint8)
+    if codewords.shape[-1] != SECDED_CODE_BITS:
+        raise ValueError(f"expected {SECDED_CODE_BITS} code bits per word")
+    flat = codewords.reshape(-1, SECDED_CODE_BITS).copy()
+    corrected = 0
+    positions = np.arange(1, _N_POSITIONS + 1)
+    # Vectorised syndromes: one reduction per parity bit over all words.
+    syndromes = np.zeros(flat.shape[0], dtype=np.int64)
+    for p in _PARITY_POS:
+        covered = positions[(positions & p) != 0]
+        bad = np.bitwise_xor.reduce(flat[:, covered - 1], axis=1).astype(bool)
+        syndromes[bad] |= p
+    overall_bad = np.bitwise_xor.reduce(flat, axis=1).astype(bool)
+    for w in np.flatnonzero((syndromes != 0) | overall_bad):
+        syndrome = int(syndromes[w])
+        if syndrome != 0 and overall_bad[w]:
+            # Single-bit error inside the Hamming part: correct it.
+            if syndrome > _N_POSITIONS:
+                raise ECCUncorrectableError(f"invalid syndrome {syndrome}")
+            flat[w, syndrome - 1] ^= 1
+            corrected += 1
+        elif syndrome == 0 and overall_bad[w]:
+            flat[w, -1] ^= 1  # error in the overall parity bit itself
+            corrected += 1
+        else:
+            raise ECCUncorrectableError(
+                f"double-bit error in word {w} (syndrome {syndrome})"
+            )
+    fixed = flat.reshape(codewords.shape)
+    hamming = fixed[..., :-1]
+    pad = np.zeros(hamming.shape[:-1] + (1,), dtype=np.uint8)
+    one_based = np.concatenate([pad, hamming], axis=-1)
+    return one_based[..., _DATA_POS], corrected

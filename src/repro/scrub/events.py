@@ -1,0 +1,75 @@
+"""State-of-health records (paper section II-A).
+
+Every detected upset and repair is logged with device, frame and
+timestamp; the record is "later relayed back to the ground station,
+contributing to the State-of-Health record of the subsystem".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["ScrubEventKind", "ScrubEvent", "StateOfHealth"]
+
+
+class ScrubEventKind(enum.Enum):
+    UPSET_DETECTED = "upset_detected"
+    FRAME_REPAIRED = "frame_repaired"
+    DESIGN_RESET = "design_reset"
+    FULL_RECONFIG = "full_reconfig"
+    FLASH_CORRECTION = "flash_correction"
+    UNDETECTED_UPSET = "undetected_upset"  # hidden state / masked frames
+
+
+@dataclass(frozen=True)
+class ScrubEvent:
+    """One telemetry record."""
+
+    kind: ScrubEventKind
+    time_s: float
+    device: str
+    frame_index: int = -1
+    detail: str = ""
+
+
+@dataclass
+class StateOfHealth:
+    """Accumulating telemetry log with summary queries."""
+
+    events: list[ScrubEvent] = field(default_factory=list)
+
+    def log(self, event: ScrubEvent) -> None:
+        self.events.append(event)
+
+    def count(self, kind: ScrubEventKind) -> int:
+        return sum(1 for e in self.events if e.kind is kind)
+
+    def by_device(self) -> dict[str, int]:
+        """Detected upsets per device."""
+        out: dict[str, int] = {}
+        for e in self.events:
+            if e.kind is ScrubEventKind.UPSET_DETECTED:
+                out[e.device] = out.get(e.device, 0) + 1
+        return out
+
+    def detection_latencies(self) -> list[float]:
+        """Seconds between each upset detection and the preceding one's
+        repair — a proxy for scrub responsiveness."""
+        out = []
+        pending: dict[tuple[str, int], float] = {}
+        for e in self.events:
+            if e.kind is ScrubEventKind.UPSET_DETECTED:
+                pending[(e.device, e.frame_index)] = e.time_s
+            elif e.kind is ScrubEventKind.FRAME_REPAIRED:
+                t0 = pending.pop((e.device, e.frame_index), None)
+                if t0 is not None:
+                    out.append(e.time_s - t0)
+        return out
+
+    def summary(self) -> str:
+        return ", ".join(
+            f"{k.value}={self.count(k)}"
+            for k in ScrubEventKind
+            if self.count(k)
+        )

@@ -1,0 +1,116 @@
+"""Flight configuration store: flash + EEPROM with ECC (paper section II).
+
+The 16 MB flash module holds "more than twenty configuration bit
+streams ... without compression" for the payload's XQVR1000s; the
+EEPROM holds operating-system and application code.  Every stored word
+is SEC-DED protected so flash SEUs do not corrupt repairs.  The store
+is frame-addressable: the scrub path fetches exactly the 156-byte frame
+it needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitstream.bitstream import ConfigBitstream
+from repro.bitstream.frame import FrameData
+from repro.errors import ScrubError
+from repro.fpga.geometry import DeviceGeometry
+from repro.scrub.ecc import SECDED_CODE_BITS, SECDED_DATA_BITS, secded_decode, secded_encode
+
+__all__ = ["FlashMemory"]
+
+
+@dataclass
+class _StoredImage:
+    """One configuration image, ECC-encoded frame by frame."""
+
+    geometry: DeviceGeometry
+    frames: list[np.ndarray]  # per frame: (n_words, 72) codewords
+    frame_bits: list[int]
+
+
+class FlashMemory:
+    """ECC-protected, frame-addressable configuration store."""
+
+    def __init__(self, capacity_bytes: int = 16 * 1024 * 1024):
+        self.capacity_bytes = capacity_bytes
+        self._images: dict[str, _StoredImage] = {}
+        self.corrected_reads = 0  #: ECC single-bit corrections performed
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        total_bits = sum(
+            sum(f.size for f in img.frames) for img in self._images.values()
+        )
+        return (total_bits + 7) // 8
+
+    def _check_capacity(self, extra_bits: int) -> None:
+        if self.used_bytes + (extra_bits + 7) // 8 > self.capacity_bytes:
+            raise ScrubError(
+                f"flash capacity exceeded ({self.capacity_bytes} bytes)"
+            )
+
+    # -- store / fetch ------------------------------------------------------
+
+    def store_image(self, name: str, bitstream: ConfigBitstream) -> None:
+        """Store a golden configuration, ECC-encoding every frame."""
+        if name in self._images:
+            raise ScrubError(f"image {name!r} already stored")
+        geo = bitstream.geometry
+        frames: list[np.ndarray] = []
+        frame_bits: list[int] = []
+        total_code_bits = 0
+        for f in range(geo.n_frames):
+            bits = bitstream.frame_view(f)
+            n_words = (bits.size + SECDED_DATA_BITS - 1) // SECDED_DATA_BITS
+            padded = np.zeros(n_words * SECDED_DATA_BITS, dtype=np.uint8)
+            padded[: bits.size] = bits
+            code = secded_encode(padded.reshape(n_words, SECDED_DATA_BITS))
+            frames.append(code)
+            frame_bits.append(int(bits.size))
+            total_code_bits += code.size
+        self._check_capacity(total_code_bits)
+        self._images[name] = _StoredImage(geo, frames, frame_bits)
+
+    def images(self) -> list[str]:
+        return sorted(self._images)
+
+    def _image(self, name: str) -> _StoredImage:
+        try:
+            return self._images[name]
+        except KeyError:
+            raise ScrubError(f"no stored image named {name!r}") from None
+
+    def fetch_frame(self, name: str, frame_index: int) -> FrameData:
+        """Fetch one golden frame, correcting any single-bit flash SEUs."""
+        img = self._image(name)
+        if not 0 <= frame_index < len(img.frames):
+            raise ScrubError(f"image {name!r} has no frame {frame_index}")
+        data, corrected = secded_decode(img.frames[frame_index])
+        self.corrected_reads += corrected
+        bits = data.reshape(-1)[: img.frame_bits[frame_index]]
+        return FrameData(frame_index, bits)
+
+    def fetch_image(self, name: str) -> ConfigBitstream:
+        """Reassemble a whole configuration (used for full reconfiguration)."""
+        img = self._image(name)
+        out = ConfigBitstream(img.geometry)
+        for f in range(len(img.frames)):
+            out.write_frame(self.fetch_frame(name, f))
+        return out
+
+    # -- fault injection into the store itself ------------------------------
+
+    def upset_bit(self, name: str, rng: np.random.Generator) -> None:
+        """Flip one random stored code bit (a flash SEU)."""
+        img = self._image(name)
+        f = int(rng.integers(len(img.frames)))
+        code = img.frames[f]
+        w = int(rng.integers(code.shape[0]))
+        b = int(rng.integers(SECDED_CODE_BITS))
+        code[w, b] ^= 1

@@ -1,0 +1,156 @@
+"""Dynamic-storage readback constraints (paper sections II-C and IV-A).
+
+LUTs used as distributed RAM or shift registers, and BRAM content, are
+*dynamic* configuration state: their frames legitimately change at run
+time, so the scrub CRC check must mask them — and, worse, writing a LUT
+RAM while the configuration logic reads it back corrupts the read.  The
+paper lists the system-level escapes: avoid LUT RAMs entirely, fall
+back to BIST instead of readback, skip the affected frames, or schedule
+readbacks and writes apart.  This module models the frame bookkeeping
+and the race so those policies can be exercised and compared.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bitstream.codebook import CRCCodebook
+from repro.errors import ScrubError
+from repro.fpga.device import VirtexDevice
+from repro.fpga.geometry import FrameKind
+
+__all__ = ["ReadbackPolicy", "LutRamRegion", "DynamicStoragePlan", "ReadbackRace"]
+
+
+class ReadbackPolicy(enum.Enum):
+    """The paper's design/system-level options (section IV-A)."""
+
+    #: do not use LUT RAMs at all; full readback coverage (the paper's
+    #: own standard approach)
+    AVOID_LUT_RAM = "avoid_lut_ram"
+    #: mask the frames holding dynamic LUT state out of the CRC check
+    MASK_FRAMES = "mask_frames"
+    #: no readback; periodic BIST validates function instead (Andraka)
+    BIST_ONLY = "bist_only"
+    #: stall writes while the affected frames are being read back
+    SCHEDULE = "schedule"
+
+
+@dataclass(frozen=True)
+class LutRamRegion:
+    """A CLB-column span whose LUTs hold dynamic state.
+
+    On Virtex, a LUT used as RAM/SRL makes 16 of its column's 48 frames
+    unsafe to read while running (paper section IV-A); both slices in
+    use makes it 32.  "For Virtex-II, the situation is better since all
+    of the LUT data for a given CLB column is contained in two
+    configuration data frames" — pass ``architecture="virtex2"`` to
+    model that organisation and quantify the coverage the newer frame
+    layout saves.
+    """
+
+    col: int
+    slices_used: int  # 1 or 2
+    architecture: str = "virtex"
+
+    def __post_init__(self) -> None:
+        if self.slices_used not in (1, 2):
+            raise ScrubError("slices_used must be 1 or 2")
+        if self.architecture not in ("virtex", "virtex2"):
+            raise ScrubError(f"unknown architecture {self.architecture!r}")
+
+    @property
+    def unsafe_frames_per_column(self) -> int:
+        if self.architecture == "virtex2":
+            return 2  # all LUT data of the column sits in two frames
+        return 16 * self.slices_used
+
+
+@dataclass
+class DynamicStoragePlan:
+    """Which frames a configuration's dynamic storage makes unscannable."""
+
+    device: VirtexDevice
+    regions: list[LutRamRegion] = field(default_factory=list)
+    mask_bram_content: bool = True
+
+    def add_region(self, region: LutRamRegion) -> None:
+        if not 0 <= region.col < self.device.cols:
+            raise ScrubError(f"column {region.col} outside device")
+        self.regions.append(region)
+
+    def masked_frames(self) -> set[int]:
+        """Frames the scrub CRC check must skip under MASK_FRAMES."""
+        geo = self.device.geometry
+        masked: set[int] = set()
+        for region in self.regions:
+            base = geo.clb_frame_index(region.col, 0)
+            # The LUT-content frames of the column sit at fixed minors;
+            # model them as the first 16/32 of the 48.
+            for minor in range(region.unsafe_frames_per_column):
+                masked.add(base + minor)
+        if self.mask_bram_content:
+            for f in range(geo.n_frames):
+                if geo.frame_address(f).kind is FrameKind.BRAM_CONTENT:
+                    masked.add(f)
+        return masked
+
+    def coverage(self) -> float:
+        """Fraction of block-0 bits still protected by CRC scrubbing."""
+        geo = self.device.geometry
+        lost = sum(
+            geo.frame_bits_of(f)
+            for f in self.masked_frames()
+            if geo.frame_address(f).kind is not FrameKind.BRAM_CONTENT
+        )
+        return 1.0 - lost / geo.block0_bits
+
+    def apply_to_codebook(self, codebook: CRCCodebook) -> int:
+        """Mask the plan's frames in a codebook; returns how many."""
+        frames = self.masked_frames()
+        for f in frames:
+            codebook.mask_frame(f)
+        return len(frames)
+
+
+class ReadbackRace:
+    """The LUT-RAM / readback write race (paper section II-C).
+
+    "A LUT being used as a RAM or shift register must not be written to
+    as its contents are being read out by the FPGA's configuration
+    circuitry since doing so can corrupt the contents of the LUT."
+    """
+
+    def __init__(self, depth: int = 16, seed: int = 0):
+        self.depth = depth
+        self.contents = np.zeros(depth, dtype=np.uint8)
+        self._readback_active = False
+        self._rng = np.random.default_rng(seed)
+        self.corrupted = False
+
+    def begin_readback(self) -> None:
+        self._readback_active = True
+
+    def end_readback(self) -> None:
+        self._readback_active = False
+
+    def write(self, addr: int, value: int, policy: ReadbackPolicy) -> bool:
+        """Write one cell; returns True if the write proceeded.
+
+        Under SCHEDULE the write is refused (stalled) during readback;
+        under any other policy a write racing a readback corrupts a
+        random cell, which is the failure the paper warns about.
+        """
+        if not 0 <= addr < self.depth:
+            raise ScrubError(f"address {addr} out of range")
+        if self._readback_active:
+            if policy is ReadbackPolicy.SCHEDULE:
+                return False  # stalled until readback completes
+            victim = int(self._rng.integers(self.depth))
+            self.contents[victim] ^= 1
+            self.corrupted = True
+        self.contents[addr] = value & 1
+        return True

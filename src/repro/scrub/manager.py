@@ -1,0 +1,174 @@
+"""The Actel fault manager: readback scan, CRC codebook, frame repair.
+
+Paper Figure 4: the radiation-hardened controller continuously reads
+back each Virtex configuration over SelectMAP (no interruption of
+service), computes per-frame CRCs, and compares against the codebook in
+its local SRAM.  On mismatch it interrupts the microprocessor with the
+device and frame; the microprocessor fetches the golden frame from
+flash (156 bytes on the XQVR1000), partially reconfigures the device,
+and resets the design.  One scan of three XQVR1000s takes ~180 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bitstream.codebook import CRCCodebook
+from repro.bitstream.selectmap import SelectMapPort
+from repro.errors import ScrubError
+from repro.fpga.geometry import FrameKind
+from repro.scrub.events import ScrubEvent, ScrubEventKind, StateOfHealth
+from repro.scrub.flash import FlashMemory
+from repro.utils.simtime import SimClock
+
+__all__ = ["ManagedDevice", "ScanReport", "FaultManager"]
+
+
+@dataclass
+class ManagedDevice:
+    """One Virtex under fault management."""
+
+    name: str
+    port: SelectMapPort
+    codebook: CRCCodebook
+    image_name: str  #: golden image key in flash
+    needs_reset: bool = False
+
+
+@dataclass
+class ScanReport:
+    """Result of one full scan cycle over all managed devices."""
+
+    duration_s: float
+    detected: list[tuple[str, int]]  #: (device, frame) pairs found corrupted
+    repaired: list[tuple[str, int]]
+    resets: int
+
+
+class FaultManager:
+    """Watchdog monitor + repair path for a set of devices."""
+
+    def __init__(
+        self,
+        flash: FlashMemory,
+        clock: SimClock | None = None,
+        soh: StateOfHealth | None = None,
+        repair_interrupt_s: float = 250e-6,
+    ):
+        self.flash = flash
+        self.clock = clock if clock is not None else SimClock()
+        self.soh = soh if soh is not None else StateOfHealth()
+        #: modeled microprocessor interrupt + flash fetch latency per repair
+        self.repair_interrupt_s = repair_interrupt_s
+        self.devices: list[ManagedDevice] = []
+
+    def manage(self, name: str, port: SelectMapPort, image_name: str) -> ManagedDevice:
+        """Register a device; builds its CRC codebook from the flash image."""
+        if port.clock is not self.clock:
+            raise ScrubError("managed port must share the fault manager's clock")
+        golden = self.flash.fetch_image(image_name)
+        if golden.geometry != port.memory.geometry:
+            raise ScrubError(f"image {image_name!r} does not fit device {name!r}")
+        codebook = CRCCodebook.from_bitstream(golden)
+        # BRAM-content frames are masked (cannot be reliably read back
+        # while running, paper section II-C); scan_crcs skips them too.
+        geo = port.memory.geometry
+        for f in range(geo.n_frames):
+            if geo.frame_address(f).kind is FrameKind.BRAM_CONTENT:
+                codebook.mask_frame(f)
+        dev = ManagedDevice(name, port, codebook, image_name)
+        self.devices.append(dev)
+        return dev
+
+    # -- the scan loop ------------------------------------------------------
+
+    def scan_device(self, dev: ManagedDevice) -> tuple[list[int], float]:
+        """Read back one device and return (corrupted frames, duration).
+
+        BRAM-content frames are masked in the codebook, so the 0xFFFF
+        placeholders scan_crcs leaves for them never count as upsets.
+        """
+        crcs, dt = dev.port.scan_crcs()
+        return [int(f) for f in dev.codebook.check_crcs(crcs)], dt
+
+    def repair_frame(self, dev: ManagedDevice, frame_index: int) -> float:
+        """Fetch the golden frame from flash and rewrite it (partial
+        reconfiguration); flags the device for a design reset."""
+        before = self.flash.corrected_reads
+        frame = self.flash.fetch_frame(dev.image_name, frame_index)
+        if self.flash.corrected_reads > before:
+            self.soh.log(
+                ScrubEvent(
+                    ScrubEventKind.FLASH_CORRECTION,
+                    self.clock.now,
+                    dev.name,
+                    frame_index,
+                )
+            )
+        self.clock.advance(self.repair_interrupt_s)
+        dt = dev.port.write_frame(frame)
+        dev.needs_reset = True
+        self.soh.log(
+            ScrubEvent(
+                ScrubEventKind.FRAME_REPAIRED, self.clock.now, dev.name, frame_index
+            )
+        )
+        return self.repair_interrupt_s + dt
+
+    def scan_cycle(self) -> ScanReport:
+        """One pass over every managed device (paper: ~180 ms for three)."""
+        t0 = self.clock.now
+        detected: list[tuple[str, int]] = []
+        repaired: list[tuple[str, int]] = []
+        resets = 0
+        for dev in self.devices:
+            bad, _ = self.scan_device(dev)
+            for f in bad:
+                detected.append((dev.name, f))
+                self.soh.log(
+                    ScrubEvent(
+                        ScrubEventKind.UPSET_DETECTED, self.clock.now, dev.name, f
+                    )
+                )
+                self.repair_frame(dev, f)
+                repaired.append((dev.name, f))
+            if dev.needs_reset:
+                dev.needs_reset = False
+                resets += 1
+                self.soh.log(
+                    ScrubEvent(ScrubEventKind.DESIGN_RESET, self.clock.now, dev.name)
+                )
+        return ScanReport(self.clock.now - t0, detected, repaired, resets)
+
+    def self_test(self, dev: ManagedDevice, frame_index: int, bit: int = 0) -> bool:
+        """Artificial SEU insertion (paper section II-A).
+
+        "The system also allows for artificial insertion of SEUs into
+        the Virtex parts using the microprocessor to partially configure
+        the FPGA with 'corrupt' frames.  This stimulates the system to
+        verify that the response to an SEU is correct at the logic and
+        software level."
+
+        Writes a corrupted copy of ``frame_index`` through the port,
+        runs one scan cycle, and returns True iff the corruption was
+        detected at exactly that frame and repaired.
+        """
+        frame = dev.port.memory.read_frame(frame_index)
+        if not 0 <= bit < frame.n_bits:
+            raise ScrubError(f"bit {bit} outside frame {frame_index}")
+        frame.bits[bit] ^= 1
+        dev.port.write_frame(frame)  # the 'corrupt' partial configuration
+        report = self.scan_cycle()
+        detected = (dev.name, frame_index) in report.detected
+        repaired = (dev.name, frame_index) in report.repaired
+        return detected and repaired
+
+    def run_for(self, seconds: float, max_cycles: int | None = None) -> list[ScanReport]:
+        """Scan continuously for a span of simulated time."""
+        reports = []
+        deadline = self.clock.now + seconds
+        while self.clock.now < deadline:
+            reports.append(self.scan_cycle())
+            if max_cycles is not None and len(reports) >= max_cycles:
+                break
+        return reports

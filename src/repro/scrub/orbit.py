@@ -1,0 +1,177 @@
+"""On-orbit mission simulation: nine FPGAs, Poisson upsets, scrubbing.
+
+Ties the pieces together the way the flight system does (paper Figures
+1-4): three compute boards, each with three Virtex parts watched by its
+own radiation-hardened fault manager; configuration upsets arrive as a
+Poisson process set by the orbital environment; the scrub loop detects
+and repairs them within about one scan period.
+
+Upsets landing on BRAM-content frames (masked from readback) or on
+hidden state (half-latches) are *not* detected by scrubbing — the
+mission report counts them separately, quantifying the paper's
+limitations discussion (section II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bitstream.bitstream import ConfigBitstream
+from repro.bitstream.selectmap import SelectMapPort
+from repro.fpga.device import VirtexDevice
+from repro.fpga.geometry import FrameKind
+from repro.radiation.environment import OrbitEnvironment, sample_upset_times
+from repro.radiation.cross_section import DeviceCrossSection, WeibullCrossSection
+from repro.scrub.events import ScrubEvent, ScrubEventKind, StateOfHealth
+from repro.scrub.flash import FlashMemory
+from repro.scrub.manager import FaultManager
+from repro.utils.rng import derive_rng
+from repro.utils.simtime import SimClock
+
+__all__ = ["OnOrbitSystem", "MissionReport"]
+
+
+@dataclass
+class MissionReport:
+    """Aggregate of one simulated mission segment."""
+
+    duration_s: float
+    n_upsets: int
+    n_detected: int
+    n_repaired: int
+    n_undetected_hidden: int
+    n_undetected_bram: int
+    detection_latencies_s: list[float] = field(default_factory=list)
+    scan_period_s: float = 0.0
+    soh: StateOfHealth | None = None
+
+    @property
+    def mean_detection_latency_s(self) -> float:
+        if not self.detection_latencies_s:
+            return 0.0
+        return float(np.mean(self.detection_latencies_s))
+
+    def summary(self) -> str:
+        return (
+            f"{self.duration_s / 3600:.2f} h: {self.n_upsets} upsets, "
+            f"{self.n_detected} detected, {self.n_repaired} repaired, "
+            f"{self.n_undetected_hidden + self.n_undetected_bram} undetected "
+            f"(hidden {self.n_undetected_hidden}, BRAM {self.n_undetected_bram}); "
+            f"mean detection latency {1e3 * self.mean_detection_latency_s:.0f} ms "
+            f"(scan period {1e3 * self.scan_period_s:.0f} ms)"
+        )
+
+
+class OnOrbitSystem:
+    """One compute board (or the whole payload) under fault management."""
+
+    def __init__(
+        self,
+        device: VirtexDevice,
+        golden: ConfigBitstream,
+        n_devices: int = 3,
+        environment: OrbitEnvironment | None = None,
+        hidden_fraction: float = 0.0042,
+        seed: int = 0,
+    ):
+        self.device = device
+        self.golden = golden
+        self.n_devices = n_devices
+        from repro.radiation.environment import LEO_QUIET
+
+        self.environment = environment if environment is not None else LEO_QUIET
+        self.cross_section = DeviceCrossSection(
+            WeibullCrossSection(), device.block0_bits, hidden_fraction
+        )
+        self.rng = derive_rng(seed, "orbit")
+        self.clock = SimClock()
+        self.flash = FlashMemory()
+        self.flash.store_image("mission", golden)
+        self.soh = StateOfHealth()
+        self.manager = FaultManager(self.flash, self.clock, self.soh)
+        self.ports: list[SelectMapPort] = []
+        for i in range(n_devices):
+            port = SelectMapPort(ConfigBitstream(device.geometry), self.clock)
+            port.full_configure(golden)
+            self.manager.manage(f"fpga{i}", port, "mission")
+            self.ports.append(port)
+
+    def _apply_upset(self, when: float) -> tuple[str, str, int]:
+        """Flip state in a random device; returns (kind, device, frame).
+
+        kind: 'config' (scrubbable), 'bram' (masked frames), 'hidden'.
+        """
+        i = int(self.rng.integers(self.n_devices))
+        name = f"fpga{i}"
+        if self.rng.random() < self.cross_section.hidden_fraction:
+            self.soh.log(
+                ScrubEvent(ScrubEventKind.UNDETECTED_UPSET, when, name, -1, "half-latch")
+            )
+            return "hidden", name, -1
+        port = self.ports[i]
+        geo = port.memory.geometry
+        # Uniform over all config bits including BRAM content.
+        bit = int(self.rng.integers(geo.total_bits))
+        port.memory.flip_bit(bit)
+        frame, _ = port.memory.locate(bit)
+        if geo.frame_address(frame).kind is FrameKind.BRAM_CONTENT:
+            self.soh.log(
+                ScrubEvent(ScrubEventKind.UNDETECTED_UPSET, when, name, frame, "bram")
+            )
+            return "bram", name, frame
+        return "config", name, frame
+
+    def fly(self, duration_s: float) -> MissionReport:
+        """Simulate ``duration_s`` of operation under the environment.
+
+        Scan cycles with no pending upsets are fast-forwarded (the clock
+        jumps by whole scan periods), so long quiet missions cost no
+        host time.
+        """
+        rate = self.environment.device_upset_rate(self.cross_section) * self.n_devices
+        start = self.clock.now
+        upset_times = start + sample_upset_times(rate, duration_s, self.rng)
+
+        # Calibrate the scan period with one clean cycle.
+        first = self.manager.scan_cycle()
+        scan_period = first.duration_s
+
+        report = MissionReport(
+            duration_s=duration_s,
+            n_upsets=len(upset_times),
+            n_detected=0,
+            n_repaired=0,
+            n_undetected_hidden=0,
+            n_undetected_bram=0,
+            scan_period_s=scan_period,
+            soh=self.soh,
+        )
+
+        i = 0
+        while i < len(upset_times):
+            # Jump to the next upset (quiet scans are implicit).
+            t = float(upset_times[i])
+            self.clock.advance_to(t)
+            pending: list[tuple[float, str, str, int]] = []
+            # Apply every upset that lands before the next scan finishes.
+            horizon = self.clock.now + scan_period
+            while i < len(upset_times) and upset_times[i] <= horizon:
+                when = float(upset_times[i])
+                kind, name, frame = self._apply_upset(when)
+                pending.append((when, kind, name, frame))
+                i += 1
+            scan = self.manager.scan_cycle()
+            report.n_detected += len(scan.detected)
+            report.n_repaired += len(scan.repaired)
+            detected_frames = set(scan.detected)
+            for when, kind, name, frame in pending:
+                if kind == "hidden":
+                    report.n_undetected_hidden += 1
+                elif kind == "bram":
+                    report.n_undetected_bram += 1
+                elif (name, frame) in detected_frames:
+                    report.detection_latencies_s.append(self.clock.now - when)
+        self.clock.advance_to(start + duration_s)
+        return report

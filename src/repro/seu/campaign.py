@@ -1,0 +1,399 @@
+"""Fault-injection campaigns: the paper's Figure 8 loop, vectorised.
+
+For every candidate configuration bit the campaign:
+
+1. computes the sparse hardware difference of the flip
+   (:meth:`DecodedDesign.patch_for_bit`) — bits that decode to nothing
+   (reserved fields, unused fabric) are skipped without simulation;
+2. drops patches that cannot reach the output cone, and LUT-content
+   flips on truth-table entries the golden run never addresses (the
+   equivalence argument is in the method docs);
+3. batches the survivors into lock-step
+   :class:`~repro.netlist.simulator.BatchSimulator` runs that detect the
+   first output error, repair the configuration without reset, and
+   classify persistence.
+
+A separate campaign (:func:`run_halflatch_campaign`) sweeps the *hidden*
+half-latch state — the cross-section readback cannot see, which drives
+the beam-validation residual (paper section III-C).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CampaignError
+from repro.fpga.resources import ResourceKind
+from repro.netlist.compiled import FFField, Patch
+from repro.netlist.simulator import BatchSimulator, GoldenTrace
+from repro.place.flow import HardwareDesign
+
+__all__ = [
+    "BitVerdict",
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "run_halflatch_campaign",
+    "merge_results",
+]
+
+
+class BitVerdict(enum.IntEnum):
+    """Per-bit campaign outcome."""
+
+    NOT_TESTED = 0  #: outside the candidate set
+    SKIP_STRUCTURAL = 1  #: flip does not alter the decoded hardware
+    SKIP_CONE = 2  #: alteration cannot reach the outputs
+    SKIP_UNADDRESSED = 3  #: LUT entry never addressed by the golden run
+    NO_EFFECT = 4  #: simulated; outputs never deviated
+    FAIL_TRANSIENT = 5  #: output error; scrubbing alone recovers
+    FAIL_PERSISTENT = 6  #: output error; survives repair, needs reset
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs of one campaign run.
+
+    The cycle counts mirror the SLAAC-1V protocol: the design runs
+    ``warmup_cycles`` before injection (faults hit a *running* design),
+    is observed for ``detect_cycles``, then — after the frame repair —
+    for ``persist_cycles`` more; ``converge_run`` matching cycles close
+    a transient verdict.
+    """
+
+    warmup_cycles: int = 32
+    detect_cycles: int = 160
+    persist_cycles: int = 96
+    converge_run: int = 8
+    batch_size: int = 128
+    seed: int = 0
+    classify_persistence: bool = True
+    #: test only every k-th candidate bit (1 = exhaustive)
+    stride: int = 1
+
+    @property
+    def total_cycles(self) -> int:
+        return self.warmup_cycles + self.detect_cycles + self.persist_cycles
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate of one campaign."""
+
+    design_name: str
+    device_name: str
+    config: CampaignConfig
+    n_candidates: int
+    verdicts: np.ndarray  # (n_bits_total,) uint8 of BitVerdict
+    candidate_bits: np.ndarray  # linear indices tested
+    #: sensitive-bit count per resource kind
+    by_kind: dict[ResourceKind, int] = field(default_factory=dict)
+    host_seconds: float = 0.0
+    n_simulated: int = 0
+
+    @property
+    def sensitive_bits(self) -> np.ndarray:
+        """Linear indices of bits whose upset caused an output error."""
+        mask = (self.verdicts == BitVerdict.FAIL_TRANSIENT) | (
+            self.verdicts == BitVerdict.FAIL_PERSISTENT
+        )
+        return np.flatnonzero(mask)
+
+    @property
+    def persistent_bits(self) -> np.ndarray:
+        return np.flatnonzero(self.verdicts == BitVerdict.FAIL_PERSISTENT)
+
+    @property
+    def n_failures(self) -> int:
+        return int(self.sensitive_bits.size)
+
+    @property
+    def sensitivity(self) -> float:
+        """Design failures / configuration upsets (Table I definition)."""
+        if self.n_candidates == 0:
+            return 0.0
+        return self.n_failures / self.n_candidates
+
+    @property
+    def persistence_ratio(self) -> float:
+        """Persistent bits per sensitive bit (Table II definition)."""
+        if self.n_failures == 0:
+            return 0.0
+        return int(self.persistent_bits.size) / self.n_failures
+
+    def summary(self) -> str:
+        return (
+            f"{self.design_name}: {self.n_failures}/{self.n_candidates} sensitive "
+            f"({100 * self.sensitivity:.2f}%), persistence "
+            f"{100 * self.persistence_ratio:.1f}%, simulated {self.n_simulated}, "
+            f"host {self.host_seconds:.1f}s"
+        )
+
+
+def _candidate_bits(hw: HardwareDesign, config: CampaignConfig) -> np.ndarray:
+    """The paper sweeps the whole (block-0) bitstream; BRAM content is
+    masked out of readback-based campaigns."""
+    n = hw.device.block0_bits
+    return np.arange(0, n, config.stride, dtype=np.int64)
+
+
+def _lut_content_skip(patch: Patch, hw: HardwareDesign, addr_seen: np.ndarray) -> bool:
+    """True when the patch flips only LUT entries never addressed.
+
+    Sound because a machine identical to golden except in unaddressed
+    truth-table entries stays cycle-identical by induction: equal state
+    produces equal addresses, which never reach a differing entry.
+    """
+    if patch.lut_inputs or patch.ff_fields or patch.consts or patch.outputs:
+        return False
+    d = hw.decoded.design
+    for row, table in patch.lut_tables:
+        diff = table ^ d.lut_tables[row]
+        changed = np.flatnonzero(diff)
+        mask = np.uint16(0)
+        for e in changed:
+            mask |= np.uint16(1) << np.uint16(e)
+        if addr_seen[row] & mask:
+            return False
+    return True
+
+
+def _batch_active_mask(design, patches: list[Patch]) -> np.ndarray:
+    """Node mask closing the output cone over golden + patch edges.
+
+    Sound superset of what any machine in the batch can need: the
+    backward closure from the outputs where each LUT/FF contributes its
+    golden operands *plus* every operand any patch retargets it to.
+    """
+    extra: dict[int, list[int]] = {}
+    seeds: list[int] = [int(x) for x in design.output_nodes]
+    for p in patches:
+        for row, pin, node in p.lut_inputs:
+            extra.setdefault(int(design.lut_nodes[row]), []).append(int(node))
+        for row, fieldname, value in p.ff_fields:
+            if fieldname in (FFField.D, FFField.CE, FFField.SR):
+                extra.setdefault(int(design.ff_nodes[row]), []).append(int(value))
+        for _, node in p.outputs:
+            seeds.append(int(node))
+
+    lut_row_of = {int(n): r for r, n in enumerate(design.lut_nodes)}
+    ff_row_of = {int(n): r for r, n in enumerate(design.ff_nodes)}
+    mask = np.zeros(design.n_nodes, dtype=bool)
+    stack = seeds
+    while stack:
+        n = stack.pop()
+        if mask[n]:
+            continue
+        mask[n] = True
+        r = lut_row_of.get(n)
+        if r is not None:
+            stack.extend(int(s) for s in design.lut_inputs[r])
+        else:
+            r = ff_row_of.get(n)
+            if r is not None:
+                stack.extend(
+                    (int(design.ff_d[r]), int(design.ff_ce[r]), int(design.ff_sr[r]))
+                )
+        for s in extra.get(n, ()):  # patch edges
+            if not mask[s]:
+                stack.append(s)
+    return mask
+
+
+def run_campaign(
+    hw: HardwareDesign,
+    config: CampaignConfig | None = None,
+    candidate_bits: np.ndarray | None = None,
+) -> CampaignResult:
+    """Exhaustive (or strided) single-bit SEU campaign over one design."""
+    config = config or CampaignConfig()
+    decoded = hw.decoded
+    design = decoded.design
+
+    stim = hw.spec.stimulus(config.total_cycles, config.seed)
+    golden = BatchSimulator.golden_trace(design, stim)
+
+    # Snapshot the running state at the injection instant.
+    warm_sim = BatchSimulator(design)
+    warm_sim.run(stim[: config.warmup_cycles])
+    snapshot = warm_sim.state_snapshot()
+    post_stim = stim[config.warmup_cycles :]
+    post_golden = GoldenTrace(
+        golden.outputs[config.warmup_cycles :], golden.addr_seen, golden.final_state
+    )
+
+    if candidate_bits is None:
+        candidate_bits = _candidate_bits(hw, config)
+    candidate_bits = np.asarray(candidate_bits, dtype=np.int64)
+
+    verdicts = np.zeros(hw.device.total_config_bits, dtype=np.uint8)
+    by_kind: dict[ResourceKind, list[int]] = {}
+    t0 = time.perf_counter()
+    n_simulated = 0
+
+    pending: list[tuple[int, Patch]] = []
+
+    def flush() -> None:
+        nonlocal n_simulated
+        if not pending:
+            return
+        patches = [p for _, p in pending]
+        sim = BatchSimulator(
+            design,
+            patches,
+            initial_values=snapshot,
+            active_nodes=_batch_active_mask(design, patches),
+        )
+        machine_verdicts = sim.run_verdicts(
+            post_stim,
+            post_golden,
+            config.detect_cycles,
+            config.persist_cycles if config.classify_persistence else 0,
+            config.converge_run,
+        )
+        for (bit, _), mv in zip(pending, machine_verdicts):
+            if not mv.failed:
+                verdicts[bit] = BitVerdict.NO_EFFECT
+            elif mv.persistent and config.classify_persistence:
+                verdicts[bit] = BitVerdict.FAIL_PERSISTENT
+            else:
+                verdicts[bit] = BitVerdict.FAIL_TRANSIENT
+        n_simulated += len(pending)
+        pending.clear()
+
+    for bit in candidate_bits:
+        bit = int(bit)
+        patch = decoded.patch_for_bit(bit)
+        if patch is None:
+            verdicts[bit] = BitVerdict.SKIP_STRUCTURAL
+            continue
+        if not decoded.patch_is_relevant(patch):
+            verdicts[bit] = BitVerdict.SKIP_CONE
+            continue
+        if _lut_content_skip(patch, hw, golden.addr_seen):
+            verdicts[bit] = BitVerdict.SKIP_UNADDRESSED
+            continue
+        pending.append((bit, patch))
+        if len(pending) >= config.batch_size:
+            flush()
+    flush()
+
+    result = CampaignResult(
+        design_name=hw.spec.name,
+        device_name=hw.device.name,
+        config=config,
+        n_candidates=int(candidate_bits.size),
+        verdicts=verdicts,
+        candidate_bits=candidate_bits,
+        host_seconds=time.perf_counter() - t0,
+        n_simulated=n_simulated,
+    )
+    # Per-resource-kind breakdown of sensitive bits.
+    for bit in result.sensitive_bits:
+        frame, off = hw.bitstream.locate(int(bit))
+        kind = hw.device.classify_bit(frame, off).kind
+        by_kind.setdefault(kind, []).append(int(bit))
+    result.by_kind = {k: len(v) for k, v in by_kind.items()}
+    return result
+
+
+def merge_results(parts: list[CampaignResult]) -> CampaignResult:
+    """Combine campaigns over disjoint candidate sets into one result.
+
+    Supports chunked or parallel execution: split the bit space, run
+    each chunk (possibly in separate processes), merge.  Configurations
+    must match; candidate sets must not overlap.
+    """
+    if not parts:
+        raise CampaignError("nothing to merge")
+    first = parts[0]
+    verdicts = first.verdicts.copy()
+    candidates = [first.candidate_bits]
+    seen = set(int(b) for b in first.candidate_bits)
+    n_sim = first.n_simulated
+    host = first.host_seconds
+    by_kind: dict[ResourceKind, int] = dict(first.by_kind)
+    for part in parts[1:]:
+        if part.design_name != first.design_name or part.device_name != first.device_name:
+            raise CampaignError("cannot merge campaigns of different designs")
+        if part.config != first.config:
+            raise CampaignError("cannot merge campaigns with different configs")
+        overlap = seen.intersection(int(b) for b in part.candidate_bits)
+        if overlap:
+            raise CampaignError(
+                f"candidate sets overlap ({len(overlap)} bits, e.g. {min(overlap)})"
+            )
+        seen.update(int(b) for b in part.candidate_bits)
+        mask = part.verdicts != BitVerdict.NOT_TESTED
+        verdicts[mask] = part.verdicts[mask]
+        candidates.append(part.candidate_bits)
+        n_sim += part.n_simulated
+        host += part.host_seconds
+        for kind, n in part.by_kind.items():
+            by_kind[kind] = by_kind.get(kind, 0) + n
+    merged_bits = np.sort(np.concatenate(candidates))
+    return CampaignResult(
+        design_name=first.design_name,
+        device_name=first.device_name,
+        config=first.config,
+        n_candidates=int(merged_bits.size),
+        verdicts=verdicts,
+        candidate_bits=merged_bits,
+        by_kind=by_kind,
+        host_seconds=host,
+        n_simulated=n_sim,
+    )
+
+
+def run_halflatch_campaign(
+    hw: HardwareDesign,
+    config: CampaignConfig | None = None,
+    nodes: np.ndarray | None = None,
+) -> dict[int, bool]:
+    """Sweep half-latch (hidden-state) upsets: node -> caused an error?
+
+    These upsets are invisible to readback and unrepaired by partial
+    reconfiguration (paper Figures 13-14); the campaign therefore runs
+    detect-only, with no repair phase.
+    """
+    config = config or CampaignConfig()
+    decoded = hw.decoded
+    design = decoded.design
+    stim = hw.spec.stimulus(config.total_cycles, config.seed)
+    golden = BatchSimulator.golden_trace(design, stim)
+    warm = BatchSimulator(design)
+    warm.run(stim[: config.warmup_cycles])
+    snapshot = warm.state_snapshot()
+    post_stim = stim[config.warmup_cycles :]
+    post_out = golden.outputs[config.warmup_cycles :]
+
+    if nodes is None:
+        nodes = design.half_latch_nodes
+    nodes = np.asarray(nodes, dtype=np.int64)
+    outcome: dict[int, bool] = {}
+
+    for start in range(0, nodes.size, config.batch_size):
+        chunk = nodes[start : start + config.batch_size]
+        # Only nodes inside the output cone can matter; skip the rest.
+        sim_nodes = [int(n) for n in chunk if decoded.node_in_cone(int(n))]
+        for n in chunk:
+            if int(n) not in sim_nodes:
+                outcome[int(n)] = False
+        if not sim_nodes:
+            continue
+        patches = [Patch(consts=[(n, 0)]) for n in sim_nodes]
+        sim = BatchSimulator(design, patches, initial_values=snapshot)
+        cycles = config.detect_cycles
+        failed = np.zeros(len(sim_nodes), dtype=bool)
+        for t in range(cycles):
+            out = sim.step(post_stim[t])
+            failed |= np.any(out != post_out[t][None, :], axis=1)
+            if np.all(failed):
+                break
+        for n, f in zip(sim_nodes, failed):
+            outcome[n] = bool(f)
+    return outcome

@@ -1,0 +1,71 @@
+"""Single-bit fault injector over a live configuration memory.
+
+This is the "artificial insertion of SEUs" primitive (paper section
+II-A): flip a chosen bit in the device's configuration, leaving repair
+to either the injector itself (bench campaigns) or the scrub manager
+(on-orbit rehearsals).  The campaign engine does not use this class —
+it works with sparse patches for speed — but the testbed and scrubbing
+demos exercise the true flip-the-memory path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bitstream.bitstream import ConfigBitstream
+from repro.errors import CampaignError
+
+__all__ = ["FaultInjector"]
+
+
+@dataclass
+class FaultInjector:
+    """Flips and restores bits of one configuration memory."""
+
+    memory: ConfigBitstream
+    golden: ConfigBitstream
+    _outstanding: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.memory.geometry != self.golden.geometry:
+            raise CampaignError("memory and golden geometry differ")
+
+    @property
+    def outstanding(self) -> list[int]:
+        """Linear indices currently corrupted (sorted)."""
+        return sorted(self._outstanding)
+
+    def inject(self, linear_bit: int) -> None:
+        """Corrupt one bit (idempotent per bit: re-injecting restores)."""
+        self.memory.flip_bit(linear_bit)
+        if linear_bit in self._outstanding:
+            self._outstanding.discard(linear_bit)
+        else:
+            self._outstanding.add(linear_bit)
+
+    def inject_random(self, rng: np.random.Generator, n: int = 1) -> list[int]:
+        """Corrupt ``n`` distinct uniformly random bits; returns them."""
+        picks = rng.choice(self.memory.n_bits, size=n, replace=False)
+        out = []
+        for p in picks:
+            self.inject(int(p))
+            out.append(int(p))
+        return out
+
+    def repair_bit(self, linear_bit: int) -> None:
+        """Restore one bit from the golden image."""
+        self.memory.set_bit(linear_bit, self.golden.get_bit(linear_bit))
+        self._outstanding.discard(linear_bit)
+
+    def repair_all(self) -> int:
+        """Restore every outstanding corruption; returns how many."""
+        n = len(self._outstanding)
+        for b in list(self._outstanding):
+            self.repair_bit(b)
+        return n
+
+    def verify_clean(self) -> bool:
+        """True when memory matches golden exactly."""
+        return bool(np.array_equal(self.memory.bits, self.golden.bits))

@@ -1,0 +1,107 @@
+"""Sensitivity maps: which configuration bits matter for a design.
+
+The paper correlates bitstream locations with output errors to
+"characterise the sensitive cross-section of the design", then applies
+selective mitigation to exactly that cross-section.  A
+:class:`SensitivityMap` is that artifact: a bit-indexed boolean map with
+frame-level aggregation, savable alongside a configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CampaignError
+from repro.fpga.device import VirtexDevice
+from repro.seu.campaign import CampaignResult
+
+__all__ = ["SensitivityMap"]
+
+
+class SensitivityMap:
+    """Boolean map over all configuration bits of one device."""
+
+    def __init__(self, device: VirtexDevice, sensitive: np.ndarray, persistent: np.ndarray | None = None):
+        n = device.total_config_bits
+        self.device = device
+        self.sensitive = np.zeros(n, dtype=bool)
+        self.sensitive[np.asarray(sensitive, dtype=np.int64)] = True
+        self.persistent = np.zeros(n, dtype=bool)
+        if persistent is not None:
+            self.persistent[np.asarray(persistent, dtype=np.int64)] = True
+
+    @classmethod
+    def from_campaign(cls, device: VirtexDevice, result: CampaignResult) -> "SensitivityMap":
+        return cls(device, result.sensitive_bits, result.persistent_bits)
+
+    @property
+    def n_sensitive(self) -> int:
+        return int(np.count_nonzero(self.sensitive))
+
+    def is_sensitive(self, linear_bit: int) -> bool:
+        return bool(self.sensitive[linear_bit])
+
+    def sensitive_frames(self) -> dict[int, int]:
+        """Frame index -> sensitive-bit count (the paper's correlation
+        of bitstream locations with output errors)."""
+        geo = self.device.geometry
+        out: dict[int, int] = {}
+        # Walk frames, counting hits in each span (frames are contiguous).
+        for f in range(geo.n_frames):
+            start = geo.frame_offset(f)
+            n = geo.frame_bits_of(f)
+            c = int(np.count_nonzero(self.sensitive[start : start + n]))
+            if c:
+                out[f] = c
+        return out
+
+    def clb_heatmap(self) -> np.ndarray:
+        """(rows, cols) sensitive-bit counts per CLB."""
+        dev = self.device
+        geo = dev.geometry
+        grid = np.zeros((dev.rows, dev.cols), dtype=np.int64)
+        for linear in np.flatnonzero(self.sensitive):
+            frame = int(np.searchsorted(geo.frame_offsets, linear, side="right")) - 1
+            clb = geo.clb_of_bit(frame, int(linear - geo.frame_offset(frame)))
+            if clb is not None:
+                grid[clb[0], clb[1]] += 1
+        return grid
+
+    def ascii_heatmap(self) -> str:
+        """Terminal rendering of the sensitive cross-section.
+
+        The paper's 'correlation between specific locations in the bit
+        stream and output area' as a glanceable picture: one character
+        per CLB, '.' for clean, 1-9/# scaling with sensitive-bit count.
+        """
+        grid = self.clb_heatmap()
+        peak = grid.max()
+        lines = []
+        for r in range(grid.shape[0]):
+            chars = []
+            for c in range(grid.shape[1]):
+                v = grid[r, c]
+                if v == 0:
+                    chars.append(".")
+                else:
+                    level = int(np.ceil(9 * v / peak))
+                    chars.append(str(min(level, 9)) if level < 10 else "#")
+            lines.append("".join(chars))
+        return "\n".join(lines)
+
+    def save(self, path: str) -> None:
+        np.savez_compressed(
+            path,
+            device=self.device.name,
+            sensitive=np.flatnonzero(self.sensitive),
+            persistent=np.flatnonzero(self.persistent),
+        )
+
+    @classmethod
+    def load(cls, path: str, device: VirtexDevice) -> "SensitivityMap":
+        data = np.load(path, allow_pickle=False)
+        if str(data["device"]) != device.name:
+            raise CampaignError(
+                f"map was built for {data['device']}, not {device.name}"
+            )
+        return cls(device, data["sensitive"], data["persistent"])

@@ -1,0 +1,43 @@
+"""Plain-text tables matching the paper's layout."""
+
+from __future__ import annotations
+
+from repro.seu.sensitivity import Table1Row
+
+__all__ = ["format_table", "format_table1", "format_table2"]
+
+
+def format_table(headers: list[str], rows: list[tuple[str, ...]]) -> str:
+    """Fixed-width table with a header rule."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines.extend(fmt.format(*row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render Table I: SEU simulator results for test designs."""
+    return format_table(
+        ["Design", "Logic Slices", "Failures", "Sensitivity", "Normalized Sensitivity"],
+        [r.cells() for r in rows],
+    )
+
+
+def format_table2(rows: list[tuple[str, int, float, float, float]]) -> str:
+    """Render Table II rows: (design, slices, util, sensitivity, persistence)."""
+    cells = [
+        (
+            name,
+            f"{slices} ({100 * util:.1f}%)",
+            f"{100 * sens:.2f}%",
+            f"{100 * persist:.1f}%",
+        )
+        for name, slices, util, sens, persist in rows
+    ]
+    return format_table(
+        ["Design", "Logic Slices", "Sensitivity", "Persistence Ratio"], cells
+    )

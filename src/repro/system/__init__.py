@@ -1,0 +1,12 @@
+"""System level: the multi-FPGA processing pipeline of the payload.
+
+Paper Figures 2-3: nine Virtex parts on three boards, chained over
+FPDP (50 MHz x 32 bit = 200 MB/s per channel), each board watched by
+its radiation-hardened fault manager.  :class:`FpdpPipeline` chains
+live configured devices and lets upsets anywhere in the chain be
+observed — and scrubbed — at the system output.
+"""
+
+from repro.system.pipeline import FpdpChannel, FpdpPipeline
+
+__all__ = ["FpdpPipeline", "FpdpChannel"]

@@ -1,0 +1,144 @@
+"""Chained FPGAs over FPDP channels.
+
+Each stage is a live :class:`~repro.testbed.configured.ConfiguredFpga`;
+stage *k*'s registered outputs feed stage *k+1*'s inputs one clock later
+(FPDP transfers are synchronous), so the pipeline is systolic: an upset
+in stage *k* can only disturb the system output after the downstream
+latency, and scrubbing any stage's configuration heals the chain from
+that point on.
+
+Widths need not match: a channel carries ``min(n_out, n_in)`` bits and
+ties the remaining sink inputs low, like a parallel cable with unused
+lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CampaignError
+from repro.place.flow import HardwareDesign
+from repro.scrub.flash import FlashMemory
+from repro.scrub.manager import FaultManager
+from repro.testbed.configured import ConfiguredFpga
+from repro.utils.simtime import SimClock
+
+__all__ = ["FpdpChannel", "FpdpPipeline"]
+
+
+@dataclass(frozen=True)
+class FpdpChannel:
+    """One inter-FPGA channel (paper: 32-bit @ 50 MHz = 200 MB/s)."""
+
+    width_bits: int = 32
+    clock_hz: float = 50e6
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.clock_hz * self.width_bits / 8
+
+
+class FpdpPipeline:
+    """A chain of live FPGAs with registered inter-stage transfers."""
+
+    def __init__(
+        self,
+        stages: list[HardwareDesign],
+        channel: FpdpChannel | None = None,
+        clock: SimClock | None = None,
+    ):
+        if not stages:
+            raise CampaignError("pipeline needs at least one stage")
+        self.clock = clock if clock is not None else SimClock()
+        self.channel = channel if channel is not None else FpdpChannel()
+        self.fpgas = [ConfiguredFpga(hw, self.clock) for hw in stages]
+        # Registered inter-stage values (the FPDP link registers).
+        self._links = [
+            np.zeros(len(hw.io.input_order), dtype=np.uint8) for hw in stages
+        ]
+        self.cycles = 0
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.fpgas)
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.fpgas[0].io.input_order)
+
+    @property
+    def n_outputs(self) -> int:
+        return self.fpgas[-1].n_outputs
+
+    # -- operation ---------------------------------------------------------
+
+    def step(self, stimulus_row: np.ndarray) -> np.ndarray:
+        """One system clock: every stage steps; links register outputs."""
+        stimulus_row = np.asarray(stimulus_row, dtype=np.uint8)
+        if stimulus_row.shape != (self.n_inputs,):
+            raise CampaignError(
+                f"pipeline expects {self.n_inputs} input bits, got {stimulus_row.shape}"
+            )
+        self._links[0] = stimulus_row
+        outputs = []
+        for fpga, link in zip(self.fpgas, self._links):
+            outputs.append(fpga.step(link))
+        # Advance the FPDP registers for the next cycle.
+        for k in range(1, self.n_stages):
+            sink_width = self._links[k].size
+            out = outputs[k - 1]
+            n = min(sink_width, out.size)
+            nxt = np.zeros(sink_width, dtype=np.uint8)
+            nxt[:n] = out[:n]
+            self._links[k] = nxt
+        self.cycles += 1
+        return outputs[-1]
+
+    def run(self, stimulus: np.ndarray) -> np.ndarray:
+        stimulus = np.asarray(stimulus, dtype=np.uint8)
+        out = np.empty((stimulus.shape[0], self.n_outputs), dtype=np.uint8)
+        for t in range(stimulus.shape[0]):
+            out[t] = self.step(stimulus[t])
+        return out
+
+    def reset(self) -> None:
+        for fpga in self.fpgas:
+            fpga.reset()
+        for k in range(self.n_stages):
+            self._links[k] = np.zeros_like(self._links[k])
+        self.cycles = 0
+
+    # -- faults and scrubbing ---------------------------------------------------
+
+    def upset(self, stage: int, linear_bit: int) -> None:
+        """SEU in stage ``stage``'s configuration memory."""
+        if not 0 <= stage < self.n_stages:
+            raise CampaignError(f"stage {stage} out of range")
+        self.fpgas[stage].upset_config_bit(linear_bit)
+
+    def attach_fault_manager(self) -> FaultManager:
+        """Build a fault manager watching every stage (paper Figure 3).
+
+        Golden images go into ECC-protected flash; the manager shares
+        the pipeline's clock, so scrub scans advance the same modeled
+        time the designs run in.
+        """
+        flash = FlashMemory()
+        manager = FaultManager(flash, self.clock)
+        for k, fpga in enumerate(self.fpgas):
+            name = f"stage{k}"
+            flash.store_image(name, fpga.hw.bitstream)
+            manager.manage(name, fpga.port, name)
+        return manager
+
+    def stage_latency_to_output(self, stage: int) -> int:
+        """FPDP register hops between a stage's output and the system's."""
+        if not 0 <= stage < self.n_stages:
+            raise CampaignError(f"stage {stage} out of range")
+        return self.n_stages - 1 - stage
+
+    def transfer_time_per_cycle(self) -> float:
+        """Modeled FPDP transfer time for one inter-stage word."""
+        return self.channel.width_bits / 8 / self.channel.bandwidth_bytes_per_s

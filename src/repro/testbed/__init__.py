@@ -1,0 +1,23 @@
+"""SLAAC-1V testbed model (paper Figure 6).
+
+The bench-testing platform: three XCV1000s on a PCI board — X1 runs the
+golden design, X2 the device under test, X0 compares their outputs
+clock-by-clock — plus a dedicated configuration-controller FPGA giving
+the host 100 us single-bit partial reconfiguration.  The host-side loop
+(Figure 8) corrupts a bit, watches the comparator, logs, repairs:
+214 us per bit, the whole 5.8 Mbit XCV1000 bitstream in ~20 minutes.
+"""
+
+from repro.testbed.comparator import OutputComparator
+from repro.testbed.configured import ConfiguredFpga
+from repro.testbed.slaac import Slaac1V
+from repro.testbed.host import HostTiming, SeuSimulatorHost, InjectionRecord
+
+__all__ = [
+    "OutputComparator",
+    "ConfiguredFpga",
+    "Slaac1V",
+    "HostTiming",
+    "SeuSimulatorHost",
+    "InjectionRecord",
+]

@@ -1,0 +1,42 @@
+"""The X0 comparator circuit: clock-by-clock golden/DUT comparison.
+
+On the SLAAC-1V the X0 FPGA carries a comparison circuit receiving both
+designs' 72-bit outputs through the crossbar; it raises a discrepancy
+flag the cycle the DUT deviates.  We model it as a small stateful object
+so the host loop reads exactly what the hardware would give it: a
+sticky error flag, the first-mismatch cycle, and a discrepancy count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OutputComparator"]
+
+
+class OutputComparator:
+    """Sticky clock-by-clock output comparator."""
+
+    def __init__(self, width: int):
+        self.width = width
+        self.reset()
+
+    def reset(self) -> None:
+        self._cycle = 0
+        self.error_flag = False
+        self.first_error_cycle = -1
+        self.n_discrepancies = 0
+        self.error_bits = np.zeros(self.width, dtype=np.uint8)
+
+    def observe(self, golden: np.ndarray, dut: np.ndarray) -> bool:
+        """Feed one cycle of outputs; returns True on mismatch this cycle."""
+        diff = np.asarray(golden, dtype=np.uint8) ^ np.asarray(dut, dtype=np.uint8)
+        mismatch = bool(np.any(diff))
+        if mismatch:
+            self.n_discrepancies += 1
+            self.error_bits |= diff
+            if not self.error_flag:
+                self.error_flag = True
+                self.first_error_cycle = self._cycle
+        self._cycle += 1
+        return mismatch

@@ -1,0 +1,168 @@
+"""A live configured FPGA: configuration memory + running design.
+
+The campaign engine works on sparse patches for speed; this class is the
+*faithful* object — an FPGA whose behaviour at every clock is decoded
+from whatever its configuration memory currently holds.  Partial
+reconfiguration through the SelectMAP port re-decodes the device while
+preserving flip-flop state (repair without reset); half-latch keepers
+live outside the memory and survive everything but a full
+configuration's start-up sequence.
+
+This is the device the scrub loop protects in Figure 4: you can upset
+it mid-flight, watch outputs corrupt, let the fault manager repair the
+frame, and observe whether the design recovers or needs the reset the
+persistence analysis predicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitstream.bitstream import ConfigBitstream
+from repro.bitstream.selectmap import SelectMapPort, SelectMapTiming
+from repro.errors import CampaignError
+from repro.netlist.simulator import BatchSimulator
+from repro.place.configgen import IOBinding
+from repro.place.decoder import decode_bitstream
+from repro.place.flow import HardwareDesign
+from repro.utils.simtime import SimClock
+
+__all__ = ["ConfiguredFpga"]
+
+
+class ConfiguredFpga:
+    """One device, its live configuration memory, and its running state.
+
+    Any mutation of the configuration memory (partial writes through
+    :attr:`port`, direct ``upset`` calls) marks the decode stale; the
+    next clock step re-decodes and *carries the flip-flop state over* —
+    exactly what hardware does when a frame is rewritten under a running
+    design.  Half-latch keeper values are preserved across partial
+    reconfiguration and re-decode, and reset to 1 only by
+    :meth:`full_reconfigure`.
+    """
+
+    def __init__(self, hw: HardwareDesign, clock: SimClock | None = None):
+        self.hw = hw
+        self.device = hw.device
+        self.io: IOBinding = hw.io
+        self.clock = clock if clock is not None else SimClock()
+        self.port = SelectMapPort(
+            ConfigBitstream(self.device.geometry), self.clock, SelectMapTiming()
+        )
+        self.port.on_partial_write.append(lambda _f: self._mark_stale())
+        self.port.on_full_configure.append(self._on_full_configure)
+        self._decoded = None
+        self._sim: BatchSimulator | None = None
+        self._ff_state: dict[int, int] = {}  # ff row -> value, carried over
+        self._keeper_values: dict[tuple, int] = {}  # half-latch site key -> value
+        self.cycles_run = 0
+        self.port.full_configure(hw.bitstream)
+
+    # -- configuration events -------------------------------------------------
+
+    def _mark_stale(self) -> None:
+        if self._sim is not None and self._decoded is not None:
+            # Preserve FF state across the re-decode.
+            d = self._decoded.design
+            vals = self._sim.values[0]
+            self._ff_state = {
+                r: int(vals[d.ff_nodes[r]]) for r in range(d.n_ffs)
+            }
+            self._save_keepers()
+        self._decoded = None
+        self._sim = None
+
+    def _save_keepers(self) -> None:
+        assert self._decoded is not None and self._sim is not None
+        vals = self._sim.values[0]
+        for key, node in self._decoded.halflatch_node.items():
+            self._keeper_values[key] = int(vals[node])
+
+    def _on_full_configure(self) -> None:
+        # Start-up sequence: state cleared, keepers re-initialised to 1.
+        self._decoded = None
+        self._sim = None
+        self._ff_state = {}
+        self._keeper_values = {}
+
+    def _ensure_decoded(self) -> None:
+        if self._sim is not None:
+            return
+        self._decoded = decode_bitstream(self.device, self.port.memory, self.io)
+        sim = BatchSimulator(self._decoded.design)
+        d = self._decoded.design
+        for r, v in self._ff_state.items():
+            if r < d.n_ffs:
+                sim.values[0, d.ff_nodes[r]] = v
+        for key, v in self._keeper_values.items():
+            node = self._decoded.halflatch_node.get(key)
+            if node is not None:
+                sim.values[0, node] = v
+                sim.const_values[0, node] = v
+        self._sim = sim
+
+    # -- operation --------------------------------------------------------------
+
+    @property
+    def n_outputs(self) -> int:
+        return len(self.io.output_probes)
+
+    def step(self, stimulus_row: np.ndarray) -> np.ndarray:
+        """One clock on whatever hardware the memory currently encodes."""
+        self._ensure_decoded()
+        assert self._sim is not None
+        self.cycles_run += 1
+        return self._sim.step(stimulus_row)[0]
+
+    def run(self, stimulus: np.ndarray) -> np.ndarray:
+        out = np.empty((stimulus.shape[0], self.n_outputs), dtype=np.uint8)
+        for t in range(stimulus.shape[0]):
+            out[t] = self.step(stimulus[t])
+        return out
+
+    def reset(self) -> None:
+        """Design reset (the paper's post-repair protocol): FFs to INIT.
+
+        Keepers are *not* touched — reset is not a start-up sequence.
+        """
+        self._ensure_decoded()
+        assert self._sim is not None and self._decoded is not None
+        self._save_keepers()
+        self._sim.reset()
+        d = self._decoded.design
+        for key, v in self._keeper_values.items():
+            node = self._decoded.halflatch_node.get(key)
+            if node is not None:
+                self._sim.values[0, node] = v
+                self._sim.const_values[0, node] = v
+        self._ff_state = {}
+
+    # -- faults ---------------------------------------------------------------
+
+    def upset_config_bit(self, linear_bit: int) -> None:
+        """An SEU in configuration memory (visible to readback)."""
+        self.port.memory.flip_bit(linear_bit)
+        self._mark_stale()
+
+    def upset_half_latch(self, site_key: tuple) -> None:
+        """An SEU in a keeper (invisible to readback).
+
+        ``site_key`` is a key of ``decoded.halflatch_node`` (e.g.
+        ``("ctrl", row, col, slice, which)``).
+        """
+        self._ensure_decoded()
+        assert self._decoded is not None and self._sim is not None
+        node = self._decoded.halflatch_node.get(site_key)
+        if node is None:
+            raise CampaignError(f"no half-latch at {site_key}")
+        self._sim.values[0, node] ^= 1
+        self._sim.const_values[0, node] ^= 1
+        self._save_keepers()
+
+    def full_reconfigure(self) -> None:
+        """Full reconfiguration + start-up: the only keeper repair."""
+        self.port.full_configure(self.hw.bitstream)
+
+    def config_differs_from_golden(self) -> bool:
+        return not np.array_equal(self.port.memory.bits, self.hw.bitstream.bits)

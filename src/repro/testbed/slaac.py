@@ -1,0 +1,85 @@
+"""The SLAAC-1V board: sockets, crossbar, configuration controller.
+
+Models the bench hardware of paper Figure 6: three user FPGAs behind a
+crossbar sharing clock and reset, and an XCV100 configuration
+controller giving the PCI host fast partial reconfiguration and
+readback of any socket.  The DUT socket (X2) runs with a live, possibly
+corrupted configuration; X1 holds the golden copy; X0 the comparator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitstream.bitstream import ConfigBitstream
+from repro.bitstream.selectmap import SelectMapPort, SelectMapTiming
+from repro.errors import CampaignError
+from repro.place.flow import HardwareDesign
+from repro.seu.injector import FaultInjector
+from repro.testbed.comparator import OutputComparator
+from repro.utils.simtime import SimClock
+
+__all__ = ["Slaac1V"]
+
+
+@dataclass
+class _Socket:
+    """One FPGA socket with its configuration memory and port."""
+
+    name: str
+    memory: ConfigBitstream
+    port: SelectMapPort
+
+
+class Slaac1V:
+    """Bench board: X0 comparator, X1 golden, X2 device under test."""
+
+    def __init__(self, hw: HardwareDesign, clock: SimClock | None = None):
+        self.hw = hw
+        self.clock = clock if clock is not None else SimClock()
+        timing = SelectMapTiming()
+        geometry = hw.device.geometry
+        self.x1 = _Socket(
+            "X1", ConfigBitstream(geometry), SelectMapPort(ConfigBitstream(geometry), self.clock, timing)
+        )
+        self.x2 = _Socket(
+            "X2", ConfigBitstream(geometry), SelectMapPort(ConfigBitstream(geometry), self.clock, timing)
+        )
+        # Ports own their memory objects; keep socket memory aliases honest.
+        self.x1.memory = self.x1.port.memory
+        self.x2.memory = self.x2.port.memory
+        self.comparator = OutputComparator(len(hw.io.output_probes))
+        self.injector: FaultInjector | None = None
+        self.configured = False
+
+    def configure(self) -> float:
+        """Load the design into X1 and X2 (full configuration + startup)."""
+        dt = self.x1.port.full_configure(self.hw.bitstream)
+        dt += self.x2.port.full_configure(self.hw.bitstream)
+        self.injector = FaultInjector(self.x2.memory, self.hw.bitstream)
+        self.comparator.reset()
+        self.configured = True
+        return dt
+
+    def dut_corrupted_bits(self) -> np.ndarray:
+        """Bits where the DUT configuration differs from golden."""
+        self._check_configured()
+        return self.x2.memory.diff(self.hw.bitstream)
+
+    def inject(self, linear_bit: int) -> None:
+        """Corrupt one DUT configuration bit via partial reconfiguration."""
+        self._check_configured()
+        assert self.injector is not None
+        self.injector.inject(linear_bit)
+
+    def repair(self, linear_bit: int) -> None:
+        """Repair one DUT bit (frame rewrite through the controller)."""
+        self._check_configured()
+        assert self.injector is not None
+        self.injector.repair_bit(linear_bit)
+
+    def _check_configured(self) -> None:
+        if not self.configured:
+            raise CampaignError("board not configured; call configure() first")

@@ -1,0 +1,38 @@
+"""Shared low-level helpers: bit manipulation, RNG plumbing, time units."""
+
+from repro.utils.bitops import (
+    bits_to_int,
+    int_to_bits,
+    pack_bits,
+    parity,
+    popcount,
+    unpack_bits,
+)
+from repro.utils.rng import derive_rng, spawn_rngs
+from repro.utils.units import (
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    MINUTE,
+    HOUR,
+    format_duration,
+    format_rate,
+)
+
+__all__ = [
+    "bits_to_int",
+    "int_to_bits",
+    "pack_bits",
+    "unpack_bits",
+    "parity",
+    "popcount",
+    "derive_rng",
+    "spawn_rngs",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "format_duration",
+    "format_rate",
+]

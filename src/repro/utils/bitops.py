@@ -1,0 +1,86 @@
+"""Vectorised bit-manipulation primitives.
+
+All bit vectors in the library are numpy ``uint8`` arrays holding one bit
+per element (value 0 or 1).  That representation trades 8x memory for the
+ability to use plain numpy arithmetic everywhere — the hot loops of the
+batch simulator index these arrays with ``take_along_axis`` and cannot
+afford per-access shift/mask work.  Packing helpers below convert to and
+from dense byte buffers at the edges (SelectMAP transfers, flash images).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bits_to_int",
+    "int_to_bits",
+    "pack_bits",
+    "unpack_bits",
+    "parity",
+    "popcount",
+]
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Expand ``value`` into a little-endian bit vector of length ``width``.
+
+    Bit ``i`` of the result is ``(value >> i) & 1``.
+
+    >>> int_to_bits(0b1011, 4).tolist()
+    [1, 1, 0, 1]
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if width < value.bit_length():
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    out = np.empty(width, dtype=np.uint8)
+    for i in range(width):
+        out[i] = (value >> i) & 1
+    return out
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Collapse a little-endian bit vector into a Python integer.
+
+    Inverse of :func:`int_to_bits` for values that fit.
+
+    >>> bits_to_int(np.array([1, 1, 0, 1], dtype=np.uint8))
+    11
+    """
+    value = 0
+    for i, b in enumerate(np.asarray(bits, dtype=np.uint8)):
+        if b:
+            value |= 1 << i
+    return value
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a bit vector into bytes (little-endian within each byte).
+
+    The length is padded with zero bits up to a byte boundary, mirroring
+    what a SelectMAP write does with a partial final byte.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    return np.packbits(bits, bitorder="little")
+
+
+def unpack_bits(data: np.ndarray, n_bits: int) -> np.ndarray:
+    """Unpack bytes into a bit vector of exactly ``n_bits`` bits."""
+    data = np.asarray(data, dtype=np.uint8)
+    bits = np.unpackbits(data, bitorder="little")
+    if n_bits > bits.size:
+        raise ValueError(f"need {n_bits} bits but buffer holds only {bits.size}")
+    return bits[:n_bits].copy()
+
+
+def parity(bits: np.ndarray) -> int:
+    """Even-parity bit of a vector: 1 if an odd number of bits are set."""
+    return int(np.bitwise_xor.reduce(np.asarray(bits, dtype=np.uint8))) & 1
+
+
+def popcount(bits: np.ndarray) -> int:
+    """Number of set bits in a bit vector."""
+    return int(np.count_nonzero(np.asarray(bits)))

@@ -1,0 +1,52 @@
+"""Simulated-time units and formatting.
+
+All modeled durations in the library are plain floats in **seconds**.  The
+constants here exist so call sites read like the paper they reproduce:
+``180 * MILLISECOND`` for the scrub scan, ``214 * MICROSECOND`` for one
+fault-injection iteration.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "format_duration",
+    "format_rate",
+]
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration: picks µs/ms/s/min/h by magnitude.
+
+    >>> format_duration(214e-6)
+    '214.0 us'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < MILLISECOND:
+        return f"{seconds / MICROSECOND:.1f} us"
+    if seconds < SECOND:
+        return f"{seconds / MILLISECOND:.1f} ms"
+    if seconds < MINUTE:
+        return f"{seconds:.2f} s"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:.1f} min"
+    return f"{seconds / HOUR:.2f} h"
+
+
+def format_rate(per_second: float) -> str:
+    """Human-readable event rate, choosing /s or /hr by magnitude."""
+    if per_second >= 1.0:
+        return f"{per_second:.2f}/s"
+    per_hour = per_second * HOUR
+    return f"{per_hour:.2f}/hr"

@@ -1,0 +1,150 @@
+"""Accelerator test campaign (paper Figures 11-12).
+
+The fixture: a SLAAC-1V on a PCI extender, the DUT socketed in the
+beam behind 0.75" aluminium shielding, the golden part outside the
+beam.  The test loop (430 us per iteration): compare outputs, log any
+error with a timestamp; read back the bitstream at intervals, log and
+repair any upset; reset both designs after an output error.  Flux is
+tuned for about one upset per 0.5 s observation.
+
+Our beam is :class:`~repro.radiation.beam.ProtonBeam`; upset behaviour
+comes from the same decoded-hardware model the SEU simulator uses, plus
+the hidden state it *cannot* see: half-latch keepers (criticality from
+:func:`~repro.seu.campaign.run_halflatch_campaign`) and configuration
+control logic (always fatal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.place.flow import HardwareDesign
+from repro.radiation.beam import ProtonBeam, UpsetTarget
+from repro.radiation.cross_section import DeviceCrossSection, WeibullCrossSection
+from repro.radiation.hiddenstate import HiddenStateModel
+from repro.seu.maps import SensitivityMap
+from repro.utils.rng import derive_rng
+from repro.utils.units import MICROSECOND
+
+__all__ = [
+    "AcceleratorConfig",
+    "BeamObservation",
+    "AcceleratorResult",
+    "run_accelerator_test",
+]
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Beam-time configuration."""
+
+    exposure_s: float = 600.0
+    observation_s: float = 0.5
+    iteration_s: float = 430 * MICROSECOND
+    upsets_per_observation: float = 1.0
+    hidden_fraction: float = 0.0042
+    arch_control_fraction: float = 0.10
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class BeamObservation:
+    """One logged upset: what it hit and what the fixture saw."""
+
+    time_s: float
+    target: UpsetTarget
+    index: int
+    output_error: bool
+    bitstream_error_detected: bool
+    repaired: bool
+
+
+@dataclass
+class AcceleratorResult:
+    """Full log of one beam exposure."""
+
+    config: AcceleratorConfig
+    observations: list[BeamObservation] = field(default_factory=list)
+    modeled_beam_seconds: float = 0.0
+
+    @property
+    def n_upsets(self) -> int:
+        return len(self.observations)
+
+    @property
+    def n_output_errors(self) -> int:
+        return sum(1 for o in self.observations if o.output_error)
+
+    @property
+    def n_bitstream_upsets(self) -> int:
+        return sum(1 for o in self.observations if o.bitstream_error_detected)
+
+    @property
+    def n_iterations(self) -> int:
+        return int(self.modeled_beam_seconds / self.config.iteration_s)
+
+
+def run_accelerator_test(
+    hw: HardwareDesign,
+    sensitivity: SensitivityMap,
+    halflatch_errors: dict[int, bool],
+    config: AcceleratorConfig | None = None,
+) -> AcceleratorResult:
+    """Simulate one beam exposure of the design under test.
+
+    ``sensitivity`` is the exhaustive bench-campaign map (the simulator's
+    prediction *and* the configured fabric's actual behaviour — they
+    coincide, which is the point of bitstream-defined hardware);
+    ``halflatch_errors`` maps half-latch node -> causes an output error,
+    from :func:`~repro.seu.campaign.run_halflatch_campaign`.
+    """
+    config = config or AcceleratorConfig()
+    rng = derive_rng(config.seed, "beam", hw.spec.name)
+    hidden = HiddenStateModel.from_decoded(hw.decoded)
+    if hidden.n_sites == 0:
+        raise ValidationError("design exposes no hidden state to sample")
+
+    xs = DeviceCrossSection(
+        WeibullCrossSection(), hw.device.block0_bits, config.hidden_fraction
+    )
+    beam = ProtonBeam.tuned_for(
+        xs,
+        upsets_per_observation=config.upsets_per_observation,
+        observation_s=config.observation_s,
+    )
+    upsets = beam.sample_upsets(
+        xs,
+        config.exposure_s,
+        hw.device.block0_bits,
+        hidden.n_sites,
+        rng,
+        arch_control_fraction=config.arch_control_fraction,
+    )
+
+    result = AcceleratorResult(config, modeled_beam_seconds=config.exposure_s)
+    for upset in upsets:
+        if upset.target is UpsetTarget.CONFIG_BIT:
+            err = sensitivity.is_sensitive(upset.index)
+            detected = True  # readback sees every config-bit upset
+            repaired = True
+        elif upset.target is UpsetTarget.HALF_LATCH:
+            node = int(hidden.nodes[upset.index])
+            err = bool(halflatch_errors.get(node, False))
+            detected = False  # invisible to readback
+            repaired = False  # partial reconfiguration cannot restore it
+        else:  # ARCH_CONTROL: device unprograms — unmistakable error
+            err = True
+            detected = False
+            repaired = False
+        result.observations.append(
+            BeamObservation(
+                time_s=upset.time_s,
+                target=upset.target,
+                index=upset.index,
+                output_error=err,
+                bitstream_error_detected=detected,
+                repaired=repaired,
+            )
+        )
+    return result

@@ -1,0 +1,73 @@
+import numpy as np
+import pytest
+
+from repro.analysis import ReliabilityModel
+from repro.fpga import get_device
+from repro.radiation import DeviceCrossSection, LEO_FLARE, LEO_QUIET, WeibullCrossSection
+from repro.seu.campaign import BitVerdict, CampaignConfig, CampaignResult
+
+
+def _result(sensitivity, persistence, n=100_000):
+    n_sens = int(n * sensitivity)
+    n_pers = int(n_sens * persistence)
+    verdicts = np.zeros(n, dtype=np.uint8)
+    verdicts[:n_pers] = BitVerdict.FAIL_PERSISTENT
+    verdicts[n_pers:n_sens] = BitVerdict.FAIL_TRANSIENT
+    return CampaignResult(
+        "synthetic", "XQVR1000", CampaignConfig(), n, verdicts,
+        np.arange(n, dtype=np.int64),
+    )
+
+
+@pytest.fixture(scope="module")
+def model():
+    dev = get_device("XQVR1000")
+    xs = DeviceCrossSection(WeibullCrossSection(), dev.block0_bits)
+    return ReliabilityModel(LEO_QUIET, xs)
+
+
+class TestReliability:
+    def test_error_rate_proportional_to_sensitivity(self, model):
+        low = model.predict(_result(0.01, 0.0))
+        high = model.predict(_result(0.05, 0.0))
+        assert high.output_error_rate_per_hour == pytest.approx(
+            5 * low.output_error_rate_per_hour
+        )
+
+    def test_flare_multiplies_rates(self, model):
+        flare = ReliabilityModel(LEO_FLARE, model.cross_section)
+        q = model.predict(_result(0.05, 0.5))
+        f = flare.predict(_result(0.05, 0.5))
+        assert f.output_error_rate_per_hour == pytest.approx(
+            8 * q.output_error_rate_per_hour
+        )
+
+    def test_persistence_without_reset_hurts_outage(self, model):
+        with_reset = model.predict(_result(0.05, 0.9))
+        no_reset = ReliabilityModel(
+            model.environment, model.cross_section, reset_on_repair=False
+        ).predict(_result(0.05, 0.9))
+        assert no_reset.mean_outage_s > with_reset.mean_outage_s
+
+    def test_availability_high_for_paper_numbers(self, model):
+        """At 1.2 upsets/hr per 9 devices and ~5% sensitivity, output
+        errors are rare and scrubbed in ~180 ms: availability must be
+        essentially 1."""
+        rep = model.predict(_result(0.05, 0.1))
+        assert rep.availability > 0.999999
+
+    def test_paper_upset_rate_embedded(self, model):
+        assert model.device_upset_rate_per_hour() == pytest.approx(1.2 / 9, rel=0.02)
+
+    def test_mtbf_infinite_for_insensitive_design(self, model):
+        assert model.mean_time_between_output_errors_s(_result(0.0, 0.0)) == float("inf")
+
+    def test_mtbf_matches_rate(self, model):
+        res = _result(0.05, 0.0)
+        mtbf = model.mean_time_between_output_errors_s(res)
+        rate = model.predict(res).output_error_rate_per_hour
+        assert mtbf == pytest.approx(3600.0 / rate)
+
+    def test_summary_readable(self, model):
+        s = model.predict(_result(0.03, 0.2)).summary()
+        assert "upsets/hr" in s and "availability" in s

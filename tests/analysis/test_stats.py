@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.analysis import binomial_ci, bootstrap_mean_ci, format_table, poisson_rate_ci
+
+
+class TestBinomialCI:
+    def test_contains_point_estimate(self):
+        lo, hi = binomial_ci(30, 100)
+        assert lo < 0.30 < hi
+
+    def test_narrows_with_trials(self):
+        lo1, hi1 = binomial_ci(30, 100)
+        lo2, hi2 = binomial_ci(3000, 10_000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_bounds_clamped(self):
+        lo, hi = binomial_ci(0, 10)
+        assert lo == 0.0
+        lo, hi = binomial_ci(10, 10)
+        assert hi == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_ci(5, 0)
+        with pytest.raises(ValueError):
+            binomial_ci(11, 10)
+
+
+class TestPoissonCI:
+    def test_contains_rate(self):
+        lo, hi = poisson_rate_ci(50, 10.0)
+        assert lo < 5.0 < hi
+
+    def test_zero_count_lower_bound_zero(self):
+        lo, hi = poisson_rate_ci(0, 10.0)
+        assert lo == 0.0 and hi > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_rate_ci(1, 0.0)
+        with pytest.raises(ValueError):
+            poisson_rate_ci(-1, 1.0)
+
+
+class TestBootstrap:
+    def test_contains_mean(self):
+        samples = np.random.default_rng(0).normal(5.0, 1.0, 200)
+        lo, hi = bootstrap_mean_ci(samples)
+        assert lo < samples.mean() < hi
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.zeros(0))
+
+    def test_deterministic_with_seed(self):
+        samples = np.arange(50, dtype=float)
+        assert bootstrap_mean_ci(samples, seed=1) == bootstrap_mean_ci(samples, seed=1)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["A", "Long header"], [("x", "1"), ("yyyy", "22")])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:2])
+
+    def test_contains_cells(self):
+        out = format_table(["A"], [("hello",)])
+        assert "hello" in out

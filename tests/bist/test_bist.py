@@ -1,0 +1,185 @@
+import numpy as np
+import pytest
+
+from repro.bist import (
+    BistRunner,
+    FaultSite,
+    StuckAtFault,
+    clb_test_design,
+    fault_patch,
+    run_wire_test,
+    sample_faults,
+)
+from repro.bist.bram_test import initialize_bram_test, run_bram_test
+from repro.bist.wire_test import build_wire_chain
+from repro.bist.wire_test import testable_indices as _testable_indices
+from repro.bitstream import ConfigBitstream
+from repro.errors import BISTError
+from repro.fpga.resources import Direction
+from repro.netlist import BatchSimulator, compile_netlist
+from repro.place import implement
+from repro.place.decoder import decode_bitstream
+
+
+class TestFaultModels:
+    def test_stuck_value_validated(self):
+        with pytest.raises(BISTError):
+            StuckAtFault(FaultSite.WIRE, (0, 0, 0, 0), 2)
+
+    def test_lut_fault_pins_output(self, mult_hw, mult_spec):
+        site = next(iter(mult_hw.placement.lut_site.values()))
+        fault = StuckAtFault(FaultSite.LUT_OUTPUT, (site.row, site.col, site.pos), 1)
+        patch = fault_patch(mult_hw.decoded, fault)
+        sim = BatchSimulator(mult_hw.decoded.design, [patch])
+        sim.run(mult_spec.stimulus(10, 0))
+        node = mult_hw.decoded.lut_node(site.row, site.col, site.pos)
+        assert sim.values[0, node] == 1
+
+    def test_ff_fault_freezes_value(self, lfsr_hw, lfsr_spec):
+        name, site = next(iter(lfsr_hw.placement.ff_site.items()))
+        fault = StuckAtFault(FaultSite.FF_OUTPUT, (site.row, site.col, site.pos), 1)
+        patch = fault_patch(lfsr_hw.decoded, fault)
+        sim = BatchSimulator(lfsr_hw.decoded.design, [patch])
+        stim = lfsr_spec.stimulus(12, 0)
+        node = lfsr_hw.decoded.ff_node(site.row, site.col, site.pos)
+        for t in range(1, 12):
+            sim.step(stim[t])
+            assert sim.values[0, node] == 1
+
+    def test_unused_wire_fault_is_latent(self, mult_hw):
+        # A wire nobody reads: the fault patch is empty.
+        key = None
+        for r in range(mult_hw.device.rows):
+            for w in range(24):
+                cand = (r, mult_hw.device.cols - 1, int(Direction.E), w)
+                if cand not in mult_hw.decoded.wire_consumers:
+                    key = cand
+                    break
+            if key:
+                break
+        fault = StuckAtFault(FaultSite.WIRE, key, 1)
+        assert fault_patch(mult_hw.decoded, fault).is_empty()
+
+    def test_sample_faults_deterministic(self, mult_hw):
+        a = sample_faults(mult_hw.decoded, 10, seed=3)
+        b = sample_faults(mult_hw.decoded, 10, seed=3)
+        assert a == b
+
+
+class TestClbPattern:
+    def test_healthy_device_latch_stays_low(self, s8):
+        spec = clb_test_design(3, register_bits=8)
+        d = compile_netlist(spec.netlist)
+        g = BatchSimulator.golden_trace(d, np.zeros((100, 0), dtype=np.uint8))
+        assert not g.outputs.any()
+
+    def test_register_fault_fires_latch(self, s8):
+        spec = clb_test_design(3, register_bits=8)
+        hw = implement(spec, s8)
+        site = hw.placement.ff_site["ra1_3"]
+        fault = StuckAtFault(FaultSite.FF_OUTPUT, (site.row, site.col, site.pos), 1)
+        patch = fault_patch(hw.decoded, fault)
+        sim = BatchSimulator(hw.decoded.design, [patch])
+        outs = sim.run(spec.stimulus(100, 0))
+        assert outs[:, 0, 0].any(), "error latch never fired"
+
+    def test_latch_is_sticky(self, s8):
+        spec = clb_test_design(2, register_bits=8)
+        hw = implement(spec, s8)
+        site = hw.placement.ff_site["ra0_0"]
+        fault = StuckAtFault(FaultSite.FF_OUTPUT, (site.row, site.col, site.pos), 1)
+        sim = BatchSimulator(hw.decoded.design, [fault_patch(hw.decoded, fault)])
+        outs = sim.run(spec.stimulus(120, 0))[:, 0, 0]
+        first = int(np.flatnonzero(outs)[0])
+        assert outs[first:].all()
+
+    def test_variants_produce_different_placements(self, s8):
+        a = implement(clb_test_design(2, register_bits=8, variant=0), s8)
+        b = implement(clb_test_design(2, register_bits=8, variant=1), s8)
+        assert a.placement.ff_site["ra0_0"] != b.placement.ff_site["ra0_0"]
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(BISTError):
+            clb_test_design(2, variant=2)
+
+
+class TestWireTest:
+    def test_chain_patterns_alternate(self, s8):
+        bits, io, expected = build_wire_chain(s8, Direction.E, 18)
+        decoded = decode_bitstream(s8, bits, io, n_spare=4)
+        g = BatchSimulator.golden_trace(decoded.design, np.zeros((3, 0), dtype=np.uint8))
+        n_steps = s8.cols - 1
+        assert g.outputs[1][:n_steps].tolist() == [expected(1, s) for s in range(1, s8.cols)]
+        assert g.outputs[2][:n_steps].tolist() == [expected(2, s) for s in range(1, s8.cols)]
+
+    def test_untestable_index_rejected(self, s8):
+        reachable = _testable_indices(Direction.W)
+        missing = next(w for w in range(24) if w not in reachable)
+        with pytest.raises(BISTError):
+            build_wire_chain(s8, Direction.E, missing)
+
+    def test_both_polarities_detected(self, s8):
+        faults = [
+            StuckAtFault(FaultSite.WIRE, (2, 3, int(Direction.E), 18), 1),
+            StuckAtFault(FaultSite.WIRE, (4, 5, int(Direction.E), 19), 0),
+        ]
+        res = run_wire_test(s8, faults, directions=(Direction.E,), wire_indices=[18, 19])
+        assert len(res.detected) == 2 and not res.missed
+        assert res.coverage == 1.0
+
+    def test_isolation_names_direction_and_wire(self, s8):
+        fault = StuckAtFault(FaultSite.WIRE, (2, 3, int(Direction.E), 18), 1)
+        res = run_wire_test(s8, [fault], directions=(Direction.E,), wire_indices=[18])
+        (where,) = res.isolation.values()
+        assert where[0] == "E" and where[1] == 18
+
+    def test_untested_wire_missed(self, s8):
+        fault = StuckAtFault(FaultSite.WIRE, (2, 3, int(Direction.E), 18), 1)
+        res = run_wire_test(s8, [fault], directions=(Direction.E,), wire_indices=[20])
+        assert res.missed == [fault]
+
+    def test_readback_accounting_two_per_config(self, s8):
+        fault = StuckAtFault(FaultSite.WIRE, (2, 3, int(Direction.E), 18), 1)
+        res = run_wire_test(s8, [fault], directions=(Direction.E,), wire_indices=[18, 19])
+        assert res.n_configs_run == 2 and res.n_readbacks_run == 4
+
+    def test_non_wire_fault_rejected(self, s8):
+        with pytest.raises(BISTError):
+            run_wire_test(s8, [StuckAtFault(FaultSite.FF_OUTPUT, (0, 0, 0), 1)])
+
+    def test_plan_matches_paper_structure(self):
+        """Paper: one partial reconfiguration + two readbacks per wire
+        index, sweeping the mux-reachable wires in four directions."""
+        from repro.bist.wire_test import WireTestPlan
+
+        plan = WireTestPlan.full()
+        assert plan.n_readbacks == 2 * plan.n_configs
+        assert plan.wires_per_clb_covered == 64  # ours: 16 x 4 (paper: 80)
+
+
+class TestBramBist:
+    def test_clean_pattern_passes(self, s8):
+        memory = ConfigBitstream(s8.geometry)
+        array = initialize_bram_test(memory)
+        assert run_bram_test(array).passed
+
+    def test_stuck_cell_detected_and_localised(self, s8):
+        memory = ConfigBitstream(s8.geometry)
+        array = initialize_bram_test(memory)
+        frame, off = s8.geometry.bram_content_bit(0, 0, 777)
+        memory.flip_bit(s8.geometry.frame_offset(frame) + off)
+        result = run_bram_test(array)
+        assert not result.passed
+        block, addr, _ = result.mismatches[0]
+        assert block == 0 and addr == 777 // 16
+
+    def test_runner_combines_all(self, s8):
+        runner = BistRunner(s8, n_register_pairs=2)
+        report = runner.run(
+            logic_faults=None,
+            wire_faults=[StuckAtFault(FaultSite.WIRE, (2, 3, int(Direction.E), 18), 1)],
+            bram_fault_bits=[(0, 5)],
+            wire_indices=[18],
+        )
+        assert report.wire is not None and report.bram is not None
+        assert "wires" in report.summary() and "BRAM" in report.summary()

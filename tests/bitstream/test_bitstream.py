@@ -1,0 +1,122 @@
+import numpy as np
+import pytest
+
+from repro.bitstream import ConfigBitstream, FrameData
+from repro.errors import BitstreamError, FrameAddressError
+from repro.fpga.geometry import DeviceGeometry
+
+
+@pytest.fixture(scope="module")
+def geo():
+    return DeviceGeometry(4, 6, n_bram_cols=0)
+
+
+@pytest.fixture()
+def bs(geo):
+    return ConfigBitstream(geo)
+
+
+class TestConstruction:
+    def test_starts_all_zero(self, bs):
+        assert bs.n_bits == bs.geometry.total_bits
+        assert not bs.bits.any()
+
+    def test_from_bits_copies(self, geo):
+        bits = np.ones(geo.total_bits, dtype=np.uint8)
+        bs = ConfigBitstream(geo, bits)
+        bits[0] = 0
+        assert bs.get_bit(0) == 1
+
+    def test_shape_mismatch_rejected(self, geo):
+        with pytest.raises(BitstreamError):
+            ConfigBitstream(geo, np.zeros(3, dtype=np.uint8))
+
+
+class TestBitAccess:
+    def test_set_get(self, bs):
+        bs.set_bit(100, 1)
+        assert bs.get_bit(100) == 1
+
+    def test_flip_twice_restores(self, bs):
+        bs.flip_bit(5)
+        bs.flip_bit(5)
+        assert bs.get_bit(5) == 0
+
+    def test_invalid_value_rejected(self, bs):
+        with pytest.raises(BitstreamError):
+            bs.set_bit(0, 2)
+
+    def test_out_of_range_rejected(self, bs):
+        with pytest.raises(BitstreamError):
+            bs.get_bit(bs.n_bits)
+
+
+class TestFrames:
+    def test_frame_view_is_writable_alias(self, bs):
+        bs.frame_view(3)[0] = 1
+        assert bs.read_frame(3).bits[0] == 1
+
+    def test_read_frame_is_a_copy(self, bs):
+        frame = bs.read_frame(2)
+        frame.bits[0] = 1
+        assert bs.read_frame(2).bits[0] == 0
+
+    def test_write_frame_roundtrip(self, bs, geo):
+        n = geo.frame_bits_of(7)
+        data = FrameData(7, np.ones(n, dtype=np.uint8))
+        bs.write_frame(data)
+        assert bs.read_frame(7) == data
+
+    def test_write_wrong_length_rejected(self, bs):
+        with pytest.raises(FrameAddressError):
+            bs.write_frame(FrameData(7, np.ones(3, dtype=np.uint8)))
+
+    def test_locate_consistent_with_offsets(self, bs, geo):
+        for f in (0, 5, geo.n_frames - 1):
+            start = geo.frame_offset(f)
+            assert bs.locate(start) == (f, 0)
+            assert bs.locate(start + geo.frame_bits_of(f) - 1) == (
+                f,
+                geo.frame_bits_of(f) - 1,
+            )
+
+
+class TestDiff:
+    def test_diff_lists_flipped_bits(self, bs):
+        other = bs.copy()
+        other.flip_bit(11)
+        other.flip_bit(99)
+        assert bs.diff(other).tolist() == [11, 99]
+
+    def test_corrupted_frames(self, bs, geo):
+        other = bs.copy()
+        target = geo.frame_offset(4) + 2
+        other.flip_bit(target)
+        assert other.corrupted_frames(bs) == [4]
+
+    def test_diff_geometry_mismatch_rejected(self, bs):
+        other = ConfigBitstream(DeviceGeometry(4, 4, n_bram_cols=0))
+        with pytest.raises(BitstreamError):
+            bs.diff(other)
+
+    def test_equality(self, bs):
+        other = bs.copy()
+        assert bs == other
+        other.flip_bit(0)
+        assert bs != other
+
+
+class TestFrameData:
+    def test_bytes_roundtrip(self):
+        bits = np.array([1, 0, 1, 1, 0, 1, 0, 0, 1], dtype=np.uint8)
+        fd = FrameData(3, bits)
+        back = FrameData.from_bytes(3, fd.to_bytes(), 9)
+        assert back == fd
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(BitstreamError):
+            FrameData(0, np.array([2], dtype=np.uint8))
+
+    def test_2d_rejected(self):
+        with pytest.raises(BitstreamError):
+            FrameData(0, np.zeros((2, 2), dtype=np.uint8))

@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.bitstream import ConfigBitstream, CRCCodebook
+from repro.bitstream.crc import crc16_bits
+from repro.errors import FrameAddressError
+from repro.fpga.geometry import DeviceGeometry
+
+
+@pytest.fixture(scope="module")
+def geo():
+    return DeviceGeometry(4, 6, n_bram_cols=0)
+
+
+@pytest.fixture(scope="module")
+def golden(geo):
+    rng = np.random.default_rng(42)
+    return ConfigBitstream(geo, rng.integers(0, 2, geo.total_bits).astype(np.uint8))
+
+
+@pytest.fixture(scope="module")
+def codebook(golden):
+    return CRCCodebook.from_bitstream(golden)
+
+
+class TestCodebook:
+    def test_clean_frames_pass(self, golden, codebook, geo):
+        for f in range(0, geo.n_frames, 17):
+            assert codebook.check_frame(f, golden.frame_view(f))
+
+    def test_corrupted_frame_fails(self, golden, codebook, geo):
+        corrupted = golden.copy()
+        corrupted.flip_bit(geo.frame_offset(5) + 3)
+        assert not codebook.check_frame(5, corrupted.frame_view(5))
+
+    def test_masked_frame_always_passes(self, golden, geo):
+        cb = CRCCodebook.from_bitstream(golden, masked={5})
+        corrupted = golden.copy()
+        corrupted.flip_bit(geo.frame_offset(5) + 3)
+        assert cb.check_frame(5, corrupted.frame_view(5))
+
+    def test_check_crcs_finds_exact_frames(self, golden, codebook, geo):
+        crcs = np.array(
+            [crc16_bits(golden.frame_view(f)) for f in range(geo.n_frames)],
+            dtype=np.uint16,
+        )
+        crcs[7] ^= 1
+        crcs[11] ^= 1
+        assert codebook.check_crcs(crcs).tolist() == [7, 11]
+
+    def test_check_crcs_respects_mask(self, golden, geo):
+        cb = CRCCodebook.from_bitstream(golden, masked={7})
+        crcs = np.array(
+            [crc16_bits(golden.frame_view(f)) for f in range(geo.n_frames)],
+            dtype=np.uint16,
+        )
+        crcs[7] ^= 1
+        assert list(cb.check_crcs(crcs)) == []
+
+    def test_wrong_length_rejected(self, codebook):
+        with pytest.raises(FrameAddressError):
+            codebook.check_crcs(np.zeros(3, dtype=np.uint16))
+
+    def test_expected_out_of_range(self, codebook):
+        with pytest.raises(FrameAddressError):
+            codebook.expected(10_000)
+
+    def test_mask_frame_out_of_range(self, codebook):
+        with pytest.raises(FrameAddressError):
+            codebook.mask_frame(10_000)

@@ -1,0 +1,48 @@
+import numpy as np
+import pytest
+
+from repro.bitstream.crc import crc16, crc16_bits, crc16_frame_matrix
+
+
+class TestCrc16:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_empty_is_init(self):
+        assert crc16(b"") == 0xFFFF
+
+    def test_accepts_ndarray(self):
+        data = np.frombuffer(b"123456789", dtype=np.uint8)
+        assert crc16(data) == 0x29B1
+
+    def test_single_bit_changes_crc(self):
+        a = np.zeros(64, dtype=np.uint8)
+        b = a.copy()
+        b[13] = 1
+        assert crc16_bits(a) != crc16_bits(b)
+
+    def test_every_single_bit_flip_detected(self):
+        base = np.random.default_rng(0).integers(0, 2, 128).astype(np.uint8)
+        ref = crc16_bits(base)
+        for i in range(128):
+            mod = base.copy()
+            mod[i] ^= 1
+            assert crc16_bits(mod) != ref, f"flip at {i} undetected"
+
+
+class TestFrameMatrix:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        mat = rng.integers(0, 256, size=(20, 30)).astype(np.uint8)
+        vec = crc16_frame_matrix(mat)
+        for i in range(20):
+            assert vec[i] == crc16(mat[i])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            crc16_frame_matrix(np.zeros(8, dtype=np.uint8))
+
+    def test_empty_rows(self):
+        out = crc16_frame_matrix(np.zeros((0, 10), dtype=np.uint8))
+        assert out.size == 0

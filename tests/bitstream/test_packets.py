@@ -1,0 +1,69 @@
+import numpy as np
+import pytest
+
+from repro.bitstream.packets import (
+    ConfigPacket,
+    PacketOp,
+    decode_packet_stream,
+    encode_readback,
+    encode_write_frame,
+)
+from repro.errors import BitstreamError
+
+
+class TestEncodeDecode:
+    def test_roundtrip_single(self):
+        payload = np.arange(10, dtype=np.uint8)
+        stream = encode_write_frame(42, payload)
+        packets = decode_packet_stream(stream)
+        assert len(packets) == 1
+        p = packets[0]
+        assert p.op is PacketOp.WRITE_FRAME
+        assert p.frame_index == 42
+        assert np.array_equal(p.payload, payload)
+
+    def test_roundtrip_multiple(self):
+        stream = np.concatenate(
+            [encode_readback(1), encode_write_frame(2, np.zeros(4, dtype=np.uint8))]
+        )
+        packets = decode_packet_stream(stream)
+        assert [p.op for p in packets] == [PacketOp.READ_FRAME, PacketOp.WRITE_FRAME]
+
+    def test_large_frame_index(self):
+        stream = encode_readback(5_000_000)
+        assert decode_packet_stream(stream)[0].frame_index == 5_000_000
+
+    def test_empty_stream(self):
+        assert decode_packet_stream(b"") == []
+
+    def test_accepts_bytes(self):
+        stream = bytes(encode_readback(3))
+        assert decode_packet_stream(stream)[0].frame_index == 3
+
+
+class TestFramingErrors:
+    def test_bad_sync_rejected(self):
+        stream = encode_readback(1)
+        stream[0] = 0x55
+        with pytest.raises(BitstreamError):
+            decode_packet_stream(stream)
+
+    def test_truncated_header_rejected(self):
+        stream = encode_readback(1)[:4]
+        with pytest.raises(BitstreamError):
+            decode_packet_stream(stream)
+
+    def test_truncated_payload_rejected(self):
+        stream = encode_write_frame(0, np.zeros(16, dtype=np.uint8))[:-4]
+        with pytest.raises(BitstreamError):
+            decode_packet_stream(stream)
+
+    def test_unknown_opcode_rejected(self):
+        stream = encode_readback(1)
+        stream[1] = 200
+        with pytest.raises(BitstreamError):
+            decode_packet_stream(stream)
+
+    def test_oversize_payload_rejected(self):
+        with pytest.raises(BitstreamError):
+            ConfigPacket(PacketOp.FULL_CONFIG, 0, np.zeros(70_000, dtype=np.uint8))

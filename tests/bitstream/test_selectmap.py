@@ -1,0 +1,133 @@
+import numpy as np
+import pytest
+
+from repro.bitstream import ConfigBitstream, SelectMapPort, SelectMapTiming
+from repro.bitstream.frame import FrameData
+from repro.errors import BitstreamError
+from repro.fpga import get_device
+from repro.fpga.geometry import DeviceGeometry, FrameKind
+from repro.utils.simtime import SimClock
+
+
+@pytest.fixture()
+def geo():
+    return DeviceGeometry(4, 6, n_bram_cols=2)
+
+
+@pytest.fixture()
+def golden(geo):
+    rng = np.random.default_rng(9)
+    return ConfigBitstream(geo, rng.integers(0, 2, geo.total_bits).astype(np.uint8))
+
+
+@pytest.fixture()
+def port(geo):
+    return SelectMapPort(ConfigBitstream(geo), SimClock())
+
+
+class TestFullConfigure:
+    def test_loads_bits(self, port, golden):
+        port.full_configure(golden)
+        assert np.array_equal(port.memory.bits, golden.bits)
+
+    def test_advances_clock(self, port, golden):
+        dt = port.full_configure(golden)
+        assert dt > 0 and port.clock.now == dt
+
+    def test_fires_startup_callbacks(self, port, golden):
+        calls = []
+        port.on_full_configure.append(lambda: calls.append(1))
+        port.full_configure(golden)
+        assert calls == [1]
+
+    def test_geometry_mismatch_rejected(self, port):
+        other = ConfigBitstream(DeviceGeometry(4, 4, n_bram_cols=0))
+        with pytest.raises(BitstreamError):
+            port.full_configure(other)
+
+
+class TestFrameOps:
+    def test_partial_write(self, port, golden, geo):
+        port.full_configure(golden)
+        frame = FrameData(3, 1 - golden.frame_view(3))
+        port.write_frame(frame)
+        assert np.array_equal(port.memory.frame_view(3), frame.bits)
+        assert port.n_frame_writes == 1
+
+    def test_partial_write_does_not_fire_startup(self, port, golden, geo):
+        calls = []
+        port.on_full_configure.append(lambda: calls.append(1))
+        port.full_configure(golden)
+        port.write_frame(port.memory.read_frame(0))
+        assert calls == [1]  # only the full configure
+
+    def test_readback_returns_live_bits(self, port, golden):
+        port.full_configure(golden)
+        port.memory.flip_bit(10)
+        frame, off = port.memory.locate(10)
+        read = port.read_frame(frame)
+        assert read.bits[off] == 1 - golden.frame_view(frame)[off]
+
+    def test_readback_callback(self, port, golden):
+        seen = []
+        port.on_readback.append(seen.append)
+        port.full_configure(golden)
+        port.read_frame(5)
+        assert seen == [5]
+
+
+class TestScan:
+    def test_scan_skips_bram_content_by_default(self, port, golden, geo):
+        port.full_configure(golden)
+        crcs, _ = port.scan_crcs()
+        for f in range(geo.n_frames):
+            if geo.frame_address(f).kind is FrameKind.BRAM_CONTENT:
+                assert crcs[f] == 0xFFFF
+
+    def test_scan_covers_bram_when_asked(self, port, golden, geo):
+        port.full_configure(golden)
+        crcs, _ = port.scan_crcs(include_bram_content=True)
+        bram = [
+            f
+            for f in range(geo.n_frames)
+            if geo.frame_address(f).kind is FrameKind.BRAM_CONTENT
+        ]
+        # Random golden content: vanishing chance every CRC is 0xFFFF.
+        assert any(crcs[f] != 0xFFFF for f in bram)
+
+    def test_scan_detects_flip(self, port, golden, geo):
+        from repro.bitstream.codebook import CRCCodebook
+
+        port.full_configure(golden)
+        cb = CRCCodebook.from_bitstream(golden)
+        for f in range(geo.n_frames):
+            if geo.frame_address(f).kind is FrameKind.BRAM_CONTENT:
+                cb.mask_frame(f)
+        target = geo.frame_offset(9) + 1
+        port.memory.flip_bit(target)
+        crcs, _ = port.scan_crcs()
+        assert cb.check_crcs(crcs).tolist() == [9]
+
+
+class TestTiming:
+    def test_xqvr1000_board_scan_near_180ms(self):
+        """Three XQVR1000 scans must land near the paper's 180 ms."""
+        dev = get_device("XQVR1000")
+        clock = SimClock()
+        total = 0.0
+        port = SelectMapPort(ConfigBitstream(dev.geometry), clock)
+        for _ in range(3):
+            _, dt = port.scan_crcs()
+            total += dt
+        assert 0.14 < total < 0.22
+
+    def test_frame_write_is_sub_millisecond(self, port, golden):
+        port.full_configure(golden)
+        dt = port.write_frame(port.memory.read_frame(0))
+        assert dt < 1e-3
+
+    def test_timing_model_linear_in_bytes(self):
+        t = SelectMapTiming()
+        assert t.transfer_time(200) - t.transfer_time(100) == pytest.approx(
+            100 * t.per_byte_s
+        )

@@ -1,0 +1,71 @@
+"""Shared fixtures.
+
+Implemented (placed + routed + decoded) designs are expensive, so they
+are built once per session and shared; tests must not mutate them (the
+fault machinery works on patches, never on the shared golden state).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.designs import array_multiplier, lfsr_cluster_design
+from repro.designs.counter import counter_design
+from repro.fpga import get_device
+from repro.place import implement
+
+
+@pytest.fixture(scope="session")
+def s4():
+    return get_device("S4")
+
+
+@pytest.fixture(scope="session")
+def s8():
+    return get_device("S8")
+
+
+@pytest.fixture(scope="session")
+def s12():
+    return get_device("S12")
+
+
+@pytest.fixture(scope="session")
+def xcv1000():
+    return get_device("XCV1000")
+
+
+@pytest.fixture(scope="session")
+def lfsr_spec():
+    return lfsr_cluster_design(2, n_bits=8, per_cluster=2)
+
+
+@pytest.fixture(scope="session")
+def mult_spec():
+    return array_multiplier(4)
+
+
+@pytest.fixture(scope="session")
+def counter_spec():
+    return counter_design(6)
+
+
+@pytest.fixture(scope="session")
+def lfsr_hw(lfsr_spec, s8):
+    return implement(lfsr_spec, s8)
+
+
+@pytest.fixture(scope="session")
+def mult_hw(mult_spec, s8):
+    return implement(mult_spec, s8)
+
+
+@pytest.fixture(scope="session")
+def counter_hw(counter_spec, s8):
+    return implement(counter_spec, s8)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.designs.fir import fir_filter
+from repro.errors import NetlistError
+from repro.netlist import BatchSimulator, compile_netlist
+
+
+def _word(row, width):
+    return sum(int(row[i]) << i for i in range(width))
+
+
+class TestFirFilter:
+    @pytest.mark.parametrize("coeffs", [(1, 1), (1, 2, 2, 1), (3, 1, 4)])
+    def test_matches_numpy_convolution(self, coeffs):
+        width = 5
+        spec = fir_filter(coeffs, width)
+        d = compile_netlist(spec.netlist)
+        stim = spec.stimulus(60, 1)
+        g = BatchSimulator.golden_trace(d, stim)
+        xs = np.array([_word(stim[t], width) for t in range(60)])
+        expected = np.convolve(xs, coeffs)
+        out_w = len(spec.netlist.outputs)
+        # Latency: one input register + one register per tree level.
+        n_terms = sum(bin(c).count("1") for c in coeffs)
+        levels = int(np.ceil(np.log2(max(n_terms, 2))))
+        lat = 1 + levels
+        matched = 0
+        for t in range(len(coeffs) + 2, 50):
+            got = _word(g.outputs[t + lat], out_w)
+            assert got == expected[t], f"t={t}: {got} != {expected[t]}"
+            matched += 1
+        assert matched > 30
+
+    def test_validation(self):
+        with pytest.raises(NetlistError):
+            fir_filter((1, 0, 1))
+        with pytest.raises(NetlistError):
+            fir_filter((), 6)
+        with pytest.raises(NetlistError):
+            fir_filter((1, 1), 1)
+
+    def test_feedforward(self):
+        assert not fir_filter().feedback
+
+    def test_implements_and_decodes(self, s12):
+        from repro.place import implement
+
+        spec = fir_filter((1, 2, 1), 5)
+        hw = implement(spec, s12)
+        ref = compile_netlist(spec.netlist)
+        stim = spec.stimulus(50, 3)
+        assert np.array_equal(
+            BatchSimulator.golden_trace(ref, stim).outputs,
+            BatchSimulator.golden_trace(hw.decoded.design, stim).outputs,
+        )
+
+    def test_fir_persistence_is_low(self, s12):
+        """Feed-forward FIR: scrubbing alone recovers (Table II family)."""
+        from repro.place import implement
+        from repro.seu import CampaignConfig, run_campaign
+
+        spec = fir_filter((1, 2, 1), 5)
+        hw = implement(spec, s12)
+        res = run_campaign(
+            hw,
+            CampaignConfig(detect_cycles=64, persist_cycles=48, stride=3),
+        )
+        assert res.n_failures > 50
+        assert res.persistence_ratio < 0.05

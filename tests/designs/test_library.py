@@ -1,0 +1,89 @@
+import pytest
+
+from repro.designs import (
+    get_design,
+    paper_suite_table1,
+    paper_suite_table2,
+    scaled_suite_table1,
+    scaled_suite_table2,
+)
+from repro.errors import NetlistError
+
+
+class TestGetDesign:
+    def test_parses_family_and_size(self):
+        spec = get_design("MULT12")
+        assert spec.family == "MULT" and spec.size == 12
+
+    def test_case_insensitive_and_spaces(self):
+        assert get_design("mult 12").size == 12
+
+    def test_lfsr(self):
+        assert get_design("LFSR2").family == "LFSR"
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(NetlistError):
+            get_design("FOO12")
+
+    def test_unparseable_rejected(self):
+        with pytest.raises(NetlistError):
+            get_design("MULT")
+
+
+class TestSuites:
+    def test_table1_paper_lineup(self):
+        suite = paper_suite_table1()
+        assert len(suite) == 12
+        names = [s.name for s in suite]
+        assert "LFSR 72" in names and "MULT 48" in names and "VMULT 18" in names
+
+    def test_table1_scaled_preserves_families(self):
+        suite = scaled_suite_table1()
+        fams = [s.family for s in suite]
+        assert fams.count("LFSR") == 4
+        assert fams.count("VMULT") == 4
+        assert fams.count("MULT") == 4
+
+    def test_table2_paper_lineup(self):
+        names = [s.name for s in paper_suite_table2()]
+        assert names == [
+            "54 Multiply-Add",
+            "36 Counter/Adder",
+            "LFSR 72",
+            "LFSR Multiplier",
+            "Filter Preproc.",
+        ]
+
+    def test_table2_scaled_same_families(self):
+        paper = [s.family for s in paper_suite_table2()]
+        scaled = [s.family for s in scaled_suite_table2()]
+        assert paper == scaled
+
+    def test_scaled_suites_validate(self):
+        for s in scaled_suite_table1() + scaled_suite_table2():
+            s.netlist.validate()
+
+    def test_scale_factor_grows_designs(self):
+        small = scaled_suite_table1(1)[0].netlist.n_ffs
+        big = scaled_suite_table1(2)[0].netlist.n_ffs
+        assert big > small
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(NetlistError):
+            scaled_suite_table1(0)
+
+
+class TestStimulus:
+    def test_deterministic_per_seed(self):
+        spec = get_design("MULT4")
+        a = spec.stimulus(10, 3)
+        b = spec.stimulus(10, 3)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        spec = get_design("MULT4")
+        assert not (spec.stimulus(10, 3) == spec.stimulus(10, 4)).all()
+
+    def test_zero_input_designs_empty_matrix(self):
+        spec = get_design("LFSR2")
+        assert spec.stimulus(10).shape == (10, 0)

@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.bitstream import ConfigBitstream
+from repro.errors import BitstreamError
+from repro.fpga import get_device
+from repro.fpga.bram import BlockRAM, BRAMArray
+
+
+@pytest.fixture()
+def memory(s8):
+    return ConfigBitstream(s8.geometry)
+
+
+@pytest.fixture()
+def bram(memory):
+    return BlockRAM(memory, 0, 0)
+
+
+class TestBlockRAM:
+    def test_write_read_roundtrip(self, bram):
+        bram.write(17, 0xBEEF)
+        assert bram.read(17) == 0xBEEF
+
+    def test_content_lives_in_bitstream(self, bram, memory, s8):
+        """Writes must land in BRAM-content frames — that is why
+        readback/scrubbing interact with live memories at all."""
+        before = memory.bits.copy()
+        bram.write(3, 0xFFFF)
+        changed = np.flatnonzero(memory.bits != before)
+        assert changed.size == 16
+        from repro.fpga.geometry import FrameKind
+
+        for lin in changed:
+            frame, _ = memory.locate(int(lin))
+            assert s8.geometry.frame_address(frame).kind is FrameKind.BRAM_CONTENT
+
+    def test_separate_blocks_do_not_alias(self, memory):
+        a = BlockRAM(memory, 0, 0)
+        b = BlockRAM(memory, 0, 1)
+        a.write(0, 0x1234)
+        assert b.read(0) == 0
+
+    def test_address_range_checked(self, bram):
+        with pytest.raises(BitstreamError):
+            bram.read(BlockRAM.DEPTH)
+
+    def test_value_range_checked(self, bram):
+        with pytest.raises(BitstreamError):
+            bram.write(0, 1 << 16)
+
+    def test_output_register_loaded_by_read(self, bram):
+        bram.write(5, 42)
+        bram.read(5)
+        assert bram.output_register == 42
+        assert bram.output_register_valid
+
+
+class TestReadbackInteraction:
+    def test_access_during_readback_rejected(self, bram):
+        bram.begin_readback()
+        with pytest.raises(BitstreamError):
+            bram.read(0)
+        with pytest.raises(BitstreamError):
+            bram.write(0, 1)
+
+    def test_readback_corrupts_output_register(self, bram):
+        bram.write(9, 0x00FF)
+        bram.read(9)
+        bram.begin_readback()
+        bram.end_readback()
+        assert not bram.output_register_valid
+        assert bram.output_register != 0x00FF
+
+    def test_content_survives_readback(self, bram):
+        bram.write(9, 0x0F0F)
+        bram.begin_readback()
+        bram.end_readback()
+        assert bram.read(9) == 0x0F0F
+
+
+class TestArray:
+    def test_array_covers_all_blocks(self, memory, s8):
+        array = BRAMArray(memory)
+        assert len(array) == s8.geometry.n_bram_blocks
+
+    def test_indexing(self, memory):
+        array = BRAMArray(memory)
+        assert isinstance(array[0], BlockRAM)

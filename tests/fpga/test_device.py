@@ -1,0 +1,103 @@
+import pytest
+
+from repro.errors import GeometryError
+from repro.fpga import get_device
+from repro.fpga.device import WireId
+from repro.fpga.resources import Direction, ResourceKind
+
+
+@pytest.fixture(scope="module")
+def dev():
+    return get_device("S8")
+
+
+class TestIndexing:
+    def test_clb_index_roundtrip(self, dev):
+        for idx in range(dev.n_clbs):
+            r, c = dev.clb_position(idx)
+            assert dev.clb_index(r, c) == idx
+
+    def test_out_of_grid_rejected(self, dev):
+        with pytest.raises(GeometryError):
+            dev.clb_index(dev.rows, 0)
+        with pytest.raises(GeometryError):
+            dev.clb_position(dev.n_clbs)
+
+    def test_counts(self, dev):
+        assert dev.n_luts == 4 * dev.n_clbs
+        assert dev.n_ffs == 4 * dev.n_clbs
+        assert dev.n_slices == 2 * dev.n_clbs
+
+
+class TestClassifyBit:
+    def test_classify_matches_clb_bit(self, dev):
+        frame, bit = dev.clb_bit_frame(2, 3, 0)
+        loc = dev.classify_bit(frame, bit)
+        assert loc.kind is ResourceKind.LUT_CONTENT
+        assert (loc.row, loc.col) == (2, 3)
+
+    def test_clock_frames_classified(self, dev):
+        loc = dev.classify_bit(0, 10)
+        assert loc.kind is ResourceKind.CLOCK_CONFIG
+
+    def test_overhead_bits_classified(self, dev):
+        frame = dev.geometry.clb_frame_index(0, 0)
+        loc = dev.classify_bit(frame, 0)
+        assert loc.kind is ResourceKind.COLUMN_OVERHEAD
+
+    def test_bram_content_classified(self, dev):
+        frame, bit = dev.geometry.bram_content_bit(0, 0, 0)
+        assert dev.classify_bit(frame, bit).kind is ResourceKind.BRAM_CONTENT
+
+    def test_linear_offsets_unique_across_clb(self, dev):
+        seen = set()
+        for intra in range(0, 864, 7):
+            lin = dev.clb_bit_linear(1, 1, intra)
+            assert lin not in seen
+            seen.add(lin)
+
+
+class TestWires:
+    def test_wire_index_roundtrip(self, dev):
+        for idx in range(0, dev.n_wires, 101):
+            wid = dev.wire_id(idx)
+            assert dev.wire_index(wid) == idx
+
+    def test_incoming_is_neighbors_outgoing(self, dev):
+        w = dev.incoming_wire(3, 3, Direction.W, 5)
+        assert w == WireId(3, 2, Direction.E, 5)
+
+    def test_edge_incoming_is_none(self, dev):
+        assert dev.incoming_wire(0, 0, Direction.N, 0) is None
+        assert dev.incoming_wire(0, 0, Direction.W, 0) is None
+
+    def test_incoming_reciprocity(self, dev):
+        # The wire I see from the East is driven toward West by my
+        # eastern neighbour; that neighbour sees my eastward wire from
+        # its West.
+        mine = dev.incoming_wire(2, 2, Direction.E, 7)
+        assert mine == WireId(2, 3, Direction.W, 7)
+        theirs = dev.incoming_wire(2, 3, Direction.W, 7)
+        assert theirs == WireId(2, 2, Direction.E, 7)
+
+
+class TestFamily:
+    def test_catalog_lookup_case_insensitive(self):
+        assert get_device("xcv1000") is get_device("XCV1000")
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(GeometryError):
+            get_device("XCV9999")
+
+    def test_xqvr_shares_xcv_geometry(self):
+        assert get_device("XQVR1000").geometry == get_device("XCV1000").geometry
+
+    def test_real_grids(self):
+        assert get_device("XCV50").geometry.rows == 16
+        assert get_device("XCV300").n_slices == 2 * 32 * 48
+
+    def test_frame_bytes_paper_value(self):
+        assert get_device("XQVR1000").frame_bytes == 156
+
+    def test_describe_mentions_name(self):
+        assert "S8" in get_device("S8").describe()

@@ -1,0 +1,147 @@
+import numpy as np
+import pytest
+
+from repro.errors import FrameAddressError, GeometryError
+from repro.fpga.geometry import (
+    CLB_BITS_PER_CLB,
+    CLB_FRAMES_PER_COL,
+    DeviceGeometry,
+    FrameAddress,
+    FrameKind,
+)
+
+
+@pytest.fixture(scope="module")
+def geo():
+    return DeviceGeometry(8, 12)
+
+
+class TestConstruction:
+    def test_rejects_zero_rows(self):
+        with pytest.raises(GeometryError):
+            DeviceGeometry(0, 4)
+
+    def test_rejects_bad_bram_cols(self):
+        with pytest.raises(GeometryError):
+            DeviceGeometry(8, 12, n_bram_cols=3)
+
+    def test_bram_requires_rows_multiple_of_4(self):
+        with pytest.raises(GeometryError):
+            DeviceGeometry(6, 12, n_bram_cols=2)
+
+    def test_no_bram_allows_any_rows(self):
+        DeviceGeometry(5, 4, n_bram_cols=0)
+
+
+class TestPaperNumbers:
+    """The XCV1000 geometry must hit the paper's published figures."""
+
+    def test_xcv1000_frame_is_156_bytes(self):
+        geo = DeviceGeometry(64, 96)
+        assert (geo.clb_frame_bits + 7) // 8 == 156
+
+    def test_xcv1000_block0_is_5_8_million_bits(self):
+        geo = DeviceGeometry(64, 96)
+        assert 5.75e6 < geo.block0_bits < 5.95e6
+
+    def test_xcv1000_slices(self):
+        assert DeviceGeometry(64, 96).n_slices == 12288
+
+    def test_xcv1000_brams(self):
+        assert DeviceGeometry(64, 96).n_bram_blocks == 32
+
+    def test_clb_owns_864_bits(self):
+        assert CLB_BITS_PER_CLB == 864
+
+
+class TestFrameTable:
+    def test_frame_count_consistent(self, geo):
+        expected = (
+            8  # clock
+            + geo.cols * CLB_FRAMES_PER_COL
+            + 2 * 20  # IOB
+            + 2 * 27  # BRAM interconnect
+            + 2 * 64  # BRAM content
+        )
+        assert geo.n_frames == expected
+
+    def test_offsets_monotone_and_dense(self, geo):
+        total = 0
+        for f in range(geo.n_frames):
+            assert geo.frame_offset(f) == total
+            total += geo.frame_bits_of(f)
+        assert total == geo.total_bits
+
+    def test_frame_offsets_array_matches(self, geo):
+        offs = geo.frame_offsets
+        assert offs[0] == 0
+        assert offs[-1] == geo.total_bits
+        for f in (0, 1, geo.n_frames // 2, geo.n_frames - 1):
+            assert offs[f] == geo.frame_offset(f)
+
+    def test_out_of_range_frame_rejected(self, geo):
+        with pytest.raises(FrameAddressError):
+            geo.frame_offset(geo.n_frames)
+        with pytest.raises(FrameAddressError):
+            geo.frame_bits_of(-1)
+
+
+class TestAddressing:
+    def test_address_roundtrip_all_kinds(self, geo):
+        seen = set()
+        for f in range(geo.n_frames):
+            addr = geo.frame_address(f)
+            seen.add(addr.kind)
+            assert geo.frame_index(addr) == f
+        assert seen == set(FrameKind)
+
+    def test_bad_minor_rejected(self, geo):
+        with pytest.raises(FrameAddressError):
+            geo.frame_index(FrameAddress(FrameKind.CLB, 0, CLB_FRAMES_PER_COL))
+
+    def test_bad_major_rejected(self, geo):
+        with pytest.raises(FrameAddressError):
+            geo.frame_index(FrameAddress(FrameKind.CLB, geo.cols, 0))
+
+
+class TestClbBits:
+    def test_clb_bit_roundtrip_exhaustive_one_clb(self, geo):
+        for intra in range(CLB_BITS_PER_CLB):
+            frame, bit = geo.clb_bit(3, 5, intra)
+            assert geo.clb_of_bit(frame, bit) == (3, 5, intra)
+
+    def test_distinct_clbs_use_distinct_bits(self, geo):
+        a = {geo.clb_bit(0, 0, i) for i in range(CLB_BITS_PER_CLB)}
+        b = {geo.clb_bit(0, 1, i) for i in range(CLB_BITS_PER_CLB)}
+        c = {geo.clb_bit(1, 0, i) for i in range(CLB_BITS_PER_CLB)}
+        assert not (a & b) and not (a & c) and not (b & c)
+
+    def test_overhead_bits_map_to_none(self, geo):
+        frame = geo.clb_frame_index(0, 0)
+        assert geo.clb_of_bit(frame, 0) is None  # column overhead region
+
+    def test_out_of_grid_rejected(self, geo):
+        with pytest.raises(GeometryError):
+            geo.clb_bit(geo.rows, 0, 0)
+        with pytest.raises(GeometryError):
+            geo.clb_bit(0, 0, CLB_BITS_PER_CLB)
+
+    def test_non_clb_frame_gives_none(self, geo):
+        assert geo.clb_of_bit(0, 100) is None  # clock column
+
+
+class TestBramContent:
+    def test_bram_bits_distinct(self, geo):
+        seen = set()
+        for off in range(0, 4096, 37):
+            loc = geo.bram_content_bit(0, 0, off)
+            assert loc not in seen
+            seen.add(loc)
+
+    def test_bram_frames_are_content_kind(self, geo):
+        frame, _ = geo.bram_content_bit(1, 1, 100)
+        assert geo.frame_address(frame).kind is FrameKind.BRAM_CONTENT
+
+    def test_bad_block_rejected(self, geo):
+        with pytest.raises(GeometryError):
+            geo.bram_content_bit(0, geo.bram_blocks_per_col, 0)

@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.fpga.halflatch import HalfLatchKind, HalfLatchSite, HalfLatchState
+
+
+def _sites(n):
+    return [
+        HalfLatchSite(HalfLatchKind.CTRL, 0, i, (0, 0)) for i in range(n)
+    ]
+
+
+class TestHalfLatchState:
+    def test_initialised_to_one(self):
+        st = HalfLatchState(_sites(4))
+        assert st.values.tolist() == [1, 1, 1, 1]
+
+    def test_upset_flips(self):
+        st = HalfLatchState(_sites(3))
+        st.upset(st.sites[1])
+        assert st.values.tolist() == [1, 0, 1]
+        assert st.n_upset() == 1
+
+    def test_double_upset_restores(self):
+        st = HalfLatchState(_sites(2))
+        st.upset(st.sites[0])
+        st.upset(st.sites[0])
+        assert st.n_upset() == 0
+
+    def test_partial_reconfig_does_not_restore(self):
+        """The paper's asymmetry: only a *full* reconfiguration's
+        start-up sequence reinitialises keepers."""
+        st = HalfLatchState(_sites(2))
+        st.upset(st.sites[0])
+        # ... partial reconfiguration happens elsewhere; nothing calls
+        # full_reconfiguration_startup, so the upset must persist.
+        assert st.n_upset() == 1
+        st.full_reconfiguration_startup()
+        assert st.n_upset() == 0
+
+    def test_spontaneous_recovery_probabilistic(self):
+        st = HalfLatchState(_sites(100))
+        for s in st.sites:
+            st.upset(s)
+        recovered = st.spontaneous_recovery(np.random.default_rng(0), 0.5)
+        assert 0 < recovered < 100
+        assert st.n_upset() == 100 - recovered
+
+    def test_recovery_probability_validated(self):
+        st = HalfLatchState(_sites(1))
+        with pytest.raises(ValueError):
+            st.spontaneous_recovery(np.random.default_rng(0), 1.5)
+
+    def test_snapshot_restore(self):
+        st = HalfLatchState(_sites(3))
+        snap = st.snapshot()
+        st.upset(st.sites[2])
+        st.restore(snap)
+        assert st.n_upset() == 0
+
+    def test_duplicate_sites_rejected(self):
+        site = HalfLatchSite(HalfLatchKind.CTRL, 0, 0, (0, 0))
+        with pytest.raises(GeometryError):
+            HalfLatchState([site, site])
+
+    def test_unknown_site_rejected(self):
+        st = HalfLatchState(_sites(1))
+        other = HalfLatchSite(HalfLatchKind.WIRE, 9, 9, (0, 0))
+        with pytest.raises(GeometryError):
+            st.value_of(other)

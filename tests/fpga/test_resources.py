@@ -1,0 +1,150 @@
+import pytest
+
+from repro.errors import GeometryError
+from repro.fpga.geometry import CLB_BITS_PER_CLB
+from repro.fpga.resources import (
+    Direction,
+    LocalSource,
+    ResourceKind,
+    WireSource,
+    carry_offset,
+    classify_intra,
+    ctrl_candidates,
+    ctrl_mux_offset,
+    ff_config_offset,
+    imux_candidates,
+    imux_offset,
+    lut_content_offset,
+    output_mux_offset,
+    pip_drive_offset,
+    pip_straight_offset,
+    pip_turn_offset,
+    port_of_wire,
+)
+
+
+class TestDirections:
+    def test_opposites(self):
+        assert Direction.N.opposite is Direction.S
+        assert Direction.E.opposite is Direction.W
+
+    def test_deltas_sum_to_zero(self):
+        for d in Direction:
+            dr, dc = d.delta
+            dr2, dc2 = d.opposite.delta
+            assert dr + dr2 == 0 and dc + dc2 == 0
+
+    def test_perpendicular_is_orthogonal(self):
+        for d in Direction:
+            for p in d.perpendicular:
+                assert p is not d and p is not d.opposite
+
+
+class TestOffsetsBijective:
+    """Every intra-CLB offset decodes back to exactly its encoder."""
+
+    def test_classify_covers_all_864_bits(self):
+        kinds = set()
+        for intra in range(CLB_BITS_PER_CLB):
+            kind, _ = classify_intra(intra)
+            kinds.add(kind)
+        assert ResourceKind.LUT_CONTENT in kinds
+        assert ResourceKind.PIP_TURN in kinds
+        assert ResourceKind.RESERVED in kinds
+
+    def test_lut_content_roundtrip(self):
+        for lut in range(4):
+            for entry in range(16):
+                kind, detail = classify_intra(lut_content_offset(lut, entry))
+                assert kind is ResourceKind.LUT_CONTENT and detail == (lut, entry)
+
+    def test_imux_roundtrip(self):
+        kind, detail = classify_intra(imux_offset(2, 3, 5))
+        assert kind is ResourceKind.LUT_INPUT_MUX and detail == (2, 3, 5)
+
+    def test_ff_config_roundtrip(self):
+        kind, detail = classify_intra(ff_config_offset(3, 4))
+        assert kind is ResourceKind.FF_CONFIG and detail == (3, 4)
+
+    def test_ctrl_roundtrip(self):
+        kind, detail = classify_intra(ctrl_mux_offset(1, 2, 7))
+        assert kind is ResourceKind.CTRL_MUX and detail == (1, 2, 7)
+
+    def test_output_mux_roundtrip(self):
+        kind, detail = classify_intra(output_mux_offset(3, 0))
+        assert kind is ResourceKind.OUTPUT_MUX and detail == (3, 0)
+
+    def test_pip_roundtrips(self):
+        kind, detail = classify_intra(pip_drive_offset(Direction.S, 17))
+        assert kind is ResourceKind.PIP_DRIVE and detail == (2, 17)
+        kind, detail = classify_intra(pip_straight_offset(Direction.W, 3))
+        assert kind is ResourceKind.PIP_STRAIGHT and detail == (3, 3)
+        kind, detail = classify_intra(pip_turn_offset(Direction.E, 1, 23))
+        assert kind is ResourceKind.PIP_TURN and detail == (1, 1, 23)
+
+    def test_carry_roundtrip(self):
+        kind, detail = classify_intra(carry_offset(1, 6))
+        assert kind is ResourceKind.CARRY and detail == (1, 6)
+
+    def test_all_offsets_disjoint(self):
+        seen = {}
+        for lut in range(4):
+            for e in range(16):
+                seen[lut_content_offset(lut, e)] = "content"
+            for p in range(4):
+                for b in range(8):
+                    seen[imux_offset(lut, p, b)] = "imux"
+        for ff in range(4):
+            for r in range(6):
+                off = ff_config_offset(ff, r)
+                assert off not in seen
+                seen[off] = "ff"
+        assert len(seen) == 64 + 128 + 24
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GeometryError):
+            lut_content_offset(4, 0)
+        with pytest.raises(GeometryError):
+            imux_offset(0, 0, 8)
+        with pytest.raises(GeometryError):
+            classify_intra(CLB_BITS_PER_CLB)
+
+
+class TestCandidates:
+    def test_imux_has_8_candidates(self):
+        for lut in range(4):
+            for pin in range(4):
+                assert len(imux_candidates(lut, pin)) == 8
+
+    def test_every_local_signal_reachable(self):
+        """Each of the 8 internal signals must be a candidate of some pin."""
+        for pos in range(4):
+            reachable = set()
+            for lut in range(4):
+                for pin in range(4):
+                    for cand in imux_candidates(lut, pin):
+                        if isinstance(cand, LocalSource):
+                            reachable.add(cand.index)
+            assert reachable == set(range(8))
+
+    def test_wire_candidates_span_all_port_classes(self):
+        for lut in range(4):
+            for pin in range(4):
+                classes = {
+                    c.index % 4
+                    for c in imux_candidates(lut, pin)
+                    if isinstance(c, WireSource)
+                }
+                assert classes == {0, 1, 2, 3}
+
+    def test_ctrl_candidates_exist(self):
+        for slc in range(2):
+            for which in range(3):
+                cands = ctrl_candidates(slc, which)
+                assert len(cands) == 8
+
+    def test_port_of_wire(self):
+        assert port_of_wire(0) == 0
+        assert port_of_wire(7) == 3
+        with pytest.raises(GeometryError):
+            port_of_wire(24)

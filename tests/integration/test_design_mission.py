@@ -1,0 +1,74 @@
+"""Design-aware mission simulation vs the closed-form reliability model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ReliabilityModel
+from repro.radiation import (
+    DeviceCrossSection,
+    LEO_FLARE,
+    OrbitEnvironment,
+    WeibullCrossSection,
+)
+from repro.scrub import DesignMission
+from repro.seu import CampaignConfig, SensitivityMap, run_campaign
+
+
+@pytest.fixture(scope="module")
+def mission_setup(lfsr_hw):
+    cfg = CampaignConfig(detect_cycles=64, persist_cycles=48)
+    result = run_campaign(lfsr_hw, cfg)
+    smap = SensitivityMap.from_campaign(lfsr_hw.device, result)
+    env = OrbitEnvironment("hot", LEO_FLARE.effective_flux_cm2_s * 3000)
+    return lfsr_hw, result, smap, env
+
+
+class TestDesignMission:
+    def test_reports_sensitive_fraction(self, mission_setup):
+        hw, result, smap, env = mission_setup
+        mission = DesignMission(hw, smap, env)
+        report = mission.fly(24 * 3600.0, seed=1)
+        assert report.n_upsets > 100
+        frac = report.n_sensitive_upsets / report.n_upsets
+        # Upsets hit block-0 bits uniformly: sensitive fraction must
+        # approximate the campaign sensitivity.
+        assert frac == pytest.approx(result.sensitivity, rel=0.5)
+
+    def test_persistent_fraction_matches_campaign(self, mission_setup):
+        hw, result, smap, env = mission_setup
+        mission = DesignMission(hw, smap, env)
+        report = mission.fly(96 * 3600.0, seed=2)
+        if report.n_sensitive_upsets > 30:
+            frac = report.n_persistent_upsets / report.n_sensitive_upsets
+            assert frac == pytest.approx(result.persistence_ratio, abs=0.25)
+
+    def test_outages_bounded_by_scan_plus_reset(self, mission_setup):
+        hw, _, smap, env = mission_setup
+        mission = DesignMission(hw, smap, env, scan_period_s=0.060, reset_time_s=0.010)
+        report = mission.fly(24 * 3600.0, seed=3)
+        for _, dur in report.outages:
+            assert dur <= 0.060 + 0.010 + 1e-9 or dur <= 2 * 0.070  # merged pairs
+
+    def test_availability_near_one(self, mission_setup):
+        hw, _, smap, env = mission_setup
+        report = DesignMission(hw, smap, env).fly(24 * 3600.0, seed=4)
+        assert report.availability > 0.9999
+
+    def test_agrees_with_reliability_model(self, mission_setup):
+        """Event-driven measurement vs closed-form prediction."""
+        hw, result, smap, env = mission_setup
+        mission = DesignMission(hw, smap, env, scan_period_s=0.060)
+        measured = mission.fly(200 * 3600.0, seed=5)
+
+        xs = DeviceCrossSection(WeibullCrossSection(), hw.device.block0_bits)
+        model = ReliabilityModel(env, xs, scrub_period_s=0.060)
+        predicted = model.predict(result)
+        measured_rate = measured.n_sensitive_upsets / (measured.duration_s / 3600.0)
+        assert measured_rate == pytest.approx(
+            predicted.output_error_rate_per_hour, rel=0.5
+        )
+
+    def test_summary(self, mission_setup):
+        hw, _, smap, env = mission_setup
+        s = DesignMission(hw, smap, env).fly(3600.0, seed=6).summary()
+        assert "availability" in s

@@ -1,0 +1,98 @@
+"""Cross-subsystem integration tests: the paper's workflows end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import SelectMapPort
+from repro.bitstream.bitstream import ConfigBitstream
+from repro.netlist import BatchSimulator
+from repro.place.decoder import decode_bitstream
+from repro.scrub import FaultManager, FlashMemory
+from repro.seu import CampaignConfig, SensitivityMap, run_campaign, run_halflatch_campaign
+from repro.utils.simtime import SimClock
+from repro.validation import AcceleratorConfig, correlate, run_accelerator_test
+
+
+class TestScrubRestoresLiveDesign:
+    """Upset a running design's configuration; the fault manager must
+    find the exact frame, repair it, and the repaired configuration must
+    decode back to golden behaviour (paper Figure 4 end-to-end)."""
+
+    def test_detect_repair_redecode(self, mult_hw):
+        clock = SimClock()
+        flash = FlashMemory()
+        flash.store_image("design", mult_hw.bitstream)
+        manager = FaultManager(flash, clock)
+        port = SelectMapPort(ConfigBitstream(mult_hw.device.geometry), clock)
+        port.full_configure(mult_hw.bitstream)
+        manager.manage("dut", port, "design")
+
+        # Upset a bit that matters (a used LUT's truth table).
+        site = next(iter(mult_hw.placement.lut_site.values()))
+        from repro.fpga.resources import lut_content_offset
+
+        bit = mult_hw.device.clb_bit_linear(
+            site.row, site.col, lut_content_offset(site.pos, 0)
+        )
+        port.memory.flip_bit(bit)
+        expected_frame, _ = port.memory.locate(bit)
+
+        report = manager.scan_cycle()
+        assert report.detected == [("dut", expected_frame)]
+        assert np.array_equal(port.memory.bits, mult_hw.bitstream.bits)
+
+        # The repaired configuration decodes to golden behaviour.
+        decoded = decode_bitstream(mult_hw.device, port.memory, mult_hw.io)
+        stim = mult_hw.spec.stimulus(40, 3)
+        assert np.array_equal(
+            BatchSimulator.golden_trace(decoded.design, stim).outputs,
+            BatchSimulator.golden_trace(mult_hw.decoded.design, stim).outputs,
+        )
+
+
+class TestCampaignToMitigationPipeline:
+    """Sensitivity map -> strategy -> mitigation, as a designer would."""
+
+    def test_full_pipeline(self, lfsr_hw, lfsr_spec, s12):
+        from repro.mitigation import recommend_strategy, MitigationStrategy
+
+        cfg = CampaignConfig(detect_cycles=64, persist_cycles=48)
+        result = run_campaign(lfsr_hw, cfg)
+        hl = run_halflatch_campaign(lfsr_hw, cfg)
+        crit = sum(hl.values()) / max(len(hl), 1)
+        rec = recommend_strategy(result, critical_halflatch_fraction=crit)
+        # An LFSR design: high persistence -> TMR-class recommendation.
+        assert rec.strategy in (
+            MitigationStrategy.SELECTIVE_TMR,
+            MitigationStrategy.FULL_TMR,
+        )
+
+    def test_beam_validation_pipeline(self, mult_hw):
+        cfg = CampaignConfig(detect_cycles=48, persist_cycles=0, classify_persistence=False)
+        result = run_campaign(mult_hw, cfg)
+        smap = SensitivityMap.from_campaign(mult_hw.device, result)
+        hl = run_halflatch_campaign(mult_hw, cfg)
+        beam = run_accelerator_test(
+            mult_hw, smap, hl, AcceleratorConfig(exposure_s=5000.0, seed=2)
+        )
+        report = correlate(beam, smap)
+        assert report.n_output_errors > 0
+        assert report.correlation > 0.85
+
+
+class TestScalingShape:
+    """Sensitivity is intensive: the same design on a bigger device has
+    lower raw sensitivity but similar normalised sensitivity — the
+    argument that lets scaled campaigns stand in for XCV1000 sweeps."""
+
+    def test_normalized_sensitivity_roughly_scale_invariant(self, mult_spec, s8, s12):
+        from repro.place import implement
+
+        cfg = CampaignConfig(detect_cycles=48, persist_cycles=0, classify_persistence=False)
+        norms = []
+        for dev in (s8, s12):
+            hw = implement(mult_spec, dev)
+            res = run_campaign(hw, cfg)
+            norms.append(res.sensitivity / hw.utilization)
+        a, b = norms
+        assert 0.5 < a / b < 2.0

@@ -1,0 +1,232 @@
+import numpy as np
+import pytest
+
+from repro.designs import array_multiplier, lfsr_cluster_design
+from repro.errors import MitigationError
+from repro.mitigation import (
+    MitigationStrategy,
+    apply_selective_tmr,
+    apply_tmr,
+    recommend_strategy,
+    remove_half_latches,
+    sensitive_cells,
+)
+from repro.netlist import BatchSimulator, Patch, compile_netlist
+from repro.netlist.cells import CellKind
+from repro.place import implement
+from repro.seu import CampaignConfig, run_campaign, run_halflatch_campaign
+
+
+def _outputs(spec, cycles=50):
+    d = compile_netlist(spec.netlist)
+    stim = spec.stimulus(cycles, 1)
+    return d, stim, BatchSimulator.golden_trace(d, stim).outputs
+
+
+class TestTmrFunctional:
+    def test_preserves_behaviour_selfstimulating(self, lfsr_spec):
+        _, _, ref = _outputs(lfsr_spec)
+        tmr = apply_tmr(lfsr_spec)
+        _, _, got = _outputs(tmr)
+        assert np.array_equal(ref, got)
+
+    def test_preserves_behaviour_with_inputs(self, mult_spec):
+        ref_d = compile_netlist(mult_spec.netlist)
+        tmr = apply_tmr(mult_spec)
+        tmr_d = compile_netlist(tmr.netlist)
+        stim = mult_spec.stimulus(50, 1)
+        assert np.array_equal(
+            BatchSimulator.golden_trace(ref_d, stim).outputs,
+            BatchSimulator.golden_trace(tmr_d, stim).outputs,
+        )
+
+    def test_triplicates_area(self, mult_spec):
+        tmr = apply_tmr(mult_spec)
+        assert tmr.netlist.n_ffs == 3 * mult_spec.netlist.n_ffs
+        assert tmr.netlist.n_luts > 3 * mult_spec.netlist.n_luts  # + voters
+
+    def test_masks_single_domain_fault(self, lfsr_spec):
+        """Break any one LUT of domain A: outputs must stay golden."""
+        tmr = apply_tmr(lfsr_spec)
+        d = compile_netlist(tmr.netlist)
+        stim = tmr.stimulus(60, 1)
+        golden = BatchSimulator.golden_trace(d, stim)
+        # Find a non-voter domain-A LUT row.
+        victim_rows = [
+            r
+            for r, name in enumerate(
+                c.name for c in tmr.netlist.cells() if c.kind is CellKind.LUT
+            )
+            if "__tmrA" in name
+        ]
+        patch = Patch(lut_tables=[(victim_rows[0], np.zeros(16, dtype=np.uint8))])
+        sim = BatchSimulator(d, [patch])
+        outs = sim.run(stim)
+        assert np.array_equal(outs[:, 0, :], golden.outputs)
+
+    def test_masks_single_ff_state_upset_and_self_heals(self, lfsr_spec):
+        tmr = apply_tmr(lfsr_spec)
+        d = compile_netlist(tmr.netlist)
+        stim = tmr.stimulus(60, 1)
+        golden = BatchSimulator.golden_trace(d, stim)
+        sim = BatchSimulator(d)
+        for t in range(20):
+            sim.step(stim[t])
+        # Corrupt domain-B FF state directly.
+        ff_b = next(
+            int(d.node_names[c.name])
+            for c in tmr.netlist.cells()
+            if c.kind is CellKind.FF and "__tmrB" in c.name
+        )
+        sim.values[0, ff_b] ^= 1
+        ok = all(
+            np.array_equal(sim.step(stim[t])[0], golden.outputs[t])
+            for t in range(20, 60)
+        )
+        assert ok
+
+    def test_reserved_names_rejected(self, lfsr_spec):
+        from repro.netlist import Netlist
+
+        nl = Netlist("bad")
+        nl.add_input("a__tmrA")
+        nl.add_ff("q", "a__tmrA")
+        nl.set_outputs(["q"])
+        from repro.designs.spec import DesignSpec
+
+        with pytest.raises(MitigationError):
+            apply_tmr(DesignSpec("bad", nl, "X", 1, False))
+
+    def test_tmr_reduces_sensitivity(self, s12):
+        spec = lfsr_cluster_design(1, n_bits=8, per_cluster=2)
+        cfg = CampaignConfig(detect_cycles=48, persist_cycles=0, classify_persistence=False, stride=3)
+        base = run_campaign(implement(spec, s12), cfg)
+        hard = run_campaign(implement(apply_tmr(spec), s12), cfg)
+        assert hard.sensitivity < base.sensitivity
+
+
+class TestSelectiveTmr:
+    def test_preserves_behaviour(self, lfsr_spec):
+        protect = {c.name for c in lfsr_spec.netlist.cells() if c.kind is CellKind.FF}
+        stmr = apply_selective_tmr(lfsr_spec, protect)
+        _, _, ref = _outputs(lfsr_spec)
+        _, _, got = _outputs(stmr)
+        assert np.array_equal(ref, got)
+
+    def test_smaller_than_full_tmr(self, lfsr_spec):
+        protect = set(list(c.name for c in lfsr_spec.netlist.cells() if c.kind is CellKind.FF)[:4])
+        stmr = apply_selective_tmr(lfsr_spec, protect)
+        full = apply_tmr(lfsr_spec)
+        assert len(stmr.netlist) < len(full.netlist)
+
+    def test_protected_fault_masked(self, lfsr_spec):
+        ffs = [c.name for c in lfsr_spec.netlist.cells() if c.kind is CellKind.FF]
+        protect = set(ffs)
+        stmr = apply_selective_tmr(lfsr_spec, protect)
+        d = compile_netlist(stmr.netlist)
+        stim = stmr.stimulus(60, 1)
+        golden = BatchSimulator.golden_trace(d, stim)
+        sim = BatchSimulator(d)
+        for t in range(20):
+            sim.step(stim[t])
+        node = d.node_names[f"{ffs[0]}__tmrA"]
+        sim.values[0, node] ^= 1
+        ok = all(
+            np.array_equal(sim.step(stim[t])[0], golden.outputs[t])
+            for t in range(20, 60)
+        )
+        assert ok
+
+    def test_unknown_cell_rejected(self, lfsr_spec):
+        with pytest.raises(MitigationError):
+            apply_selective_tmr(lfsr_spec, {"ghost"})
+
+    def test_input_protection_rejected(self, mult_spec):
+        with pytest.raises(MitigationError):
+            apply_selective_tmr(mult_spec, {mult_spec.netlist.inputs[0]})
+
+    def test_sensitive_cells_attribution(self, mult_hw):
+        res = run_campaign(
+            mult_hw,
+            CampaignConfig(detect_cycles=48, persist_cycles=0, classify_persistence=False),
+            candidate_bits=np.arange(0, mult_hw.device.block0_bits, 29, dtype=np.int64),
+        )
+        attribution = sensitive_cells(mult_hw, res)
+        assert attribution and max(attribution.values()) > 0
+
+
+class TestRadDrc:
+    def test_preserves_behaviour(self, lfsr_spec):
+        rd = remove_half_latches(lfsr_spec)
+        _, _, ref = _outputs(lfsr_spec)
+        _, _, got = _outputs(rd)
+        assert np.array_equal(ref, got)
+
+    def test_eliminates_critical_halflatches(self, lfsr_hw, lfsr_spec, s8):
+        cfg = CampaignConfig(detect_cycles=48, persist_cycles=0, classify_persistence=False)
+        before = sum(run_halflatch_campaign(lfsr_hw, cfg).values())
+        rd_hw = implement(remove_half_latches(lfsr_spec), s8)
+        after = sum(run_halflatch_campaign(rd_hw, cfg).values())
+        assert before > 0 and after == 0
+
+    def test_all_ffs_gain_explicit_ce(self, lfsr_spec):
+        rd = remove_half_latches(lfsr_spec)
+        for c in rd.netlist.cells():
+            if c.kind is CellKind.FF:
+                assert len(c.pins) >= 2
+
+    def test_lutrom_constants_shared_per_group(self, lfsr_spec):
+        rd = remove_half_latches(lfsr_spec, group_size=8)
+        consts = [c for c in rd.netlist.cells() if c.kind is CellKind.CONST]
+        n_ffs = lfsr_spec.netlist.n_ffs
+        assert len(consts) == -(-n_ffs // 8)
+
+    def test_external_style_uses_input(self, lfsr_spec):
+        rd = remove_half_latches(lfsr_spec, style="external")
+        assert "vcc_ext" in rd.netlist.inputs
+        stim = rd.stimulus(10, 0)
+        assert (stim[:, 0] == 1).all()
+        _, _, ref = _outputs(lfsr_spec)
+        d = compile_netlist(rd.netlist)
+        got = BatchSimulator.golden_trace(d, rd.stimulus(50, 1)).outputs
+        assert np.array_equal(ref, got)
+
+    def test_unknown_style_rejected(self, lfsr_spec):
+        with pytest.raises(MitigationError):
+            remove_half_latches(lfsr_spec, style="magic")
+
+
+class TestStrategy:
+    def _result(self, sensitivity, persistence, n=10_000):
+        from repro.seu.campaign import BitVerdict, CampaignConfig, CampaignResult
+
+        n_sens = int(n * sensitivity)
+        n_pers = int(n_sens * persistence)
+        verdicts = np.zeros(n, dtype=np.uint8)
+        verdicts[:n_pers] = BitVerdict.FAIL_PERSISTENT
+        verdicts[n_pers:n_sens] = BitVerdict.FAIL_TRANSIENT
+        return CampaignResult(
+            "synthetic", "S8", CampaignConfig(), n, verdicts,
+            np.arange(n, dtype=np.int64),
+        )
+
+    def test_feedforward_gets_scrub_only(self):
+        rec = recommend_strategy(self._result(0.05, 0.0))
+        assert rec.strategy is MitigationStrategy.SCRUB_ONLY
+
+    def test_moderate_persistence_gets_reset(self):
+        rec = recommend_strategy(self._result(0.05, 0.10))
+        assert rec.strategy is MitigationStrategy.SCRUB_PLUS_RESET
+
+    def test_high_persistence_gets_selective_tmr(self):
+        rec = recommend_strategy(self._result(0.05, 0.90))
+        assert rec.strategy is MitigationStrategy.SELECTIVE_TMR
+
+    def test_broad_sensitivity_gets_full_tmr(self):
+        rec = recommend_strategy(self._result(0.20, 0.90))
+        assert rec.strategy is MitigationStrategy.FULL_TMR
+
+    def test_halflatch_flag(self):
+        rec = recommend_strategy(self._result(0.05, 0.0), critical_halflatch_fraction=0.05)
+        assert rec.add_raddrc
+        assert "RadDRC" in str(rec)

@@ -1,0 +1,85 @@
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.cells import (
+    Cell,
+    CellKind,
+    LUT_AND2,
+    LUT_BUF,
+    LUT_INV,
+    LUT_MAJ3,
+    LUT_MUX21,
+    LUT_XOR2,
+    LUT_XOR3,
+    lut_table,
+)
+
+
+def _eval(table: int, *pins: int) -> int:
+    addr = sum(b << i for i, b in enumerate(pins))
+    return (table >> addr) & 1
+
+
+class TestLutTable:
+    def test_xor2_truth(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                assert _eval(LUT_XOR2, a, b, 1, 1) == a ^ b
+
+    def test_maj3_truth(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    assert _eval(LUT_MAJ3, a, b, c, 1) == int(a + b + c >= 2)
+
+    def test_mux21_truth(self):
+        # out = b if s else a, pins (a, b, s)
+        assert _eval(LUT_MUX21, 1, 0, 0, 1) == 1
+        assert _eval(LUT_MUX21, 1, 0, 1, 1) == 0
+
+    def test_replication_across_unused_pins(self):
+        """Unused high pins must be don't-care — the redundancy that
+        makes half-latch flips on unused LUT pins harmless (paper III-C)."""
+        for hi in range(4):
+            assert _eval(LUT_BUF, 1, (hi >> 0) & 1, (hi >> 1) & 1, 0) == 1
+            assert _eval(LUT_INV, 1, (hi >> 0) & 1, (hi >> 1) & 1, 0) == 0
+
+    def test_pin_count_bounds(self):
+        with pytest.raises(NetlistError):
+            lut_table(lambda: 1, 0)
+        with pytest.raises(NetlistError):
+            lut_table(lambda a, b, c, d, e: 1, 5)
+
+
+class TestCellValidation:
+    def test_lut_table_range(self):
+        with pytest.raises(NetlistError):
+            Cell("x", CellKind.LUT, (), table=1 << 16)
+
+    def test_lut_pin_limit(self):
+        with pytest.raises(NetlistError):
+            Cell("x", CellKind.LUT, ("a", "b", "c", "d", "e"), table=0)
+
+    def test_ff_needs_d(self):
+        with pytest.raises(NetlistError):
+            Cell("x", CellKind.FF, ())
+
+    def test_ff_init_binary(self):
+        with pytest.raises(NetlistError):
+            Cell("x", CellKind.FF, ("d",), init=2)
+
+    def test_const_value_binary(self):
+        with pytest.raises(NetlistError):
+            Cell("x", CellKind.CONST, (), value=5)
+
+    def test_const_no_pins(self):
+        with pytest.raises(NetlistError):
+            Cell("x", CellKind.CONST, ("a",), value=1)
+
+    def test_input_no_pins(self):
+        with pytest.raises(NetlistError):
+            Cell("x", CellKind.INPUT, ("a",))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Cell("", CellKind.INPUT)

@@ -1,0 +1,55 @@
+import numpy as np
+
+from repro.netlist.levelize import levelize
+
+
+class TestLevelize:
+    def test_independent_luts_single_level(self):
+        levels, in_cycle = levelize(3, [[], [], []])
+        assert len(levels) == 1
+        assert sorted(levels[0].tolist()) == [0, 1, 2]
+        assert not in_cycle.any()
+
+    def test_chain_gets_one_level_each(self):
+        levels, _ = levelize(3, [[], [0], [1]])
+        assert [lv.tolist() for lv in levels] == [[0], [1], [2]]
+
+    def test_diamond(self):
+        # 0 -> 1, 0 -> 2, {1,2} -> 3
+        levels, _ = levelize(4, [[], [0], [0], [1, 2]])
+        assert levels[0].tolist() == [0]
+        assert sorted(levels[1].tolist()) == [1, 2]
+        assert levels[2].tolist() == [3]
+
+    def test_every_row_appears_once(self):
+        rng = np.random.default_rng(0)
+        n = 40
+        sources = [list(rng.choice(i, size=min(i, 2), replace=False)) if i else [] for i in range(n)]
+        levels, _ = levelize(n, sources)
+        flat = np.concatenate(levels)
+        assert sorted(flat.tolist()) == list(range(n))
+
+    def test_cycle_members_share_level_downstream_levels_normally(self):
+        # 1 <-> 2 cycle; 0 independent; 3 depends on the cycle.
+        levels, in_cycle = levelize(4, [[], [2], [1], [1]])
+        assert in_cycle.tolist() == [False, True, True, False]
+        level_of = {}
+        for d, lv in enumerate(levels):
+            for r in lv:
+                level_of[int(r)] = d
+        assert level_of[1] == level_of[2]
+        assert level_of[3] > level_of[1]  # downstream evaluates after the SCC
+
+    def test_self_loop(self):
+        levels, in_cycle = levelize(1, [[0]])
+        assert in_cycle.tolist() == [True]
+        assert levels[0].tolist() == [0]
+
+    def test_empty(self):
+        levels, in_cycle = levelize(0, [])
+        assert levels == [] and in_cycle.size == 0
+
+    def test_duplicate_sources_counted_once(self):
+        levels, in_cycle = levelize(2, [[], [0, 0, 0]])
+        assert not in_cycle.any()
+        assert [lv.tolist() for lv in levels] == [[0], [1]]

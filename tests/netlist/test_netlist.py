@@ -1,0 +1,88 @@
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Netlist
+from repro.netlist.cells import LUT_AND2, LUT_XOR2
+
+
+@pytest.fixture()
+def nl():
+    n = Netlist("t")
+    n.add_input("a")
+    n.add_input("b")
+    n.add_lut("x", LUT_XOR2, ["a", "b"])
+    n.add_ff("q", "x")
+    n.set_outputs(["q"])
+    return n
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self, nl):
+        with pytest.raises(NetlistError):
+            nl.add_input("a")
+
+    def test_unknown_output_rejected(self, nl):
+        with pytest.raises(NetlistError):
+            nl.set_outputs(["nope"])
+
+    def test_ff_sr_requires_ce(self, nl):
+        with pytest.raises(NetlistError):
+            nl.add_ff("q2", "x", ce=None, sr="a")
+
+    def test_empty_netlist_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist("")
+
+
+class TestQueries:
+    def test_counts(self, nl):
+        assert nl.n_luts == 1
+        assert nl.n_ffs == 1
+        assert len(nl) == 4
+
+    def test_inputs_ordered(self, nl):
+        assert nl.inputs == ["a", "b"]
+
+    def test_fanout(self, nl):
+        fo = nl.fanout()
+        assert fo["a"] == ["x"]
+        assert fo["x"] == ["q"]
+        assert fo["q"] == []
+
+    def test_cell_lookup_missing(self, nl):
+        with pytest.raises(NetlistError):
+            nl.cell("nope")
+
+    def test_contains(self, nl):
+        assert "x" in nl and "zzz" not in nl
+
+    def test_stats(self, nl):
+        s = nl.stats()
+        assert s == {"inputs": 2, "consts": 0, "luts": 1, "ffs": 1, "outputs": 1}
+
+
+class TestValidation:
+    def test_valid_passes(self, nl):
+        nl.validate()
+
+    def test_dangling_pin_rejected(self):
+        n = Netlist("bad")
+        n.add_lut("x", LUT_AND2, ["ghost", "ghost2"])
+        n.set_outputs(["x"])
+        with pytest.raises(NetlistError):
+            n.validate()
+
+    def test_no_outputs_rejected(self):
+        n = Netlist("bad")
+        n.add_input("a")
+        with pytest.raises(NetlistError):
+            n.validate()
+
+    def test_forward_references_allowed(self):
+        """Generators reference FFs before creating them (LFSR feedback)."""
+        n = Netlist("fwd")
+        n.add_lut("fb", LUT_XOR2, ["q1", "q0"])
+        n.add_ff("q0", "fb", init=1)
+        n.add_ff("q1", "q0")
+        n.set_outputs(["q1"])
+        n.validate()

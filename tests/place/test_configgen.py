@@ -1,0 +1,120 @@
+"""Bit-level checks on the configuration generator."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.resources import (
+    CTRL_CLK,
+    FF_BYPASS,
+    FF_INIT,
+    ctrl_mux_offset,
+    ff_config_offset,
+    imux_offset,
+    lut_content_offset,
+    output_mux_offset,
+)
+from repro.netlist import Netlist
+from repro.netlist.cells import LUT_XOR2
+from repro.place import generate_bitstream, place_design, route_design
+
+
+@pytest.fixture(scope="module")
+def simple(s8):
+    nl = Netlist("simple")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_lut("x", LUT_XOR2, ["a", "b"])
+    nl.add_ff("q", "x", init=1)
+    nl.add_const("one", 1)
+    nl.add_lut("y", LUT_XOR2, ["q", "one"])
+    nl.set_outputs(["y"])
+    placement = place_design(nl, s8)
+    routed = route_design(placement)
+    bits, io = generate_bitstream(routed)
+    return nl, placement, routed, bits, io, s8
+
+
+def _bit(dev, bits, row, col, intra):
+    frame, off = dev.clb_bit_frame(row, col, intra)
+    return int(bits.frame_view(frame)[off])
+
+
+class TestLutEncoding:
+    def test_lut_table_bits(self, simple):
+        nl, placement, routed, bits, io, dev = simple
+        site = placement.lut_site["x"]
+        for entry in range(16):
+            expected = (LUT_XOR2 >> entry) & 1
+            assert _bit(dev, bits, site.row, site.col, lut_content_offset(site.pos, entry)) == expected
+
+    def test_const_rom_is_all_ones(self, simple):
+        nl, placement, routed, bits, io, dev = simple
+        site = placement.lut_site["one"]
+        for entry in range(16):
+            assert _bit(dev, bits, site.row, site.col, lut_content_offset(site.pos, entry)) == 1
+
+    def test_unused_lut_tables_zero(self, simple):
+        nl, placement, routed, bits, io, dev = simple
+        used = {(s.row, s.col, s.pos) for s in placement.lut_site.values()}
+        used |= set(routed.route_throughs)
+        far = (dev.rows - 1, dev.cols - 1)
+        for pos in range(4):
+            if (far[0], far[1], pos) in used:
+                continue
+            for entry in range(16):
+                assert _bit(dev, bits, far[0], far[1], lut_content_offset(pos, entry)) == 0
+
+
+class TestFfEncoding:
+    def test_init_bit_written(self, simple):
+        nl, placement, routed, bits, io, dev = simple
+        site = placement.ff_site["q"]
+        assert _bit(dev, bits, site.row, site.col, ff_config_offset(site.pos, FF_INIT)) == 1
+
+    def test_merged_ff_not_bypassed(self, simple):
+        nl, placement, routed, bits, io, dev = simple
+        site = placement.ff_site["q"]
+        assert "q" in placement.merged_ffs
+        assert _bit(dev, bits, site.row, site.col, ff_config_offset(site.pos, FF_BYPASS)) == 0
+
+
+class TestFieldEncoding:
+    def test_imux_fields_one_hot(self, simple):
+        nl, placement, routed, bits, io, dev = simple
+        for (row, col, pos, pin), ci in routed.imux_select.items():
+            field = [
+                _bit(dev, bits, row, col, imux_offset(pos, pin, b)) for b in range(8)
+            ]
+            assert sum(field) == 1 and field[ci] == 1
+
+    def test_clk_fields_set_everywhere(self, simple):
+        nl, placement, routed, bits, io, dev = simple
+        for row in (0, dev.rows // 2, dev.rows - 1):
+            for col in (0, dev.cols - 1):
+                for slc in range(2):
+                    assert _bit(dev, bits, row, col, ctrl_mux_offset(slc, CTRL_CLK, 0)) == 1
+
+    def test_port_fields_one_hot(self, simple):
+        nl, placement, routed, bits, io, dev = simple
+        for (row, col, port), sig in routed.port_select.items():
+            field = [
+                _bit(dev, bits, row, col, output_mux_offset(port, b)) for b in range(8)
+            ]
+            assert sum(field) == 1 and field[sig] == 1
+
+
+class TestIoBinding:
+    def test_inputs_in_order(self, simple):
+        nl, placement, routed, bits, io, dev = simple
+        assert io.input_order == ["a", "b"]
+
+    def test_every_input_tapped(self, simple):
+        nl, placement, routed, bits, io, dev = simple
+        tapped = set(io.taps.values())
+        assert tapped == {0, 1}
+
+    def test_output_probe_points_at_y(self, simple):
+        nl, placement, routed, bits, io, dev = simple
+        (probe,) = io.output_probes
+        site = placement.lut_site["y"]
+        assert probe == (site.row, site.col, site.pos)

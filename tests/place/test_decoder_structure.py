@@ -1,0 +1,73 @@
+"""Structural invariants of the golden decode (caches and node maps)."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.halflatch import HalfLatchKind
+from repro.netlist.compiled import NodeKind
+
+
+class TestGoldenDecodeStructure:
+    def test_fabric_rows_ordered_by_position(self, mult_hw):
+        d = mult_hw.decoded
+        dev = mult_hw.device
+        for clb in (0, dev.n_clbs // 2, dev.n_clbs - 1):
+            row, col = dev.clb_position(clb)
+            for pos in range(4):
+                assert d.lut_row(row, col, pos) == 4 * clb + pos
+                assert d.design.lut_nodes[4 * clb + pos] == d.lut_node(row, col, pos)
+
+    def test_outputs_in_cone(self, mult_hw):
+        d = mult_hw.decoded
+        for node in d.design.output_nodes:
+            assert d.node_in_cone(int(node))
+
+    def test_cone_is_small_fraction_of_device(self, mult_hw):
+        d = mult_hw.decoded
+        frac = d._cone.sum() / d.design.n_nodes
+        assert 0.0 < frac < 0.4
+
+    def test_halflatch_sites_have_valid_kinds(self, mult_hw):
+        d = mult_hw.decoded
+        for node, site in d.halflatch_site_of_node.items():
+            assert d.design.node_kind[node] == int(NodeKind.HALF_LATCH)
+            assert isinstance(site.kind, HalfLatchKind)
+
+    def test_every_used_pin_cached(self, mult_hw):
+        d = mult_hw.decoded
+        for (row, col, pos, pin), _ci in mult_hw.routed.imux_select.items():
+            assert (row, col, pos, pin) in d.pin_source
+
+    def test_ctrl_nodes_cached_for_all_slices(self, mult_hw):
+        d = mult_hw.decoded
+        dev = mult_hw.device
+        from repro.fpga.resources import CTRL_CE, CTRL_SR
+
+        for row in (0, dev.rows - 1):
+            for col in (0, dev.cols - 1):
+                for slc in range(2):
+                    assert (row, col, slc, CTRL_CE) in d.ctrl_node
+                    assert (row, col, slc, CTRL_SR) in d.ctrl_node
+
+    def test_spare_rows_inert_in_golden(self, mult_hw):
+        d = mult_hw.decoded
+        for srow in d.spare_rows:
+            assert (d.design.lut_inputs[srow] == 1).all()  # const-1 fed
+            assert d.design.lut_tables[srow][15] == 1  # AND4 table
+
+    def test_spares_scheduled_last(self, mult_hw):
+        d = mult_hw.decoded
+        last = set(int(x) for x in d.design.levels[-1])
+        assert set(d.spare_rows) <= last
+
+    def test_port_wires_have_drive_pips(self, mult_hw):
+        d = mult_hw.decoded
+        for (r, c, p), wires in d.port_wires.items():
+            for (wr, wc, wd, ww) in wires:
+                assert (wr, wc) == (r, c)
+                assert ww % 4 == p
+
+    def test_wire_consumers_reference_resolved_wires(self, mult_hw):
+        d = mult_hw.decoded
+        for key in d.wire_consumers:
+            assert key in d.wire_value

@@ -1,0 +1,123 @@
+import pytest
+
+from repro.designs import array_multiplier, lfsr_cluster_design, paper_suite_table1
+from repro.errors import PlacementError
+from repro.fpga import get_device
+from repro.netlist import Netlist
+from repro.netlist.cells import LUT_XOR2
+from repro.place import place_design
+from repro.place.placer import Site
+
+
+class TestSite:
+    def test_slice_index(self):
+        assert Site(0, 0, 0).slice_index == 0
+        assert Site(0, 0, 1).slice_index == 0
+        assert Site(0, 0, 2).slice_index == 1
+        assert Site(0, 0, 3).slice_index == 1
+
+
+class TestPlacement:
+    def test_every_cell_placed(self, mult_spec, s8):
+        p = place_design(mult_spec.netlist, s8)
+        for cell in mult_spec.netlist.cells():
+            if cell.kind.value in ("lut", "const"):
+                assert cell.name in p.lut_site
+            elif cell.kind.value == "ff":
+                assert cell.name in p.ff_site
+
+    def test_positions_not_shared_between_units(self, mult_spec, s8):
+        p = place_design(mult_spec.netlist, s8)
+        # A position may host a merged LUT+FF pair but never two LUTs.
+        lut_positions = list(p.lut_site.values())
+        assert len(lut_positions) == len(set(lut_positions))
+        ff_positions = list(p.ff_site.values())
+        assert len(ff_positions) == len(set(ff_positions))
+
+    def test_merge_rule_fanout1_lut_into_ff(self, s8):
+        nl = Netlist("m")
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_lut("x", LUT_XOR2, ["a", "b"])
+        nl.add_ff("q", "x")
+        nl.set_outputs(["q"])
+        p = place_design(nl, s8)
+        assert "q" in p.merged_ffs
+        assert p.lut_site["x"] == p.ff_site["q"]
+
+    def test_no_merge_when_lut_has_other_readers(self, s8):
+        nl = Netlist("m")
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_lut("x", LUT_XOR2, ["a", "b"])
+        nl.add_ff("q", "x")
+        nl.add_lut("y", LUT_XOR2, ["x", "a"])
+        nl.set_outputs(["q", "y"])
+        p = place_design(nl, s8)
+        assert "q" not in p.merged_ffs
+        assert p.lut_site["x"] != p.ff_site["q"]
+
+    def test_const_becomes_lut_rom(self, mult_spec, s8):
+        p = place_design(mult_spec.netlist, s8)
+        assert p.const_roms == {"zero": 0}
+        assert "zero" in p.lut_site
+
+    def test_deterministic(self, mult_spec, s8):
+        p1 = place_design(mult_spec.netlist, s8)
+        p2 = place_design(mult_spec.netlist, s8)
+        assert p1.lut_site == p2.lut_site and p1.ff_site == p2.ff_site
+
+    def test_overflow_rejected(self, s4):
+        big = array_multiplier(8)
+        with pytest.raises(PlacementError):
+            place_design(big.netlist, s4)
+
+    def test_inputs_take_no_sites(self, mult_spec, s8):
+        p = place_design(mult_spec.netlist, s8)
+        for name in mult_spec.netlist.inputs:
+            assert name not in p.lut_site and name not in p.ff_site
+
+
+class TestStatistics:
+    def test_used_slices_counts_slices_not_positions(self, s8):
+        nl = Netlist("two")
+        nl.add_input("a")
+        nl.add_ff("q0", "a")
+        nl.add_ff("q1", "a")
+        nl.set_outputs(["q0", "q1"])
+        p = place_design(nl, s8)
+        # Two FFs land in positions 0 and 1 = one slice.
+        assert p.used_slices == 1
+
+    def test_utilization_fraction(self, mult_hw):
+        assert 0.0 < mult_hw.utilization < 1.0
+        assert mult_hw.utilization == mult_hw.used_slices / mult_hw.device.n_slices
+
+    def test_signal_index_lut_vs_ff(self, s8):
+        nl = Netlist("sig")
+        nl.add_input("a")
+        nl.add_lut("x", LUT_XOR2, ["a", "a"])
+        nl.add_ff("q", "a")
+        nl.set_outputs(["x", "q"])
+        p = place_design(nl, s8)
+        assert p.signal_index("x") == p.lut_site["x"].pos
+        assert p.signal_index("q") == 4 + p.ff_site["q"].pos
+
+
+class TestPaperScale:
+    """The paper-size designs must place on the XCV1000 with believable
+    utilisation ordering (Table I's Logic Slices column)."""
+
+    def test_paper_suite_fits_xcv1000(self, xcv1000):
+        suite = paper_suite_table1()
+        sizes = {}
+        for spec in suite:
+            p = place_design(spec.netlist, xcv1000)
+            sizes[spec.name] = p.used_slices
+            assert p.used_slices <= xcv1000.n_slices
+        # Within a family, size grows with the parameter.
+        assert sizes["LFSR 18"] < sizes["LFSR 36"] < sizes["LFSR 54"] < sizes["LFSR 72"]
+        assert sizes["MULT 12"] < sizes["MULT 24"] < sizes["MULT 36"] < sizes["MULT 48"]
+        assert sizes["VMULT 18"] < sizes["VMULT 36"]
+        # VMULT costs more than MULT at comparable width (paper Table I).
+        assert sizes["VMULT 36"] > sizes["MULT 36"]

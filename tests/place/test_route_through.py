@@ -1,0 +1,87 @@
+"""Route-through buffer invariants."""
+
+import numpy as np
+import pytest
+
+from repro.designs import array_multiplier, scaled_suite_table2
+from repro.fpga import get_device
+from repro.netlist import BatchSimulator, compile_netlist
+from repro.place import implement, place_design, route_design
+
+
+@pytest.fixture(scope="module")
+def routed_with_buffers(s8):
+    spec = array_multiplier(4)
+    hw = implement(spec, s8)
+    return hw
+
+
+class TestRouteThroughs:
+    def test_buffers_only_on_free_positions(self, routed_with_buffers):
+        hw = routed_with_buffers
+        used = hw.placement.used_positions
+        for (r, c, pos) in hw.routed.route_throughs:
+            from repro.place.placer import Site
+
+            assert Site(r, c, pos) not in used
+
+    def test_buffer_positions_unique(self, routed_with_buffers):
+        hw = routed_with_buffers
+        keys = list(hw.routed.route_throughs)
+        assert len(keys) == len(set(keys))
+
+    def test_buffer_pin_has_imux_selection(self, routed_with_buffers):
+        hw = routed_with_buffers
+        for (r, c, pos), (_net, bp) in hw.routed.route_throughs.items():
+            assert (r, c, pos, bp) in hw.routed.imux_select
+
+    def test_buffer_table_is_a_buffer(self, routed_with_buffers):
+        """The configured LUT must copy its fed pin to its output."""
+        hw = routed_with_buffers
+        from repro.fpga.resources import lut_content_offset
+
+        for (r, c, pos), (_net, bp) in hw.routed.route_throughs.items():
+            for entry in range(16):
+                frame, off = hw.device.clb_bit_frame(
+                    r, c, lut_content_offset(pos, entry)
+                )
+                got = int(hw.bitstream.frame_view(frame)[off])
+                assert got == (entry >> bp) & 1
+
+    def test_behavioural_equivalence_preserved(self, routed_with_buffers):
+        hw = routed_with_buffers
+        ref = compile_netlist(hw.spec.netlist)
+        stim = hw.spec.stimulus(80, 9)
+        assert np.array_equal(
+            BatchSimulator.golden_trace(ref, stim).outputs,
+            BatchSimulator.golden_trace(hw.decoded.design, stim).outputs,
+        )
+
+    def test_table2_suite_routes_on_s12(self, s12):
+        """The congestion case that motivated neighbour route-throughs."""
+        for spec in scaled_suite_table2():
+            routed = route_design(place_design(spec.netlist, s12))
+            assert routed is not None
+
+
+class TestHeatmap:
+    def test_heatmap_localizes_design(self, mult_hw):
+        from repro.seu import CampaignConfig, SensitivityMap, run_campaign
+
+        bits = np.arange(0, mult_hw.device.block0_bits, 31, dtype=np.int64)
+        res = run_campaign(
+            mult_hw,
+            CampaignConfig(detect_cycles=48, persist_cycles=0, classify_persistence=False),
+            candidate_bits=bits,
+        )
+        smap = SensitivityMap.from_campaign(mult_hw.device, res)
+        grid = smap.clb_heatmap()
+        assert grid.sum() > 0
+        hot = {(r, c) for r, c in zip(*np.nonzero(grid))}
+        used = mult_hw.placement.used_clbs
+        # Sensitive CLBs are the used ones plus routing neighbourhood.
+        assert hot
+        assert len(hot - used) <= 3 * len(used)
+        art = smap.ascii_heatmap()
+        assert len(art.splitlines()) == mult_hw.device.rows
+        assert "." in art

@@ -1,0 +1,80 @@
+"""Router trunk-reuse and BFS-path invariants."""
+
+import pytest
+
+from repro.fpga.resources import Direction
+from repro.netlist import Netlist
+from repro.netlist.cells import LUT_XOR2
+from repro.place import place_design, route_design
+from repro.place.placer import Placement, Site
+
+
+def _fanout_net(s8, n_sinks=6):
+    """One FF fanning out to sinks placed down a column."""
+    nl = Netlist("fan")
+    nl.add_input("a")
+    nl.add_ff("src", "a")
+    outs = []
+    for i in range(n_sinks):
+        outs.append(nl.add_lut(f"sink{i}", LUT_XOR2, ["src", "a"]))
+    nl.set_outputs(outs)
+    return route_design(place_design(nl, s8))
+
+
+class TestTrunkReuse:
+    def test_fanout_shares_wires(self, s8):
+        routed = _fanout_net(s8)
+        # The src net must own wires, but far fewer than sinks x path
+        # length if the trunk is reused.
+        src_wires = [k for k, net in routed.wire_net.items() if net == "src"]
+        assert src_wires
+        assert len(src_wires) <= 14  # 6 sinks, heavy sharing
+
+    def test_one_port_per_signal_usually(self, s8):
+        routed = _fanout_net(s8)
+        src_ports = [
+            (key, sig)
+            for key, sig in routed.port_select.items()
+            if sig == routed.placement.signal_index("src")
+            and (key[0], key[1]) == (
+                routed.placement.site_of("src").row,
+                routed.placement.site_of("src").col,
+            )
+        ]
+        assert 1 <= len(src_ports) <= 2
+
+    def test_pips_form_connected_paths(self, s8):
+        """Every straight/turn PIP must forward a wire that is driven
+        (owned) somewhere upstream: no dangling forwards."""
+        routed = _fanout_net(s8)
+        dev = routed.placement.device
+        for (r, c, d_in, w) in routed.straight_pips:
+            upstream = dev.incoming_wire(r, c, Direction(d_in), w)
+            assert upstream is not None
+            key = (upstream.row, upstream.col, int(upstream.direction), upstream.index)
+            assert key in routed.wire_net
+        for (r, c, d_in, _p, w) in routed.turn_pips:
+            upstream = dev.incoming_wire(r, c, Direction(d_in), w)
+            assert upstream is not None
+            key = (upstream.row, upstream.col, int(upstream.direction), upstream.index)
+            assert key in routed.wire_net
+
+    def test_drive_pips_on_owned_wires_only(self, s8):
+        routed = _fanout_net(s8)
+        for key in routed.drive_pips:
+            assert key in routed.wire_net
+
+    def test_wire_indices_constant_along_paths(self, s8):
+        """The fixed-index corridor property: every wire a net owns has
+        an index from the candidate classes its sinks selected."""
+        routed = _fanout_net(s8)
+        indices = {w for (_r, _c, _d, w), net in routed.wire_net.items() if net == "src"}
+        # All corridor indices must be among the selected sink candidates.
+        from repro.fpga.resources import WireSource, imux_candidates
+
+        selected = set()
+        for (r, c, pos, pin), ci in routed.imux_select.items():
+            cand = imux_candidates(pos, pin)[ci]
+            if isinstance(cand, WireSource):
+                selected.add(cand.index)
+        assert indices <= selected

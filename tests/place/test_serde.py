@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.errors import BitstreamError
+from repro.netlist import BatchSimulator
+from repro.place import load_configuration, save_configuration
+from repro.place.decoder import decode_bitstream
+
+
+class TestConfigurationArtifacts:
+    def test_roundtrip_bits_and_binding(self, mult_hw, tmp_path):
+        path = str(tmp_path / "mult4.npz")
+        save_configuration(path, mult_hw.device, mult_hw.bitstream, mult_hw.io)
+        device, bits, io = load_configuration(path)
+        assert device is mult_hw.device
+        assert np.array_equal(bits.bits, mult_hw.bitstream.bits)
+        assert io.input_order == mult_hw.io.input_order
+        assert io.taps == mult_hw.io.taps
+        assert io.net_taps == mult_hw.io.net_taps
+        assert io.output_probes == mult_hw.io.output_probes
+
+    def test_loaded_configuration_decodes_to_same_behaviour(self, mult_hw, mult_spec, tmp_path):
+        path = str(tmp_path / "mult4.npz")
+        save_configuration(path, mult_hw.device, mult_hw.bitstream, mult_hw.io)
+        device, bits, io = load_configuration(path)
+        decoded = decode_bitstream(device, bits, io)
+        stim = mult_spec.stimulus(50, 4)
+        assert np.array_equal(
+            BatchSimulator.golden_trace(decoded.design, stim).outputs,
+            BatchSimulator.golden_trace(mult_hw.decoded.design, stim).outputs,
+        )
+
+    def test_geometry_mismatch_rejected(self, mult_hw, s12, tmp_path):
+        from repro.bitstream import ConfigBitstream
+
+        with pytest.raises(BitstreamError):
+            save_configuration(
+                str(tmp_path / "x.npz"),
+                s12,
+                ConfigBitstream(mult_hw.device.geometry),
+                mult_hw.io,
+            )
+
+    def test_empty_binding_roundtrip(self, s8, tmp_path):
+        from repro.bitstream import ConfigBitstream
+        from repro.place.configgen import IOBinding
+
+        path = str(tmp_path / "empty.npz")
+        save_configuration(path, s8, ConfigBitstream(s8.geometry), IOBinding())
+        device, bits, io = load_configuration(path)
+        assert not bits.bits.any()
+        assert io.input_order == [] and io.taps == {} and io.output_probes == []

@@ -1,0 +1,70 @@
+"""Property tests on the fault machinery itself."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import BatchSimulator
+
+
+@pytest.fixture(scope="module")
+def hw(request):
+    from repro.designs import array_multiplier
+    from repro.fpga import get_device
+    from repro.place import implement
+
+    return implement(array_multiplier(4), get_device("S8"))
+
+
+class TestPatchProperties:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_double_flip_yields_no_patch_drift(self, hw, data):
+        """patch_for_bit must leave the golden bitstream untouched, so
+        computing the same patch twice gives the same answer."""
+        bit = data.draw(st.integers(0, hw.device.block0_bits - 1))
+        p1 = hw.decoded.patch_for_bit(bit)
+        p2 = hw.decoded.patch_for_bit(bit)
+        if p1 is None:
+            assert p2 is None
+        else:
+            assert p2 is not None
+            assert p1.lut_inputs == p2.lut_inputs
+            assert p1.ff_fields == p2.ff_fields
+            assert [(r, t.tolist()) for r, t in p1.lut_tables] == [
+                (r, t.tolist()) for r, t in p2.lut_tables
+            ]
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_repair_restores_golden_hardware(self, hw, data):
+        bit = data.draw(st.integers(0, hw.device.block0_bits - 1))
+        patch = hw.decoded.patch_for_bit(bit)
+        if patch is None:
+            return
+        design = hw.decoded.design
+        sim = BatchSimulator(design, [patch])
+        sim.repair_machine(0)
+        assert np.array_equal(sim.lut_tables[0], design.lut_tables)
+        assert np.array_equal(sim.lut_inputs[0], design.lut_inputs)
+        assert np.array_equal(sim.ff_ce[0], design.ff_ce)
+        assert np.array_equal(sim.output_nodes[0], design.output_nodes)
+
+    @given(st.data())
+    @settings(max_examples=12, deadline=None)
+    def test_unpatched_machines_always_match_golden(self, hw, data):
+        """Whatever patch rides along in the batch, clean machines must
+        behave exactly like the golden design."""
+        bit = data.draw(st.integers(0, hw.device.block0_bits - 1))
+        patch = hw.decoded.patch_for_bit(bit)
+        if patch is None:
+            return
+        from repro.netlist import Patch
+
+        design = hw.decoded.design
+        stim = hw.spec.stimulus(30, data.draw(st.integers(0, 100)))
+        golden = BatchSimulator.golden_trace(design, stim)
+        sim = BatchSimulator(design, [patch, Patch()])
+        outs = sim.run(stim)
+        assert np.array_equal(outs[:, 1, :], golden.outputs)

@@ -1,0 +1,46 @@
+"""Property-based tests on the configuration-memory geometry."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.geometry import CLB_BITS_PER_CLB, DeviceGeometry
+
+geometries = st.builds(
+    DeviceGeometry,
+    rows=st.integers(1, 16).map(lambda r: r * 4),
+    cols=st.integers(1, 24),
+    n_bram_cols=st.sampled_from([0, 2]),
+)
+
+
+class TestGeometryProperties:
+    @given(geometries)
+    @settings(max_examples=30)
+    def test_frames_tile_the_bitstream(self, geo):
+        total = sum(geo.frame_bits_of(f) for f in range(geo.n_frames))
+        assert total == geo.total_bits
+        assert geo.block0_bits <= geo.total_bits
+
+    @given(geometries, st.data())
+    @settings(max_examples=40)
+    def test_frame_address_bijection(self, geo, data):
+        f = data.draw(st.integers(0, geo.n_frames - 1))
+        assert geo.frame_index(geo.frame_address(f)) == f
+
+    @given(geometries, st.data())
+    @settings(max_examples=40)
+    def test_clb_bit_bijection(self, geo, data):
+        row = data.draw(st.integers(0, geo.rows - 1))
+        col = data.draw(st.integers(0, geo.cols - 1))
+        intra = data.draw(st.integers(0, CLB_BITS_PER_CLB - 1))
+        frame, bit = geo.clb_bit(row, col, intra)
+        assert geo.clb_of_bit(frame, bit) == (row, col, intra)
+
+    @given(geometries)
+    @settings(max_examples=30)
+    def test_clb_bits_account_for_grid(self, geo):
+        """Every CLB owns 864 bits; CLB columns hold rows x 864 + overhead."""
+        from repro.fpga.geometry import CLB_FRAMES_PER_COL, COLUMN_OVERHEAD_BITS
+
+        col_bits = CLB_FRAMES_PER_COL * geo.clb_frame_bits
+        assert col_bits == geo.rows * CLB_BITS_PER_CLB + CLB_FRAMES_PER_COL * COLUMN_OVERHEAD_BITS

@@ -1,0 +1,97 @@
+"""Property tests on the mitigation transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs import array_multiplier, lfsr_cluster_design
+from repro.mitigation import apply_selective_tmr, apply_tmr, remove_half_latches
+from repro.netlist import BatchSimulator, Patch, compile_netlist
+from repro.netlist.cells import CellKind
+
+
+@pytest.fixture(scope="module")
+def tmr_compiled():
+    spec = lfsr_cluster_design(1, n_bits=8, per_cluster=2)
+    tmr = apply_tmr(spec)
+    d = compile_netlist(tmr.netlist)
+    stim = np.zeros((60, 0), dtype=np.uint8)
+    golden = BatchSimulator.golden_trace(d, stim)
+    domain_rows = {}
+    lut_names = [c.name for c in tmr.netlist.cells() if c.kind is CellKind.LUT]
+    for r, name in enumerate(lut_names):
+        for dom in "ABC":
+            if f"__tmr{dom}" in name:
+                domain_rows.setdefault(dom, []).append(r)
+    return d, stim, golden, domain_rows
+
+
+class TestTmrProperties:
+    @given(st.sampled_from("ABC"), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_any_single_domain_lut_fault_masked(self, tmr_compiled, domain, data):
+        """Whatever single LUT of one domain breaks, however it breaks,
+        the voted outputs stay golden."""
+        d, stim, golden, domain_rows = tmr_compiled
+        rows = domain_rows[domain]
+        row = data.draw(st.sampled_from(rows))
+        table = np.array(
+            data.draw(st.lists(st.integers(0, 1), min_size=16, max_size=16)),
+            dtype=np.uint8,
+        )
+        sim = BatchSimulator(d, [Patch(lut_tables=[(row, table)])])
+        outs = sim.run(stim)
+        assert np.array_equal(outs[:, 0, :], golden.outputs)
+
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_two_domain_faults_can_break(self, tmr_compiled, data):
+        """TMR's guarantee is single-fault: this is not asserted to
+        always break, just exercised to document the boundary (no crash,
+        verdict either way)."""
+        d, stim, golden, domain_rows = tmr_compiled
+        ra = data.draw(st.sampled_from(domain_rows["A"]))
+        rb = data.draw(st.sampled_from(domain_rows["B"]))
+        zero = np.zeros(16, dtype=np.uint8)
+        sim = BatchSimulator(d, [Patch(lut_tables=[(ra, zero), (rb, zero)])])
+        sim.run(stim)  # must simply run
+
+
+class TestTransformComposition:
+    def test_raddrc_then_tmr_behaviour_preserved(self):
+        spec = lfsr_cluster_design(1, n_bits=8, per_cluster=2)
+        combo = apply_tmr(remove_half_latches(spec))
+        ref = compile_netlist(spec.netlist)
+        got = compile_netlist(combo.netlist)
+        stim = np.zeros((50, 0), dtype=np.uint8)
+        assert np.array_equal(
+            BatchSimulator.golden_trace(ref, stim).outputs,
+            BatchSimulator.golden_trace(got, stim).outputs,
+        )
+
+    def test_raddrc_then_tmr_keeps_explicit_ce(self):
+        spec = lfsr_cluster_design(1, n_bits=8, per_cluster=2)
+        combo = apply_tmr(remove_half_latches(spec))
+        for c in combo.netlist.cells():
+            if c.kind is CellKind.FF:
+                assert len(c.pins) >= 2  # CE survives the TMR rewrite
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_selective_tmr_any_subset_preserves_behaviour(self, seed):
+        spec = array_multiplier(3)
+        rng = np.random.default_rng(seed)
+        cells = [
+            c.name
+            for c in spec.netlist.cells()
+            if c.kind in (CellKind.LUT, CellKind.FF)
+        ]
+        k = int(rng.integers(1, len(cells)))
+        protect = set(rng.choice(cells, size=k, replace=False))
+        hardened = apply_selective_tmr(spec, protect)
+        stim = spec.stimulus(40, seed)
+        assert np.array_equal(
+            BatchSimulator.golden_trace(compile_netlist(spec.netlist), stim).outputs,
+            BatchSimulator.golden_trace(compile_netlist(hardened.netlist), stim).outputs,
+        )

@@ -1,0 +1,39 @@
+import numpy as np
+
+from repro.fpga.halflatch import HalfLatchKind
+from repro.radiation.hiddenstate import HiddenStateModel
+
+
+class TestHiddenStateModel:
+    def test_enumerates_all_keepers(self, lfsr_hw):
+        model = HiddenStateModel.from_decoded(lfsr_hw.decoded)
+        assert model.n_sites == len(lfsr_hw.decoded.halflatch_node)
+        assert len(model.sites) == model.n_sites
+
+    def test_nodes_are_halflatch_nodes(self, lfsr_hw):
+        from repro.netlist.compiled import NodeKind
+
+        model = HiddenStateModel.from_decoded(lfsr_hw.decoded)
+        kinds = lfsr_hw.decoded.design.node_kind[model.nodes]
+        assert (kinds == int(NodeKind.HALF_LATCH)).all()
+
+    def test_critical_mask_is_cone_membership(self, lfsr_hw):
+        model = HiddenStateModel.from_decoded(lfsr_hw.decoded)
+        mask = model.critical_mask(lfsr_hw.decoded)
+        assert mask.shape == (model.n_sites,)
+        # Most keepers feed unused fabric.
+        assert 0 < mask.sum() < 0.2 * model.n_sites
+
+    def test_ctrl_keepers_present(self, lfsr_hw):
+        model = HiddenStateModel.from_decoded(lfsr_hw.decoded)
+        kinds = {s.kind for s in model.sites}
+        assert HalfLatchKind.CTRL in kinds
+        assert HalfLatchKind.LUT_PIN in kinds
+
+    def test_critical_keepers_in_cone_are_mostly_ctrl(self, lfsr_hw):
+        model = HiddenStateModel.from_decoded(lfsr_hw.decoded)
+        mask = model.critical_mask(lfsr_hw.decoded)
+        crit_kinds = [s.kind for s, m in zip(model.sites, mask) if m]
+        # LUT-pin keepers on used LUTs are in the cone too, but control
+        # keepers must be represented (they are the dangerous ones).
+        assert any(k is HalfLatchKind.CTRL for k in crit_kinds)

@@ -1,0 +1,106 @@
+import numpy as np
+import pytest
+
+from repro.fpga import get_device
+from repro.radiation import (
+    DeviceCrossSection,
+    LEO_FLARE,
+    LEO_QUIET,
+    ProtonBeam,
+    UpsetTarget,
+    WeibullCrossSection,
+    sample_upset_times,
+)
+
+
+@pytest.fixture(scope="module")
+def xqvr_xs():
+    dev = get_device("XQVR1000")
+    return DeviceCrossSection(WeibullCrossSection(), dev.block0_bits)
+
+
+class TestWeibull:
+    def test_zero_below_threshold(self):
+        w = WeibullCrossSection()
+        assert w.sigma(0.5) == 0.0
+        assert w.sigma(1.2) == 0.0
+
+    def test_monotone_above_threshold(self):
+        w = WeibullCrossSection()
+        lets = np.linspace(2, 100, 50)
+        sig = w.sigma(lets)
+        assert (np.diff(sig) >= 0).all()
+
+    def test_saturates(self):
+        w = WeibullCrossSection()
+        assert float(w.sigma(500.0)) == pytest.approx(w.sigma_sat_cm2, rel=1e-3)
+
+    def test_paper_threshold_and_saturation(self):
+        w = WeibullCrossSection()
+        assert w.l0 == 1.2 and w.sigma_sat_cm2 == 8.0e-8
+
+
+class TestDeviceCrossSection:
+    def test_hidden_fraction_partitions_total(self, xqvr_xs):
+        total = xqvr_xs.total_sigma(37.0)
+        vis = xqvr_xs.visible_sigma(37.0)
+        hid = xqvr_xs.hidden_sigma(37.0)
+        assert total == pytest.approx(vis + hid)
+        assert hid / total == pytest.approx(0.0042, rel=1e-6)
+
+
+class TestOrbitRates:
+    def test_paper_system_rates(self, xqvr_xs):
+        """Section I: 1.2 upsets/hour quiet, 9.6/hour in flares for the
+        nine-FPGA payload."""
+        assert LEO_QUIET.system_upsets_per_hour(xqvr_xs, 9) == pytest.approx(1.2, rel=0.01)
+        assert LEO_FLARE.system_upsets_per_hour(xqvr_xs, 9) == pytest.approx(9.6, rel=0.01)
+
+    def test_flare_is_8x_quiet(self):
+        assert LEO_FLARE.effective_flux_cm2_s / LEO_QUIET.effective_flux_cm2_s == pytest.approx(8.0)
+
+
+class TestPoissonArrivals:
+    def test_mean_count(self, rng):
+        times = sample_upset_times(2.0, 1000.0, rng)
+        assert 1800 < times.size < 2200
+
+    def test_sorted_within_window(self, rng):
+        times = sample_upset_times(1.0, 50.0, rng)
+        assert (np.diff(times) >= 0).all()
+        assert times.min() >= 0 and times.max() < 50.0
+
+    def test_zero_rate(self, rng):
+        assert sample_upset_times(0.0, 100.0, rng).size == 0
+
+    def test_negative_rate_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_upset_times(-1.0, 1.0, rng)
+
+
+class TestProtonBeam:
+    def test_tuned_rate_hits_target(self, xqvr_xs):
+        beam = ProtonBeam.tuned_for(xqvr_xs, upsets_per_observation=1.0, observation_s=0.5)
+        assert beam.upset_rate(xqvr_xs) == pytest.approx(2.0)
+
+    def test_sample_split_follows_hidden_fraction(self, xqvr_xs, rng):
+        beam = ProtonBeam.tuned_for(xqvr_xs)
+        upsets = beam.sample_upsets(xqvr_xs, 5000.0, 10_000, 100, rng)
+        hidden = sum(1 for u in upsets if u.target is not UpsetTarget.CONFIG_BIT)
+        frac = hidden / len(upsets)
+        assert 0.001 < frac < 0.01  # around 0.42 %
+
+    def test_arch_control_present(self, xqvr_xs, rng):
+        beam = ProtonBeam.tuned_for(xqvr_xs)
+        upsets = beam.sample_upsets(
+            xqvr_xs, 50_000.0, 10_000, 100, rng, arch_control_fraction=0.5
+        )
+        kinds = {u.target for u in upsets}
+        assert UpsetTarget.ARCH_CONTROL in kinds and UpsetTarget.HALF_LATCH in kinds
+
+    def test_config_indices_in_range(self, xqvr_xs, rng):
+        beam = ProtonBeam.tuned_for(xqvr_xs)
+        upsets = beam.sample_upsets(xqvr_xs, 500.0, 1000, 10, rng)
+        for u in upsets:
+            if u.target is UpsetTarget.CONFIG_BIT:
+                assert 0 <= u.index < 1000

@@ -1,0 +1,51 @@
+import numpy as np
+import pytest
+
+from repro.errors import ECCUncorrectableError
+from repro.scrub.ecc import SECDED_CODE_BITS, SECDED_DATA_BITS, secded_decode, secded_encode
+
+
+@pytest.fixture()
+def words(rng):
+    return rng.integers(0, 2, size=(16, SECDED_DATA_BITS)).astype(np.uint8)
+
+
+class TestSecDed:
+    def test_clean_roundtrip(self, words):
+        data, corrected = secded_decode(secded_encode(words))
+        assert np.array_equal(data, words) and corrected == 0
+
+    def test_corrects_any_single_bit(self, words):
+        """Exhaustive over all 72 positions of one word."""
+        code = secded_encode(words[:1])
+        for pos in range(SECDED_CODE_BITS):
+            bad = code.copy()
+            bad[0, pos] ^= 1
+            data, corrected = secded_decode(bad)
+            assert corrected == 1, f"position {pos}"
+            assert np.array_equal(data, words[:1]), f"position {pos}"
+
+    def test_detects_double_bit(self, words):
+        code = secded_encode(words[:1])
+        bad = code.copy()
+        bad[0, 3] ^= 1
+        bad[0, 40] ^= 1
+        with pytest.raises(ECCUncorrectableError):
+            secded_decode(bad)
+
+    def test_multiword_mixed_errors(self, words):
+        code = secded_encode(words)
+        code[2, 10] ^= 1
+        code[7, 66] ^= 1
+        data, corrected = secded_decode(code)
+        assert corrected == 2
+        assert np.array_equal(data, words)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            secded_encode(np.zeros((2, 63), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            secded_decode(np.zeros((2, 71), dtype=np.uint8))
+
+    def test_code_is_systematic_in_length(self, words):
+        assert secded_encode(words).shape == (16, SECDED_CODE_BITS)

@@ -1,0 +1,73 @@
+import numpy as np
+import pytest
+
+from repro.bitstream import ConfigBitstream
+from repro.errors import ScrubError
+from repro.fpga import get_device
+from repro.fpga.geometry import DeviceGeometry
+from repro.scrub import FlashMemory
+
+
+@pytest.fixture()
+def golden():
+    geo = DeviceGeometry(4, 6, n_bram_cols=0)
+    rng = np.random.default_rng(3)
+    return ConfigBitstream(geo, rng.integers(0, 2, geo.total_bits).astype(np.uint8))
+
+
+@pytest.fixture()
+def flash(golden):
+    f = FlashMemory()
+    f.store_image("img", golden)
+    return f
+
+
+class TestStore:
+    def test_image_listed(self, flash):
+        assert flash.images() == ["img"]
+
+    def test_duplicate_name_rejected(self, flash, golden):
+        with pytest.raises(ScrubError):
+            flash.store_image("img", golden)
+
+    def test_capacity_enforced(self, golden):
+        f = FlashMemory(capacity_bytes=100)
+        with pytest.raises(ScrubError):
+            f.store_image("too-big", golden)
+
+    def test_xqvr1000_fits_twenty_images(self):
+        """Paper: 'The 16MB flash memory module stores more than twenty
+        configuration bit streams' — check the capacity arithmetic."""
+        dev = get_device("XQVR1000")
+        per_image_bits = dev.block0_bits * 72 // 64  # with ECC
+        assert 20 * per_image_bits // 8 < 16 * 1024 * 1024
+
+
+class TestFetch:
+    def test_fetch_frame_matches(self, flash, golden):
+        for f in (0, 3, 17):
+            assert np.array_equal(
+                flash.fetch_frame("img", f).bits, golden.frame_view(f)
+            )
+
+    def test_fetch_image_roundtrip(self, flash, golden):
+        assert flash.fetch_image("img") == golden
+
+    def test_missing_image_rejected(self, flash):
+        with pytest.raises(ScrubError):
+            flash.fetch_frame("nope", 0)
+
+    def test_missing_frame_rejected(self, flash):
+        with pytest.raises(ScrubError):
+            flash.fetch_frame("img", 10_000)
+
+
+class TestFlashSeu:
+    def test_single_upset_corrected_on_read(self, flash, golden, rng):
+        for _ in range(20):
+            flash.upset_bit("img", rng)
+        # Reads still return golden data (single-bit errors per word are
+        # corrected; with 20 random hits collisions are unlikely).
+        image = flash.fetch_image("img")
+        assert image == golden
+        assert flash.corrected_reads >= 19

@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+
+from repro.bitstream import ConfigBitstream, CRCCodebook
+from repro.errors import ScrubError
+from repro.scrub import (
+    DynamicStoragePlan,
+    LutRamRegion,
+    ReadbackPolicy,
+    ReadbackRace,
+)
+
+
+class TestLutRamRegion:
+    def test_unsafe_frames_match_paper(self):
+        """Paper IV-A: one slice's LUT RAM makes 16 of the column's 48
+        frames unreadable; both slices make it 32."""
+        assert LutRamRegion(0, 1).unsafe_frames_per_column == 16
+        assert LutRamRegion(0, 2).unsafe_frames_per_column == 32
+
+    def test_slices_validated(self):
+        with pytest.raises(ScrubError):
+            LutRamRegion(0, 3)
+
+
+class TestDynamicStoragePlan:
+    def test_masked_frames_in_right_column(self, s8):
+        plan = DynamicStoragePlan(s8, mask_bram_content=False)
+        plan.add_region(LutRamRegion(3, 1))
+        frames = plan.masked_frames()
+        assert len(frames) == 16
+        base = s8.geometry.clb_frame_index(3, 0)
+        assert frames == set(range(base, base + 16))
+
+    def test_column_bounds_checked(self, s8):
+        plan = DynamicStoragePlan(s8)
+        with pytest.raises(ScrubError):
+            plan.add_region(LutRamRegion(s8.cols, 1))
+
+    def test_coverage_shrinks_with_regions(self, s8):
+        plan = DynamicStoragePlan(s8, mask_bram_content=False)
+        assert plan.coverage() == 1.0
+        plan.add_region(LutRamRegion(0, 2))
+        c1 = plan.coverage()
+        plan.add_region(LutRamRegion(5, 2))
+        assert plan.coverage() < c1 < 1.0
+
+    def test_masked_upset_goes_unseen(self, s8):
+        """A corrupted bit inside a masked LUT-RAM frame must not trip
+        the CRC check — the limitation the paper warns about."""
+        rng = np.random.default_rng(0)
+        golden = ConfigBitstream(
+            s8.geometry, rng.integers(0, 2, s8.geometry.total_bits).astype(np.uint8)
+        )
+        codebook = CRCCodebook.from_bitstream(golden)
+        plan = DynamicStoragePlan(s8, mask_bram_content=True)
+        plan.add_region(LutRamRegion(2, 1))
+        n_masked = plan.apply_to_codebook(codebook)
+        assert n_masked > 16  # region + BRAM content
+
+        corrupted = golden.copy()
+        frame = s8.geometry.clb_frame_index(2, 3)  # inside the masked 16
+        corrupted.flip_bit(s8.geometry.frame_offset(frame) + 2)
+        assert codebook.check_frame(frame, corrupted.frame_view(frame))
+
+
+class TestReadbackRace:
+    def test_write_outside_readback_is_clean(self):
+        ram = ReadbackRace()
+        assert ram.write(3, 1, ReadbackPolicy.MASK_FRAMES)
+        assert ram.contents[3] == 1 and not ram.corrupted
+
+    def test_write_during_readback_corrupts(self):
+        ram = ReadbackRace(seed=1)
+        ram.begin_readback()
+        assert ram.write(3, 1, ReadbackPolicy.MASK_FRAMES)
+        assert ram.corrupted
+
+    def test_schedule_policy_stalls_instead(self):
+        ram = ReadbackRace()
+        ram.begin_readback()
+        assert not ram.write(3, 1, ReadbackPolicy.SCHEDULE)
+        assert not ram.corrupted
+        ram.end_readback()
+        assert ram.write(3, 1, ReadbackPolicy.SCHEDULE)
+        assert ram.contents[3] == 1
+
+    def test_address_validated(self):
+        with pytest.raises(ScrubError):
+            ReadbackRace(depth=4).write(4, 1, ReadbackPolicy.MASK_FRAMES)
+
+
+class TestVirtex2Comparison:
+    def test_virtex2_masks_two_frames(self):
+        """Paper IV-A: Virtex-II concentrates a column's LUT data in two
+        frames, so masking costs far less readback coverage."""
+        assert LutRamRegion(0, 2, architecture="virtex2").unsafe_frames_per_column == 2
+
+    def test_virtex2_coverage_strictly_better(self, s8):
+        v1 = DynamicStoragePlan(s8, mask_bram_content=False)
+        v2 = DynamicStoragePlan(s8, mask_bram_content=False)
+        for col in (0, 3, 7):
+            v1.add_region(LutRamRegion(col, 2, architecture="virtex"))
+            v2.add_region(LutRamRegion(col, 2, architecture="virtex2"))
+        assert v2.coverage() > v1.coverage()
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(ScrubError):
+            LutRamRegion(0, 1, architecture="virtex9")

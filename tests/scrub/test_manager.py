@@ -1,0 +1,129 @@
+import numpy as np
+import pytest
+
+from repro.bitstream import ConfigBitstream, SelectMapPort
+from repro.errors import ScrubError
+from repro.fpga.geometry import DeviceGeometry, FrameKind
+from repro.scrub import FaultManager, FlashMemory, ScrubEventKind, StateOfHealth
+from repro.utils.simtime import SimClock
+
+
+@pytest.fixture()
+def setup():
+    geo = DeviceGeometry(4, 6, n_bram_cols=2)
+    rng = np.random.default_rng(5)
+    golden = ConfigBitstream(geo, rng.integers(0, 2, geo.total_bits).astype(np.uint8))
+    flash = FlashMemory()
+    flash.store_image("img", golden)
+    clock = SimClock()
+    manager = FaultManager(flash, clock)
+    ports = []
+    for i in range(3):
+        port = SelectMapPort(ConfigBitstream(geo), clock)
+        port.full_configure(golden)
+        manager.manage(f"fpga{i}", port, "img")
+        ports.append(port)
+    return manager, ports, golden, geo
+
+
+class TestScanCycle:
+    def test_clean_scan_detects_nothing(self, setup):
+        manager, _, _, _ = setup
+        report = manager.scan_cycle()
+        assert report.detected == [] and report.resets == 0
+        assert report.duration_s > 0
+
+    def test_detects_and_repairs_one_upset(self, setup):
+        manager, ports, golden, geo = setup
+        target = geo.frame_offset(10) + 5
+        ports[1].memory.flip_bit(target)
+        report = manager.scan_cycle()
+        assert report.detected == [("fpga1", 10)]
+        assert report.repaired == [("fpga1", 10)]
+        assert report.resets == 1
+        assert np.array_equal(ports[1].memory.bits, golden.bits)
+
+    def test_detects_multiple_devices(self, setup):
+        manager, ports, golden, geo = setup
+        ports[0].memory.flip_bit(geo.frame_offset(3))
+        ports[2].memory.flip_bit(geo.frame_offset(8) + 1)
+        report = manager.scan_cycle()
+        assert set(report.detected) == {("fpga0", 3), ("fpga2", 8)}
+        for p in ports:
+            assert np.array_equal(p.memory.bits, golden.bits)
+
+    def test_bram_content_upset_not_detected(self, setup):
+        """Paper section II-C: BRAM content cannot be reliably scanned,
+        so its frames are masked — upsets there go unseen."""
+        manager, ports, _, geo = setup
+        bram_frame = next(
+            f
+            for f in range(geo.n_frames)
+            if geo.frame_address(f).kind is FrameKind.BRAM_CONTENT
+        )
+        ports[0].memory.flip_bit(geo.frame_offset(bram_frame))
+        report = manager.scan_cycle()
+        assert report.detected == []
+
+    def test_soh_records_events(self, setup):
+        manager, ports, _, geo = setup
+        ports[0].memory.flip_bit(geo.frame_offset(4))
+        manager.scan_cycle()
+        assert manager.soh.count(ScrubEventKind.UPSET_DETECTED) == 1
+        assert manager.soh.count(ScrubEventKind.FRAME_REPAIRED) == 1
+        assert manager.soh.count(ScrubEventKind.DESIGN_RESET) == 1
+        assert manager.soh.by_device() == {"fpga0": 1}
+
+    def test_run_for_duration(self, setup):
+        manager, _, _, _ = setup
+        t0 = manager.clock.now
+        reports = manager.run_for(manager.scan_cycle().duration_s * 3.5)
+        assert len(reports) >= 3
+        assert manager.clock.now > t0
+
+
+class TestManageValidation:
+    def test_clock_mismatch_rejected(self, setup):
+        manager, _, golden, geo = setup
+        foreign = SelectMapPort(ConfigBitstream(geo), SimClock())
+        with pytest.raises(ScrubError):
+            manager.manage("x", foreign, "img")
+
+    def test_wrong_geometry_rejected(self):
+        geo_a = DeviceGeometry(4, 6, n_bram_cols=0)
+        geo_b = DeviceGeometry(4, 4, n_bram_cols=0)
+        flash = FlashMemory()
+        flash.store_image("img", ConfigBitstream(geo_a))
+        clock = SimClock()
+        manager = FaultManager(flash, clock)
+        with pytest.raises(ScrubError):
+            manager.manage("x", SelectMapPort(ConfigBitstream(geo_b), clock), "img")
+
+
+class TestSoh:
+    def test_detection_latency_pairs(self):
+        from repro.scrub.events import ScrubEvent
+
+        soh = StateOfHealth()
+        soh.log(ScrubEvent(ScrubEventKind.UPSET_DETECTED, 1.0, "a", 5))
+        soh.log(ScrubEvent(ScrubEventKind.FRAME_REPAIRED, 1.2, "a", 5))
+        assert soh.detection_latencies() == [pytest.approx(0.2)]
+
+    def test_summary(self):
+        soh = StateOfHealth()
+        assert soh.summary() == ""
+
+
+class TestSelfTest:
+    def test_artificial_seu_insertion_verified(self, setup):
+        """Paper II-A: corrupt frames are deliberately written through
+        the configuration port to exercise the detect/repair path."""
+        manager, ports, golden, geo = setup
+        dev = manager.devices[1]
+        assert manager.self_test(dev, frame_index=12, bit=3)
+        assert np.array_equal(dev.port.memory.bits, golden.bits)
+
+    def test_self_test_bit_validated(self, setup):
+        manager, _, _, geo = setup
+        with pytest.raises(ScrubError):
+            manager.self_test(manager.devices[0], 0, bit=10**6)

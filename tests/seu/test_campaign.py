@@ -1,0 +1,134 @@
+import numpy as np
+import pytest
+
+from repro.fpga.resources import ResourceKind
+from repro.seu import CampaignConfig, run_campaign, run_halflatch_campaign
+from repro.seu.campaign import BitVerdict
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return CampaignConfig(detect_cycles=64, persist_cycles=48, batch_size=128)
+
+
+@pytest.fixture(scope="module")
+def lfsr_result(lfsr_hw, cfg):
+    return run_campaign(lfsr_hw, cfg)
+
+
+@pytest.fixture(scope="module")
+def mult_result(mult_hw, cfg):
+    return run_campaign(mult_hw, cfg)
+
+
+class TestCampaignBasics:
+    def test_candidates_cover_block0(self, lfsr_result, lfsr_hw):
+        assert lfsr_result.n_candidates == lfsr_hw.device.block0_bits
+
+    def test_finds_sensitive_bits(self, lfsr_result):
+        assert lfsr_result.n_failures > 100
+
+    def test_sensitivity_in_plausible_range(self, lfsr_result):
+        assert 0.001 < lfsr_result.sensitivity < 0.10
+
+    def test_verdicts_consistent_with_counts(self, lfsr_result):
+        v = lfsr_result.verdicts
+        n_fail = int(
+            np.count_nonzero(
+                (v == BitVerdict.FAIL_TRANSIENT) | (v == BitVerdict.FAIL_PERSISTENT)
+            )
+        )
+        assert n_fail == lfsr_result.n_failures
+
+    def test_most_bits_skipped_without_simulation(self, lfsr_result):
+        assert lfsr_result.n_simulated < lfsr_result.n_candidates * 0.05
+
+    def test_summary_readable(self, lfsr_result):
+        s = lfsr_result.summary()
+        assert "sensitive" in s and "%" in s
+
+    def test_by_kind_totals_match(self, lfsr_result):
+        assert sum(lfsr_result.by_kind.values()) == lfsr_result.n_failures
+
+    def test_sensitive_kinds_are_clb_resources(self, lfsr_result):
+        for kind in lfsr_result.by_kind:
+            assert kind in {
+                ResourceKind.LUT_CONTENT,
+                ResourceKind.LUT_INPUT_MUX,
+                ResourceKind.FF_CONFIG,
+                ResourceKind.CTRL_MUX,
+                ResourceKind.OUTPUT_MUX,
+                ResourceKind.PIP_DRIVE,
+                ResourceKind.PIP_STRAIGHT,
+                ResourceKind.PIP_TURN,
+            }
+
+
+class TestPersistenceShapes:
+    """The paper's central persistence contrast (Table II)."""
+
+    def test_lfsr_mostly_persistent(self, lfsr_result):
+        assert lfsr_result.persistence_ratio > 0.6
+
+    def test_feedforward_multiplier_not_persistent(self, mult_result):
+        assert mult_result.persistence_ratio < 0.05
+
+    def test_multiplier_denser_than_lfsr_per_area(
+        self, lfsr_result, mult_result, lfsr_hw, mult_hw
+    ):
+        lfsr_norm = lfsr_result.sensitivity / lfsr_hw.utilization
+        mult_norm = mult_result.sensitivity / mult_hw.utilization
+        assert mult_norm > 1.5 * lfsr_norm
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, mult_hw, cfg):
+        bits = np.arange(0, mult_hw.device.block0_bits, 97, dtype=np.int64)
+        a = run_campaign(mult_hw, cfg, candidate_bits=bits)
+        b = run_campaign(mult_hw, cfg, candidate_bits=bits)
+        assert np.array_equal(a.verdicts, b.verdicts)
+
+    def test_subset_agrees_with_itself_across_batching(self, mult_hw):
+        bits = np.arange(0, mult_hw.device.block0_bits, 211, dtype=np.int64)
+        small = CampaignConfig(detect_cycles=64, persist_cycles=48, batch_size=8)
+        big = CampaignConfig(detect_cycles=64, persist_cycles=48, batch_size=256)
+        a = run_campaign(mult_hw, small, candidate_bits=bits)
+        b = run_campaign(mult_hw, big, candidate_bits=bits)
+        assert np.array_equal(a.verdicts, b.verdicts)
+
+
+class TestStride:
+    def test_strided_campaign_samples(self, mult_hw):
+        cfg = CampaignConfig(detect_cycles=48, persist_cycles=0, classify_persistence=False, stride=10)
+        res = run_campaign(mult_hw, cfg)
+        assert res.n_candidates == (mult_hw.device.block0_bits + 9) // 10
+
+    def test_no_persistence_mode(self, mult_hw):
+        cfg = CampaignConfig(detect_cycles=48, persist_cycles=0, classify_persistence=False, stride=25)
+        res = run_campaign(mult_hw, cfg)
+        assert res.persistent_bits.size == 0
+
+
+class TestHalfLatchCampaign:
+    def test_lfsr_has_critical_halflatches(self, lfsr_hw, cfg):
+        out = run_halflatch_campaign(lfsr_hw, cfg)
+        assert len(out) == len(lfsr_hw.decoded.halflatch_node)
+        assert sum(out.values()) > 0
+
+    def test_ce_halflatches_dominate_criticality(self, lfsr_hw, cfg):
+        """Critical keepers should be the CE keepers of used slices
+        (Figure 14), not random fabric keepers."""
+        from repro.fpga.halflatch import HalfLatchKind
+
+        out = run_halflatch_campaign(lfsr_hw, cfg)
+        decoded = lfsr_hw.decoded
+        kinds = {}
+        for node, bad in out.items():
+            if bad:
+                site = decoded.halflatch_site_of_node[node]
+                kinds[site.kind] = kinds.get(site.kind, 0) + 1
+        assert kinds.get(HalfLatchKind.CTRL, 0) >= max(kinds.values()) / 2
+
+    def test_most_halflatches_harmless(self, lfsr_hw, cfg):
+        out = run_halflatch_campaign(lfsr_hw, cfg)
+        assert sum(out.values()) / len(out) < 0.10

@@ -1,0 +1,97 @@
+import numpy as np
+import pytest
+
+from repro.bitstream import ConfigBitstream
+from repro.errors import CampaignError
+from repro.fpga.geometry import DeviceGeometry
+from repro.seu import CampaignConfig, SensitivityMap, run_campaign
+from repro.seu.injector import FaultInjector
+
+
+@pytest.fixture()
+def pair():
+    geo = DeviceGeometry(4, 6, n_bram_cols=0)
+    golden = ConfigBitstream(
+        geo, np.random.default_rng(0).integers(0, 2, geo.total_bits).astype(np.uint8)
+    )
+    return FaultInjector(golden.copy(), golden), golden
+
+
+class TestInjector:
+    def test_inject_flips(self, pair):
+        inj, golden = pair
+        inj.inject(50)
+        assert inj.memory.get_bit(50) != golden.get_bit(50)
+        assert inj.outstanding == [50]
+
+    def test_reinject_restores(self, pair):
+        inj, _ = pair
+        inj.inject(50)
+        inj.inject(50)
+        assert inj.verify_clean() and inj.outstanding == []
+
+    def test_repair_bit(self, pair):
+        inj, _ = pair
+        inj.inject(7)
+        inj.repair_bit(7)
+        assert inj.verify_clean()
+
+    def test_repair_all(self, pair):
+        inj, _ = pair
+        for b in (1, 2, 3):
+            inj.inject(b)
+        assert inj.repair_all() == 3
+        assert inj.verify_clean()
+
+    def test_inject_random_distinct(self, pair):
+        inj, _ = pair
+        bits = inj.inject_random(np.random.default_rng(1), 10)
+        assert len(set(bits)) == 10
+        assert sorted(bits) == inj.outstanding
+
+    def test_geometry_mismatch_rejected(self):
+        a = ConfigBitstream(DeviceGeometry(4, 6, n_bram_cols=0))
+        b = ConfigBitstream(DeviceGeometry(4, 4, n_bram_cols=0))
+        with pytest.raises(CampaignError):
+            FaultInjector(a, b)
+
+
+@pytest.fixture(scope="module")
+def small_result(mult_hw):
+    bits = np.arange(0, mult_hw.device.block0_bits, 37, dtype=np.int64)
+    return run_campaign(
+        mult_hw,
+        CampaignConfig(detect_cycles=48, persist_cycles=32),
+        candidate_bits=bits,
+    )
+
+
+class TestSensitivityMap:
+    def test_from_campaign(self, mult_hw, small_result):
+        smap = SensitivityMap.from_campaign(mult_hw.device, small_result)
+        assert smap.n_sensitive == small_result.n_failures
+        for bit in small_result.sensitive_bits[:20]:
+            assert smap.is_sensitive(int(bit))
+
+    def test_sensitive_frames_localized(self, mult_hw, small_result):
+        smap = SensitivityMap.from_campaign(mult_hw.device, small_result)
+        frames = smap.sensitive_frames()
+        assert frames and sum(frames.values()) == smap.n_sensitive
+        # The design occupies a few columns: sensitive frames must be a
+        # small fraction of all frames (the paper's location correlation).
+        assert len(frames) < mult_hw.device.n_frames / 4
+
+    def test_save_load_roundtrip(self, mult_hw, small_result, tmp_path):
+        smap = SensitivityMap.from_campaign(mult_hw.device, small_result)
+        path = str(tmp_path / "map.npz")
+        smap.save(path)
+        loaded = SensitivityMap.load(path, mult_hw.device)
+        assert np.array_equal(loaded.sensitive, smap.sensitive)
+        assert np.array_equal(loaded.persistent, smap.persistent)
+
+    def test_load_wrong_device_rejected(self, mult_hw, small_result, tmp_path, s12):
+        smap = SensitivityMap.from_campaign(mult_hw.device, small_result)
+        path = str(tmp_path / "map.npz")
+        smap.save(path)
+        with pytest.raises(CampaignError):
+            SensitivityMap.load(path, s12)

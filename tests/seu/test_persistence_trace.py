@@ -1,0 +1,73 @@
+"""Figure 7 machinery: the persistent-error trace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CampaignError
+from repro.fpga import get_device
+from repro.fpga.resources import imux_offset
+from repro.place import implement
+from repro.designs.counter import counter_design
+from repro.seu.persistence import persistent_error_trace
+
+
+@pytest.fixture(scope="module")
+def counter8_hw():
+    return implement(counter_design(8), get_device("S8"))
+
+
+def _ff_imux_bit(hw, ff_name):
+    """A config bit that feeds the named FF's data path."""
+    site = hw.placement.ff_site[ff_name]
+    key = (site.row, site.col, site.pos, 1)
+    ci = hw.routed.imux_select.get(key)
+    assert ci is not None
+    return hw.device.clb_bit_linear(site.row, site.col, imux_offset(site.pos, 1, ci))
+
+
+class TestPersistentErrorTrace:
+    def test_counter_high_bit_upset_diverges_forever(self, counter8_hw):
+        """Paper Figure 7: after the upset near cycle 502, 'the actual
+        counter value never matches the expected result'."""
+        bit = _ff_imux_bit(counter8_hw, "q7")
+        trace = persistent_error_trace(
+            counter8_hw, bit, inject_cycle=502, repair_after=24, total_cycles=1024
+        )
+        assert trace.first_error_cycle >= 502
+        assert trace.persistent
+        # Before the upset the counter matched exactly.
+        assert np.array_equal(trace.actual[:502], trace.expected[:502])
+        # After repair the offset never heals.
+        tail = slice(trace.repair_cycle + 8, None)
+        assert not np.array_equal(trace.actual[tail], trace.expected[tail])
+
+    def test_trace_records_cycles(self, counter8_hw):
+        bit = _ff_imux_bit(counter8_hw, "q7")
+        trace = persistent_error_trace(counter8_hw, bit, inject_cycle=100, total_cycles=300)
+        assert trace.inject_cycle == 100
+        assert trace.repair_cycle == 124
+
+    def test_feedforward_fault_recovers(self, mult_hw):
+        """The same trace on a feed-forward design must re-converge."""
+        # Any sensitive bit of the multiplier: find one via a quick scan.
+        from repro.seu import CampaignConfig, run_campaign
+
+        bits = np.arange(0, mult_hw.device.block0_bits, 101, dtype=np.int64)
+        res = run_campaign(
+            mult_hw,
+            CampaignConfig(detect_cycles=48, persist_cycles=32),
+            candidate_bits=bits,
+        )
+        target = int(res.sensitive_bits[0])
+        trace = persistent_error_trace(mult_hw, target, inject_cycle=50, total_cycles=300)
+        assert trace.first_error_cycle >= 0
+        assert trace.recovered and not trace.persistent
+
+    def test_boring_bit_rejected(self, counter8_hw):
+        with pytest.raises(CampaignError):
+            persistent_error_trace(counter8_hw, 5, inject_cycle=10, total_cycles=100)
+
+    def test_window_validation(self, counter8_hw):
+        bit = _ff_imux_bit(counter8_hw, "q7")
+        with pytest.raises(CampaignError):
+            persistent_error_trace(counter8_hw, bit, inject_cycle=90, repair_after=20, total_cycles=100)

@@ -1,0 +1,36 @@
+from repro.seu.report import format_table, format_table1, format_table2
+from repro.seu.sensitivity import Table1Row
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        out = format_table(["A", "B"], [])
+        lines = out.splitlines()
+        assert len(lines) == 2 and "A" in lines[0]
+
+    def test_wide_cells_extend_columns(self):
+        out = format_table(["A"], [("a-very-long-cell",)])
+        assert "a-very-long-cell" in out
+
+
+class TestTable1Formatting:
+    def test_row_cells(self):
+        row = Table1Row("LFSR 72", 8712, 0.709, 279450, 5_878_080, 0.0481, 0.0678)
+        cells = row.cells()
+        assert cells[0] == "LFSR 72"
+        assert "8712" in cells[1] and "70.9%" in cells[1]
+        assert cells[2] == "279450"
+        assert cells[3] == "4.81%"
+        assert cells[4] == "6.8%"
+
+    def test_table1_layout(self):
+        row = Table1Row("X", 10, 0.1, 5, 100, 0.05, 0.5)
+        out = format_table1([row])
+        assert "Normalized Sensitivity" in out and "5.00%" in out
+
+
+class TestTable2Formatting:
+    def test_table2_layout(self):
+        out = format_table2([("D", 36, 0.003, 0.0009, 0.0988)])
+        assert "Persistence Ratio" in out
+        assert "0.09%" in out and "9.9%" in out

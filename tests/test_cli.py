@@ -1,0 +1,71 @@
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign", "MULT4"])
+        assert args.device == "S12" and args.stride == 1
+
+
+class TestCommands:
+    def test_devices_lists_catalog(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "XCV1000" in out and "XQVR1000" in out and "S8" in out
+
+    def test_implement(self, capsys):
+        assert main(["implement", "LFSR1", "--device", "S8"]) == 0
+        out = capsys.readouterr().out
+        assert "slices" in out and "PIPs" in out
+
+    def test_campaign_with_map(self, capsys, tmp_path):
+        path = str(tmp_path / "map.npz")
+        rc = main(
+            [
+                "campaign",
+                "MULT3",
+                "--device",
+                "S8",
+                "--stride",
+                "7",
+                "--detect-cycles",
+                "48",
+                "--persist-cycles",
+                "32",
+                "--save-map",
+                path,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sensitive" in out and "Sensitivity" in out
+        import os
+
+        assert os.path.exists(path)
+
+    def test_orbit(self, capsys):
+        rc = main(
+            [
+                "orbit",
+                "--device",
+                "S8",
+                "--hours",
+                "0.5",
+                "--flare",
+                "--flux-scale",
+                "3000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "upsets" in out
+
+    def test_unknown_design_errors(self):
+        with pytest.raises(Exception):
+            main(["implement", "BOGUS99"])

@@ -1,0 +1,124 @@
+"""The live configured device: the faithful Figure 4 object."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CampaignError
+from repro.fpga.resources import lut_content_offset
+from repro.netlist import BatchSimulator
+from repro.testbed import ConfiguredFpga
+
+
+@pytest.fixture()
+def live_counter(counter_hw):
+    return ConfiguredFpga(counter_hw)
+
+
+def _golden_outputs(hw, cycles, seed=0):
+    stim = hw.spec.stimulus(cycles, seed)
+    return stim, BatchSimulator.golden_trace(hw.decoded.design, stim).outputs
+
+
+def _sensitive_bit(hw):
+    """A LUT-content bit of the counter's used logic that matters."""
+    from repro.seu import CampaignConfig, run_campaign
+
+    bits = np.arange(0, hw.device.block0_bits, 13, dtype=np.int64)
+    res = run_campaign(
+        hw,
+        CampaignConfig(detect_cycles=48, persist_cycles=0, classify_persistence=False),
+        candidate_bits=bits,
+    )
+    return int(res.sensitive_bits[0])
+
+
+class TestCleanOperation:
+    def test_matches_golden_trace(self, counter_hw, live_counter):
+        stim, golden = _golden_outputs(counter_hw, 30)
+        outs = live_counter.run(stim)
+        assert np.array_equal(outs, golden)
+
+    def test_reset_restarts_sequence(self, counter_hw, live_counter):
+        stim, golden = _golden_outputs(counter_hw, 20)
+        live_counter.run(stim)
+        live_counter.reset()
+        outs = live_counter.run(stim)
+        assert np.array_equal(outs, golden)
+
+
+class TestUpsetScrubRecover:
+    def test_upset_corrupts_then_scrub_heals_counter_state_offset(self, counter_hw):
+        """The full paper loop on a live device: upset mid-run, outputs
+        diverge; repair the frame without reset; the counter (feedback)
+        stays diverged; reset re-synchronises."""
+        fpga = ConfiguredFpga(counter_hw)
+        stim, golden = _golden_outputs(counter_hw, 400)
+        bit = _sensitive_bit(counter_hw)
+
+        # Clean prefix.
+        for t in range(100):
+            assert np.array_equal(fpga.step(stim[t]), golden[t])
+        # Upset and run until divergence.
+        fpga.upset_config_bit(bit)
+        assert fpga.config_differs_from_golden()
+        diverged = False
+        for t in range(100, 260):
+            if not np.array_equal(fpga.step(stim[t]), golden[t]):
+                diverged = True
+                break
+        assert diverged
+        # Scrub: restore the bit (frame repair), keep state.
+        fpga.upset_config_bit(bit)  # flip back = the repair write
+        assert not fpga.config_differs_from_golden()
+        # Feedback design: still diverged after repair...
+        t0 = fpga.cycles_run
+        still_wrong = any(
+            not np.array_equal(fpga.step(stim[t]), golden[t])
+            for t in range(t0, t0 + 30)
+        )
+        assert still_wrong
+        # ...until the reset protocol runs.
+        fpga.reset()
+        outs = fpga.run(stim[:30])
+        assert np.array_equal(outs, golden[:30])
+
+
+class TestHalfLatchOnLiveDevice:
+    def test_keeper_upset_survives_partial_but_not_full_reconfig(self, lfsr_hw):
+        fpga = ConfiguredFpga(lfsr_hw)
+        stim, golden = _golden_outputs(lfsr_hw, 120)
+        # Find a critical keeper (a used slice's CE).
+        from repro.seu import run_halflatch_campaign, CampaignConfig
+
+        hl = run_halflatch_campaign(
+            lfsr_hw, CampaignConfig(detect_cycles=48, persist_cycles=0, classify_persistence=False)
+        )
+        node = next(n for n, bad in hl.items() if bad)
+        key = next(
+            k for k, v in lfsr_hw.decoded.halflatch_node.items() if v == node
+        )
+
+        for t in range(10):
+            fpga.step(stim[t])
+        fpga.upset_half_latch(key)
+        # Readback sees nothing.
+        assert not fpga.config_differs_from_golden()
+        # Outputs corrupt.
+        wrong = any(
+            not np.array_equal(fpga.step(stim[t]), golden[t])
+            for t in range(10, 60)
+        )
+        assert wrong
+        # A partial write (rewrite frame 0 with itself) does NOT fix it.
+        fpga.port.write_frame(fpga.port.memory.read_frame(0))
+        fpga.reset()  # even a design reset does not reinitialise keepers
+        outs = fpga.run(stim[:60])
+        assert not np.array_equal(outs, golden[:60])
+        # Full reconfiguration's start-up sequence does.
+        fpga.full_reconfigure()
+        outs = fpga.run(stim[:60])
+        assert np.array_equal(outs, golden[:60])
+
+    def test_unknown_keeper_rejected(self, live_counter):
+        with pytest.raises(CampaignError):
+            live_counter.upset_half_latch(("ctrl", 99, 99, 0, 0))

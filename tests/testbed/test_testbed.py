@@ -1,0 +1,111 @@
+import numpy as np
+import pytest
+
+from repro.errors import CampaignError
+from repro.seu import CampaignConfig
+from repro.testbed import HostTiming, OutputComparator, SeuSimulatorHost, Slaac1V
+from repro.utils.units import MICROSECOND, MINUTE
+
+
+class TestComparator:
+    def test_no_mismatch_keeps_flag_clear(self):
+        c = OutputComparator(4)
+        a = np.array([1, 0, 1, 0], dtype=np.uint8)
+        assert not c.observe(a, a)
+        assert not c.error_flag
+
+    def test_first_mismatch_latches(self):
+        c = OutputComparator(2)
+        g = np.array([1, 0], dtype=np.uint8)
+        c.observe(g, g)
+        assert c.observe(g, np.array([1, 1], dtype=np.uint8))
+        assert c.error_flag and c.first_error_cycle == 1
+
+    def test_error_bits_accumulate(self):
+        c = OutputComparator(3)
+        g = np.zeros(3, dtype=np.uint8)
+        c.observe(g, np.array([1, 0, 0], dtype=np.uint8))
+        c.observe(g, np.array([0, 0, 1], dtype=np.uint8))
+        assert c.error_bits.tolist() == [1, 0, 1]
+        assert c.n_discrepancies == 2
+
+    def test_reset_clears(self):
+        c = OutputComparator(1)
+        c.observe(np.array([0], dtype=np.uint8), np.array([1], dtype=np.uint8))
+        c.reset()
+        assert not c.error_flag and c.first_error_cycle == -1
+
+
+class TestSlaac1V:
+    def test_configure_loads_both_sockets(self, mult_hw):
+        board = Slaac1V(mult_hw)
+        board.configure()
+        assert np.array_equal(board.x1.memory.bits, mult_hw.bitstream.bits)
+        assert np.array_equal(board.x2.memory.bits, mult_hw.bitstream.bits)
+
+    def test_inject_affects_dut_only(self, mult_hw):
+        board = Slaac1V(mult_hw)
+        board.configure()
+        board.inject(1234)
+        assert board.dut_corrupted_bits().tolist() == [1234]
+        assert np.array_equal(board.x1.memory.bits, mult_hw.bitstream.bits)
+
+    def test_repair_restores(self, mult_hw):
+        board = Slaac1V(mult_hw)
+        board.configure()
+        board.inject(99)
+        board.repair(99)
+        assert board.dut_corrupted_bits().size == 0
+
+    def test_unconfigured_rejected(self, mult_hw):
+        board = Slaac1V(mult_hw)
+        with pytest.raises(CampaignError):
+            board.inject(0)
+
+
+class TestHostTiming:
+    def test_paper_iteration_time(self):
+        assert HostTiming().iteration_s == pytest.approx(214 * MICROSECOND)
+
+    def test_xcv1000_exhaustive_sweep_near_20_minutes(self, xcv1000):
+        """Paper: 'exhaustively test the entire bitstream of 5.8 million
+        bits in 20 minutes'."""
+        t = HostTiming().sweep_time(xcv1000.block0_bits)
+        assert 18 * MINUTE < t < 23 * MINUTE
+
+    def test_errors_add_reset_time(self):
+        t = HostTiming()
+        assert t.sweep_time(100, 10) > t.sweep_time(100, 0)
+
+
+class TestHost:
+    @pytest.fixture(scope="class")
+    def sweep(self, mult_hw):
+        board = Slaac1V(mult_hw)
+        host = SeuSimulatorHost(board)
+        bits = np.arange(0, mult_hw.device.block0_bits, 53, dtype=np.int64)
+        cfg = CampaignConfig(detect_cycles=48, persist_cycles=32)
+        result, modeled = host.run_exhaustive(cfg, candidate_bits=bits)
+        return host, result, modeled
+
+    def test_modeled_time_matches_iterations(self, sweep):
+        host, result, modeled = sweep
+        expected = host.timing.sweep_time(result.n_candidates, result.n_failures)
+        assert modeled == pytest.approx(expected)
+
+    def test_board_clock_advanced(self, sweep):
+        host, _, modeled = sweep
+        assert host.board.clock.now >= modeled
+
+    def test_records_expand(self, sweep):
+        host, result, _ = sweep
+        records = host.records_from(result, limit=50)
+        assert len(records) == 50
+        assert records[-1].modeled_time_s > records[0].modeled_time_s
+        for r in records:
+            assert r.frame_index >= 0
+
+    def test_describe_sweep(self, sweep, xcv1000):
+        host, _, _ = sweep
+        desc = host.describe_sweep(xcv1000.block0_bits)
+        assert "214.0 us/bit" in desc

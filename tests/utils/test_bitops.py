@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.utils.bitops import (
+    bits_to_int,
+    int_to_bits,
+    pack_bits,
+    parity,
+    popcount,
+    unpack_bits,
+)
+
+
+class TestIntBits:
+    def test_roundtrip_small(self):
+        for v in (0, 1, 5, 0b1011, 255):
+            assert bits_to_int(int_to_bits(v, 8)) == v
+
+    def test_little_endian_order(self):
+        assert int_to_bits(0b100, 3).tolist() == [0, 0, 1]
+
+    def test_width_zero(self):
+        assert int_to_bits(0, 0).size == 0
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(1, -1)
+
+
+class TestPacking:
+    def test_pack_unpack_roundtrip(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0, 1, 1], dtype=np.uint8)
+        assert unpack_bits(pack_bits(bits), 10).tolist() == bits.tolist()
+
+    def test_pack_pads_final_byte_with_zeros(self):
+        packed = pack_bits(np.array([1, 1, 1], dtype=np.uint8))
+        assert packed.tolist() == [0b111]
+
+    def test_unpack_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_bits(np.zeros(1, dtype=np.uint8), 9)
+
+    def test_pack_is_little_endian_within_byte(self):
+        bits = np.zeros(8, dtype=np.uint8)
+        bits[3] = 1
+        assert pack_bits(bits).tolist() == [8]
+
+
+class TestParityPopcount:
+    def test_parity_even(self):
+        assert parity(np.array([1, 1, 0], dtype=np.uint8)) == 0
+
+    def test_parity_odd(self):
+        assert parity(np.array([1, 1, 1], dtype=np.uint8)) == 1
+
+    def test_popcount(self):
+        assert popcount(np.array([1, 0, 1, 1], dtype=np.uint8)) == 3
+
+    def test_popcount_empty(self):
+        assert popcount(np.zeros(0, dtype=np.uint8)) == 0

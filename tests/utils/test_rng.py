@@ -1,0 +1,44 @@
+import numpy as np
+
+from repro.utils.rng import derive_rng, spawn_rngs
+
+
+class TestDeriveRng:
+    def test_deterministic_for_same_seed_and_path(self):
+        a = derive_rng(7, "beam").integers(0, 1 << 30)
+        b = derive_rng(7, "beam").integers(0, 1 << 30)
+        assert a == b
+
+    def test_different_paths_differ(self):
+        a = derive_rng(7, "beam").integers(0, 1 << 30)
+        b = derive_rng(7, "stimulus").integers(0, 1 << 30)
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(7, "x").integers(0, 1 << 30)
+        b = derive_rng(8, "x").integers(0, 1 << 30)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert derive_rng(gen, "anything") is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(derive_rng(None), np.random.Generator)
+
+    def test_path_order_matters(self):
+        a = derive_rng(1, "a", "b").integers(0, 1 << 30)
+        b = derive_rng(1, "b", "a").integers(0, 1 << 30)
+        assert a != b
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn_rngs(np.random.default_rng(0), 5)
+        assert len(children) == 5
+
+    def test_children_independent_streams(self):
+        children = spawn_rngs(np.random.default_rng(0), 2)
+        a = children[0].integers(0, 1 << 30, size=8)
+        b = children[1].integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)

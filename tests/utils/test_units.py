@@ -1,0 +1,69 @@
+import pytest
+
+from repro.utils.simtime import SimClock
+from repro.utils.units import (
+    HOUR,
+    MICROSECOND,
+    MILLISECOND,
+    MINUTE,
+    format_duration,
+    format_rate,
+)
+
+
+class TestFormatDuration:
+    def test_microseconds(self):
+        assert format_duration(214 * MICROSECOND) == "214.0 us"
+
+    def test_milliseconds(self):
+        assert format_duration(180 * MILLISECOND) == "180.0 ms"
+
+    def test_seconds(self):
+        assert format_duration(2.5) == "2.50 s"
+
+    def test_minutes(self):
+        assert format_duration(20 * MINUTE) == "20.0 min"
+
+    def test_hours(self):
+        assert format_duration(1.5 * HOUR) == "1.50 h"
+
+    def test_negative(self):
+        assert format_duration(-2.5) == "-2.50 s"
+
+
+class TestFormatRate:
+    def test_per_second(self):
+        assert format_rate(2.0) == "2.00/s"
+
+    def test_per_hour(self):
+        assert format_rate(1.2 / HOUR) == "1.20/hr"
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        c = SimClock()
+        c.advance(1.5)
+        c.advance(0.5)
+        assert c.now == 2.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_future(self):
+        c = SimClock()
+        c.advance_to(5.0)
+        assert c.now == 5.0
+
+    def test_advance_to_past_is_noop(self):
+        c = SimClock(10.0)
+        c.advance_to(5.0)
+        assert c.now == 10.0
+
+    def test_reset(self):
+        c = SimClock(3.0)
+        c.reset()
+        assert c.now == 0.0
