@@ -105,3 +105,18 @@ class ReliabilityModel:
         """MTBF of visible output errors, in seconds."""
         rate = self.device_upset_rate_per_hour() * result.sensitivity / HOUR
         return float("inf") if rate == 0 else 1.0 / rate
+
+    def fleet_availability(
+        self, result: CampaignResult, n_devices: int, n_quarantined: int = 0
+    ) -> float:
+        """Predicted availability of a fleet in degraded operation.
+
+        The scrub path's escalation ladder quarantines devices it cannot
+        repair (SEFI budget exhausted, unrecoverable flash image); those
+        devices deliver no service while the survivors deliver the
+        per-device availability of :meth:`predict`.
+        """
+        from repro.scrub.mission import fleet_availability
+
+        per_device = self.predict(result).availability
+        return fleet_availability(per_device, n_devices, n_quarantined)

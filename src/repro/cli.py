@@ -41,6 +41,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--persist-cycles", type=int, default=64)
     p.add_argument("--stride", type=int, default=1, help="test every k-th bit")
     p.add_argument("--save-map", metavar="PATH", help="save the sensitivity map (.npz)")
+    p.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="snapshot partial results to PATH (.npz) so a killed sweep can resume",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint instead of starting over",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=50_000,
+        help="candidate bits between snapshots",
+    )
 
     p = sub.add_parser("table1", help="reproduce Table I on scaled designs")
     p.add_argument("--device", default="S12")
@@ -52,6 +64,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", default="S12")
     p.add_argument("--hours", type=float, default=1.0)
     p.add_argument("--devices", type=int, default=3, dest="n_devices")
+    p.add_argument("--flare", action="store_true", help="solar-flare flux")
+    p.add_argument(
+        "--flux-scale", type=float, default=2000.0,
+        help="area-compensation factor for scaled devices",
+    )
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "scrub-stress",
+        help="fly a board with a faulty scrub channel (noise, SEFIs, escalation)",
+    )
+    p.add_argument("--device", default="S12")
+    p.add_argument("--hours", type=float, default=1.0)
+    p.add_argument("--devices", type=int, default=9, dest="n_devices")
+    p.add_argument("--ber", type=float, default=1e-7, help="readback bit-error rate")
+    p.add_argument(
+        "--transient-rate", type=float, default=1e-3,
+        help="probability a port operation fails transiently",
+    )
+    p.add_argument(
+        "--sefi-rate", type=float, default=1e-5,
+        help="probability a port operation hangs the port (SEFI)",
+    )
     p.add_argument("--flare", action="store_true", help="solar-flare flux")
     p.add_argument(
         "--flux-scale", type=float, default=2000.0,
@@ -88,15 +123,28 @@ def _cmd_implement(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro import CampaignConfig, get_design, get_device, implement, run_campaign
-    from repro.seu import SensitivityMap, format_table1, table1_row
+    from repro.errors import CampaignError
+    from repro.seu import SensitivityMap, format_table1, table1_row, resume_campaign
 
     hw = implement(get_design(args.design), get_device(args.device))
-    config = CampaignConfig(
-        detect_cycles=args.detect_cycles,
-        persist_cycles=args.persist_cycles,
-        stride=args.stride,
-    )
-    result = run_campaign(hw, config)
+    if args.resume:
+        if not args.checkpoint:
+            raise CampaignError("--resume requires --checkpoint PATH")
+        result = resume_campaign(
+            hw, args.checkpoint, checkpoint_every=args.checkpoint_every
+        )
+    else:
+        config = CampaignConfig(
+            detect_cycles=args.detect_cycles,
+            persist_cycles=args.persist_cycles,
+            stride=args.stride,
+        )
+        result = run_campaign(
+            hw,
+            config,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+        )
     print(result.summary())
     print(format_table1([table1_row(hw, result)]))
     print(f"persistence ratio: {100 * result.persistence_ratio:.1f}%")
@@ -167,21 +215,77 @@ def _cmd_orbit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scrub_stress(args: argparse.Namespace) -> int:
+    from repro.bitstream import ConfigBitstream
+    from repro.fpga import get_device
+    from repro.radiation import LEO_FLARE, LEO_QUIET, OrbitEnvironment
+    from repro.scrub import NoiseConfig, OnOrbitSystem, ScrubEventKind
+
+    device = get_device(args.device)
+    rng = np.random.default_rng(args.seed)
+    golden = ConfigBitstream(
+        device.geometry,
+        rng.integers(0, 2, device.geometry.total_bits).astype(np.uint8),
+    )
+    base = LEO_FLARE if args.flare else LEO_QUIET
+    env = OrbitEnvironment(
+        f"{base.name} (x{args.flux_scale:g})",
+        base.effective_flux_cm2_s * args.flux_scale,
+    )
+    try:
+        noise = NoiseConfig(
+            readback_ber=args.ber,
+            transient_rate=args.transient_rate,
+            sefi_rate=args.sefi_rate,
+            seed=args.seed,
+        )
+    except ValueError as err:
+        from repro.errors import ReproError
+
+        raise ReproError(str(err)) from err
+    system = OnOrbitSystem(
+        device,
+        golden,
+        n_devices=args.n_devices,
+        environment=env,
+        seed=args.seed,
+        noise=noise,
+    )
+    report = system.fly(args.hours * 3600.0)
+    print(report.summary())
+    print(f"state of health: {report.soh.summary()}")
+    for kind in (
+        ScrubEventKind.FALSE_ALARM,
+        ScrubEventKind.RETRY,
+        ScrubEventKind.ESCALATION,
+        ScrubEventKind.SEFI_RECOVERY,
+        ScrubEventKind.QUARANTINE,
+    ):
+        print(f"  {kind.name:<14} {report.soh.count(kind)}")
+    print(f"fleet availability: {100 * report.device_availability:.4f}%")
+    return 0
+
+
+_COMMANDS = {
+    "devices": lambda args: _cmd_devices(),
+    "implement": _cmd_implement,
+    "campaign": _cmd_campaign,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "orbit": _cmd_orbit,
+    "scrub-stress": _cmd_scrub_stress,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    if args.command == "devices":
-        return _cmd_devices()
-    if args.command == "implement":
-        return _cmd_implement(args)
-    if args.command == "campaign":
-        return _cmd_campaign(args)
-    if args.command == "table1":
-        return _cmd_table1(args)
-    if args.command == "table2":
-        return _cmd_table2(args)
-    if args.command == "orbit":
-        return _cmd_orbit(args)
-    raise AssertionError("unreachable")  # pragma: no cover
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as err:
+        print(f"repro: error: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,6 +19,8 @@ __all__ = [
     "DecodeError",
     "CampaignError",
     "ScrubError",
+    "TransientBusError",
+    "SEFIError",
     "ECCUncorrectableError",
     "BISTError",
     "MitigationError",
@@ -68,6 +70,15 @@ class CampaignError(ReproError):
 
 class ScrubError(ReproError):
     """The on-orbit scrub manager met an unrecoverable condition."""
+
+
+class TransientBusError(ScrubError):
+    """A configuration-port operation failed transiently (succeeds on retry)."""
+
+
+class SEFIError(ScrubError):
+    """The configuration port is hung by a single-event functional
+    interrupt; only a modeled power-cycle restores it."""
 
 
 class ECCUncorrectableError(ScrubError):

@@ -8,6 +8,7 @@ partially reconfigures the device, and resets the design.  One scan of a
 three-FPGA board takes ~180 ms.
 """
 
+from repro.scrub.channel import NoiseConfig, NoisySelectMapPort
 from repro.scrub.ecc import SECDED_DATA_BITS, secded_decode, secded_encode
 from repro.scrub.flash import FlashMemory
 from repro.scrub.events import ScrubEvent, ScrubEventKind, StateOfHealth
@@ -17,8 +18,8 @@ from repro.scrub.lutram import (
     ReadbackPolicy,
     ReadbackRace,
 )
-from repro.scrub.manager import FaultManager, ManagedDevice
-from repro.scrub.mission import DesignMission, DesignMissionReport
+from repro.scrub.manager import FaultManager, ManagedDevice, RepairPolicy
+from repro.scrub.mission import DesignMission, DesignMissionReport, fleet_availability
 from repro.scrub.orbit import OnOrbitSystem, MissionReport
 
 __all__ = [
@@ -31,10 +32,14 @@ __all__ = [
     "StateOfHealth",
     "FaultManager",
     "ManagedDevice",
+    "RepairPolicy",
+    "NoiseConfig",
+    "NoisySelectMapPort",
     "OnOrbitSystem",
     "MissionReport",
     "DesignMission",
     "DesignMissionReport",
+    "fleet_availability",
     "ReadbackPolicy",
     "LutRamRegion",
     "DynamicStoragePlan",

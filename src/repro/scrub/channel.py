@@ -1,0 +1,234 @@
+"""Noisy scrub channel: the fault manager is flight hardware too.
+
+The paper's detect/repair path (Figure 4) runs in the same radiation
+environment as the parts it protects: SelectMAP readback can return
+corrupted bytes, the bus can glitch transiently, and the port logic
+itself can suffer a single-event functional interrupt (SEFI) that hangs
+it until a power-cycle.  :class:`NoisySelectMapPort` wraps a clean
+:class:`~repro.bitstream.selectmap.SelectMapPort` with those fault
+modes so the repair policy can be exercised against a channel that
+lies, stalls and dies — the way production scrubbers (ARICH/Belle II
+intermodular scrubbers, Virtex SEU controllers) must assume it does.
+
+Fault modes, all independently configurable via :class:`NoiseConfig`:
+
+* **readback bit errors** — each bit read back (``read_frame`` /
+  ``scan_crcs``) flips with probability ``readback_ber``.  The device's
+  configuration memory is untouched: the corruption exists only on the
+  wire, which is exactly what makes naive repair-on-mismatch dangerous.
+* **write bit errors** — each bit written by ``write_frame`` flips with
+  probability ``write_ber`` (a glitched repair), which the policy's
+  re-read verification must catch.
+* **transient bus faults** — an operation raises
+  :class:`~repro.errors.TransientBusError` with probability
+  ``transient_rate`` and succeeds when retried.
+* **SEFI port hangs** — with probability ``sefi_rate`` per operation
+  the port enters a sticky hang; every subsequent operation raises
+  :class:`~repro.errors.SEFIError` until :meth:`power_cycle` runs.  A
+  power-cycle costs modeled time and clears the configuration memory,
+  so the device needs a full reconfiguration afterwards.
+
+Deterministic tests use the injection hooks (:meth:`inject_transient`,
+:meth:`inject_sefi`, :meth:`inject_scan_corruption`) instead of rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitstream.bitstream import ConfigBitstream
+from repro.bitstream.frame import FrameData
+from repro.bitstream.selectmap import SelectMapPort, SelectMapTiming
+from repro.errors import SEFIError, TransientBusError
+from repro.fpga.geometry import FrameKind
+from repro.utils.rng import derive_rng
+from repro.utils.simtime import SimClock
+
+__all__ = ["NoiseConfig", "NoisySelectMapPort"]
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Fault rates of one scrub channel (all default to a clean channel)."""
+
+    readback_ber: float = 0.0  #: per-bit flip probability on readback data
+    write_ber: float = 0.0  #: per-bit flip probability on written frames
+    transient_rate: float = 0.0  #: per-operation transient bus-fault probability
+    sefi_rate: float = 0.0  #: per-operation probability of a sticky port hang
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("readback_ber", "write_ber", "transient_rate", "sefi_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {v}")
+
+
+class NoisySelectMapPort:
+    """A :class:`SelectMapPort` with an unreliable physical layer.
+
+    Exposes the same interface (``memory``, ``clock``, ``timing``,
+    observer lists, transfer statistics, and the four operations) so it
+    drops into :class:`~repro.scrub.manager.FaultManager` unchanged.
+    """
+
+    def __init__(
+        self,
+        inner: SelectMapPort,
+        noise: NoiseConfig | None = None,
+        rng: np.random.Generator | None = None,
+        power_cycle_s: float = 0.25,
+    ):
+        self.inner = inner
+        self.noise = noise if noise is not None else NoiseConfig()
+        self.rng = rng if rng is not None else derive_rng(self.noise.seed, "channel")
+        #: modeled latency of a commanded power-cycle (relay + reboot)
+        self.power_cycle_s = power_cycle_s
+        self.sefi_hung = False
+        # Channel statistics.
+        self.n_transient_faults = 0
+        self.n_sefi_events = 0
+        self.n_power_cycles = 0
+        self.n_read_bits_flipped = 0
+        self.n_write_bits_flipped = 0
+        # Deterministic injection queues (tests / self-checks).
+        self._forced_transients = 0
+        self._forced_scan_corruptions: set[int] = set()
+
+    # -- delegated surface ---------------------------------------------------
+
+    @property
+    def memory(self) -> ConfigBitstream:
+        return self.inner.memory
+
+    @property
+    def clock(self) -> SimClock:
+        return self.inner.clock
+
+    @property
+    def timing(self) -> SelectMapTiming:
+        return self.inner.timing
+
+    @property
+    def on_full_configure(self):
+        return self.inner.on_full_configure
+
+    @property
+    def on_partial_write(self):
+        return self.inner.on_partial_write
+
+    @property
+    def on_readback(self):
+        return self.inner.on_readback
+
+    @property
+    def n_full_configs(self) -> int:
+        return self.inner.n_full_configs
+
+    @property
+    def n_frame_writes(self) -> int:
+        return self.inner.n_frame_writes
+
+    @property
+    def n_frame_reads(self) -> int:
+        return self.inner.n_frame_reads
+
+    @property
+    def bytes_transferred(self) -> int:
+        return self.inner.bytes_transferred
+
+    # -- fault machinery ---------------------------------------------------
+
+    def inject_transient(self, count: int = 1) -> None:
+        """Queue ``count`` deterministic transient faults (next operations)."""
+        self._forced_transients += count
+
+    def inject_sefi(self) -> None:
+        """Hang the port deterministically (sticky until :meth:`power_cycle`)."""
+        self.sefi_hung = True
+        self.n_sefi_events += 1
+
+    def inject_scan_corruption(self, frame_index: int) -> None:
+        """Corrupt ``frame_index``'s CRC on the *next* scan only (a pure
+        readback lie: memory is untouched) — the false-alarm stimulus."""
+        self._forced_scan_corruptions.add(int(frame_index))
+
+    def _gate(self) -> None:
+        """Run the per-operation fault lottery; raises instead of operating."""
+        if self.sefi_hung:
+            raise SEFIError("SelectMAP port hung by SEFI; power-cycle required")
+        if self._forced_transients > 0:
+            self._forced_transients -= 1
+            self.n_transient_faults += 1
+            raise TransientBusError("injected transient bus fault")
+        if self.noise.sefi_rate and self.rng.random() < self.noise.sefi_rate:
+            self.inject_sefi()
+            raise SEFIError("SelectMAP port hung by SEFI; power-cycle required")
+        if self.noise.transient_rate and self.rng.random() < self.noise.transient_rate:
+            self.n_transient_faults += 1
+            raise TransientBusError("transient SelectMAP bus fault")
+
+    def _flip_bits(self, bits: np.ndarray, ber: float) -> int:
+        """Flip each bit of ``bits`` in place with probability ``ber``."""
+        if ber <= 0.0:
+            return 0
+        n = int(self.rng.binomial(bits.size, ber))
+        if n:
+            where = self.rng.choice(bits.size, size=n, replace=False)
+            bits[where] ^= 1
+        return n
+
+    def power_cycle(self) -> float:
+        """Modeled power-cycle: clears a SEFI hang *and* the configuration
+        memory (the device comes back unconfigured)."""
+        self.sefi_hung = False
+        self.inner.memory.bits[:] = 0
+        self.clock.advance(self.power_cycle_s)
+        self.n_power_cycles += 1
+        return self.power_cycle_s
+
+    # -- operations, with the fault lottery in front -------------------------
+
+    def full_configure(self, golden: ConfigBitstream) -> float:
+        self._gate()
+        return self.inner.full_configure(golden)
+
+    def write_frame(self, frame: FrameData) -> float:
+        self._gate()
+        if self.noise.write_ber > 0.0:
+            frame = frame.copy()
+            self.n_write_bits_flipped += self._flip_bits(frame.bits, self.noise.write_ber)
+        return self.inner.write_frame(frame)
+
+    def read_frame(self, frame_index: int) -> FrameData:
+        self._gate()
+        frame = self.inner.read_frame(frame_index)
+        self.n_read_bits_flipped += self._flip_bits(frame.bits, self.noise.readback_ber)
+        return frame
+
+    def scan_crcs(self, include_bram_content: bool = False) -> tuple[np.ndarray, float]:
+        """Scan with readback noise: frames whose (modeled) readback picked
+        up at least one bit error return a perturbed CRC."""
+        self._gate()
+        crcs, dt = self.inner.scan_crcs(include_bram_content)
+        geo = self.memory.geometry
+        scanned = [
+            f
+            for f in range(geo.n_frames)
+            if include_bram_content
+            or geo.frame_address(f).kind is not FrameKind.BRAM_CONTENT
+        ]
+        if self.noise.readback_ber > 0.0:
+            n_bits = np.array([geo.frame_bits_of(f) for f in scanned], dtype=np.int64)
+            n_err = self.rng.binomial(n_bits, self.noise.readback_ber)
+            for f, k in zip(scanned, n_err):
+                if k:
+                    # Any readback bit error perturbs a CRC-16 almost surely.
+                    crcs[f] ^= np.uint16(self.rng.integers(1, 1 << 16))
+                    self.n_read_bits_flipped += int(k)
+        for f in self._forced_scan_corruptions:
+            crcs[f] ^= np.uint16(0x5A5A)
+        self._forced_scan_corruptions.clear()
+        return crcs, dt

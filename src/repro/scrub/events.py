@@ -3,12 +3,22 @@
 Every detected upset and repair is logged with device, frame and
 timestamp; the record is "later relayed back to the ground station,
 contributing to the State-of-Health record of the subsystem".
+
+The hardened repair path (noisy channel, verify-before-repair,
+escalation ladder) makes every decision observable here too: RETRY for
+backed-off transient bus faults, FALSE_ALARM for CRC mismatches that a
+verification re-read disproved, ESCALATION for each rung climbed,
+SEFI_RECOVERY for a power-cycle that cleared a hung port, QUARANTINE
+for a device dropped from the scan rotation.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+from typing import Iterator
 
 __all__ = ["ScrubEventKind", "ScrubEvent", "StateOfHealth"]
 
@@ -20,6 +30,11 @@ class ScrubEventKind(enum.Enum):
     FULL_RECONFIG = "full_reconfig"
     FLASH_CORRECTION = "flash_correction"
     UNDETECTED_UPSET = "undetected_upset"  # hidden state / masked frames
+    RETRY = "retry"  # transient bus fault, backed off and retried
+    FALSE_ALARM = "false_alarm"  # verify re-read disproved a CRC mismatch
+    ESCALATION = "escalation"  # one rung up the repair ladder
+    SEFI_RECOVERY = "sefi_recovery"  # power-cycle cleared a hung port
+    QUARANTINE = "quarantine"  # device dropped from the scan rotation
 
 
 @dataclass(frozen=True)
@@ -32,25 +47,57 @@ class ScrubEvent:
     frame_index: int = -1
     detail: str = ""
 
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["kind"] = self.kind.value
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ScrubEvent":
+        d = dict(d)
+        d["kind"] = ScrubEventKind(d["kind"])
+        return cls(**d)
+
 
 @dataclass
 class StateOfHealth:
     """Accumulating telemetry log with summary queries."""
 
     events: list[ScrubEvent] = field(default_factory=list)
+    _counts: Counter = field(default_factory=Counter, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for e in self.events:
+            self._counts[e.kind] += 1
 
     def log(self, event: ScrubEvent) -> None:
         self.events.append(event)
+        self._counts[event.kind] += 1
 
     def count(self, kind: ScrubEventKind) -> int:
-        return sum(1 for e in self.events if e.kind is kind)
+        return self._counts[kind]
+
+    def filter(
+        self,
+        kind: ScrubEventKind | None = None,
+        device: str | None = None,
+        since: float | None = None,
+    ) -> Iterator[ScrubEvent]:
+        """Events matching every given criterion, in log order."""
+        for e in self.events:
+            if kind is not None and e.kind is not kind:
+                continue
+            if device is not None and e.device != device:
+                continue
+            if since is not None and e.time_s < since:
+                continue
+            yield e
 
     def by_device(self) -> dict[str, int]:
         """Detected upsets per device."""
         out: dict[str, int] = {}
-        for e in self.events:
-            if e.kind is ScrubEventKind.UPSET_DETECTED:
-                out[e.device] = out.get(e.device, 0) + 1
+        for e in self.filter(ScrubEventKind.UPSET_DETECTED):
+            out[e.device] = out.get(e.device, 0) + 1
         return out
 
     def detection_latencies(self) -> list[float]:
@@ -66,6 +113,22 @@ class StateOfHealth:
                 if t0 is not None:
                     out.append(e.time_s - t0)
         return out
+
+    # -- serialization (telemetry downlink / post-mission analysis) ----------
+
+    def to_dicts(self) -> list[dict]:
+        return [e.to_dict() for e in self.events]
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dicts())
+
+    @classmethod
+    def from_dicts(cls, records: list[dict]) -> "StateOfHealth":
+        return cls([ScrubEvent.from_dict(d) for d in records])
+
+    @classmethod
+    def from_json(cls, text: str) -> "StateOfHealth":
+        return cls.from_dicts(json.loads(text))
 
     def summary(self) -> str:
         return ", ".join(

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.bitstream.bitstream import ConfigBitstream
 from repro.bitstream.frame import FrameData
-from repro.errors import ScrubError
+from repro.errors import ECCUncorrectableError, ScrubError
 from repro.fpga.geometry import DeviceGeometry
 from repro.scrub.ecc import SECDED_CODE_BITS, SECDED_DATA_BITS, secded_decode, secded_encode
 
@@ -38,14 +38,18 @@ class FlashMemory:
     def __init__(self, capacity_bytes: int = 16 * 1024 * 1024):
         self.capacity_bytes = capacity_bytes
         self._images: dict[str, _StoredImage] = {}
+        self._redundant: dict[str, _StoredImage] = {}
         self.corrected_reads = 0  #: ECC single-bit corrections performed
+        self.redundant_fallbacks = 0  #: reads served from the redundant copy
 
     # -- capacity ---------------------------------------------------------
 
     @property
     def used_bytes(self) -> int:
         total_bits = sum(
-            sum(f.size for f in img.frames) for img in self._images.values()
+            sum(f.size for f in img.frames)
+            for store in (self._images, self._redundant)
+            for img in store.values()
         )
         return (total_bits + 7) // 8
 
@@ -57,14 +61,10 @@ class FlashMemory:
 
     # -- store / fetch ------------------------------------------------------
 
-    def store_image(self, name: str, bitstream: ConfigBitstream) -> None:
-        """Store a golden configuration, ECC-encoding every frame."""
-        if name in self._images:
-            raise ScrubError(f"image {name!r} already stored")
+    def _encode(self, bitstream: ConfigBitstream) -> _StoredImage:
         geo = bitstream.geometry
         frames: list[np.ndarray] = []
         frame_bits: list[int] = []
-        total_code_bits = 0
         for f in range(geo.n_frames):
             bits = bitstream.frame_view(f)
             n_words = (bits.size + SECDED_DATA_BITS - 1) // SECDED_DATA_BITS
@@ -73,9 +73,25 @@ class FlashMemory:
             code = secded_encode(padded.reshape(n_words, SECDED_DATA_BITS))
             frames.append(code)
             frame_bits.append(int(bits.size))
-            total_code_bits += code.size
+        return _StoredImage(geo, frames, frame_bits)
+
+    def store_image(
+        self, name: str, bitstream: ConfigBitstream, redundant: bool = False
+    ) -> None:
+        """Store a golden configuration, ECC-encoding every frame.
+
+        With ``redundant=True`` a second, independently stored copy is
+        kept; reads that find the primary copy ECC-uncorrectable fall
+        back to it (and heal the primary word from it).
+        """
+        if name in self._images:
+            raise ScrubError(f"image {name!r} already stored")
+        img = self._encode(bitstream)
+        total_code_bits = sum(f.size for f in img.frames) * (2 if redundant else 1)
         self._check_capacity(total_code_bits)
-        self._images[name] = _StoredImage(geo, frames, frame_bits)
+        self._images[name] = img
+        if redundant:
+            self._redundant[name] = self._encode(bitstream)
 
     def images(self) -> list[str]:
         return sorted(self._images)
@@ -86,31 +102,64 @@ class FlashMemory:
         except KeyError:
             raise ScrubError(f"no stored image named {name!r}") from None
 
-    def fetch_frame(self, name: str, frame_index: int) -> FrameData:
-        """Fetch one golden frame, correcting any single-bit flash SEUs."""
+    def has_redundant(self, name: str) -> bool:
+        return name in self._redundant
+
+    def fetch_frame(
+        self, name: str, frame_index: int, fallback: bool = False
+    ) -> FrameData:
+        """Fetch one golden frame, correcting any single-bit flash SEUs.
+
+        A multi-bit upset makes the stored word ECC-uncorrectable; with
+        ``fallback=True`` and a redundant copy stored, the read is served
+        from the redundant copy and the primary word is healed from it
+        (flash scrubbing).  Otherwise the error propagates.
+        """
         img = self._image(name)
         if not 0 <= frame_index < len(img.frames):
             raise ScrubError(f"image {name!r} has no frame {frame_index}")
-        data, corrected = secded_decode(img.frames[frame_index])
+        try:
+            data, corrected = secded_decode(img.frames[frame_index])
+        except ECCUncorrectableError:
+            if not fallback or name not in self._redundant:
+                raise
+            spare = self._redundant[name]
+            data, corrected = secded_decode(spare.frames[frame_index])
+            img.frames[frame_index][:] = spare.frames[frame_index]
+            self.redundant_fallbacks += 1
         self.corrected_reads += corrected
         bits = data.reshape(-1)[: img.frame_bits[frame_index]]
         return FrameData(frame_index, bits)
 
-    def fetch_image(self, name: str) -> ConfigBitstream:
+    def fetch_image(self, name: str, fallback: bool = False) -> ConfigBitstream:
         """Reassemble a whole configuration (used for full reconfiguration)."""
         img = self._image(name)
         out = ConfigBitstream(img.geometry)
         for f in range(len(img.frames)):
-            out.write_frame(self.fetch_frame(name, f))
+            out.write_frame(self.fetch_frame(name, f, fallback=fallback))
         return out
 
     # -- fault injection into the store itself ------------------------------
 
-    def upset_bit(self, name: str, rng: np.random.Generator) -> None:
-        """Flip one random stored code bit (a flash SEU)."""
+    def upset_bit(
+        self,
+        name: str,
+        rng: np.random.Generator,
+        frame: int | None = None,
+        word: int | None = None,
+        bits: int = 1,
+    ) -> tuple[int, int]:
+        """Flip stored code bits (flash SEUs); returns (frame, word) hit.
+
+        By default one random bit anywhere in the image.  ``frame`` /
+        ``word`` pin the location and ``bits`` flips that many distinct
+        bits *of the same code word* — ``bits=2`` models the double-bit
+        upset SEC-DED cannot correct.
+        """
         img = self._image(name)
-        f = int(rng.integers(len(img.frames)))
+        f = int(rng.integers(len(img.frames))) if frame is None else int(frame)
         code = img.frames[f]
-        w = int(rng.integers(code.shape[0]))
-        b = int(rng.integers(SECDED_CODE_BITS))
-        code[w, b] ^= 1
+        w = int(rng.integers(code.shape[0])) if word is None else int(word)
+        for b in rng.choice(SECDED_CODE_BITS, size=bits, replace=False):
+            code[w, int(b)] ^= 1
+        return f, w

@@ -7,21 +7,59 @@ its local SRAM.  On mismatch it interrupts the microprocessor with the
 device and frame; the microprocessor fetches the golden frame from
 flash (156 bytes on the XQVR1000), partially reconfigures the device,
 and resets the design.  One scan of three XQVR1000s takes ~180 ms.
+
+The repair path itself is flight hardware in the radiation environment,
+so :class:`RepairPolicy` hardens it against a lying channel:
+
+* **verify before repair** — a CRC mismatch is re-read (twice, and the
+  reads must agree) before any frame is rewritten, so transient
+  readback noise produces FALSE_ALARM telemetry instead of repairs;
+* **bounded retries with exponential backoff** (in modeled time) absorb
+  transient bus faults;
+* an **escalation ladder** — frame repair -> re-read verify -> full
+  reconfiguration from flash -> device power-cycle -> quarantine —
+  bounds how long one sick device can hold the scan rotation hostage;
+* ECC-uncorrectable flash words fall back to the redundant flash copy
+  and a full reconfiguration instead of killing the scan loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+import numpy as np
 
 from repro.bitstream.codebook import CRCCodebook
 from repro.bitstream.selectmap import SelectMapPort
-from repro.errors import ScrubError
+from repro.errors import ECCUncorrectableError, ScrubError, SEFIError, TransientBusError
 from repro.fpga.geometry import FrameKind
 from repro.scrub.events import ScrubEvent, ScrubEventKind, StateOfHealth
 from repro.scrub.flash import FlashMemory
 from repro.utils.simtime import SimClock
 
-__all__ = ["ManagedDevice", "ScanReport", "FaultManager"]
+__all__ = ["ManagedDevice", "RepairPolicy", "ScanReport", "FaultManager"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RepairPolicy:
+    """Knobs of the hardened repair path."""
+
+    #: re-read a CRC-mismatched frame before rewriting it
+    verify_before_repair: bool = True
+    #: transient-bus-fault retries per operation before escalating
+    max_retries: int = 3
+    #: first retry backoff (modeled seconds); doubles each retry
+    backoff_base_s: float = 1e-3
+    backoff_factor: float = 2.0
+    #: frame repair + verify rounds before escalating to full reconfig
+    max_repair_attempts: int = 2
+    #: full reconfigurations per device before the power-cycle rung
+    max_full_reconfigs: int = 2
+    #: power-cycles per device before quarantine
+    max_power_cycles: int = 2
 
 
 @dataclass
@@ -33,6 +71,9 @@ class ManagedDevice:
     codebook: CRCCodebook
     image_name: str  #: golden image key in flash
     needs_reset: bool = False
+    quarantined: bool = False
+    n_full_reconfigs: int = 0
+    n_power_cycles: int = 0
 
 
 @dataclass
@@ -43,6 +84,11 @@ class ScanReport:
     detected: list[tuple[str, int]]  #: (device, frame) pairs found corrupted
     repaired: list[tuple[str, int]]
     resets: int
+    false_alarms: int = 0  #: mismatches disproved by the verify re-read
+    retries: int = 0  #: transient bus faults absorbed by backoff
+    escalations: int = 0  #: ladder rungs climbed
+    sefi_recoveries: int = 0  #: hung ports recovered by power-cycle
+    quarantined: list[str] = field(default_factory=list)  #: newly quarantined
 
 
 class FaultManager:
@@ -54,12 +100,18 @@ class FaultManager:
         clock: SimClock | None = None,
         soh: StateOfHealth | None = None,
         repair_interrupt_s: float = 250e-6,
+        policy: RepairPolicy | None = None,
+        idle_tick_s: float = 1e-3,
     ):
         self.flash = flash
         self.clock = clock if clock is not None else SimClock()
         self.soh = soh if soh is not None else StateOfHealth()
         #: modeled microprocessor interrupt + flash fetch latency per repair
         self.repair_interrupt_s = repair_interrupt_s
+        self.policy = policy if policy is not None else RepairPolicy()
+        #: minimum clock advance of a scan cycle that did no bus work
+        #: (all devices quarantined) so polling loops always make progress
+        self.idle_tick_s = idle_tick_s
         self.devices: list[ManagedDevice] = []
 
     def manage(self, name: str, port: SelectMapPort, image_name: str) -> ManagedDevice:
@@ -80,6 +132,16 @@ class FaultManager:
         self.devices.append(dev)
         return dev
 
+    def active_devices(self) -> list[ManagedDevice]:
+        """Devices still in the scan rotation."""
+        return [d for d in self.devices if not d.quarantined]
+
+    # -- telemetry helpers ---------------------------------------------------
+
+    def _log(self, kind: ScrubEventKind, dev: ManagedDevice, frame: int = -1,
+             detail: str = "") -> None:
+        self.soh.log(ScrubEvent(kind, self.clock.now, dev.name, frame, detail))
+
     # -- the scan loop ------------------------------------------------------
 
     def scan_device(self, dev: ManagedDevice) -> tuple[list[int], float]:
@@ -91,54 +153,233 @@ class FaultManager:
         crcs, dt = dev.port.scan_crcs()
         return [int(f) for f in dev.codebook.check_crcs(crcs)], dt
 
+    def _retrying(self, dev: ManagedDevice, frame: int, what: str,
+                  op: Callable[[], T]) -> T:
+        """Run ``op`` with bounded retries and exponential backoff (in
+        modeled time) on transient bus faults; logs RETRY per attempt."""
+        delay = self.policy.backoff_base_s
+        for attempt in range(self.policy.max_retries + 1):
+            try:
+                return op()
+            except TransientBusError as err:
+                self._log(ScrubEventKind.RETRY, dev, frame, f"{what}: {err}")
+                if attempt == self.policy.max_retries:
+                    raise
+                self.clock.advance(delay)
+                delay *= self.policy.backoff_factor
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def repair_frame(self, dev: ManagedDevice, frame_index: int) -> float:
         """Fetch the golden frame from flash and rewrite it (partial
-        reconfiguration); flags the device for a design reset."""
+        reconfiguration); flags the device for a design reset.
+
+        An ECC-uncorrectable flash word (multi-bit flash upset) escalates
+        to a full reconfiguration from the redundant flash copy instead
+        of crashing the scan loop; without a redundant copy the error
+        propagates for the caller's ladder to handle.
+        """
+        t0 = self.clock.now
         before = self.flash.corrected_reads
-        frame = self.flash.fetch_frame(dev.image_name, frame_index)
-        if self.flash.corrected_reads > before:
-            self.soh.log(
-                ScrubEvent(
-                    ScrubEventKind.FLASH_CORRECTION,
-                    self.clock.now,
-                    dev.name,
-                    frame_index,
-                )
+        try:
+            frame = self.flash.fetch_frame(dev.image_name, frame_index)
+        except ECCUncorrectableError as err:
+            if not self.flash.has_redundant(dev.image_name):
+                raise
+            self._log(
+                ScrubEventKind.ESCALATION, dev, frame_index,
+                f"flash uncorrectable ({err}); full reconfig from redundant copy",
             )
+            self.full_reconfigure(dev, fallback=True)
+            return self.clock.now - t0
+        if self.flash.corrected_reads > before:
+            self._log(ScrubEventKind.FLASH_CORRECTION, dev, frame_index)
         self.clock.advance(self.repair_interrupt_s)
         dt = dev.port.write_frame(frame)
         dev.needs_reset = True
-        self.soh.log(
-            ScrubEvent(
-                ScrubEventKind.FRAME_REPAIRED, self.clock.now, dev.name, frame_index
-            )
-        )
+        self._log(ScrubEventKind.FRAME_REPAIRED, dev, frame_index)
         return self.repair_interrupt_s + dt
 
+    def full_reconfigure(self, dev: ManagedDevice, fallback: bool = False) -> float:
+        """Reload the whole golden image from flash (start-up sequence runs)."""
+        golden = self.flash.fetch_image(dev.image_name, fallback=fallback)
+        dt = dev.port.full_configure(golden)
+        dev.needs_reset = True
+        dev.n_full_reconfigs += 1
+        self._log(ScrubEventKind.FULL_RECONFIG, dev)
+        return dt
+
+    # -- the escalation ladder ----------------------------------------------
+
+    def _quarantine(self, dev: ManagedDevice, reason: str) -> None:
+        dev.quarantined = True
+        self._log(ScrubEventKind.QUARANTINE, dev, detail=reason)
+
+    def _escalate_device(self, dev: ManagedDevice, reason: str) -> bool:
+        """Climb the device-level rungs: full reconfiguration from flash,
+        then power-cycle, then quarantine.  Returns True when the device
+        was restored to service."""
+        if dev.n_full_reconfigs < self.policy.max_full_reconfigs:
+            self._log(ScrubEventKind.ESCALATION, dev, detail=f"full reconfig: {reason}")
+            try:
+                self._retrying(dev, -1, "full reconfig",
+                               lambda: self.full_reconfigure(dev, fallback=True))
+                return True
+            except ScrubError:
+                pass  # SEFI, exhausted retries, unrecoverable flash: next rung
+        if dev.n_power_cycles < self.policy.max_power_cycles and hasattr(
+            dev.port, "power_cycle"
+        ):
+            self._log(ScrubEventKind.ESCALATION, dev, detail=f"power-cycle: {reason}")
+            dev.n_power_cycles += 1
+            dev.port.power_cycle()
+            try:
+                self._retrying(dev, -1, "post-power-cycle reconfig",
+                               lambda: self.full_reconfigure(dev, fallback=True))
+                return True
+            except ScrubError:
+                pass
+        self._quarantine(dev, reason)
+        return False
+
+    def _recover_from_sefi(self, dev: ManagedDevice) -> bool:
+        """A hung port only responds to a power-cycle; then reconfigure."""
+        if dev.n_power_cycles >= self.policy.max_power_cycles or not hasattr(
+            dev.port, "power_cycle"
+        ):
+            self._quarantine(dev, "SEFI: power-cycle budget exhausted")
+            return False
+        self._log(ScrubEventKind.ESCALATION, dev, detail="power-cycle: SEFI port hang")
+        dev.n_power_cycles += 1
+        dev.port.power_cycle()
+        try:
+            self._retrying(dev, -1, "post-SEFI reconfig",
+                           lambda: self.full_reconfigure(dev, fallback=True))
+        except SEFIError:
+            # Hung again immediately; next cycle climbs the ladder anew.
+            return False
+        except ScrubError:
+            self._quarantine(dev, "SEFI: reconfiguration failed")
+            return False
+        self._log(ScrubEventKind.SEFI_RECOVERY, dev)
+        return True
+
+    def _verify_mismatch(self, dev: ManagedDevice, frame_index: int) -> bool:
+        """Verify-before-repair: is the CRC mismatch real?
+
+        Re-reads the frame twice per round; a repair is authorised only
+        when both reads mismatch the codebook *and* agree with each
+        other (consistent corruption lives in the device; inconsistent
+        corruption is channel noise).  Any read matching the codebook
+        disproves the alarm.  Rounds that stay inconsistent are retried
+        with backoff; an inconclusive verify authorises the repair —
+        rewriting a golden frame is always safe, skipping a real upset
+        is not.
+        """
+        delay = self.policy.backoff_base_s
+        for _ in range(self.policy.max_repair_attempts):
+            a = self._retrying(dev, frame_index, "verify read",
+                               lambda: dev.port.read_frame(frame_index))
+            if dev.codebook.check_frame(frame_index, a.bits):
+                return False
+            b = self._retrying(dev, frame_index, "verify read",
+                               lambda: dev.port.read_frame(frame_index))
+            if dev.codebook.check_frame(frame_index, b.bits):
+                return False
+            if np.array_equal(a.bits, b.bits):
+                return True
+            self._log(ScrubEventKind.RETRY, dev, frame_index,
+                      "verify reads disagree; channel noise suspected")
+            self.clock.advance(delay)
+            delay *= self.policy.backoff_factor
+        return True
+
+    def _repair_with_policy(self, dev: ManagedDevice, frame_index: int) -> bool:
+        """Verify, repair, verify again, escalate.  True when the frame
+        was actually rewritten (by repair or reconfiguration)."""
+        if self.policy.verify_before_repair:
+            if not self._verify_mismatch(dev, frame_index):
+                self._log(ScrubEventKind.FALSE_ALARM, dev, frame_index,
+                          "verify re-read matched the codebook")
+                return False
+        for attempt in range(self.policy.max_repair_attempts):
+            self._retrying(dev, frame_index, "frame repair",
+                           lambda: self.repair_frame(dev, frame_index))
+            check = self._retrying(dev, frame_index, "post-repair verify",
+                                   lambda: dev.port.read_frame(frame_index))
+            if dev.codebook.check_frame(frame_index, check.bits):
+                return True
+            self._log(ScrubEventKind.ESCALATION, dev, frame_index,
+                      f"repair attempt {attempt + 1} failed verification")
+        self._escalate_device(dev, f"frame {frame_index} unrepairable by partial "
+                                   "reconfiguration")
+        return True
+
     def scan_cycle(self) -> ScanReport:
-        """One pass over every managed device (paper: ~180 ms for three)."""
+        """One pass over every in-rotation device (paper: ~180 ms for three).
+
+        Never lets a single device's failure escape: transient faults are
+        retried with backoff, persistent ones climb the escalation ladder,
+        and a device that exhausts the ladder is quarantined out of the
+        rotation rather than crashing the loop.
+        """
         t0 = self.clock.now
+        tallies = (ScrubEventKind.FALSE_ALARM, ScrubEventKind.RETRY,
+                   ScrubEventKind.ESCALATION, ScrubEventKind.SEFI_RECOVERY)
+        before = {k: self.soh.count(k) for k in tallies}
+        was_quarantined = {d.name for d in self.devices if d.quarantined}
         detected: list[tuple[str, int]] = []
         repaired: list[tuple[str, int]] = []
         resets = 0
         for dev in self.devices:
-            bad, _ = self.scan_device(dev)
+            if dev.quarantined:
+                continue
+            try:
+                bad, _ = self._retrying(dev, -1, "readback scan",
+                                        lambda: self.scan_device(dev))
+            except SEFIError:
+                self._recover_from_sefi(dev)
+                continue
+            except TransientBusError:
+                self._escalate_device(dev, "readback scan retries exhausted")
+                continue
             for f in bad:
                 detected.append((dev.name, f))
-                self.soh.log(
-                    ScrubEvent(
-                        ScrubEventKind.UPSET_DETECTED, self.clock.now, dev.name, f
-                    )
-                )
-                self.repair_frame(dev, f)
-                repaired.append((dev.name, f))
-            if dev.needs_reset:
+                self._log(ScrubEventKind.UPSET_DETECTED, dev, f)
+                try:
+                    if self._repair_with_policy(dev, f):
+                        repaired.append((dev.name, f))
+                except SEFIError:
+                    self._recover_from_sefi(dev)
+                except TransientBusError:
+                    self._escalate_device(dev, f"frame {f} repair retries exhausted")
+                except ECCUncorrectableError as err:
+                    self._quarantine(dev, f"flash image unrecoverable: {err}")
+                if dev.quarantined:
+                    break
+            if dev.needs_reset and not dev.quarantined:
                 dev.needs_reset = False
                 resets += 1
-                self.soh.log(
-                    ScrubEvent(ScrubEventKind.DESIGN_RESET, self.clock.now, dev.name)
-                )
-        return ScanReport(self.clock.now - t0, detected, repaired, resets)
+                self._log(ScrubEventKind.DESIGN_RESET, dev)
+        if self.clock.now == t0:
+            # No bus work happened (e.g. every device quarantined): advance
+            # a minimum idle tick so polling loops always make progress.
+            self.clock.advance(self.idle_tick_s)
+        return ScanReport(
+            duration_s=self.clock.now - t0,
+            detected=detected,
+            repaired=repaired,
+            resets=resets,
+            false_alarms=self.soh.count(ScrubEventKind.FALSE_ALARM)
+            - before[ScrubEventKind.FALSE_ALARM],
+            retries=self.soh.count(ScrubEventKind.RETRY)
+            - before[ScrubEventKind.RETRY],
+            escalations=self.soh.count(ScrubEventKind.ESCALATION)
+            - before[ScrubEventKind.ESCALATION],
+            sefi_recoveries=self.soh.count(ScrubEventKind.SEFI_RECOVERY)
+            - before[ScrubEventKind.SEFI_RECOVERY],
+            quarantined=[d.name for d in self.devices
+                         if d.quarantined and d.name not in was_quarantined],
+        )
 
     def self_test(self, dev: ManagedDevice, frame_index: int, bit: int = 0) -> bool:
         """Artificial SEU insertion (paper section II-A).
@@ -151,9 +392,18 @@ class FaultManager:
 
         Writes a corrupted copy of ``frame_index`` through the port,
         runs one scan cycle, and returns True iff the corruption was
-        detected at exactly that frame and repaired.
+        detected at exactly that frame and repaired.  Masked (BRAM
+        content) frames are rejected up front — the scan cannot see
+        them, so the test would silently leave the corruption behind.
+        On a failed self-test the original frame is restored.
         """
-        frame = dev.port.memory.read_frame(frame_index)
+        if frame_index in dev.codebook.masked:
+            raise ScrubError(
+                f"frame {frame_index} is masked from readback; "
+                "self-test would leave the corruption undetected"
+            )
+        original = dev.port.memory.read_frame(frame_index)
+        frame = original.copy()
         if not 0 <= bit < frame.n_bits:
             raise ScrubError(f"bit {bit} outside frame {frame_index}")
         frame.bits[bit] ^= 1
@@ -161,10 +411,16 @@ class FaultManager:
         report = self.scan_cycle()
         detected = (dev.name, frame_index) in report.detected
         repaired = (dev.name, frame_index) in report.repaired
-        return detected and repaired
+        ok = detected and repaired
+        if not ok:
+            # Do not leave the artificial corruption in the device.
+            dev.port.memory.write_frame(original)
+        return ok
 
     def run_for(self, seconds: float, max_cycles: int | None = None) -> list[ScanReport]:
         """Scan continuously for a span of simulated time."""
+        if not self.devices:
+            raise ScrubError("run_for with no managed devices would never advance")
         reports = []
         deadline = self.clock.now + seconds
         while self.clock.now < deadline:

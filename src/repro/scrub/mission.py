@@ -22,7 +22,24 @@ from repro.radiation.cross_section import DeviceCrossSection, WeibullCrossSectio
 from repro.seu.maps import SensitivityMap
 from repro.utils.rng import derive_rng
 
-__all__ = ["DesignMission", "DesignMissionReport"]
+__all__ = ["DesignMission", "DesignMissionReport", "fleet_availability"]
+
+
+def fleet_availability(
+    per_device_availability: float, n_devices: int, n_quarantined: int
+) -> float:
+    """Availability of a degraded fleet: quarantined devices deliver no
+    service, the rest deliver ``per_device_availability``.
+
+    This is how the mission accounts for the escalation ladder's last
+    rung — a device dropped from the 9-FPGA scan rotation reduces
+    payload capacity pro rata rather than failing the whole mission.
+    """
+    if n_devices <= 0:
+        return 0.0
+    if not 0 <= n_quarantined <= n_devices:
+        raise ValueError(f"{n_quarantined} quarantined of {n_devices} devices")
+    return per_device_availability * (n_devices - n_quarantined) / n_devices
 
 
 @dataclass

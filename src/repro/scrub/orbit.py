@@ -10,6 +10,13 @@ Upsets landing on BRAM-content frames (masked from readback) or on
 hidden state (half-latches) are *not* detected by scrubbing — the
 mission report counts them separately, quantifying the paper's
 limitations discussion (section II-C).
+
+The scrub channel itself can be flown dirty: pass a
+:class:`~repro.scrub.channel.NoiseConfig` and every SelectMAP port is
+wrapped in a :class:`~repro.scrub.channel.NoisySelectMapPort`, so the
+mission exercises verify-before-repair, retry/backoff, SEFI recovery
+and quarantine.  A quarantined FPGA drops out of the scan rotation and
+the report's ``device_availability`` accounts for the degraded fleet.
 """
 
 from __future__ import annotations
@@ -24,9 +31,10 @@ from repro.fpga.device import VirtexDevice
 from repro.fpga.geometry import FrameKind
 from repro.radiation.environment import OrbitEnvironment, sample_upset_times
 from repro.radiation.cross_section import DeviceCrossSection, WeibullCrossSection
+from repro.scrub.channel import NoiseConfig, NoisySelectMapPort
 from repro.scrub.events import ScrubEvent, ScrubEventKind, StateOfHealth
 from repro.scrub.flash import FlashMemory
-from repro.scrub.manager import FaultManager
+from repro.scrub.manager import FaultManager, RepairPolicy
 from repro.utils.rng import derive_rng
 from repro.utils.simtime import SimClock
 
@@ -46,6 +54,18 @@ class MissionReport:
     detection_latencies_s: list[float] = field(default_factory=list)
     scan_period_s: float = 0.0
     soh: StateOfHealth | None = None
+    # Hardened-channel telemetry (all zero on a clean channel).
+    n_false_alarms: int = 0
+    n_retries: int = 0
+    n_escalations: int = 0
+    n_sefi_recoveries: int = 0
+    quarantined: list[str] = field(default_factory=list)
+    #: device-seconds in service / device-seconds flown (1.0 = full fleet)
+    device_availability: float = 1.0
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantined)
 
     @property
     def mean_detection_latency_s(self) -> float:
@@ -54,7 +74,7 @@ class MissionReport:
         return float(np.mean(self.detection_latencies_s))
 
     def summary(self) -> str:
-        return (
+        line = (
             f"{self.duration_s / 3600:.2f} h: {self.n_upsets} upsets, "
             f"{self.n_detected} detected, {self.n_repaired} repaired, "
             f"{self.n_undetected_hidden + self.n_undetected_bram} undetected "
@@ -62,6 +82,18 @@ class MissionReport:
             f"mean detection latency {1e3 * self.mean_detection_latency_s:.0f} ms "
             f"(scan period {1e3 * self.scan_period_s:.0f} ms)"
         )
+        if (
+            self.n_false_alarms or self.n_retries or self.n_escalations
+            or self.n_sefi_recoveries or self.quarantined
+        ):
+            line += (
+                f"; channel: {self.n_false_alarms} false alarms, "
+                f"{self.n_retries} retries, {self.n_escalations} escalations, "
+                f"{self.n_sefi_recoveries} SEFI recoveries, "
+                f"{self.n_quarantined} quarantined, "
+                f"fleet availability {100 * self.device_availability:.3f}%"
+            )
+        return line
 
 
 class OnOrbitSystem:
@@ -75,6 +107,8 @@ class OnOrbitSystem:
         environment: OrbitEnvironment | None = None,
         hidden_fraction: float = 0.0042,
         seed: int = 0,
+        noise: NoiseConfig | None = None,
+        policy: RepairPolicy | None = None,
     ):
         self.device = device
         self.golden = golden
@@ -88,23 +122,36 @@ class OnOrbitSystem:
         self.rng = derive_rng(seed, "orbit")
         self.clock = SimClock()
         self.flash = FlashMemory()
-        self.flash.store_image("mission", golden)
+        # The flight store always keeps a redundant copy: multi-bit flash
+        # upsets must not leave an image unrepairable.
+        self.flash.store_image("mission", golden, redundant=True)
         self.soh = StateOfHealth()
-        self.manager = FaultManager(self.flash, self.clock, self.soh)
-        self.ports: list[SelectMapPort] = []
+        self.manager = FaultManager(self.flash, self.clock, self.soh, policy=policy)
+        self.ports: list[SelectMapPort | NoisySelectMapPort] = []
         for i in range(n_devices):
-            port = SelectMapPort(ConfigBitstream(device.geometry), self.clock)
-            port.full_configure(golden)
+            inner = SelectMapPort(ConfigBitstream(device.geometry), self.clock)
+            # Initial load happens on the ground: always through a clean port.
+            inner.full_configure(golden)
+            port: SelectMapPort | NoisySelectMapPort = inner
+            if noise is not None:
+                port = NoisySelectMapPort(
+                    inner, noise, rng=derive_rng(seed, "channel", str(i))
+                )
             self.manager.manage(f"fpga{i}", port, "mission")
             self.ports.append(port)
 
     def _apply_upset(self, when: float) -> tuple[str, str, int]:
-        """Flip state in a random device; returns (kind, device, frame).
+        """Flip state in a random in-service device; returns (kind,
+        device, frame).
 
-        kind: 'config' (scrubbable), 'bram' (masked frames), 'hidden'.
+        kind: 'config' (scrubbable), 'bram' (masked frames), 'hidden',
+        or 'offline' when the hit device is quarantined (powered down,
+        nothing to corrupt).
         """
         i = int(self.rng.integers(self.n_devices))
         name = f"fpga{i}"
+        if self.manager.devices[i].quarantined:
+            return "offline", name, -1
         if self.rng.random() < self.cross_section.hidden_fraction:
             self.soh.log(
                 ScrubEvent(ScrubEventKind.UNDETECTED_UPSET, when, name, -1, "half-latch")
@@ -128,14 +175,23 @@ class OnOrbitSystem:
 
         Scan cycles with no pending upsets are fast-forwarded (the clock
         jumps by whole scan periods), so long quiet missions cost no
-        host time.
+        host time.  The loop is robust to a dirty channel: false alarms
+        are disproved, hung ports are power-cycled, and a device that
+        exhausts the escalation ladder is quarantined — reducing
+        ``device_availability`` — instead of aborting the mission.
         """
         rate = self.environment.device_upset_rate(self.cross_section) * self.n_devices
         start = self.clock.now
         upset_times = start + sample_upset_times(rate, duration_s, self.rng)
+        quarantined_at: dict[str, float] = {}
+
+        def note_quarantines(scan) -> None:
+            for name in scan.quarantined:
+                quarantined_at.setdefault(name, self.clock.now)
 
         # Calibrate the scan period with one clean cycle.
         first = self.manager.scan_cycle()
+        note_quarantines(first)
         scan_period = first.duration_s
 
         report = MissionReport(
@@ -148,6 +204,12 @@ class OnOrbitSystem:
             scan_period_s=scan_period,
             soh=self.soh,
         )
+        report.n_detected += len(first.detected)
+        report.n_repaired += len(first.repaired)
+        report.n_false_alarms += first.false_alarms
+        report.n_retries += first.retries
+        report.n_escalations += first.escalations
+        report.n_sefi_recoveries += first.sefi_recoveries
 
         i = 0
         while i < len(upset_times):
@@ -163,8 +225,13 @@ class OnOrbitSystem:
                 pending.append((when, kind, name, frame))
                 i += 1
             scan = self.manager.scan_cycle()
+            note_quarantines(scan)
             report.n_detected += len(scan.detected)
             report.n_repaired += len(scan.repaired)
+            report.n_false_alarms += scan.false_alarms
+            report.n_retries += scan.retries
+            report.n_escalations += scan.escalations
+            report.n_sefi_recoveries += scan.sefi_recoveries
             detected_frames = set(scan.detected)
             for when, kind, name, frame in pending:
                 if kind == "hidden":
@@ -174,4 +241,10 @@ class OnOrbitSystem:
                 elif (name, frame) in detected_frames:
                     report.detection_latencies_s.append(self.clock.now - when)
         self.clock.advance_to(start + duration_s)
+
+        end = self.clock.now
+        report.quarantined = sorted(quarantined_at)
+        lost = sum(end - t0 for t0 in quarantined_at.values())
+        total = self.n_devices * (end - start)
+        report.device_availability = 1.0 - lost / total if total > 0 else 1.0
         return report

@@ -16,9 +16,12 @@ from repro.seu.campaign import (
     BitVerdict,
     CampaignConfig,
     CampaignResult,
+    load_result,
     merge_results,
+    resume_campaign,
     run_campaign,
     run_halflatch_campaign,
+    save_result,
 )
 from repro.seu.multibit import MultiBitResult, run_multibit_campaign
 from repro.seu.correlation import OutputCorrelation, build_correlation_table
@@ -35,6 +38,9 @@ __all__ = [
     "run_campaign",
     "run_halflatch_campaign",
     "merge_results",
+    "save_result",
+    "load_result",
+    "resume_campaign",
     "MultiBitResult",
     "run_multibit_campaign",
     "FaultInjector",

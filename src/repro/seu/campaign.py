@@ -20,7 +20,10 @@ the beam-validation residual (paper section III-C).
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import json
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -39,6 +42,9 @@ __all__ = [
     "run_campaign",
     "run_halflatch_campaign",
     "merge_results",
+    "save_result",
+    "load_result",
+    "resume_campaign",
 ]
 
 
@@ -204,12 +210,81 @@ def _batch_active_mask(design, patches: list[Patch]) -> np.ndarray:
     return mask
 
 
+def _by_kind(hw: HardwareDesign, sensitive_bits: np.ndarray) -> dict[ResourceKind, int]:
+    """Per-resource-kind breakdown of sensitive bits."""
+    out: dict[ResourceKind, int] = {}
+    for bit in sensitive_bits:
+        frame, off = hw.bitstream.locate(int(bit))
+        kind = hw.device.classify_bit(frame, off).kind
+        out[kind] = out.get(kind, 0) + 1
+    return out
+
+
+def save_result(result: CampaignResult, path: str) -> None:
+    """Persist a (possibly partial) campaign result to ``path`` (.npz).
+
+    The write is atomic (tmp file + rename) so a campaign killed while
+    checkpointing never leaves a truncated snapshot behind.
+    """
+    payload = dict(
+        design_name=np.str_(result.design_name),
+        device_name=np.str_(result.device_name),
+        config_json=np.str_(json.dumps(dataclasses.asdict(result.config))),
+        n_candidates=np.int64(result.n_candidates),
+        verdicts=result.verdicts,
+        candidate_bits=result.candidate_bits,
+        by_kind_names=np.array([k.name for k in result.by_kind], dtype=np.str_),
+        by_kind_counts=np.array(list(result.by_kind.values()), dtype=np.int64),
+        host_seconds=np.float64(result.host_seconds),
+        n_simulated=np.int64(result.n_simulated),
+    )
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        np.savez_compressed(f, **payload)
+    os.replace(tmp, path)
+
+
+def load_result(path: str) -> CampaignResult:
+    """Load a campaign result / checkpoint written by :func:`save_result`."""
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as err:
+        raise CampaignError(f"cannot load campaign checkpoint {path!r}: {err}") from None
+    config = CampaignConfig(**json.loads(str(data["config_json"])))
+    by_kind = {
+        ResourceKind[str(name)]: int(count)
+        for name, count in zip(data["by_kind_names"], data["by_kind_counts"])
+    }
+    return CampaignResult(
+        design_name=str(data["design_name"]),
+        device_name=str(data["device_name"]),
+        config=config,
+        n_candidates=int(data["n_candidates"]),
+        verdicts=data["verdicts"],
+        candidate_bits=data["candidate_bits"],
+        by_kind=by_kind,
+        host_seconds=float(data["host_seconds"]),
+        n_simulated=int(data["n_simulated"]),
+    )
+
+
 def run_campaign(
     hw: HardwareDesign,
     config: CampaignConfig | None = None,
     candidate_bits: np.ndarray | None = None,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = 50_000,
+    merge_with: CampaignResult | None = None,
 ) -> CampaignResult:
-    """Exhaustive (or strided) single-bit SEU campaign over one design."""
+    """Exhaustive (or strided) single-bit SEU campaign over one design.
+
+    With ``checkpoint_path`` the campaign periodically snapshots a
+    partial :class:`CampaignResult` to disk (every ``checkpoint_every``
+    candidate bits, and once more at the end), so a multi-hour sweep
+    killed mid-run resumes with :func:`resume_campaign` instead of
+    starting over.  ``merge_with`` folds an earlier partial result into
+    every snapshot (used by resume so re-interrupted runs stay whole).
+    """
     config = config or CampaignConfig()
     decoded = hw.decoded
     design = decoded.design
@@ -231,7 +306,6 @@ def run_campaign(
     candidate_bits = np.asarray(candidate_bits, dtype=np.int64)
 
     verdicts = np.zeros(hw.device.total_config_bits, dtype=np.uint8)
-    by_kind: dict[ResourceKind, list[int]] = {}
     t0 = time.perf_counter()
     n_simulated = 0
 
@@ -265,40 +339,97 @@ def run_campaign(
         n_simulated += len(pending)
         pending.clear()
 
-    for bit in candidate_bits:
+    def make_result(n_done: int) -> CampaignResult:
+        done = candidate_bits[:n_done]
+        part = CampaignResult(
+            design_name=hw.spec.name,
+            device_name=hw.device.name,
+            config=config,
+            n_candidates=int(done.size),
+            verdicts=verdicts.copy() if n_done < candidate_bits.size else verdicts,
+            candidate_bits=done,
+            host_seconds=time.perf_counter() - t0,
+            n_simulated=n_simulated,
+        )
+        part.by_kind = _by_kind(hw, part.sensitive_bits)
+        return part
+
+    def checkpoint(n_done: int) -> None:
+        part = make_result(n_done)
+        if merge_with is not None:
+            part = merge_results([merge_with, part])
+        save_result(part, checkpoint_path)
+
+    since_checkpoint = 0
+    for i, bit in enumerate(candidate_bits):
         bit = int(bit)
+        since_checkpoint += 1
         patch = decoded.patch_for_bit(bit)
         if patch is None:
             verdicts[bit] = BitVerdict.SKIP_STRUCTURAL
-            continue
-        if not decoded.patch_is_relevant(patch):
+        elif not decoded.patch_is_relevant(patch):
             verdicts[bit] = BitVerdict.SKIP_CONE
-            continue
-        if _lut_content_skip(patch, hw, golden.addr_seen):
+        elif _lut_content_skip(patch, hw, golden.addr_seen):
             verdicts[bit] = BitVerdict.SKIP_UNADDRESSED
-            continue
-        pending.append((bit, patch))
-        if len(pending) >= config.batch_size:
-            flush()
+        else:
+            pending.append((bit, patch))
+            if len(pending) >= config.batch_size:
+                flush()
+        # Checkpoint only at natural batch boundaries (pending empty): a
+        # forced flush would change batch composition, and the per-batch
+        # active-node closure can flip marginal persistence verdicts —
+        # resume must reproduce the uninterrupted run bit for bit.
+        if (
+            checkpoint_path is not None
+            and since_checkpoint >= checkpoint_every
+            and not pending
+        ):
+            checkpoint(i + 1)
+            since_checkpoint = 0
     flush()
 
-    result = CampaignResult(
-        design_name=hw.spec.name,
-        device_name=hw.device.name,
-        config=config,
-        n_candidates=int(candidate_bits.size),
-        verdicts=verdicts,
-        candidate_bits=candidate_bits,
-        host_seconds=time.perf_counter() - t0,
-        n_simulated=n_simulated,
-    )
-    # Per-resource-kind breakdown of sensitive bits.
-    for bit in result.sensitive_bits:
-        frame, off = hw.bitstream.locate(int(bit))
-        kind = hw.device.classify_bit(frame, off).kind
-        by_kind.setdefault(kind, []).append(int(bit))
-    result.by_kind = {k: len(v) for k, v in by_kind.items()}
+    result = make_result(int(candidate_bits.size))
+    if merge_with is not None:
+        result = merge_results([merge_with, result])
+    if checkpoint_path is not None:
+        save_result(result, checkpoint_path)
     return result
+
+
+def resume_campaign(
+    hw: HardwareDesign,
+    checkpoint_path: str,
+    candidate_bits: np.ndarray | None = None,
+    checkpoint_every: int = 50_000,
+) -> CampaignResult:
+    """Resume an interrupted campaign from its checkpoint.
+
+    Loads the snapshot, skips every bit that already has a verdict, runs
+    the remainder (checkpointing to the same file as it goes), and
+    merges.  Verdicts are deterministic per bit given the config, so the
+    merged result is identical to an uninterrupted run.
+    """
+    part = load_result(checkpoint_path)
+    if part.design_name != hw.spec.name or part.device_name != hw.device.name:
+        raise CampaignError(
+            f"checkpoint {checkpoint_path!r} is for "
+            f"{part.design_name}/{part.device_name}, not "
+            f"{hw.spec.name}/{hw.device.name}"
+        )
+    if candidate_bits is None:
+        candidate_bits = _candidate_bits(hw, part.config)
+    candidate_bits = np.asarray(candidate_bits, dtype=np.int64)
+    remaining = np.setdiff1d(candidate_bits, part.candidate_bits)
+    if remaining.size == 0:
+        return part
+    return run_campaign(
+        hw,
+        part.config,
+        candidate_bits=remaining,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        merge_with=part,
+    )
 
 
 def merge_results(parts: list[CampaignResult]) -> CampaignResult:

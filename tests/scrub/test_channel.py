@@ -1,0 +1,178 @@
+import numpy as np
+import pytest
+
+from repro.bitstream import ConfigBitstream, SelectMapPort
+from repro.errors import SEFIError, TransientBusError
+from repro.fpga.geometry import DeviceGeometry
+from repro.scrub import NoiseConfig, NoisySelectMapPort
+from repro.utils.simtime import SimClock
+
+
+@pytest.fixture()
+def clean_port():
+    geo = DeviceGeometry(4, 6, n_bram_cols=2)
+    rng = np.random.default_rng(2)
+    golden = ConfigBitstream(geo, rng.integers(0, 2, geo.total_bits).astype(np.uint8))
+    inner = SelectMapPort(ConfigBitstream(geo), SimClock())
+    inner.full_configure(golden)
+    return inner, golden
+
+
+class TestNoiseConfig:
+    def test_defaults_are_clean(self):
+        n = NoiseConfig()
+        assert n.readback_ber == 0.0 and n.transient_rate == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(readback_ber=-0.1),
+            dict(write_ber=1.5),
+            dict(transient_rate=2.0),
+            dict(sefi_rate=-1e-9),
+        ],
+    )
+    def test_rejects_non_probabilities(self, kwargs):
+        with pytest.raises(ValueError):
+            NoiseConfig(**kwargs)
+
+
+class TestDelegation:
+    def test_same_interface_as_inner(self, clean_port):
+        inner, golden = clean_port
+        port = NoisySelectMapPort(inner)
+        assert port.memory is inner.memory
+        assert port.clock is inner.clock
+        assert port.timing is inner.timing
+        assert port.n_full_configs == inner.n_full_configs
+        assert port.bytes_transferred == inner.bytes_transferred
+
+    def test_clean_channel_is_transparent(self, clean_port):
+        inner, golden = clean_port
+        port = NoisySelectMapPort(inner)
+        crcs_noisy, _ = port.scan_crcs()
+        crcs_clean, _ = inner.scan_crcs()
+        assert np.array_equal(crcs_noisy, crcs_clean)
+        frame = port.read_frame(3)
+        assert np.array_equal(frame.bits, inner.memory.frame_view(3))
+        reads_before = inner.n_frame_reads
+        port.read_frame(0)
+        assert port.n_frame_reads == reads_before + 1
+
+
+class TestReadbackNoise:
+    def test_read_noise_does_not_touch_memory(self, clean_port):
+        inner, golden = clean_port
+        port = NoisySelectMapPort(
+            inner, NoiseConfig(readback_ber=0.5), rng=np.random.default_rng(0)
+        )
+        port.read_frame(1)
+        assert port.n_read_bits_flipped > 0
+        # The lie lives on the wire; configuration memory is intact.
+        assert np.array_equal(inner.memory.bits, golden.bits)
+
+    def test_scan_noise_perturbs_crcs_not_memory(self, clean_port):
+        inner, golden = clean_port
+        port = NoisySelectMapPort(
+            inner, NoiseConfig(readback_ber=0.01), rng=np.random.default_rng(1)
+        )
+        noisy, _ = port.scan_crcs()
+        clean, _ = inner.scan_crcs()
+        assert not np.array_equal(noisy, clean)
+        assert np.array_equal(inner.memory.bits, golden.bits)
+
+    def test_write_noise_corrupts_written_frame_only(self, clean_port):
+        inner, golden = clean_port
+        port = NoisySelectMapPort(
+            inner, NoiseConfig(write_ber=0.5), rng=np.random.default_rng(3)
+        )
+        frame = golden.read_frame(2)
+        port.write_frame(frame)
+        assert port.n_write_bits_flipped > 0
+        assert not np.array_equal(inner.memory.frame_view(2), golden.frame_view(2))
+        # The caller's frame object was not mutated (written copy was).
+        assert np.array_equal(frame.bits, golden.frame_view(2))
+
+
+class TestInjectionHooks:
+    def test_injected_transient_fails_then_succeeds(self, clean_port):
+        inner, _ = clean_port
+        port = NoisySelectMapPort(inner)
+        port.inject_transient(2)
+        with pytest.raises(TransientBusError):
+            port.read_frame(0)
+        with pytest.raises(TransientBusError):
+            port.read_frame(0)
+        port.read_frame(0)  # third attempt is clean
+        assert port.n_transient_faults == 2
+
+    def test_injected_sefi_is_sticky(self, clean_port):
+        inner, _ = clean_port
+        port = NoisySelectMapPort(inner)
+        port.inject_sefi()
+        for _ in range(3):
+            with pytest.raises(SEFIError):
+                port.scan_crcs()
+        assert port.n_sefi_events == 1
+
+    def test_power_cycle_clears_hang_and_memory(self, clean_port):
+        inner, golden = clean_port
+        port = NoisySelectMapPort(inner, power_cycle_s=0.5)
+        port.inject_sefi()
+        t0 = port.clock.now
+        port.power_cycle()
+        assert port.clock.now == pytest.approx(t0 + 0.5)
+        assert not port.sefi_hung
+        # The device comes back unconfigured.
+        assert not port.memory.bits.any()
+        port.scan_crcs()  # port operational again
+        assert port.n_power_cycles == 1
+
+    def test_scan_corruption_is_one_shot(self, clean_port):
+        inner, golden = clean_port
+        port = NoisySelectMapPort(inner)
+        port.inject_scan_corruption(4)
+        clean, _ = inner.scan_crcs()
+        lied, _ = port.scan_crcs()
+        assert lied[4] != clean[4]
+        assert np.array_equal(np.delete(lied, 4), np.delete(clean, 4))
+        again, _ = port.scan_crcs()
+        assert np.array_equal(again, clean)
+        assert np.array_equal(inner.memory.bits, golden.bits)
+
+
+class TestFaultLottery:
+    def test_transient_rate_draws_faults(self, clean_port):
+        inner, _ = clean_port
+        port = NoisySelectMapPort(
+            inner, NoiseConfig(transient_rate=0.5), rng=np.random.default_rng(7)
+        )
+        faults = 0
+        for _ in range(100):
+            try:
+                port.read_frame(0)
+            except TransientBusError:
+                faults += 1
+        assert 20 < faults < 80
+        assert port.n_transient_faults == faults
+
+    def test_sefi_rate_hangs_until_cycled(self, clean_port):
+        inner, _ = clean_port
+        port = NoisySelectMapPort(
+            inner, NoiseConfig(sefi_rate=0.2), rng=np.random.default_rng(9)
+        )
+        with pytest.raises(SEFIError):
+            for _ in range(100):
+                port.read_frame(0)
+        assert port.sefi_hung
+        port.power_cycle()
+        assert not port.sefi_hung
+
+    def test_deterministic_given_rng(self, clean_port):
+        inner, _ = clean_port
+        noise = NoiseConfig(readback_ber=0.01)
+        a = NoisySelectMapPort(inner, noise, rng=np.random.default_rng(5))
+        b = NoisySelectMapPort(inner, noise, rng=np.random.default_rng(5))
+        ca, _ = a.scan_crcs()
+        cb, _ = b.scan_crcs()
+        assert np.array_equal(ca, cb)

@@ -1,0 +1,125 @@
+"""State-of-health telemetry: filtering, serialization, event ordering."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bitstream import ConfigBitstream, SelectMapPort
+from repro.fpga.geometry import DeviceGeometry
+from repro.scrub import FaultManager, FlashMemory, ScrubEventKind, StateOfHealth
+from repro.scrub.events import ScrubEvent
+from repro.utils.simtime import SimClock
+
+
+def sample_soh():
+    soh = StateOfHealth()
+    soh.log(ScrubEvent(ScrubEventKind.UPSET_DETECTED, 1.0, "a", 5))
+    soh.log(ScrubEvent(ScrubEventKind.FRAME_REPAIRED, 1.2, "a", 5))
+    soh.log(ScrubEvent(ScrubEventKind.RETRY, 1.3, "b", 2, "bus glitch"))
+    soh.log(ScrubEvent(ScrubEventKind.FALSE_ALARM, 2.0, "a", 7))
+    soh.log(ScrubEvent(ScrubEventKind.ESCALATION, 2.5, "b", -1, "power-cycle"))
+    soh.log(ScrubEvent(ScrubEventKind.SEFI_RECOVERY, 2.6, "b"))
+    soh.log(ScrubEvent(ScrubEventKind.QUARANTINE, 3.0, "c", -1, "ladder exhausted"))
+    return soh
+
+
+class TestNewEventKinds:
+    def test_all_hardening_kinds_exist(self):
+        for name in ("RETRY", "FALSE_ALARM", "ESCALATION", "SEFI_RECOVERY",
+                     "QUARANTINE"):
+            assert hasattr(ScrubEventKind, name)
+
+    def test_counts_are_per_kind(self):
+        soh = sample_soh()
+        assert soh.count(ScrubEventKind.RETRY) == 1
+        assert soh.count(ScrubEventKind.QUARANTINE) == 1
+        assert soh.count(ScrubEventKind.FULL_RECONFIG) == 0
+
+    def test_summary_mentions_new_kinds(self):
+        s = sample_soh().summary()
+        assert "false_alarm=1" in s and "quarantine=1" in s
+
+
+class TestFilter:
+    def test_filter_by_kind(self):
+        soh = sample_soh()
+        events = list(soh.filter(kind=ScrubEventKind.FALSE_ALARM))
+        assert len(events) == 1 and events[0].frame_index == 7
+
+    def test_filter_by_device(self):
+        soh = sample_soh()
+        assert [e.kind for e in soh.filter(device="b")] == [
+            ScrubEventKind.RETRY,
+            ScrubEventKind.ESCALATION,
+            ScrubEventKind.SEFI_RECOVERY,
+        ]
+
+    def test_filter_since(self):
+        soh = sample_soh()
+        assert all(e.time_s >= 2.0 for e in soh.filter(since=2.0))
+        assert len(list(soh.filter(since=2.0))) == 4
+
+    def test_filter_conjunction(self):
+        soh = sample_soh()
+        got = list(soh.filter(kind=ScrubEventKind.RETRY, device="a"))
+        assert got == []
+
+    def test_no_criteria_yields_all_in_order(self):
+        soh = sample_soh()
+        assert list(soh.filter()) == soh.events
+
+
+class TestSerialization:
+    def test_event_dict_round_trip(self):
+        e = ScrubEvent(ScrubEventKind.SEFI_RECOVERY, 3.5, "fpga2", 11, "ok")
+        assert ScrubEvent.from_dict(e.to_dict()) == e
+
+    def test_soh_json_round_trip(self):
+        soh = sample_soh()
+        back = StateOfHealth.from_json(soh.to_json())
+        assert back.events == soh.events
+        for kind in ScrubEventKind:
+            assert back.count(kind) == soh.count(kind)
+
+    def test_json_is_plain_data(self):
+        records = json.loads(sample_soh().to_json())
+        assert all(isinstance(r["kind"], str) for r in records)
+        assert records[0]["kind"] == "upset_detected"
+
+    def test_from_dicts_rebuilds_counts(self):
+        back = StateOfHealth.from_dicts(sample_soh().to_dicts())
+        assert back.count(ScrubEventKind.RETRY) == 1
+
+
+class TestEventOrdering:
+    def test_detect_logged_before_repair_with_consistent_timestamps(self):
+        """Regression: scan_cycle must log UPSET_DETECTED before
+        FRAME_REPAIRED for the same frame, with non-decreasing modeled
+        timestamps (repair happens after detection)."""
+        geo = DeviceGeometry(4, 6, n_bram_cols=2)
+        rng = np.random.default_rng(8)
+        golden = ConfigBitstream(
+            geo, rng.integers(0, 2, geo.total_bits).astype(np.uint8)
+        )
+        flash = FlashMemory()
+        flash.store_image("img", golden)
+        clock = SimClock()
+        manager = FaultManager(flash, clock)
+        port = SelectMapPort(ConfigBitstream(geo), clock)
+        port.full_configure(golden)
+        manager.manage("fpga0", port, "img")
+        port.memory.flip_bit(geo.frame_offset(6) + 1)
+        manager.scan_cycle()
+
+        kinds = [e.kind for e in manager.soh.events]
+        i_detect = kinds.index(ScrubEventKind.UPSET_DETECTED)
+        i_repair = kinds.index(ScrubEventKind.FRAME_REPAIRED)
+        assert i_detect < i_repair
+        detect, repair = manager.soh.events[i_detect], manager.soh.events[i_repair]
+        assert detect.frame_index == repair.frame_index == 6
+        assert detect.time_s <= repair.time_s
+        # Timestamps come from the shared modeled clock, monotone in log order.
+        times = [e.time_s for e in manager.soh.events]
+        assert times == sorted(times)
+        assert manager.soh.detection_latencies()[0] >= 0.0

@@ -71,3 +71,42 @@ class TestFlashSeu:
         image = flash.fetch_image("img")
         assert image == golden
         assert flash.corrected_reads >= 19
+
+
+class TestRedundantCopy:
+    def test_double_bit_upset_uncorrectable_without_redundancy(self, flash, rng):
+        from repro.errors import ECCUncorrectableError
+
+        frame, _ = flash.upset_bit("img", rng, frame=2, word=0, bits=2)
+        with pytest.raises(ECCUncorrectableError):
+            flash.fetch_frame("img", frame)
+        # fallback=True cannot help either: no redundant copy stored.
+        with pytest.raises(ECCUncorrectableError):
+            flash.fetch_frame("img", frame, fallback=True)
+
+    def test_fallback_serves_and_heals_from_redundant(self, golden, rng):
+        flash = FlashMemory()
+        flash.store_image("img", golden, redundant=True)
+        assert flash.has_redundant("img")
+        frame, _ = flash.upset_bit("img", rng, frame=2, word=0, bits=2)
+        got = flash.fetch_frame("img", frame, fallback=True)
+        assert np.array_equal(got.bits, golden.frame_view(frame))
+        assert flash.redundant_fallbacks == 1
+        # The primary word was healed: subsequent plain reads succeed.
+        again = flash.fetch_frame("img", frame)
+        assert np.array_equal(again.bits, golden.frame_view(frame))
+        assert flash.redundant_fallbacks == 1  # no second fallback needed
+
+    def test_redundant_copy_doubles_used_bytes(self, golden):
+        single = FlashMemory()
+        single.store_image("img", golden)
+        double = FlashMemory()
+        double.store_image("img", golden, redundant=True)
+        assert double.used_bytes == 2 * single.used_bytes
+
+    def test_redundant_capacity_enforced(self, golden):
+        single = FlashMemory()
+        single.store_image("img", golden)
+        tight = FlashMemory(capacity_bytes=int(single.used_bytes * 1.5))
+        with pytest.raises(ScrubError):
+            tight.store_image("img", golden, redundant=True)

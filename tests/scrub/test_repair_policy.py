@@ -1,0 +1,308 @@
+"""The hardened repair path: verify-before-repair, retry/backoff,
+escalation ladder, SEFI recovery, quarantine, graceful degradation."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import ConfigBitstream, SelectMapPort
+from repro.errors import ScrubError
+from repro.fpga.geometry import DeviceGeometry
+from repro.scrub import (
+    FaultManager,
+    FlashMemory,
+    NoiseConfig,
+    NoisySelectMapPort,
+    RepairPolicy,
+    ScrubEventKind,
+)
+from repro.utils.simtime import SimClock
+
+
+def make_system(n_devices=2, policy=None, noise=None, seed=0):
+    geo = DeviceGeometry(4, 6, n_bram_cols=2)
+    rng = np.random.default_rng(seed)
+    golden = ConfigBitstream(geo, rng.integers(0, 2, geo.total_bits).astype(np.uint8))
+    flash = FlashMemory()
+    flash.store_image("img", golden, redundant=True)
+    clock = SimClock()
+    manager = FaultManager(flash, clock, policy=policy)
+    ports = []
+    for i in range(n_devices):
+        inner = SelectMapPort(ConfigBitstream(geo), clock)
+        inner.full_configure(golden)
+        port = NoisySelectMapPort(
+            inner, noise, rng=np.random.default_rng(100 + i)
+        )
+        manager.manage(f"fpga{i}", port, "img")
+        ports.append(port)
+    return manager, ports, golden, geo
+
+
+class TestVerifyBeforeRepair:
+    def test_readback_lie_is_a_false_alarm_not_a_repair(self):
+        manager, ports, golden, _ = make_system()
+        ports[0].inject_scan_corruption(5)
+        writes_before = ports[0].n_frame_writes
+        report = manager.scan_cycle()
+        assert report.detected == [("fpga0", 5)]
+        assert report.repaired == []
+        assert report.false_alarms == 1
+        assert report.resets == 0
+        assert ports[0].n_frame_writes == writes_before  # nothing rewritten
+        assert manager.soh.count(ScrubEventKind.FALSE_ALARM) == 1
+        assert manager.soh.count(ScrubEventKind.FRAME_REPAIRED) == 0
+
+    def test_real_upset_still_repaired(self):
+        manager, ports, golden, geo = make_system()
+        ports[1].memory.flip_bit(geo.frame_offset(7) + 3)
+        report = manager.scan_cycle()
+        assert report.repaired == [("fpga1", 7)]
+        assert report.false_alarms == 0
+        assert np.array_equal(ports[1].memory.bits, golden.bits)
+
+    def test_verify_disabled_repairs_blindly(self):
+        manager, ports, _, _ = make_system(
+            policy=RepairPolicy(verify_before_repair=False)
+        )
+        ports[0].inject_scan_corruption(5)
+        report = manager.scan_cycle()
+        # Without verification the lie triggers a (harmless but wasteful)
+        # rewrite of an already-golden frame.
+        assert report.repaired == [("fpga0", 5)]
+        assert report.false_alarms == 0
+
+
+class TestRetryBackoff:
+    def test_transient_faults_absorbed_with_backoff(self):
+        manager, ports, golden, geo = make_system()
+        ports[0].memory.flip_bit(geo.frame_offset(4))
+        ports[0].inject_transient(2)
+        t0 = manager.clock.now
+        report = manager.scan_cycle()
+        assert report.repaired == [("fpga0", 4)]
+        assert report.retries == 2
+        assert manager.soh.count(ScrubEventKind.RETRY) == 2
+        # Backoff spent modeled time: base + base*factor at least.
+        policy = manager.policy
+        assert manager.clock.now - t0 >= policy.backoff_base_s * (
+            1 + policy.backoff_factor
+        )
+
+    def test_exhausted_retries_escalate_not_crash(self):
+        manager, ports, _, _ = make_system(
+            policy=RepairPolicy(max_retries=1, max_full_reconfigs=0,
+                                max_power_cycles=0)
+        )
+        # More forced faults than the whole ladder can retry through.
+        ports[0].inject_transient(1000)
+        report = manager.scan_cycle()  # must not raise
+        assert "fpga0" in report.quarantined
+        assert manager.devices[0].quarantined
+
+    def test_transient_storm_survived_by_full_ladder(self):
+        manager, ports, golden, _ = make_system()
+        ports[0].inject_transient(manager.policy.max_retries + 1)
+        report = manager.scan_cycle()
+        # The scan op exhausted its retries; the ladder's full reconfig
+        # restored the device rather than quarantining it.
+        assert report.escalations >= 1
+        assert not manager.devices[0].quarantined
+        assert np.array_equal(ports[0].memory.bits, golden.bits)
+
+
+class TestEscalationLadder:
+    def test_unrepairable_frame_escalates_to_full_reconfig(self):
+        # write_ber=1.0: every repair write is garbled, so frame repair
+        # can never verify; the ladder must reach FULL_RECONFIG (which
+        # goes through full_configure, not write_frame).
+        manager, ports, golden, geo = make_system(
+            noise=NoiseConfig(write_ber=1.0)
+        )
+        ports[0].memory.flip_bit(geo.frame_offset(3))
+        report = manager.scan_cycle()
+        assert report.escalations >= 1
+        assert manager.soh.count(ScrubEventKind.FULL_RECONFIG) >= 1
+        assert not manager.devices[0].quarantined
+
+    def test_ladder_order_repair_then_reconfig(self):
+        manager, ports, _, geo = make_system(noise=NoiseConfig(write_ber=1.0))
+        ports[0].memory.flip_bit(geo.frame_offset(3))
+        manager.scan_cycle()
+        kinds = [e.kind for e in manager.soh.events if e.device == "fpga0"]
+        assert kinds.index(ScrubEventKind.UPSET_DETECTED) < kinds.index(
+            ScrubEventKind.FULL_RECONFIG
+        )
+
+    def test_quarantine_is_last_rung(self):
+        manager, ports, _, geo = make_system(
+            noise=NoiseConfig(write_ber=1.0),
+            policy=RepairPolicy(max_full_reconfigs=0, max_power_cycles=0),
+        )
+        ports[0].memory.flip_bit(geo.frame_offset(3))
+        report = manager.scan_cycle()
+        assert report.quarantined == ["fpga0"]
+        assert manager.soh.count(ScrubEventKind.QUARANTINE) == 1
+
+
+class TestSEFIRecovery:
+    def test_hung_port_power_cycled_and_reconfigured(self):
+        manager, ports, golden, _ = make_system()
+        ports[0].inject_sefi()
+        report = manager.scan_cycle()
+        assert report.sefi_recoveries == 1
+        assert ports[0].n_power_cycles == 1
+        assert not ports[0].sefi_hung
+        # Power-cycle wiped the memory; recovery reloaded it.
+        assert np.array_equal(ports[0].memory.bits, golden.bits)
+        assert manager.soh.count(ScrubEventKind.SEFI_RECOVERY) == 1
+        # The other device scanned normally in the same cycle.
+        assert not manager.devices[1].quarantined
+
+    def test_sefi_with_no_power_cycle_budget_quarantines(self):
+        manager, ports, _, _ = make_system(
+            policy=RepairPolicy(max_power_cycles=0)
+        )
+        ports[0].inject_sefi()
+        report = manager.scan_cycle()
+        assert report.sefi_recoveries == 0
+        assert "fpga0" in report.quarantined
+
+    def test_sefi_on_plain_port_quarantines(self):
+        """A port with no power_cycle control can never recover."""
+        geo = DeviceGeometry(4, 6, n_bram_cols=2)
+        golden = ConfigBitstream(
+            geo, np.random.default_rng(0).integers(0, 2, geo.total_bits).astype(np.uint8)
+        )
+        flash = FlashMemory()
+        flash.store_image("img", golden)
+        clock = SimClock()
+        manager = FaultManager(flash, clock)
+        inner = SelectMapPort(ConfigBitstream(geo), clock)
+        inner.full_configure(golden)
+        dev = manager.manage("solo", inner, "img")
+        manager._recover_from_sefi(dev)
+        assert dev.quarantined
+
+
+class TestGracefulDegradation:
+    def test_quarantined_device_leaves_rotation(self):
+        manager, ports, _, geo = make_system(
+            policy=RepairPolicy(max_retries=0, max_full_reconfigs=0,
+                                max_power_cycles=0)
+        )
+        ports[0].inject_transient(1000)
+        manager.scan_cycle()
+        assert manager.devices[0].quarantined
+        assert [d.name for d in manager.active_devices()] == ["fpga1"]
+        # Subsequent scans never touch the quarantined port.
+        reads = ports[0].n_frame_reads
+        manager.scan_cycle()
+        assert ports[0].n_frame_reads == reads
+        # And an upset on the healthy device is still handled.
+        ports[1].memory.flip_bit(geo.frame_offset(2))
+        report = manager.scan_cycle()
+        assert report.repaired == [("fpga1", 2)]
+
+    def test_all_quarantined_scan_advances_idle_tick(self):
+        manager, ports, _, _ = make_system(
+            policy=RepairPolicy(max_retries=0, max_full_reconfigs=0,
+                                max_power_cycles=0)
+        )
+        for p in ports:
+            p.inject_transient(1000)
+        manager.scan_cycle()
+        assert all(d.quarantined for d in manager.devices)
+        t0 = manager.clock.now
+        report = manager.scan_cycle()
+        assert report.duration_s == pytest.approx(manager.idle_tick_s)
+        assert manager.clock.now == pytest.approx(t0 + manager.idle_tick_s)
+
+    def test_run_for_terminates_with_all_quarantined(self):
+        manager, ports, _, _ = make_system(
+            policy=RepairPolicy(max_retries=0, max_full_reconfigs=0,
+                                max_power_cycles=0)
+        )
+        for p in ports:
+            p.inject_transient(1000)
+        reports = manager.run_for(0.05)
+        assert len(reports) >= 1  # loop made progress and returned
+
+
+class TestOrbitDegradation:
+    def test_quarantine_reduces_fleet_availability(self, s8):
+        from repro.bitstream import ConfigBitstream as CB
+        from repro.radiation import LEO_QUIET, OrbitEnvironment
+        from repro.scrub import OnOrbitSystem
+
+        rng = np.random.default_rng(4)
+        golden = CB(
+            s8.geometry, rng.integers(0, 2, s8.geometry.total_bits).astype(np.uint8)
+        )
+        env = OrbitEnvironment("hot", LEO_QUIET.effective_flux_cm2_s * 2000)
+        system = OnOrbitSystem(
+            s8, golden, n_devices=3, environment=env, seed=1,
+            noise=NoiseConfig(),
+            policy=RepairPolicy(max_retries=0, max_full_reconfigs=0,
+                                max_power_cycles=0),
+        )
+        # Hang one port before flight: with no ladder budget it is
+        # quarantined on the first scan.
+        system.ports[1].inject_sefi()
+        report = system.fly(3600.0)
+        assert report.quarantined == ["fpga1"]
+        assert report.n_quarantined == 1
+        # One of three devices gone for ~the whole mission.
+        assert 0.6 < report.device_availability < 0.7
+        assert "quarantined" in report.summary()
+
+    def test_clean_channel_full_availability(self, s8):
+        from repro.bitstream import ConfigBitstream as CB
+        from repro.radiation import LEO_QUIET
+        from repro.scrub import OnOrbitSystem
+
+        rng = np.random.default_rng(4)
+        golden = CB(
+            s8.geometry, rng.integers(0, 2, s8.geometry.total_bits).astype(np.uint8)
+        )
+        system = OnOrbitSystem(s8, golden, n_devices=2, environment=LEO_QUIET, seed=1)
+        report = system.fly(600.0)
+        assert report.device_availability == 1.0
+        assert report.quarantined == []
+
+
+class TestFleetAvailability:
+    def test_prorated_by_quarantine(self):
+        from repro.scrub import fleet_availability
+
+        assert fleet_availability(1.0, 9, 0) == 1.0
+        assert fleet_availability(1.0, 9, 3) == pytest.approx(6 / 9)
+        assert fleet_availability(0.5, 4, 2) == pytest.approx(0.25)
+        assert fleet_availability(1.0, 0, 0) == 0.0
+
+    def test_rejects_bad_counts(self):
+        from repro.scrub import fleet_availability
+
+        with pytest.raises(ValueError):
+            fleet_availability(1.0, 3, 4)
+        with pytest.raises(ValueError):
+            fleet_availability(1.0, 3, -1)
+
+    def test_reliability_model_integration(self, lfsr_hw):
+        from repro.analysis.reliability import ReliabilityModel
+        from repro.radiation import (
+            DeviceCrossSection,
+            LEO_QUIET,
+            WeibullCrossSection,
+        )
+        from repro.seu import CampaignConfig, run_campaign
+
+        cfg = CampaignConfig(detect_cycles=48, persist_cycles=32, stride=29)
+        result = run_campaign(lfsr_hw, cfg)
+        model = ReliabilityModel(
+            LEO_QUIET,
+            DeviceCrossSection(WeibullCrossSection(), lfsr_hw.device.block0_bits),
+        )
+        full = model.fleet_availability(result, n_devices=9)
+        degraded = model.fleet_availability(result, n_devices=9, n_quarantined=2)
+        assert full == pytest.approx(model.predict(result).availability)
+        assert degraded == pytest.approx(full * 7 / 9)

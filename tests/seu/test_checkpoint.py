@@ -1,0 +1,149 @@
+"""Campaign checkpoint/resume: atomic snapshots, kill-and-resume identity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CampaignError
+from repro.seu import (
+    CampaignConfig,
+    load_result,
+    resume_campaign,
+    run_campaign,
+    save_result,
+)
+import repro.netlist.simulator as simmod
+
+
+# Small batches so the test design (~120 simulated bits) spans several
+# simulator batches — the kill must land mid-sweep, between checkpoints.
+CFG = CampaignConfig(detect_cycles=48, persist_cycles=32, stride=13, batch_size=32)
+
+
+@pytest.fixture(scope="module")
+def full_result(lfsr_hw):
+    return run_campaign(lfsr_hw, CFG)
+
+
+class Killed(Exception):
+    pass
+
+
+def run_until_killed(hw, path, kill_after_batches, checkpoint_every=1):
+    """Run a checkpointed campaign and kill it after N simulator batches."""
+    orig = simmod.BatchSimulator.run_verdicts
+    calls = {"n": 0}
+
+    def dying(self, *a, **k):
+        calls["n"] += 1
+        if calls["n"] > kill_after_batches:
+            raise Killed()
+        return orig(self, *a, **k)
+
+    simmod.BatchSimulator.run_verdicts = dying
+    try:
+        run_campaign(hw, CFG, checkpoint_path=path, checkpoint_every=checkpoint_every)
+    except Killed:
+        pass
+    finally:
+        simmod.BatchSimulator.run_verdicts = orig
+
+
+class TestSaveLoad:
+    def test_round_trip(self, lfsr_hw, full_result, tmp_path):
+        path = str(tmp_path / "result.npz")
+        save_result(full_result, path)
+        back = load_result(path)
+        assert back.design_name == full_result.design_name
+        assert back.device_name == full_result.device_name
+        assert back.config == full_result.config
+        assert back.n_candidates == full_result.n_candidates
+        assert np.array_equal(back.verdicts, full_result.verdicts)
+        assert np.array_equal(back.candidate_bits, full_result.candidate_bits)
+        assert back.by_kind == full_result.by_kind
+        assert back.n_simulated == full_result.n_simulated
+
+    def test_load_missing_file_raises_campaign_error(self, tmp_path):
+        with pytest.raises(CampaignError):
+            load_result(str(tmp_path / "nope.npz"))
+
+    def test_load_garbage_raises_campaign_error(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not a numpy archive")
+        with pytest.raises(CampaignError):
+            load_result(str(path))
+
+    def test_save_leaves_no_tmp_file(self, full_result, tmp_path):
+        path = tmp_path / "result.npz"
+        save_result(full_result, str(path))
+        assert path.exists()
+        assert not (tmp_path / "result.npz.tmp").exists()
+
+
+class TestResumeIdentity:
+    @pytest.mark.parametrize("kill_after", [1, 2])
+    def test_killed_campaign_resumes_to_identical_result(
+        self, lfsr_hw, full_result, tmp_path, kill_after
+    ):
+        """The acceptance criterion: kill mid-sweep, resume, and the
+        merged result is indistinguishable from an uninterrupted run."""
+        path = str(tmp_path / f"ckpt{kill_after}.npz")
+        run_until_killed(lfsr_hw, path, kill_after_batches=kill_after)
+        part = load_result(path)
+        assert 0 < part.n_candidates < full_result.n_candidates
+
+        resumed = resume_campaign(lfsr_hw, path, checkpoint_every=1)
+        assert np.array_equal(resumed.verdicts, full_result.verdicts)
+        assert np.array_equal(resumed.candidate_bits, full_result.candidate_bits)
+        assert resumed.n_candidates == full_result.n_candidates
+        assert resumed.by_kind == full_result.by_kind
+        assert resumed.sensitivity == full_result.sensitivity
+        assert resumed.persistence_ratio == full_result.persistence_ratio
+        # No candidate was simulated twice across checkpoint + remainder.
+        assert resumed.n_simulated == full_result.n_simulated
+
+    def test_resume_twice_killed_campaign(self, lfsr_hw, full_result, tmp_path):
+        """A resumed run interrupted again still converges to identity."""
+        path = str(tmp_path / "ckpt_twice.npz")
+        run_until_killed(lfsr_hw, path, kill_after_batches=1)
+
+        orig = simmod.BatchSimulator.run_verdicts
+        calls = {"n": 0}
+
+        def dying(self, *a, **k):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise Killed()
+            return orig(self, *a, **k)
+
+        simmod.BatchSimulator.run_verdicts = dying
+        try:
+            resume_campaign(lfsr_hw, path, checkpoint_every=1)
+        except Killed:
+            pass
+        finally:
+            simmod.BatchSimulator.run_verdicts = orig
+
+        final = resume_campaign(lfsr_hw, path, checkpoint_every=1)
+        assert np.array_equal(final.verdicts, full_result.verdicts)
+        assert np.array_equal(final.candidate_bits, full_result.candidate_bits)
+
+    def test_resume_of_complete_run_returns_checkpoint(
+        self, lfsr_hw, full_result, tmp_path
+    ):
+        path = str(tmp_path / "done.npz")
+        result = run_campaign(lfsr_hw, CFG, checkpoint_path=path)
+        resumed = resume_campaign(lfsr_hw, path)
+        assert np.array_equal(resumed.verdicts, result.verdicts)
+        assert resumed.n_simulated == result.n_simulated  # nothing re-run
+
+
+class TestResumeValidation:
+    def test_wrong_design_rejected(self, mult_hw, lfsr_hw, full_result, tmp_path):
+        path = str(tmp_path / "lfsr.npz")
+        save_result(full_result, path)
+        with pytest.raises(CampaignError, match="is for"):
+            resume_campaign(mult_hw, path)
+
+    def test_missing_checkpoint_rejected(self, lfsr_hw, tmp_path):
+        with pytest.raises(CampaignError):
+            resume_campaign(lfsr_hw, str(tmp_path / "absent.npz"))

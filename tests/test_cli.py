@@ -66,6 +66,85 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "upsets" in out
 
-    def test_unknown_design_errors(self):
-        with pytest.raises(Exception):
-            main(["implement", "BOGUS99"])
+    def test_scrub_stress(self, capsys):
+        rc = main(
+            [
+                "scrub-stress",
+                "--device",
+                "S8",
+                "--hours",
+                "0.2",
+                "--devices",
+                "3",
+                "--ber",
+                "1e-6",
+                "--transient-rate",
+                "1e-3",
+                "--sefi-rate",
+                "1e-5",
+                "--seed",
+                "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fleet availability" in out
+        assert "FALSE_ALARM" in out and "QUARANTINE" in out
+
+    def test_campaign_checkpoint_and_resume(self, capsys, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        rc = main(
+            [
+                "campaign",
+                "LFSR1",
+                "--device",
+                "S8",
+                "--stride",
+                "17",
+                "--detect-cycles",
+                "48",
+                "--persist-cycles",
+                "32",
+                "--checkpoint",
+                path,
+            ]
+        )
+        assert rc == 0
+        first = capsys.readouterr().out
+        import os
+
+        assert os.path.exists(path)
+        rc = main(["campaign", "LFSR1", "--device", "S8", "--checkpoint", path, "--resume"])
+        assert rc == 0
+        resumed = capsys.readouterr().out
+        assert first.splitlines()[0] == resumed.splitlines()[0]
+
+
+class TestErrorHandling:
+    def test_unknown_design_exits_cleanly(self, capsys):
+        """A ReproError prints a message and returns nonzero — no traceback."""
+        rc = main(["implement", "BOGUS99"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "BOGUS" in err
+
+    def test_resume_without_checkpoint_errors(self, capsys):
+        rc = main(["campaign", "LFSR1", "--device", "S8", "--resume"])
+        assert rc == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_resume_with_missing_checkpoint_errors(self, capsys, tmp_path):
+        rc = main(
+            [
+                "campaign",
+                "LFSR1",
+                "--device",
+                "S8",
+                "--checkpoint",
+                str(tmp_path / "absent.npz"),
+                "--resume",
+            ]
+        )
+        assert rc == 2
+        assert "repro: error:" in capsys.readouterr().err
