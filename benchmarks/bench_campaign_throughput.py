@@ -1,0 +1,92 @@
+"""Campaign throughput harness: serial vs sharded sweep, machine-readable.
+
+Runs the Table-I MULT6/S12 workload once serially and once with the
+multi-process engine, verifies the byte-identity contract on the side,
+and appends both telemetry records to ``BENCH_campaign.json`` so the
+throughput trajectory (bits/sec, µs/bit, skip rates, per-phase timings)
+is tracked across revisions.
+
+Environment knobs (all optional — defaults suit a laptop *and* a loaded
+CI runner):
+
+``REPRO_BENCH_DIR``
+    Directory for ``BENCH_campaign.json`` (default: current directory).
+``REPRO_BENCH_STRIDE``
+    Candidate-bit stride for the workload (default 8; 1 = exhaustive).
+``REPRO_BENCH_JOBS``
+    Worker count for the parallel row (default: all CPUs).
+``REPRO_BENCH_MIN_PARALLEL_SPEEDUP``
+    Hard floor for wall-clock speedup of jobs=N over jobs=1 (default 0,
+    i.e. report-only: single-core runners and noisy CI cannot
+    demonstrate a parallel win, but they can still verify identity).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.seu import CampaignConfig, default_jobs, run_campaign, run_campaign_parallel
+
+
+def _bench_rows(hw, results) -> list[dict]:
+    rows = []
+    for label, result in results:
+        row = result.telemetry.to_dict()
+        row.update(
+            label=label,
+            design=hw.spec.name,
+            device=hw.device.name,
+            host_seconds=result.host_seconds,
+            sensitivity=result.sensitivity,
+        )
+        rows.append(row)
+    return rows
+
+
+def test_campaign_throughput(bench_device, report):
+    from repro.designs import get_design
+    from repro.place import implement
+
+    stride = int(os.environ.get("REPRO_BENCH_STRIDE", "8"))
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or default_jobs()
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_PARALLEL_SPEEDUP", "0"))
+
+    hw = implement(get_design("MULT6"), bench_device)
+    cfg = CampaignConfig(detect_cycles=96, persist_cycles=64, stride=stride)
+
+    serial = run_campaign(hw, cfg)
+    parallel = run_campaign_parallel(hw, cfg, jobs=jobs)
+
+    # The determinism contract, checked on the benchmark workload too.
+    assert np.array_equal(serial.verdicts, parallel.verdicts)
+    assert serial.n_simulated == parallel.n_simulated
+
+    rows = _bench_rows(hw, [("serial", serial), (f"jobs={jobs}", parallel)])
+    speedup = serial.telemetry.wall_seconds / parallel.telemetry.wall_seconds
+    rows.append(
+        {
+            "label": "speedup",
+            "design": hw.spec.name,
+            "device": hw.device.name,
+            "jobs": jobs,
+            "parallel_speedup": speedup,
+        }
+    )
+
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "BENCH_campaign.json"
+    out_path.write_text(json.dumps(rows, indent=2) + "\n")
+
+    report(
+        "",
+        "== Campaign throughput (MULT6/S12, stride "
+        f"{stride}, {serial.n_candidates:,} candidate bits) ==",
+        f"serial  : {serial.telemetry.summary()}",
+        f"sharded : {parallel.telemetry.summary()}",
+        f"speedup : {speedup:.2f}x (jobs={jobs}); verdicts byte-identical",
+        f"record  : {out_path}",
+    )
+    assert speedup >= min_speedup

@@ -14,6 +14,7 @@ We quantify three rungs of that ladder on the same workload:
      measured against.
 """
 
+import os
 import time
 
 import numpy as np
@@ -63,6 +64,10 @@ def test_speedup_ladder(table1_campaigns, report, benchmark):
         f"hardware vs naive speedup: {naive_per_bit / hardware_per_bit:,.0f}x "
         "(the paper's 'orders of magnitude', on our workload)",
     )
-    # The claims that must hold in any environment:
-    assert naive_per_bit / batched_per_bit > 50
-    assert naive_per_bit / hardware_per_bit > 100
+    # The claims that must hold in any environment.  Loaded CI runners
+    # time-slice unpredictably, so the floors are env-tunable
+    # (REPRO_BENCH_MIN_*_SPEEDUP); the defaults are the local claims.
+    min_batched = float(os.environ.get("REPRO_BENCH_MIN_BATCHED_SPEEDUP", "50"))
+    min_hw = float(os.environ.get("REPRO_BENCH_MIN_HW_SPEEDUP", "100"))
+    assert naive_per_bit / batched_per_bit > min_batched
+    assert naive_per_bit / hardware_per_bit > min_hw

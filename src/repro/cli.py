@@ -40,6 +40,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--detect-cycles", type=int, default=96)
     p.add_argument("--persist-cycles", type=int, default=64)
     p.add_argument("--stride", type=int, default=1, help="test every k-th bit")
+    p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the sharded sweep (default: all CPUs; "
+        "1 = serial; verdicts are byte-identical for any N)",
+    )
     p.add_argument("--save-map", metavar="PATH", help="save the sensitivity map (.npz)")
     p.add_argument(
         "--checkpoint", metavar="PATH",
@@ -124,28 +129,47 @@ def _cmd_implement(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro import CampaignConfig, get_design, get_device, implement, run_campaign
     from repro.errors import CampaignError
-    from repro.seu import SensitivityMap, format_table1, table1_row, resume_campaign
+    from repro.seu import (
+        SensitivityMap,
+        default_jobs,
+        format_table1,
+        resume_campaign,
+        resume_campaign_parallel,
+        run_campaign_parallel,
+        table1_row,
+    )
 
+    jobs = default_jobs() if args.jobs is None else args.jobs
     hw = implement(get_design(args.design), get_device(args.device))
     if args.resume:
         if not args.checkpoint:
             raise CampaignError("--resume requires --checkpoint PATH")
-        result = resume_campaign(
-            hw, args.checkpoint, checkpoint_every=args.checkpoint_every
-        )
+        if jobs == 1:
+            result = resume_campaign(
+                hw, args.checkpoint, checkpoint_every=args.checkpoint_every
+            )
+        else:
+            result = resume_campaign_parallel(hw, args.checkpoint, jobs=jobs)
     else:
         config = CampaignConfig(
             detect_cycles=args.detect_cycles,
             persist_cycles=args.persist_cycles,
             stride=args.stride,
         )
-        result = run_campaign(
-            hw,
-            config,
-            checkpoint_path=args.checkpoint,
-            checkpoint_every=args.checkpoint_every,
-        )
+        if jobs == 1:
+            result = run_campaign(
+                hw,
+                config,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+            )
+        else:
+            result = run_campaign_parallel(
+                hw, config, jobs=jobs, checkpoint_path=args.checkpoint
+            )
     print(result.summary())
+    if result.telemetry is not None:
+        print(f"throughput: {result.telemetry.summary()}")
     print(format_table1([table1_row(hw, result)]))
     print(f"persistence ratio: {100 * result.persistence_ratio:.1f}%")
     if args.save_map:

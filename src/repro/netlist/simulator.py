@@ -6,10 +6,17 @@ silicon; we get ours by simulating B corrupted variants of one design
 simultaneously with numpy:
 
 * node values live in a ``(B, n_nodes)`` uint8 matrix;
-* each LUT level evaluates for all machines at once via two
-  ``take_along_axis`` gathers (operand fetch, table lookup);
+* each LUT level evaluates for all machines at once via two flat
+  gathers (operand fetch, table lookup) whose index arrays are built
+  once — per-machine wiring only changes at patch/repair time, so the
+  per-cycle work is pure ``np.take`` into preallocated buffers;
+* LUT addresses are composed with in-place uint8 shift/or (no per-cycle
+  ``astype`` widening);
 * flip-flops update in one vectorised step honouring per-machine CE, SR
-  and clock health.
+  and clock health;
+* the per-cycle output-vs-golden comparison packs both sides into
+  uint64 words, so a machine's health check is a handful of word
+  compares instead of ``n_outputs`` byte compares.
 
 Per-machine hardware differences come in as :class:`Patch` objects; the
 simulator records undo information so a machine can be *repaired*
@@ -141,7 +148,105 @@ class BatchSimulator:
         self._const_mask = np.isin(
             d.node_kind, (int(NodeKind.CONST), int(NodeKind.HALF_LATCH))
         )
+        self._build_gather_caches()
         self.reset()
+
+    # -- gather-index caches --------------------------------------------------
+    #
+    # Per-machine wiring (LUT operand sources, FF control sources, output
+    # bindings) changes only when a patch is applied or a machine is
+    # repaired.  The flat gather indices derived from it are therefore
+    # precomputed here — per cycle the simulator only executes ``np.take``
+    # into preallocated buffers, never rebuilding index arrays.
+
+    def _build_gather_caches(self) -> None:
+        d = self.design
+        B = self.B
+        self._values_flat = self.values.reshape(-1)
+        self._lut_tables_flat = self.lut_tables.reshape(-1)
+        self._moff = (np.arange(B, dtype=np.intp) * d.n_nodes)[:, None]  # (B, 1)
+
+        self._lvl_gather: list[np.ndarray] = []  # intp (B, L*4) into values
+        self._lvl_buf: list[np.ndarray] = []  # uint8 (B, L*4) operand buffer
+        self._lvl_buf3: list[np.ndarray] = []  # (B, L, 4) view of _lvl_buf
+        self._lvl_addr: list[np.ndarray] = []  # uint8 (B, L) LUT addresses
+        self._lvl_tmp: list[np.ndarray] = []  # uint8 (B, L) shift scratch
+        self._lvl_tab_base: list[np.ndarray] = []  # intp (B, L) table row base
+        self._lvl_tab_idx: list[np.ndarray] = []  # intp (B, L) table entry
+        self._lvl_out: list[np.ndarray] = []  # uint8 (B, L) LUT outputs
+        self._lvl_scatter: list[np.ndarray] = []  # intp (B, L) into values
+        tab_moff = (np.arange(B, dtype=np.intp) * (d.n_luts * 16))[:, None]
+        for rows in self._levels:
+            n = int(rows.size)
+            buf = np.empty((B, n * 4), dtype=np.uint8)
+            self._lvl_gather.append(np.empty((B, n * 4), dtype=np.intp))
+            self._lvl_buf.append(buf)
+            self._lvl_buf3.append(buf.reshape(B, n, 4))
+            self._lvl_addr.append(np.empty((B, n), dtype=np.uint8))
+            self._lvl_tmp.append(np.empty((B, n), dtype=np.uint8))
+            self._lvl_tab_base.append(tab_moff + (rows.astype(np.intp) * 16)[None, :])
+            self._lvl_tab_idx.append(np.empty((B, n), dtype=np.intp))
+            self._lvl_out.append(np.empty((B, n), dtype=np.uint8))
+            self._lvl_scatter.append(
+                self._moff + d.lut_nodes[rows].astype(np.intp)[None, :]
+            )
+
+        rows = self._ff_rows
+        R = int(rows.size)
+        self._ff_idx_d = np.empty((B, R), dtype=np.intp)
+        self._ff_idx_ce = np.empty((B, R), dtype=np.intp)
+        self._ff_idx_sr = np.empty((B, R), dtype=np.intp)
+        self._ff_scatter = (
+            self._moff + d.ff_nodes[rows].astype(np.intp)[None, :]
+            if R
+            else np.empty((B, 0), dtype=np.intp)
+        )
+        self._ff_dval = np.empty((B, R), dtype=np.uint8)
+        self._ff_cebuf = np.empty((B, R), dtype=np.uint8)
+        self._ff_srbuf = np.empty((B, R), dtype=np.uint8)
+        self._ff_cur = np.empty((B, R), dtype=np.uint8)
+        self._ff_new = np.empty((B, R), dtype=np.uint8)
+        self._ff_boolbuf = np.empty((B, R), dtype=bool)
+        self._ff_unclocked = np.empty((B, R), dtype=bool)
+
+        self._out_idx = np.empty((B, d.n_outputs), dtype=np.intp)
+        self._refresh_machine_caches()
+
+    def _refresh_machine_caches(self, m: int | None = None) -> None:
+        """Rebuild gather indices after wiring changed (patch / repair).
+
+        ``m=None`` rebuilds every machine (init); an int rebuilds only
+        that machine's rows — a repair touches one machine, not the
+        batch.
+        """
+        d = self.design
+        if m is None:
+            for k, rows in enumerate(self._levels):
+                np.add(
+                    self.lut_inputs[:, rows, :].reshape(self.B, -1),
+                    self._moff,
+                    out=self._lvl_gather[k],
+                )
+            rows = self._ff_rows
+            if rows.size:
+                np.add(self.ff_d[:, rows], self._moff, out=self._ff_idx_d)
+                np.add(self.ff_ce[:, rows], self._moff, out=self._ff_idx_ce)
+                np.add(self.ff_sr[:, rows], self._moff, out=self._ff_idx_sr)
+                np.not_equal(self.ff_clocked[:, rows], 1, out=self._ff_unclocked)
+            np.add(self.output_nodes, self._moff, out=self._out_idx)
+            return
+        off = m * d.n_nodes
+        for k, rows in enumerate(self._levels):
+            self._lvl_gather[k][m] = (
+                self.lut_inputs[m, rows, :].reshape(-1).astype(np.intp) + off
+            )
+        rows = self._ff_rows
+        if rows.size:
+            self._ff_idx_d[m] = self.ff_d[m, rows].astype(np.intp) + off
+            self._ff_idx_ce[m] = self.ff_ce[m, rows].astype(np.intp) + off
+            self._ff_idx_sr[m] = self.ff_sr[m, rows].astype(np.intp) + off
+            self._ff_unclocked[m] = self.ff_clocked[m, rows] != 1
+        self._out_idx[m] = self.output_nodes[m].astype(np.intp) + off
 
     @staticmethod
     def _max_schedule_violations(design: CompiledDesign, patches: list[Patch] | None) -> int:
@@ -191,6 +296,11 @@ class BatchSimulator:
             self.const_values[m, node] = value
         for pos, node in patch.outputs:
             self.output_nodes[m, pos] = node
+        # Mid-run injection (after __init__) must rebuild the machine's
+        # gather indices; during __init__ the caches do not exist yet and
+        # are built once after all patches are applied.
+        if hasattr(self, "_out_idx"):
+            self._refresh_machine_caches(m)
 
     def repair_machine(self, m: int) -> None:
         """Restore machine ``m``'s *hardware* to golden; keep its state.
@@ -213,6 +323,7 @@ class BatchSimulator:
         self.const_values[m, const_only] = d.const_values[const_only]
         self.values[m, const_only] = d.const_values[const_only]
         self._broken[m] = False
+        self._refresh_machine_caches(m)
 
     # -- execution ---------------------------------------------------------
 
@@ -241,38 +352,44 @@ class BatchSimulator:
         return self.values[0].copy()
 
     def _eval_combinational(self) -> None:
-        d = self.design
-        B = self.B
+        vf = self._values_flat
+        tf = self._lut_tables_flat
+        n_levels = len(self._levels)
         for _ in range(self.settle_passes):
-            for rows in self._levels:
-                idx = self.lut_inputs[:, rows, :]  # (B, L, 4)
-                flat = np.take_along_axis(
-                    self.values, idx.reshape(B, -1), axis=1
-                ).reshape(B, rows.size, 4)
-                addr = (
-                    flat[:, :, 0].astype(np.int32)
-                    | (flat[:, :, 1].astype(np.int32) << 1)
-                    | (flat[:, :, 2].astype(np.int32) << 2)
-                    | (flat[:, :, 3].astype(np.int32) << 3)
-                )
-                tabs = self.lut_tables[:, rows, :]  # (B, L, 16)
-                out = np.take_along_axis(tabs, addr[:, :, None], axis=2)[:, :, 0]
-                self.values[:, d.lut_nodes[rows]] = out
+            for k in range(n_levels):
+                # Operand fetch: one flat gather into the level buffer.
+                np.take(vf, self._lvl_gather[k], out=self._lvl_buf[k])
+                f = self._lvl_buf3[k]
+                addr = self._lvl_addr[k]
+                tmp = self._lvl_tmp[k]
+                # Compose 4-bit addresses in uint8 (operands are 0/1).
+                np.left_shift(f[:, :, 1], 1, out=tmp)
+                np.bitwise_or(f[:, :, 0], tmp, out=addr)
+                np.left_shift(f[:, :, 2], 2, out=tmp)
+                np.bitwise_or(addr, tmp, out=addr)
+                np.left_shift(f[:, :, 3], 3, out=tmp)
+                np.bitwise_or(addr, tmp, out=addr)
+                # Table lookup: flat gather into the per-level out buffer.
+                np.add(self._lvl_tab_base[k], addr, out=self._lvl_tab_idx[k])
+                np.take(tf, self._lvl_tab_idx[k], out=self._lvl_out[k])
+                vf[self._lvl_scatter[k]] = self._lvl_out[k]
 
     def _clock_ffs(self) -> None:
-        d = self.design
-        rows = self._ff_rows
-        if rows.size == 0:
+        if self._ff_rows.size == 0:
             return
-        dval = np.take_along_axis(self.values, self.ff_d[:, rows], axis=1)
-        ce = np.take_along_axis(self.values, self.ff_ce[:, rows], axis=1)
-        sr = np.take_along_axis(self.values, self.ff_sr[:, rows], axis=1)
-        nodes = d.ff_nodes[rows]
-        cur = self.values[:, nodes]
-        new = np.where(ce == 1, dval, cur)
-        new = np.where(sr == 1, np.uint8(0), new)
-        new = np.where(self.ff_clocked[:, rows] == 1, new, cur)
-        self.values[:, nodes] = new
+        vf = self._values_flat
+        np.take(vf, self._ff_idx_d, out=self._ff_dval)
+        np.take(vf, self._ff_idx_ce, out=self._ff_cebuf)
+        np.take(vf, self._ff_idx_sr, out=self._ff_srbuf)
+        np.take(vf, self._ff_scatter, out=self._ff_cur)
+        new = self._ff_new
+        np.copyto(new, self._ff_cur)
+        np.equal(self._ff_cebuf, 1, out=self._ff_boolbuf)
+        np.copyto(new, self._ff_dval, where=self._ff_boolbuf)
+        np.equal(self._ff_srbuf, 1, out=self._ff_boolbuf)
+        np.copyto(new, np.uint8(0), where=self._ff_boolbuf)
+        np.copyto(new, self._ff_cur, where=self._ff_unclocked)
+        vf[self._ff_scatter] = new
 
     def step(self, stimulus_row: np.ndarray) -> np.ndarray:
         """Advance one clock cycle; returns outputs as (B, n_outputs).
@@ -289,7 +406,7 @@ class BatchSimulator:
         if d.n_inputs:
             self.values[:, d.input_nodes] = stimulus_row[None, :]
         self._eval_combinational()
-        out = np.take_along_axis(self.values, self.output_nodes, axis=1)
+        out = np.take(self._values_flat, self._out_idx)
         self._clock_ffs()
         return out
 
@@ -370,10 +487,28 @@ class BatchSimulator:
         run_len = np.zeros(B, dtype=np.int64)
         persistent = np.zeros(B, dtype=bool)
 
+        # Pack the output-vs-golden comparison into uint64 words: both
+        # sides become (·, W) word vectors, so the per-cycle health check
+        # is W word compares per machine instead of n_outputs byte
+        # compares.  Golden is packed once for the whole run.
+        n_out = self.design.n_outputs
+        n_bytes = (n_out + 7) // 8
+        n_words = max(1, (n_bytes + 7) // 8)
+        golden_padded = np.zeros((total_needed, n_words * 8), dtype=np.uint8)
+        if n_out:
+            golden_padded[:, :n_bytes] = np.packbits(
+                golden.outputs[:total_needed], axis=1
+            )
+        golden_words = golden_padded.view(np.uint64)  # (total_needed, W)
+        out_padded = np.zeros((B, n_words * 8), dtype=np.uint8)
+        out_words = out_padded.view(np.uint64)  # (B, W)
+
         self.reset()
         for t in range(total_needed):
             out = self.step(stimulus[t])
-            mismatch = np.any(out != golden.outputs[t][None, :], axis=1)
+            if n_out:
+                out_padded[:, :n_bytes] = np.packbits(out, axis=1)
+            mismatch = np.any(out_words != golden_words[t][None, :], axis=1)
 
             # Phase 0: first mismatch -> repair, enter phase 1.
             hits = np.flatnonzero((phase == 0) & mismatch)

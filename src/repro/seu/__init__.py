@@ -16,12 +16,18 @@ from repro.seu.campaign import (
     BitVerdict,
     CampaignConfig,
     CampaignResult,
+    CampaignTelemetry,
     load_result,
     merge_results,
     resume_campaign,
     run_campaign,
     run_halflatch_campaign,
     save_result,
+)
+from repro.seu.parallel import (
+    default_jobs,
+    resume_campaign_parallel,
+    run_campaign_parallel,
 )
 from repro.seu.multibit import MultiBitResult, run_multibit_campaign
 from repro.seu.correlation import OutputCorrelation, build_correlation_table
@@ -34,8 +40,12 @@ from repro.seu.report import format_table1, format_table2
 __all__ = [
     "CampaignConfig",
     "CampaignResult",
+    "CampaignTelemetry",
     "BitVerdict",
     "run_campaign",
+    "run_campaign_parallel",
+    "resume_campaign_parallel",
+    "default_jobs",
     "run_halflatch_campaign",
     "merge_results",
     "save_result",

@@ -13,6 +13,14 @@ For every candidate configuration bit the campaign:
    first output error, repair the configuration without reset, and
    classify persistence.
 
+The loop is factored into three reusable pieces so serial and sharded
+execution run the *same* code: :func:`build_context` derives the
+per-(design, config) artifacts (golden trace, warm-state snapshot),
+:func:`classify_candidate` is the structural pre-filter for one bit, and
+:func:`simulate_batch` runs one batch of survivors to verdicts.  The
+multi-core engine in :mod:`repro.seu.parallel` shards candidate bits
+over processes and folds partial results with :func:`merge_results`.
+
 A separate campaign (:func:`run_halflatch_campaign`) sweeps the *hidden*
 half-latch state — the cross-section readback cannot see, which drives
 the beam-validation residual (paper section III-C).
@@ -31,14 +39,19 @@ import numpy as np
 
 from repro.errors import CampaignError
 from repro.fpga.resources import ResourceKind
-from repro.netlist.compiled import FFField, Patch
+from repro.netlist.compiled import CompiledDesign, FFField, Patch
 from repro.netlist.simulator import BatchSimulator, GoldenTrace
 from repro.place.flow import HardwareDesign
 
 __all__ = [
     "BitVerdict",
     "CampaignConfig",
+    "CampaignContext",
     "CampaignResult",
+    "CampaignTelemetry",
+    "build_context",
+    "classify_candidate",
+    "simulate_batch",
     "run_campaign",
     "run_halflatch_campaign",
     "merge_results",
@@ -87,6 +100,64 @@ class CampaignConfig:
 
 
 @dataclass
+class CampaignTelemetry:
+    """Throughput record of one campaign run (the perf-tracking contract).
+
+    Emitted by :func:`run_campaign` and
+    :func:`repro.seu.parallel.run_campaign_parallel`; the benchmark
+    harness serialises it into ``BENCH_campaign.json`` so the throughput
+    trajectory (bits/sec, µs/bit) is tracked across revisions.  Worker
+    phase timings are summed CPU seconds; ``wall_seconds`` is the
+    parent's wall clock.
+    """
+
+    n_candidates: int = 0
+    n_simulated: int = 0
+    n_batches: int = 0
+    skip_structural: int = 0
+    skip_cone: int = 0
+    skip_unaddressed: int = 0
+    prefilter_seconds: float = 0.0
+    simulate_seconds: float = 0.0
+    checkpoint_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    jobs: int = 1
+
+    @property
+    def n_skipped(self) -> int:
+        return self.skip_structural + self.skip_cone + self.skip_unaddressed
+
+    @property
+    def skip_rate(self) -> float:
+        """Fraction of candidates the structural pre-filter absorbed."""
+        return self.n_skipped / self.n_candidates if self.n_candidates else 0.0
+
+    @property
+    def bits_per_sec(self) -> float:
+        return self.n_candidates / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def us_per_bit(self) -> float:
+        return 1e6 * self.wall_seconds / self.n_candidates if self.n_candidates else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready record (the ``BENCH_campaign.json`` row schema)."""
+        d = dataclasses.asdict(self)
+        d["bits_per_sec"] = self.bits_per_sec
+        d["us_per_bit"] = self.us_per_bit
+        d["skip_rate"] = self.skip_rate
+        return d
+
+    def summary(self) -> str:
+        return (
+            f"{self.bits_per_sec:,.0f} bits/s ({self.us_per_bit:.1f} us/bit), "
+            f"{100 * self.skip_rate:.1f}% pre-filtered, "
+            f"{self.n_simulated} simulated in {self.n_batches} batches, "
+            f"jobs={self.jobs}"
+        )
+
+
+@dataclass
 class CampaignResult:
     """Aggregate of one campaign."""
 
@@ -100,6 +171,8 @@ class CampaignResult:
     by_kind: dict[ResourceKind, int] = field(default_factory=dict)
     host_seconds: float = 0.0
     n_simulated: int = 0
+    #: throughput record of the run that produced this result (not merged)
+    telemetry: CampaignTelemetry | None = None
 
     @property
     def sensitive_bits(self) -> np.ndarray:
@@ -147,6 +220,89 @@ def _candidate_bits(hw: HardwareDesign, config: CampaignConfig) -> np.ndarray:
     return np.arange(0, n, config.stride, dtype=np.int64)
 
 
+@dataclass
+class CampaignContext:
+    """Artifacts derived once per (design, config) and shared by every
+    shard of a campaign: the golden trace, the warm-state snapshot at the
+    injection instant, and the post-injection stimulus/reference."""
+
+    design: CompiledDesign
+    golden: GoldenTrace
+    snapshot: np.ndarray
+    post_stim: np.ndarray
+    post_golden: GoldenTrace
+
+
+def build_context(hw: HardwareDesign, config: CampaignConfig) -> CampaignContext:
+    """Derive the shared campaign artifacts for one (design, config)."""
+    design = hw.decoded.design
+    stim = hw.spec.stimulus(config.total_cycles, config.seed)
+    golden = BatchSimulator.golden_trace(design, stim)
+    # Snapshot the running state at the injection instant.
+    warm_sim = BatchSimulator(design)
+    warm_sim.run(stim[: config.warmup_cycles])
+    snapshot = warm_sim.state_snapshot()
+    post_stim = stim[config.warmup_cycles :]
+    post_golden = GoldenTrace(
+        golden.outputs[config.warmup_cycles :], golden.addr_seen, golden.final_state
+    )
+    return CampaignContext(design, golden, snapshot, post_stim, post_golden)
+
+
+def classify_candidate(
+    hw: HardwareDesign, ctx: CampaignContext, bit: int
+) -> tuple[int, Patch | None]:
+    """Structural pre-filter for one candidate bit.
+
+    Returns ``(skip_verdict, None)`` when the flip provably cannot
+    produce an output error, or ``(BitVerdict.NOT_TESTED, patch)`` when
+    the bit survives and must be simulated.
+    """
+    patch = hw.decoded.patch_for_bit(bit)
+    if patch is None:
+        return int(BitVerdict.SKIP_STRUCTURAL), None
+    if not hw.decoded.patch_is_relevant(patch):
+        return int(BitVerdict.SKIP_CONE), None
+    if _lut_content_skip(patch, hw, ctx.golden.addr_seen):
+        return int(BitVerdict.SKIP_UNADDRESSED), None
+    return int(BitVerdict.NOT_TESTED), patch
+
+
+def simulate_batch(
+    config: CampaignConfig, ctx: CampaignContext, pending: list[tuple[int, Patch]]
+) -> list[int]:
+    """Simulate one batch of pre-filter survivors to per-bit verdicts.
+
+    ``pending`` is the ordered ``(bit, patch)`` list of one batch; the
+    returned verdict codes align with it.  Both the serial loop and the
+    parallel shards call this, so batch composition alone determines the
+    verdicts — the determinism contract sharding relies on.
+    """
+    patches = [p for _, p in pending]
+    sim = BatchSimulator(
+        ctx.design,
+        patches,
+        initial_values=ctx.snapshot,
+        active_nodes=_batch_active_mask(ctx.design, patches),
+    )
+    machine_verdicts = sim.run_verdicts(
+        ctx.post_stim,
+        ctx.post_golden,
+        config.detect_cycles,
+        config.persist_cycles if config.classify_persistence else 0,
+        config.converge_run,
+    )
+    codes: list[int] = []
+    for mv in machine_verdicts:
+        if not mv.failed:
+            codes.append(int(BitVerdict.NO_EFFECT))
+        elif mv.persistent and config.classify_persistence:
+            codes.append(int(BitVerdict.FAIL_PERSISTENT))
+        else:
+            codes.append(int(BitVerdict.FAIL_TRANSIENT))
+    return codes
+
+
 def _lut_content_skip(patch: Patch, hw: HardwareDesign, addr_seen: np.ndarray) -> bool:
     """True when the patch flips only LUT entries never addressed.
 
@@ -158,11 +314,10 @@ def _lut_content_skip(patch: Patch, hw: HardwareDesign, addr_seen: np.ndarray) -
         return False
     d = hw.decoded.design
     for row, table in patch.lut_tables:
-        diff = table ^ d.lut_tables[row]
-        changed = np.flatnonzero(diff)
-        mask = np.uint16(0)
-        for e in changed:
-            mask |= np.uint16(1) << np.uint16(e)
+        changed = np.flatnonzero(table ^ d.lut_tables[row])
+        if changed.size == 0:
+            continue
+        mask = np.bitwise_or.reduce(np.left_shift(np.uint16(1), changed.astype(np.uint16)))
         if addr_seen[row] & mask:
             return False
     return True
@@ -210,12 +365,35 @@ def _batch_active_mask(design, patches: list[Patch]) -> np.ndarray:
     return mask
 
 
+#: device name -> {(frame, offset) -> ResourceKind}; bit classification
+#: is a pure function of the device geometry, which the name identifies.
+_BIT_KIND_CACHE: dict[str, dict[tuple[int, int], ResourceKind]] = {}
+
+
 def _by_kind(hw: HardwareDesign, sensitive_bits: np.ndarray) -> dict[ResourceKind, int]:
-    """Per-resource-kind breakdown of sensitive bits."""
+    """Per-resource-kind breakdown of sensitive bits.
+
+    Runs at every checkpoint, so the frame lookup is vectorised (one
+    ``searchsorted`` over the monotone frame-offset table instead of a
+    binary search per bit) and the per-(frame, offset) classification is
+    memoized per device — re-checkpointing a large sweep only pays for
+    bits it has not classified before.
+    """
+    bits = np.asarray(sensitive_bits, dtype=np.int64)
     out: dict[ResourceKind, int] = {}
-    for bit in sensitive_bits:
-        frame, off = hw.bitstream.locate(int(bit))
-        kind = hw.device.classify_bit(frame, off).kind
+    if bits.size == 0:
+        return out
+    offsets = np.asarray(hw.bitstream.geometry.frame_offsets)
+    frames = np.searchsorted(offsets, bits, side="right") - 1
+    offs = bits - offsets[frames]
+    cache = _BIT_KIND_CACHE.setdefault(hw.device.name, {})
+    classify = hw.device.classify_bit
+    for frame, off in zip(frames.tolist(), offs.tolist()):
+        key = (frame, off)
+        kind = cache.get(key)
+        if kind is None:
+            kind = classify(frame, off).kind
+            cache[key] = kind
         out[kind] = out.get(kind, 0) + 1
     return out
 
@@ -238,6 +416,8 @@ def save_result(result: CampaignResult, path: str) -> None:
         host_seconds=np.float64(result.host_seconds),
         n_simulated=np.int64(result.n_simulated),
     )
+    if result.telemetry is not None:
+        payload["telemetry_json"] = np.str_(json.dumps(result.telemetry.to_dict()))
     tmp = path + ".tmp"
     with open(tmp, "wb") as f:
         np.savez_compressed(f, **payload)
@@ -255,6 +435,11 @@ def load_result(path: str) -> CampaignResult:
         ResourceKind[str(name)]: int(count)
         for name, count in zip(data["by_kind_names"], data["by_kind_counts"])
     }
+    telemetry = None
+    if "telemetry_json" in data:
+        fields = {f.name for f in dataclasses.fields(CampaignTelemetry)}
+        raw = json.loads(str(data["telemetry_json"]))
+        telemetry = CampaignTelemetry(**{k: v for k, v in raw.items() if k in fields})
     return CampaignResult(
         design_name=str(data["design_name"]),
         device_name=str(data["device_name"]),
@@ -265,6 +450,7 @@ def load_result(path: str) -> CampaignResult:
         by_kind=by_kind,
         host_seconds=float(data["host_seconds"]),
         n_simulated=int(data["n_simulated"]),
+        telemetry=telemetry,
     )
 
 
@@ -284,22 +470,13 @@ def run_campaign(
     killed mid-run resumes with :func:`resume_campaign` instead of
     starting over.  ``merge_with`` folds an earlier partial result into
     every snapshot (used by resume so re-interrupted runs stay whole).
+
+    For multi-core sweeps see
+    :func:`repro.seu.parallel.run_campaign_parallel`, which produces
+    bit-identical verdicts by sharding at batch boundaries.
     """
     config = config or CampaignConfig()
-    decoded = hw.decoded
-    design = decoded.design
-
-    stim = hw.spec.stimulus(config.total_cycles, config.seed)
-    golden = BatchSimulator.golden_trace(design, stim)
-
-    # Snapshot the running state at the injection instant.
-    warm_sim = BatchSimulator(design)
-    warm_sim.run(stim[: config.warmup_cycles])
-    snapshot = warm_sim.state_snapshot()
-    post_stim = stim[config.warmup_cycles :]
-    post_golden = GoldenTrace(
-        golden.outputs[config.warmup_cycles :], golden.addr_seen, golden.final_state
-    )
+    ctx = build_context(hw, config)
 
     if candidate_bits is None:
         candidate_bits = _candidate_bits(hw, config)
@@ -307,6 +484,7 @@ def run_campaign(
 
     verdicts = np.zeros(hw.device.total_config_bits, dtype=np.uint8)
     t0 = time.perf_counter()
+    telem = CampaignTelemetry(n_candidates=int(candidate_bits.size), jobs=1)
     n_simulated = 0
 
     pending: list[tuple[int, Patch]] = []
@@ -315,28 +493,13 @@ def run_campaign(
         nonlocal n_simulated
         if not pending:
             return
-        patches = [p for _, p in pending]
-        sim = BatchSimulator(
-            design,
-            patches,
-            initial_values=snapshot,
-            active_nodes=_batch_active_mask(design, patches),
-        )
-        machine_verdicts = sim.run_verdicts(
-            post_stim,
-            post_golden,
-            config.detect_cycles,
-            config.persist_cycles if config.classify_persistence else 0,
-            config.converge_run,
-        )
-        for (bit, _), mv in zip(pending, machine_verdicts):
-            if not mv.failed:
-                verdicts[bit] = BitVerdict.NO_EFFECT
-            elif mv.persistent and config.classify_persistence:
-                verdicts[bit] = BitVerdict.FAIL_PERSISTENT
-            else:
-                verdicts[bit] = BitVerdict.FAIL_TRANSIENT
+        t_sim = time.perf_counter()
+        codes = simulate_batch(config, ctx, pending)
+        for (bit, _), code in zip(pending, codes):
+            verdicts[bit] = code
         n_simulated += len(pending)
+        telem.n_batches += 1
+        telem.simulate_seconds += time.perf_counter() - t_sim
         pending.clear()
 
     def make_result(n_done: int) -> CampaignResult:
@@ -355,22 +518,27 @@ def run_campaign(
         return part
 
     def checkpoint(n_done: int) -> None:
+        t_ck = time.perf_counter()
         part = make_result(n_done)
         if merge_with is not None:
             part = merge_results([merge_with, part])
         save_result(part, checkpoint_path)
+        telem.checkpoint_seconds += time.perf_counter() - t_ck
 
     since_checkpoint = 0
     for i, bit in enumerate(candidate_bits):
         bit = int(bit)
         since_checkpoint += 1
-        patch = decoded.patch_for_bit(bit)
-        if patch is None:
-            verdicts[bit] = BitVerdict.SKIP_STRUCTURAL
-        elif not decoded.patch_is_relevant(patch):
-            verdicts[bit] = BitVerdict.SKIP_CONE
-        elif _lut_content_skip(patch, hw, golden.addr_seen):
-            verdicts[bit] = BitVerdict.SKIP_UNADDRESSED
+        code, patch = classify_candidate(hw, ctx, bit)
+        if code == BitVerdict.SKIP_STRUCTURAL:
+            verdicts[bit] = code
+            telem.skip_structural += 1
+        elif code == BitVerdict.SKIP_CONE:
+            verdicts[bit] = code
+            telem.skip_cone += 1
+        elif code == BitVerdict.SKIP_UNADDRESSED:
+            verdicts[bit] = code
+            telem.skip_unaddressed += 1
         else:
             pending.append((bit, patch))
             if len(pending) >= config.batch_size:
@@ -391,6 +559,12 @@ def run_campaign(
     result = make_result(int(candidate_bits.size))
     if merge_with is not None:
         result = merge_results([merge_with, result])
+    telem.n_simulated = n_simulated
+    telem.wall_seconds = time.perf_counter() - t0
+    telem.prefilter_seconds = max(
+        0.0, telem.wall_seconds - telem.simulate_seconds - telem.checkpoint_seconds
+    )
+    result.telemetry = telem
     if checkpoint_path is not None:
         save_result(result, checkpoint_path)
     return result

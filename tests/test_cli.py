@@ -11,6 +11,11 @@ class TestParser:
     def test_campaign_defaults(self):
         args = build_parser().parse_args(["campaign", "MULT4"])
         assert args.device == "S12" and args.stride == 1
+        assert args.jobs is None  # None -> default_jobs() at run time
+
+    def test_campaign_jobs_flag(self):
+        args = build_parser().parse_args(["campaign", "MULT4", "--jobs", "4"])
+        assert args.jobs == 4
 
 
 class TestCommands:
@@ -90,6 +95,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fleet availability" in out
         assert "FALSE_ALARM" in out and "QUARANTINE" in out
+
+    def test_campaign_jobs_matches_serial(self, capsys):
+        base = ["campaign", "LFSR1", "--device", "S8", "--stride", "17",
+                "--detect-cycles", "48", "--persist-cycles", "32"]
+        assert main(base + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert "throughput:" in serial and "throughput:" in sharded
+        # Everything but the timing lines is identical across engines.
+        strip = lambda out: [  # noqa: E731
+            ln for ln in out.splitlines()
+            if "throughput" not in ln and "host" not in ln
+        ]
+        assert strip(serial) == strip(sharded)
 
     def test_campaign_checkpoint_and_resume(self, capsys, tmp_path):
         path = str(tmp_path / "ckpt.npz")
