@@ -12,11 +12,28 @@ Paper claims reproduced:
     failing chain position.
 """
 
+import json
+import os
+import time
+from pathlib import Path
+
 from repro.bist import FaultSite, StuckAtFault, run_wire_test
 from repro.bist.wire_test import WireTestPlan, build_wire_chain
 from repro.bist.wire_test import testable_indices as _testable_indices
 from repro.fpga import get_device
 from repro.fpga.resources import Direction
+
+
+def _append_bench_rows(rows: list[dict]) -> Path:
+    """Accumulate rows into ``BENCH_wire_test.json`` (shared record file)."""
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "BENCH_wire_test.json"
+    existing = json.loads(out_path.read_text()) if out_path.exists() else []
+    seen = {row["label"] for row in rows}
+    existing = [row for row in existing if row.get("label") not in seen]
+    out_path.write_text(json.dumps(existing + rows, indent=2) + "\n")
+    return out_path
 
 
 def test_wire_test_budget(report, benchmark):
@@ -29,6 +46,19 @@ def test_wire_test_budget(report, benchmark):
         "paper: 20 partial reconfigs, 40 readbacks (per direction sweep), "
         "80/96 wires per CLB",
     )
+    out_path = _append_bench_rows(
+        [
+            {
+                "label": "budget",
+                "n_configs": plan.n_configs,
+                "n_readbacks": plan.n_readbacks,
+                "wires_per_clb_covered": plan.wires_per_clb_covered,
+                "paper_configs": 20,
+                "paper_readbacks": 40,
+            }
+        ]
+    )
+    report(f"record  : {out_path}")
     assert plan.n_readbacks == 2 * plan.n_configs
     assert plan.wires_per_clb_covered >= 64
 
@@ -42,14 +72,16 @@ def test_detects_and_isolates_stuck_wires(report, benchmark):
     ]
 
     def run():
-        return run_wire_test(
+        t0 = time.perf_counter()
+        result = run_wire_test(
             dev,
             faults,
             directions=(Direction.E, Direction.S),
             wire_indices=[18, 22, 13],
         )
+        return result, time.perf_counter() - t0
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result, wall = benchmark.pedantic(run, rounds=1, iterations=1)
     report(
         f"injected {len(faults)} stuck wire faults; detected "
         f"{len(result.detected)} with {result.n_configs_run} configs / "
@@ -57,6 +89,21 @@ def test_detects_and_isolates_stuck_wires(report, benchmark):
     )
     for fault, where in result.isolation.items():
         report(f"  {fault} -> isolated on {where[0]}-chain wire {where[1]}")
+    _append_bench_rows(
+        [
+            {
+                "label": "detection",
+                "device": dev.name,
+                "n_faults": len(faults),
+                "n_detected": len(result.detected),
+                "coverage": result.coverage,
+                "n_configs_run": result.n_configs_run,
+                "n_readbacks_run": result.n_readbacks_run,
+                "wall_seconds": wall,
+                "configs_per_sec": result.n_configs_run / wall if wall else 0.0,
+            }
+        ]
+    )
     assert len(result.detected) == 3
     assert result.coverage == 1.0
 

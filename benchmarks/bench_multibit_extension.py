@@ -7,7 +7,28 @@ upsets and compare the measured failure probability with the
 independence prediction 1 - (1 - s)^k from single-bit sensitivity s.
 Small excess = single-bit campaigns extrapolate well to the multi-upset
 accumulation that slower scrubbing would allow.
+
+The sweep runs on the shared campaign engine, so each k-row carries a
+:class:`CampaignTelemetry` record; all rows are appended to
+``BENCH_multibit.json`` to track MBU throughput across revisions.
+
+Environment knobs:
+
+``REPRO_BENCH_DIR``
+    Directory for ``BENCH_multibit.json`` (default: current directory).
+``REPRO_BENCH_JOBS``
+    Worker count for the trial sweeps (default 1: the per-trial batch
+    path is the thing under test, not the process pool).
+``REPRO_BENCH_MIN_MBU_TRIALS_PER_SEC``
+    Hard floor on simulated trials/second for the k=8 row (default 0,
+    report-only).  The engine batches whole trials through one
+    ``BatchSimulator`` call; a regression to per-trial simulation shows
+    up here as an order-of-magnitude drop.
 """
+
+import json
+import os
+from pathlib import Path
 
 from repro.seu import run_multibit_campaign
 
@@ -16,6 +37,8 @@ def test_multibit_failure_scaling(table1_campaigns, report, benchmark):
     # Use the densest design (MULT 6): enough failures per trial batch
     # for stable statistics.
     hw, single = table1_campaigns[-1]
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    min_rate = float(os.environ.get("REPRO_BENCH_MIN_MBU_TRIALS_PER_SEC", "0"))
 
     def sweep():
         return [
@@ -26,14 +49,33 @@ def test_multibit_failure_scaling(table1_campaigns, report, benchmark):
                 n_trials=384,
                 config=single.config,
                 seed=11,
+                jobs=jobs,
             )
             for k in (1, 2, 4, 8)
         ]
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     report("", "== Extension: multi-bit upsets vs the independence model ==")
+    rows = []
     for res in results:
         report("  " + res.summary())
+        row = res.telemetry.to_dict()
+        row.update(
+            label=f"k={res.k}",
+            design=hw.spec.name,
+            device=hw.device.name,
+            k=res.k,
+            n_trials=res.n_trials,
+            failure_probability=res.failure_probability,
+            interaction_excess=res.interaction_excess,
+        )
+        rows.append(row)
+
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "BENCH_multibit.json"
+    out_path.write_text(json.dumps(rows, indent=2) + "\n")
+    report(f"record  : {out_path}")
 
     probs = [r.failure_probability for r in results]
     assert probs == sorted(probs)  # more upsets, more failures
@@ -44,3 +86,10 @@ def test_multibit_failure_scaling(table1_campaigns, report, benchmark):
         "a few percent — the quantitative backing for the paper's "
         "isolated-upset methodology and the 180 ms scrub budget"
     )
+
+    # Every trial batches through one BatchSimulator call now; guard the
+    # throughput on the heaviest row (k=8 merges 8 patches per trial).
+    k8 = results[-1].telemetry
+    trials_per_sec = k8.n_simulated / k8.wall_seconds
+    report(f"k=8 throughput: {trials_per_sec:,.0f} trials/s (floor {min_rate:g})")
+    assert trials_per_sec >= min_rate

@@ -54,6 +54,8 @@ class BistRunner:
 
     device: VirtexDevice
     n_register_pairs: int = 4
+    #: worker processes for the CLB coverage sweep (engine sharding)
+    jobs: int = 1
 
     def run(
         self,
@@ -69,7 +71,9 @@ class BistRunner:
         """
         report = BistReport()
         if logic_faults is not None:
-            report.clb = run_coverage(self.device, logic_faults, self.n_register_pairs)
+            report.clb = run_coverage(
+                self.device, logic_faults, self.n_register_pairs, jobs=self.jobs
+            )
         if wire_faults is not None:
             report.wire = run_wire_test(self.device, wire_faults, wire_indices=wire_indices)
         if bram_fault_bits is not None:

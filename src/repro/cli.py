@@ -5,6 +5,8 @@ Installed as the ``repro`` console script::
     repro devices                        # list the device catalog
     repro implement MULT6 --device S12   # place/route/bitgen summary
     repro campaign MULT6 --device S12    # exhaustive SEU sweep
+    repro multibit MULT6 --k 2           # k-bit simultaneous-upset trials
+    repro bist-coverage --faults 200     # CLB BIST hard-fault coverage
     repro table1                         # scaled Table I reproduction
     repro table2                         # scaled Table II reproduction
     repro orbit --hours 2                # mission rehearsal
@@ -57,6 +59,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--checkpoint-every", type=int, default=50_000,
         help="candidate bits between snapshots",
+    )
+
+    p = sub.add_parser(
+        "multibit", help="k-bit simultaneous-upset (MBU) campaign on one design"
+    )
+    p.add_argument("design")
+    p.add_argument("--device", default="S12")
+    p.add_argument("--k", type=int, default=2, help="upsets per trial")
+    p.add_argument("--trials", type=int, default=512)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--detect-cycles", type=int, default=96)
+    p.add_argument(
+        "--single-sensitivity", type=float, default=None,
+        help="single-bit sensitivity for the independence prediction "
+        "(default: measure it with a strided campaign)",
+    )
+    p.add_argument(
+        "--stride", type=int, default=13,
+        help="stride of the sensitivity-measuring campaign",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (results are identical for any N)",
+    )
+    p.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="snapshot partial trial verdicts to PATH (.npz)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint instead of starting over",
+    )
+
+    p = sub.add_parser(
+        "bist-coverage", help="hard-fault coverage of the CLB BIST configurations"
+    )
+    p.add_argument("--device", default="S12")
+    p.add_argument("--faults", type=int, default=200, dest="n_faults",
+                   help="random hard faults to inject")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cycles", type=int, default=128)
+    p.add_argument("--register-pairs", type=int, default=4)
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (the report is identical for any N)",
+    )
+    p.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="snapshot partial fault verdicts to PATH (.npz)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint instead of starting over",
     )
 
     p = sub.add_parser("table1", help="reproduce Table I on scaled designs")
@@ -178,6 +233,74 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_multibit(args: argparse.Namespace) -> int:
+    from repro import CampaignConfig, get_design, get_device, implement, run_campaign
+    from repro.seu import run_multibit_campaign
+
+    hw = implement(get_design(args.design), get_device(args.device))
+    config = CampaignConfig(detect_cycles=args.detect_cycles, persist_cycles=0,
+                            classify_persistence=False)
+    sensitivity = args.single_sensitivity
+    if sensitivity is None:
+        probe = CampaignConfig(
+            detect_cycles=args.detect_cycles, persist_cycles=0,
+            classify_persistence=False, stride=args.stride,
+        )
+        probe_result = run_campaign(hw, probe)
+        sensitivity = probe_result.sensitivity
+        print(
+            f"single-bit sensitivity (stride {args.stride}): "
+            f"{100 * sensitivity:.2f}%",
+            file=sys.stderr,
+        )
+    result = run_multibit_campaign(
+        hw,
+        sensitivity,
+        k=args.k,
+        n_trials=args.trials,
+        config=config,
+        seed=args.seed,
+        jobs=args.jobs,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+    )
+    print(result.summary())
+    if result.telemetry is not None:
+        print(f"throughput: {result.telemetry.summary()}")
+    return 0
+
+
+def _cmd_bist_coverage(args: argparse.Namespace) -> int:
+    from repro.bist.coverage import run_coverage
+    from repro.bist.faults import sample_faults
+    from repro.bist.patterns import clb_test_design
+    from repro.fpga import get_device
+    from repro.place import implement
+
+    device = get_device(args.device)
+    # Sample fault sites from the fabric of the first test configuration;
+    # both variants exercise the same CLB/wire resources.
+    probe = implement(
+        clb_test_design(args.register_pairs, register_bits=8, variant=0), device
+    )
+    faults = sample_faults(probe.decoded, args.n_faults, seed=args.seed)
+    report = run_coverage(
+        device,
+        faults,
+        n_register_pairs=args.register_pairs,
+        cycles=args.cycles,
+        jobs=args.jobs,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+    )
+    print(report.summary())
+    for config_name, caught in report.detected_by.items():
+        print(f"  {config_name}: {len(caught)} detected")
+    if report.telemetry is not None:
+        print(f"throughput: {report.telemetry.summary()}")
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro import CampaignConfig, get_device, implement, run_campaign
     from repro.designs import scaled_suite_table1
@@ -294,6 +417,8 @@ _COMMANDS = {
     "devices": lambda args: _cmd_devices(),
     "implement": _cmd_implement,
     "campaign": _cmd_campaign,
+    "multibit": _cmd_multibit,
+    "bist-coverage": _cmd_bist_coverage,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "orbit": _cmd_orbit,

@@ -1,0 +1,74 @@
+"""Fault-model-agnostic campaign engine: one inject/observe/repair loop.
+
+The paper's Figure 8 loop — enumerate fault candidates, pre-filter the
+provably harmless ones, inject the survivors into a running design,
+observe, classify — is the same loop whether the fault class is a
+configuration SEU, a multi-bit upset, hidden half-latch state, or a
+permanent defect hunted by BIST.  This package owns that loop once:
+
+* :class:`~repro.engine.model.FaultModel` is the protocol a fault class
+  implements — candidate enumeration, structural pre-filter, patch
+  derivation, batch observation, verdict classification;
+* :func:`~repro.engine.sweep.run_serial` and
+  :func:`~repro.engine.sweep.run_sharded` are the drivers — they own
+  batching, warm-state context, multi-process sharding with the
+  ``jobs=N`` byte-identity contract, batch-aligned checkpoint/resume,
+  partial-result merging and :class:`CampaignTelemetry`;
+* :mod:`~repro.engine.detect` holds the vectorised detect-only kernel
+  (bit-packed output comparison, early exit) shared by every
+  detect-classify fault model.
+
+Domain packages (:mod:`repro.seu`, :mod:`repro.bist`) define thin
+adapters: a :class:`FaultModel` subclass plus a public function that
+preserves the historical API and result types.
+"""
+
+from repro.engine.cache import implemented_design, prime_design_cache
+from repro.engine.detect import detect_disturbed_outputs, detect_failures
+from repro.engine.model import (
+    CODE_FAIL,
+    CODE_NO_EFFECT,
+    CODE_NOT_TESTED,
+    CODE_SKIP_CONE,
+    CODE_SKIP_STRUCTURAL,
+    CODE_SKIP_UNADDRESSED,
+    FaultModel,
+)
+from repro.engine.sweep import (
+    SweepResult,
+    default_jobs,
+    load_sweep,
+    merge_sweeps,
+    resume_sweep,
+    run_serial,
+    run_sharded,
+    run_sweep,
+    save_sweep,
+    shard_survivors,
+)
+from repro.engine.telemetry import CampaignTelemetry
+
+__all__ = [
+    "CODE_NOT_TESTED",
+    "CODE_SKIP_STRUCTURAL",
+    "CODE_SKIP_CONE",
+    "CODE_SKIP_UNADDRESSED",
+    "CODE_NO_EFFECT",
+    "CODE_FAIL",
+    "FaultModel",
+    "CampaignTelemetry",
+    "SweepResult",
+    "run_serial",
+    "run_sharded",
+    "run_sweep",
+    "resume_sweep",
+    "merge_sweeps",
+    "save_sweep",
+    "load_sweep",
+    "shard_survivors",
+    "default_jobs",
+    "detect_failures",
+    "detect_disturbed_outputs",
+    "implemented_design",
+    "prime_design_cache",
+]

@@ -1,0 +1,53 @@
+"""Per-process implemented-design cache shared by every fault model.
+
+Implementing a design (place + route + bitgen + decode) is the
+expensive part of a fault model's :meth:`~repro.engine.model.FaultModel.
+build_context`; several models over the same (design, device) — or the
+same model under several configs — must not pay for it repeatedly
+inside one worker process.  Under a ``fork`` start method the parent
+primes the cache (:func:`prime_design_cache`) so children inherit the
+implemented design copy-on-write and re-derive nothing.
+
+Keyed by the pickled DesignSpec (names alone do not identify scaled
+suite variants built with non-default keyword arguments).  Bounded so a
+long-lived pool sweeping many designs cannot hoard implementations.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.place.flow import HardwareDesign, implement
+
+__all__ = ["implemented_design", "prime_design_cache"]
+
+_MAX_CACHED = 4
+_HW_CACHE: dict[tuple[bytes, str], HardwareDesign] = {}
+
+
+def implemented_design(spec, device_name: str) -> HardwareDesign:
+    """Implement ``spec`` on ``device_name``, memoized per process."""
+    from repro.fpga import get_device
+
+    key = (pickle.dumps(spec), device_name)
+    hw = _HW_CACHE.get(key)
+    if hw is None:
+        if len(_HW_CACHE) >= _MAX_CACHED:
+            _HW_CACHE.clear()
+        hw = implement(spec, get_device(device_name))
+        _HW_CACHE[key] = hw
+    return hw
+
+
+def prime_design_cache(hw: HardwareDesign) -> None:
+    """Seed the cache with an already-implemented design.
+
+    Adapters that hold a :class:`HardwareDesign` call this before
+    handing its model to the engine, so the parent (and, under fork,
+    every worker) reuses the instance instead of re-implementing.
+    """
+    key = (pickle.dumps(hw.spec), hw.device.name)
+    if key not in _HW_CACHE:
+        if len(_HW_CACHE) >= _MAX_CACHED:
+            _HW_CACHE.clear()
+        _HW_CACHE[key] = hw

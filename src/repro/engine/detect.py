@@ -1,0 +1,68 @@
+"""Vectorised detect-only observation kernels.
+
+The detect phase of every non-repairing sweep — MBU trials, half-latch
+upsets, BIST configurations — is the same loop: step the batch in
+lock-step with a reference output trace and remember who deviated.
+These kernels share the tricks of
+:meth:`~repro.netlist.simulator.BatchSimulator.run_verdicts`: outputs
+are packed into uint64 words so the per-cycle health check is a handful
+of word compares per machine, and the loop exits early once every
+machine has failed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.simulator import BatchSimulator
+
+__all__ = ["detect_failures", "detect_disturbed_outputs"]
+
+
+def _packed_reference(ref_outputs: np.ndarray, cycles: int, n_out: int):
+    """Pack the reference trace into (cycles, W) uint64 words."""
+    n_bytes = (n_out + 7) // 8
+    n_words = max(1, (n_bytes + 7) // 8)
+    padded = np.zeros((cycles, n_words * 8), dtype=np.uint8)
+    if n_out:
+        padded[:, :n_bytes] = np.packbits(ref_outputs[:cycles], axis=1)
+    return padded.view(np.uint64), n_bytes, n_words
+
+
+def detect_failures(
+    sim: BatchSimulator, stimulus: np.ndarray, ref_outputs: np.ndarray, cycles: int
+) -> np.ndarray:
+    """Boolean per machine: did any output deviate within ``cycles``?
+
+    ``ref_outputs`` is the golden ``(>= cycles, n_outputs)`` trace
+    aligned with ``stimulus``.  The failure flag latches on the first
+    mismatch; the loop exits early once every machine has failed.
+    """
+    n_out = sim.design.n_outputs
+    ref_words, n_bytes, n_words = _packed_reference(ref_outputs, cycles, n_out)
+    out_padded = np.zeros((sim.B, n_words * 8), dtype=np.uint8)
+    out_words = out_padded.view(np.uint64)
+    failed = np.zeros(sim.B, dtype=bool)
+    for t in range(cycles):
+        out = sim.step(stimulus[t])
+        if n_out:
+            out_padded[:, :n_bytes] = np.packbits(out, axis=1)
+        failed |= np.any(out_words != ref_words[t][None, :], axis=1)
+        if failed.all():
+            break
+    return failed
+
+
+def detect_disturbed_outputs(
+    sim: BatchSimulator, stimulus: np.ndarray, ref_outputs: np.ndarray, cycles: int
+) -> np.ndarray:
+    """Per-machine boolean mask over outputs: which ever deviated.
+
+    No early exit — the disturbed set keeps accumulating over the full
+    window (the correlation-table observation of paper section III-A).
+    """
+    disturbed = np.zeros((sim.B, sim.design.n_outputs), dtype=bool)
+    for t in range(cycles):
+        out = sim.step(stimulus[t])
+        disturbed |= out != ref_outputs[t][None, :]
+    return disturbed

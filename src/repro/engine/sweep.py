@@ -1,0 +1,665 @@
+"""The generic campaign drivers: serial and sharded, one contract.
+
+Lifted from the single-bit SEU engine (``repro.seu.campaign`` /
+``repro.seu.parallel``) and generalised over
+:class:`~repro.engine.model.FaultModel`, so every fault class gets the
+same machinery:
+
+**Determinism contract.** ``jobs=N`` produces verdicts *byte-identical*
+to ``jobs=1``.  Batch composition may decide marginal observations (the
+active-node closure and settle-pass count are per-batch), so sharding
+must not change which candidates share a batch.  The sharded driver
+therefore runs in two phases:
+
+1. **Pre-filter** — candidates are split into contiguous chunks and
+   classified in parallel (:meth:`FaultModel.prefilter` is a pure
+   per-candidate function, so any split is safe).  Survivors are
+   collected in candidate order.
+2. **Observe** — the survivor sequence is cut into contiguous shards
+   whose sizes are multiples of ``batch_size`` (only the global tail
+   shard may be ragged).  Grouping each shard into consecutive
+   ``batch_size`` blocks then reproduces exactly the serial loop's
+   batches, so every batch simulates with the same companions it would
+   have had under ``jobs=1``.
+
+**Checkpoint/resume.** Checkpoints are cut only at whole-batch
+boundaries — the serial loop defers a due snapshot until its pending
+batch flushes, and the sharded parent folds each completed shard (a
+whole number of batches) into the checkpoint — so the un-swept
+remainder always re-groups into the *same* batches on resume, and a
+killed sweep resumes to the byte-identical result.  Serial and sharded
+runs resume each other's checkpoints.
+
+Workers re-derive the model context **once per process** and cache it;
+under a ``fork`` start method the parent pre-populates the cache so
+children inherit it copy-on-write and re-derive nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import CampaignError
+from repro.engine.model import (
+    CODE_NOT_TESTED,
+    CODE_SKIP_CONE,
+    CODE_SKIP_STRUCTURAL,
+    CODE_SKIP_UNADDRESSED,
+    FaultModel,
+)
+from repro.engine.telemetry import CampaignTelemetry
+
+__all__ = [
+    "SweepResult",
+    "run_serial",
+    "run_sharded",
+    "run_sweep",
+    "resume_sweep",
+    "merge_sweeps",
+    "save_sweep",
+    "load_sweep",
+    "shard_survivors",
+    "default_jobs",
+]
+
+
+def default_jobs() -> int:
+    """CPU-count-aware default worker count."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class SweepResult:
+    """Aggregate of one engine sweep (fault-model-agnostic).
+
+    ``verdicts`` is the dense per-candidate-id code array
+    (:mod:`repro.engine.model` conventions); ``payloads`` holds the
+    optional rich observations some models retain (e.g. the
+    correlation table's per-bit output masks).
+    """
+
+    model_name: str
+    model_key: str
+    n_space: int
+    verdicts: np.ndarray  # (n_space,) uint8 verdict codes
+    candidate_ids: np.ndarray  # int64 ids swept (sorted after merge)
+    n_simulated: int = 0
+    host_seconds: float = 0.0
+    telemetry: CampaignTelemetry | None = None
+    payloads: dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def n_candidates(self) -> int:
+        return int(self.candidate_ids.size)
+
+    def count(self, code: int) -> int:
+        """Number of candidates that received verdict ``code``."""
+        return int(np.count_nonzero(self.verdicts == code))
+
+    def ids_with(self, code: int) -> np.ndarray:
+        """Candidate ids that received verdict ``code``."""
+        return np.flatnonzero(self.verdicts == code)
+
+
+# -- merge / persistence -------------------------------------------------------
+
+
+def merge_sweeps(parts: list[SweepResult]) -> SweepResult:
+    """Combine sweeps over disjoint candidate sets into one result.
+
+    Supports chunked or parallel execution: split the candidate space,
+    run each chunk (possibly in separate processes), merge.  Model keys
+    must match; candidate sets must not overlap.
+    """
+    if not parts:
+        raise CampaignError("nothing to merge")
+    first = parts[0]
+    verdicts = first.verdicts.copy()
+    candidates = [first.candidate_ids]
+    seen = set(int(c) for c in first.candidate_ids)
+    n_sim = first.n_simulated
+    host = first.host_seconds
+    payloads = dict(first.payloads)
+    for part in parts[1:]:
+        if part.model_key != first.model_key:
+            raise CampaignError(
+                f"cannot merge sweeps of different models "
+                f"({part.model_key!r} vs {first.model_key!r})"
+            )
+        overlap = seen.intersection(int(c) for c in part.candidate_ids)
+        if overlap:
+            raise CampaignError(
+                f"candidate sets overlap ({len(overlap)} ids, e.g. {min(overlap)})"
+            )
+        seen.update(int(c) for c in part.candidate_ids)
+        mask = part.verdicts != CODE_NOT_TESTED
+        verdicts[mask] = part.verdicts[mask]
+        candidates.append(part.candidate_ids)
+        n_sim += part.n_simulated
+        host += part.host_seconds
+        payloads.update(part.payloads)
+    merged_ids = np.sort(np.concatenate(candidates))
+    return SweepResult(
+        model_name=first.model_name,
+        model_key=first.model_key,
+        n_space=first.n_space,
+        verdicts=verdicts,
+        candidate_ids=merged_ids,
+        n_simulated=n_sim,
+        host_seconds=host,
+        payloads=payloads,
+    )
+
+
+def save_sweep(sweep: SweepResult, path: str) -> None:
+    """Persist a (possibly partial) sweep to ``path`` (.npz), atomically.
+
+    Payloads must be equal-shape arrays (they are stacked into one
+    block).  The write is tmp-file + rename, so a sweep killed while
+    checkpointing never leaves a truncated snapshot behind.
+    """
+    payload = dict(
+        model_name=np.str_(sweep.model_name),
+        model_key=np.str_(sweep.model_key),
+        n_space=np.int64(sweep.n_space),
+        verdicts=sweep.verdicts,
+        candidate_ids=sweep.candidate_ids,
+        n_simulated=np.int64(sweep.n_simulated),
+        host_seconds=np.float64(sweep.host_seconds),
+    )
+    if sweep.telemetry is not None:
+        payload["telemetry_json"] = np.str_(json.dumps(sweep.telemetry.to_dict()))
+    if sweep.payloads:
+        ids = np.array(sorted(sweep.payloads), dtype=np.int64)
+        payload["payload_ids"] = ids
+        payload["payload_values"] = np.stack([sweep.payloads[int(i)] for i in ids])
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        np.savez_compressed(f, **payload)
+    os.replace(tmp, path)
+
+
+def load_sweep(path: str) -> SweepResult:
+    """Load a sweep / checkpoint written by :func:`save_sweep`."""
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as err:
+        raise CampaignError(f"cannot load sweep checkpoint {path!r}: {err}") from None
+    telemetry = None
+    if "telemetry_json" in data:
+        fields = {f.name for f in dataclasses.fields(CampaignTelemetry)}
+        raw = json.loads(str(data["telemetry_json"]))
+        telemetry = CampaignTelemetry(**{k: v for k, v in raw.items() if k in fields})
+    payloads: dict[int, np.ndarray] = {}
+    if "payload_ids" in data:
+        values = data["payload_values"]
+        payloads = {int(i): values[k] for k, i in enumerate(data["payload_ids"])}
+    return SweepResult(
+        model_name=str(data["model_name"]),
+        model_key=str(data["model_key"]),
+        n_space=int(data["n_space"]),
+        verdicts=data["verdicts"],
+        candidate_ids=data["candidate_ids"],
+        n_simulated=int(data["n_simulated"]),
+        host_seconds=float(data["host_seconds"]),
+        telemetry=telemetry,
+        payloads=payloads,
+    )
+
+
+# -- serial driver -------------------------------------------------------------
+
+
+def _count_skip(telem: CampaignTelemetry, code: int) -> None:
+    if code == CODE_SKIP_STRUCTURAL:
+        telem.skip_structural += 1
+    elif code == CODE_SKIP_CONE:
+        telem.skip_cone += 1
+    elif code == CODE_SKIP_UNADDRESSED:
+        telem.skip_unaddressed += 1
+    else:
+        raise CampaignError(f"prefilter returned non-skip code {code}")
+
+
+def run_serial(
+    model: FaultModel,
+    batch_size: int = 128,
+    candidates: np.ndarray | None = None,
+    checkpoint_save: Callable[[SweepResult], None] | None = None,
+    checkpoint_every: int = 50_000,
+    merge_with: SweepResult | None = None,
+    context: Any | None = None,
+) -> SweepResult:
+    """Exhaustive serial sweep of one fault model.
+
+    With ``checkpoint_save`` the driver periodically hands a merged
+    partial :class:`SweepResult` to the callback (every
+    ``checkpoint_every`` candidates, at natural batch boundaries only,
+    and once more at the end); ``merge_with`` folds an earlier partial
+    result into every snapshot (used by resume so re-interrupted runs
+    stay whole).
+    """
+    if candidates is None:
+        candidates = model.enumerate_candidates()
+    candidates = np.asarray(candidates, dtype=np.int64)
+    ctx = model.build_context() if context is None else context
+
+    verdicts = np.zeros(model.space_size(), dtype=np.uint8)
+    payloads: dict[int, np.ndarray] = {}
+    t0 = time.perf_counter()
+    telem = CampaignTelemetry(n_candidates=int(candidates.size), jobs=1)
+    n_simulated = 0
+
+    pending: list[tuple[int, Any]] = []
+
+    def flush() -> None:
+        nonlocal n_simulated
+        if not pending:
+            return
+        t_sim = time.perf_counter()
+        observations = model.observe_batch(ctx, pending)
+        for (cand, _), obs in zip(pending, observations):
+            verdicts[cand] = model.classify(obs)
+            rich = model.payload(obs)
+            if rich is not None:
+                payloads[cand] = rich
+        n_simulated += len(pending)
+        telem.n_batches += 1
+        telem.simulate_seconds += time.perf_counter() - t_sim
+        pending.clear()
+
+    def make_result(n_done: int) -> SweepResult:
+        done = candidates[:n_done]
+        partial = n_done < candidates.size
+        return SweepResult(
+            model_name=model.name,
+            model_key=model.key(),
+            n_space=int(verdicts.size),
+            verdicts=verdicts.copy() if partial else verdicts,
+            candidate_ids=done,
+            n_simulated=n_simulated,
+            host_seconds=time.perf_counter() - t0,
+            payloads=dict(payloads) if partial else payloads,
+        )
+
+    def checkpoint(n_done: int) -> None:
+        t_ck = time.perf_counter()
+        part = make_result(n_done)
+        if merge_with is not None:
+            part = merge_sweeps([merge_with, part])
+        checkpoint_save(part)
+        telem.checkpoint_seconds += time.perf_counter() - t_ck
+
+    since_checkpoint = 0
+    for i, cand in enumerate(candidates):
+        cand = int(cand)
+        since_checkpoint += 1
+        code, payload = model.prefilter(cand, ctx)
+        if code != CODE_NOT_TESTED:
+            verdicts[cand] = code
+            _count_skip(telem, code)
+        else:
+            pending.append(
+                (cand, payload if payload is not None else model.patch_for(cand, ctx))
+            )
+            if len(pending) >= batch_size:
+                flush()
+        # Checkpoint only at natural batch boundaries (pending empty): a
+        # forced flush would change batch composition, and the per-batch
+        # active-node closure can flip marginal observations — resume
+        # must reproduce the uninterrupted run bit for bit.
+        if (
+            checkpoint_save is not None
+            and since_checkpoint >= checkpoint_every
+            and not pending
+        ):
+            checkpoint(i + 1)
+            since_checkpoint = 0
+    flush()
+
+    result = make_result(int(candidates.size))
+    if merge_with is not None:
+        result = merge_sweeps([merge_with, result])
+    telem.n_simulated = n_simulated
+    telem.wall_seconds = time.perf_counter() - t0
+    telem.prefilter_seconds = max(
+        0.0, telem.wall_seconds - telem.simulate_seconds - telem.checkpoint_seconds
+    )
+    result.telemetry = telem
+    if checkpoint_save is not None:
+        checkpoint_save(result)
+    return result
+
+
+# -- worker-side state ---------------------------------------------------------
+#
+# Keyed by the pickled model (which identifies design, device and every
+# knob).  Bounded so a long-lived pool sweeping many models cannot hoard
+# contexts.
+
+_MAX_CACHED = 4
+_MODEL_STATE: dict[bytes, tuple[FaultModel, Any]] = {}
+
+
+def _model_state(model_blob: bytes) -> tuple[FaultModel, Any]:
+    """The worker-side cache: unpickle once, derive the context once."""
+    state = _MODEL_STATE.get(model_blob)
+    if state is None:
+        if len(_MODEL_STATE) >= _MAX_CACHED:
+            _MODEL_STATE.clear()
+        model = pickle.loads(model_blob)
+        state = (model, model.build_context())
+        _MODEL_STATE[model_blob] = state
+    return state
+
+
+def _worker_prefilter(model_blob: bytes, cands: np.ndarray) -> tuple[np.ndarray, float]:
+    """Classify one contiguous candidate chunk.
+
+    Returns per-candidate verdict codes aligned with ``cands``
+    (``CODE_NOT_TESTED`` marks a pre-filter survivor that must be
+    simulated) and the worker seconds spent.
+    """
+    t0 = time.perf_counter()
+    model, ctx = _model_state(model_blob)
+    codes = np.empty(cands.size, dtype=np.uint8)
+    for i, cand in enumerate(cands):
+        codes[i], _ = model.prefilter(int(cand), ctx)
+    return codes, time.perf_counter() - t0
+
+
+def _worker_observe(
+    model_blob: bytes, batch_size: int, cands: np.ndarray
+) -> tuple[np.ndarray, dict[int, np.ndarray], int, float]:
+    """Simulate one survivor shard in consecutive ``batch_size`` batches.
+
+    ``cands`` must be pre-filter survivors in candidate order; patches
+    are re-derived in process (:meth:`FaultModel.patch_for` is
+    deterministic).  Returns verdict codes aligned with ``cands``, the
+    retained payloads, the batch count, and the worker seconds spent.
+    """
+    t0 = time.perf_counter()
+    model, ctx = _model_state(model_blob)
+    codes = np.empty(cands.size, dtype=np.uint8)
+    payloads: dict[int, np.ndarray] = {}
+    n_batches = 0
+    for start in range(0, int(cands.size), batch_size):
+        chunk = cands[start : start + batch_size]
+        pending = [(int(c), model.patch_for(int(c), ctx)) for c in chunk]
+        observations = model.observe_batch(ctx, pending)
+        for j, ((cand, _), obs) in enumerate(zip(pending, observations)):
+            codes[start + j] = model.classify(obs)
+            rich = model.payload(obs)
+            if rich is not None:
+                payloads[cand] = rich
+        n_batches += 1
+    return codes, payloads, n_batches, time.perf_counter() - t0
+
+
+# -- sharded driver ------------------------------------------------------------
+
+
+def _part_sweep(
+    model: FaultModel,
+    cands: np.ndarray,
+    codes: np.ndarray,
+    host_seconds: float,
+    n_simulated: int,
+    payloads: dict[int, np.ndarray] | None = None,
+) -> SweepResult:
+    """Wrap one shard's verdicts as a mergeable partial result."""
+    verdicts = np.zeros(model.space_size(), dtype=np.uint8)
+    verdicts[cands] = codes
+    return SweepResult(
+        model_name=model.name,
+        model_key=model.key(),
+        n_space=int(verdicts.size),
+        verdicts=verdicts,
+        candidate_ids=np.asarray(cands, dtype=np.int64),
+        n_simulated=n_simulated,
+        host_seconds=host_seconds,
+        payloads=payloads or {},
+    )
+
+
+def shard_survivors(survivors: np.ndarray, batch_size: int, n_shards: int) -> list[np.ndarray]:
+    """Cut the survivor sequence into contiguous shards of whole batches.
+
+    Every shard except (possibly) the last holds a multiple of
+    ``batch_size`` survivors — the invariant that makes shard-local
+    batching identical to the serial loop's, both on a fresh run and
+    when re-sharding the remainder after a partial (killed) sweep.
+    """
+    n_batches = -(-int(survivors.size) // batch_size)
+    n_shards = max(1, min(n_shards, n_batches))
+    bounds = [round(i * n_batches / n_shards) for i in range(n_shards + 1)]
+    shards = []
+    for b0, b1 in zip(bounds[:-1], bounds[1:]):
+        shard = survivors[b0 * batch_size : b1 * batch_size]
+        if shard.size:
+            shards.append(shard)
+    return shards
+
+
+def run_sharded(
+    model: FaultModel,
+    jobs: int | None = None,
+    batch_size: int = 128,
+    candidates: np.ndarray | None = None,
+    checkpoint_save: Callable[[SweepResult], None] | None = None,
+    checkpoint_every: int = 50_000,
+    merge_with: SweepResult | None = None,
+    executor=None,
+    shards_per_job: int = 4,
+) -> SweepResult:
+    """Sharded multi-process sweep, byte-identical to ``jobs=1``.
+
+    ``jobs=None`` uses every CPU (:func:`default_jobs`); ``jobs=1``
+    (without an external executor) delegates to :func:`run_serial`.
+    With ``checkpoint_save`` the parent snapshots after the pre-filter
+    and after every completed shard (shards are the checkpoint
+    granularity; raise ``shards_per_job`` for finer snapshots).  An
+    external ``executor`` (e.g. a shared pool) is used as-is and not
+    shut down.
+    """
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    jobs = default_jobs() if jobs is None else int(jobs)
+    if jobs < 1:
+        raise CampaignError(f"jobs must be >= 1, got {jobs}")
+    if candidates is None:
+        candidates = model.enumerate_candidates()
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if jobs == 1 and executor is None:
+        return run_serial(
+            model,
+            batch_size=batch_size,
+            candidates=candidates,
+            checkpoint_save=checkpoint_save,
+            checkpoint_every=checkpoint_every,
+            merge_with=merge_with,
+        )
+
+    t0 = time.perf_counter()
+    telem = CampaignTelemetry(n_candidates=int(candidates.size), jobs=jobs)
+    model_blob = pickle.dumps(model)
+    # Pre-populate the worker cache: under fork the children inherit the
+    # model context copy-on-write; under spawn this only warms the
+    # parent (harmless).
+    if model_blob not in _MODEL_STATE:
+        if len(_MODEL_STATE) >= _MAX_CACHED:
+            _MODEL_STATE.clear()
+        _MODEL_STATE[model_blob] = (model, model.build_context())
+
+    own_pool = executor is None
+    if own_pool:
+        executor = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        # Phase 1: parallel pre-filter over contiguous candidate chunks.
+        n_chunks = max(1, min(jobs * shards_per_job, int(candidates.size)))
+        chunks = np.array_split(candidates, n_chunks)
+        futures = [
+            executor.submit(_worker_prefilter, model_blob, c) for c in chunks if c.size
+        ]
+        code_parts = []
+        for f in futures:
+            codes, seconds = f.result()
+            code_parts.append(codes)
+            telem.prefilter_seconds += seconds
+        codes = (
+            np.concatenate(code_parts) if code_parts else np.empty(0, dtype=np.uint8)
+        )
+        survivor_mask = codes == CODE_NOT_TESTED
+        survivors = candidates[survivor_mask]
+        skipped = candidates[~survivor_mask]
+        telem.skip_structural = int(np.count_nonzero(codes == CODE_SKIP_STRUCTURAL))
+        telem.skip_cone = int(np.count_nonzero(codes == CODE_SKIP_CONE))
+        telem.skip_unaddressed = int(np.count_nonzero(codes == CODE_SKIP_UNADDRESSED))
+        telem.n_simulated = int(survivors.size)
+
+        parts: list[SweepResult] = []
+        if merge_with is not None:
+            parts.append(merge_with)
+        if skipped.size:
+            parts.append(
+                _part_sweep(
+                    model, skipped, codes[~survivor_mask], telem.prefilter_seconds, 0
+                )
+            )
+        acc = merge_sweeps(parts) if len(parts) > 1 else (parts[0] if parts else None)
+
+        def checkpoint(result: SweepResult) -> None:
+            if checkpoint_save is not None:
+                t_ck = time.perf_counter()
+                checkpoint_save(result)
+                telem.checkpoint_seconds += time.perf_counter() - t_ck
+
+        if acc is not None:
+            checkpoint(acc)
+
+        # Phase 2: survivor shards, whole batches each, fanned out.
+        shard_futures = {
+            executor.submit(_worker_observe, model_blob, batch_size, shard): shard
+            for shard in shard_survivors(survivors, batch_size, jobs * shards_per_job)
+        }
+        for f in as_completed(shard_futures):
+            shard = shard_futures[f]
+            shard_codes, shard_payloads, n_batches, seconds = f.result()
+            telem.n_batches += n_batches
+            telem.simulate_seconds += seconds
+            part = _part_sweep(
+                model, shard, shard_codes, seconds, int(shard.size), shard_payloads
+            )
+            acc = part if acc is None else merge_sweeps([acc, part])
+            checkpoint(acc)
+    finally:
+        if own_pool:
+            executor.shutdown()
+
+    if acc is None:  # no candidates at all
+        acc = _part_sweep(model, candidates, np.empty(0, dtype=np.uint8), 0.0, 0)
+    telem.wall_seconds = time.perf_counter() - t0
+    prior = merge_with.host_seconds if merge_with is not None else 0.0
+    acc.host_seconds = prior + telem.wall_seconds
+    acc.telemetry = telem
+    if checkpoint_save is not None:
+        t_ck = time.perf_counter()
+        checkpoint_save(acc)
+        telem.checkpoint_seconds += time.perf_counter() - t_ck
+    return acc
+
+
+# -- convenience front door (engine-native checkpoint format) ------------------
+
+
+def run_sweep(
+    model: FaultModel,
+    jobs: int = 1,
+    batch_size: int = 128,
+    candidates: np.ndarray | None = None,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = 50_000,
+    merge_with: SweepResult | None = None,
+    executor=None,
+    shards_per_job: int = 4,
+) -> SweepResult:
+    """Run a sweep with the engine's native checkpoint format.
+
+    The one-stop entry point for adapters without a historical
+    checkpoint format of their own: ``jobs`` picks serial vs sharded,
+    ``checkpoint_path`` snapshots :func:`save_sweep` archives that
+    :func:`resume_sweep` restarts from.
+    """
+    checkpoint_cb = None
+    if checkpoint_path is not None:
+
+        def checkpoint_cb(sweep: SweepResult) -> None:
+            save_sweep(sweep, checkpoint_path)
+
+    if jobs == 1 and executor is None:
+        return run_serial(
+            model,
+            batch_size=batch_size,
+            candidates=candidates,
+            checkpoint_save=checkpoint_cb,
+            checkpoint_every=checkpoint_every,
+            merge_with=merge_with,
+        )
+    return run_sharded(
+        model,
+        jobs=jobs,
+        batch_size=batch_size,
+        candidates=candidates,
+        checkpoint_save=checkpoint_cb,
+        checkpoint_every=checkpoint_every,
+        merge_with=merge_with,
+        executor=executor,
+        shards_per_job=shards_per_job,
+    )
+
+
+def resume_sweep(
+    model: FaultModel,
+    checkpoint_path: str,
+    jobs: int = 1,
+    batch_size: int = 128,
+    checkpoint_every: int = 50_000,
+    executor=None,
+    shards_per_job: int = 4,
+) -> SweepResult:
+    """Resume an interrupted sweep from an engine-native checkpoint.
+
+    Every checkpoint ever written holds only whole simulator batches,
+    so the remainder re-groups into the same batches the uninterrupted
+    run would have used — the merged result is byte-identical to a
+    never-killed sweep, for any worker count on either side.
+    """
+    part = load_sweep(checkpoint_path)
+    if part.model_key != model.key():
+        raise CampaignError(
+            f"checkpoint {checkpoint_path!r} is for {part.model_key!r}, "
+            f"not {model.key()!r}"
+        )
+    candidates = np.asarray(model.enumerate_candidates(), dtype=np.int64)
+    remaining = np.setdiff1d(candidates, part.candidate_ids)
+    if remaining.size == 0:
+        return part
+    return run_sweep(
+        model,
+        jobs=jobs,
+        batch_size=batch_size,
+        candidates=remaining,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        merge_with=part,
+        executor=executor,
+        shards_per_job=shards_per_job,
+    )

@@ -1,0 +1,75 @@
+"""Throughput record shared by every campaign engine run.
+
+Historically defined in :mod:`repro.seu.campaign` (and still re-exported
+there); the engine owns it now so every fault model — SEU, MBU,
+half-latch, BIST coverage — emits the same ``BENCH_*.json`` row schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+__all__ = ["CampaignTelemetry"]
+
+
+@dataclass
+class CampaignTelemetry:
+    """Throughput record of one campaign run (the perf-tracking contract).
+
+    Emitted by the engine drivers (:func:`repro.engine.run_serial`,
+    :func:`repro.engine.run_sharded`) and therefore by every adapter
+    built on them; the benchmark harness serialises it into
+    ``BENCH_*.json`` so the throughput trajectory (bits/sec, µs/bit) is
+    tracked across revisions.  Worker phase timings are summed CPU
+    seconds; ``wall_seconds`` is the parent's wall clock.
+
+    ``n_candidates`` counts whatever the fault model enumerates —
+    configuration bits, trial sets, hidden-state nodes, hard faults —
+    so ``bits_per_sec`` reads as candidates/sec for non-SEU models.
+    """
+
+    n_candidates: int = 0
+    n_simulated: int = 0
+    n_batches: int = 0
+    skip_structural: int = 0
+    skip_cone: int = 0
+    skip_unaddressed: int = 0
+    prefilter_seconds: float = 0.0
+    simulate_seconds: float = 0.0
+    checkpoint_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    jobs: int = 1
+
+    @property
+    def n_skipped(self) -> int:
+        return self.skip_structural + self.skip_cone + self.skip_unaddressed
+
+    @property
+    def skip_rate(self) -> float:
+        """Fraction of candidates the structural pre-filter absorbed."""
+        return self.n_skipped / self.n_candidates if self.n_candidates else 0.0
+
+    @property
+    def bits_per_sec(self) -> float:
+        return self.n_candidates / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def us_per_bit(self) -> float:
+        return 1e6 * self.wall_seconds / self.n_candidates if self.n_candidates else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready record (the ``BENCH_*.json`` row schema)."""
+        d = dataclasses.asdict(self)
+        d["bits_per_sec"] = self.bits_per_sec
+        d["us_per_bit"] = self.us_per_bit
+        d["skip_rate"] = self.skip_rate
+        return d
+
+    def summary(self) -> str:
+        return (
+            f"{self.bits_per_sec:,.0f} bits/s ({self.us_per_bit:.1f} us/bit), "
+            f"{100 * self.skip_rate:.1f}% pre-filtered, "
+            f"{self.n_simulated} simulated in {self.n_batches} batches, "
+            f"jobs={self.jobs}"
+        )

@@ -17,11 +17,15 @@ from repro.seu.campaign import (
     CampaignConfig,
     CampaignResult,
     CampaignTelemetry,
+    HalfLatchFaultModel,
+    SEUFaultModel,
+    batch_active_mask,
     load_result,
     merge_results,
     resume_campaign,
     run_campaign,
     run_halflatch_campaign,
+    run_halflatch_sweep,
     save_result,
 )
 from repro.seu.parallel import (
@@ -29,8 +33,12 @@ from repro.seu.parallel import (
     resume_campaign_parallel,
     run_campaign_parallel,
 )
-from repro.seu.multibit import MultiBitResult, run_multibit_campaign
-from repro.seu.correlation import OutputCorrelation, build_correlation_table
+from repro.seu.multibit import MBUFaultModel, MultiBitResult, run_multibit_campaign
+from repro.seu.correlation import (
+    CorrelationFaultModel,
+    OutputCorrelation,
+    build_correlation_table,
+)
 from repro.seu.injector import FaultInjector
 from repro.seu.maps import SensitivityMap
 from repro.seu.persistence import persistent_error_trace
@@ -42,11 +50,17 @@ __all__ = [
     "CampaignResult",
     "CampaignTelemetry",
     "BitVerdict",
+    "SEUFaultModel",
+    "HalfLatchFaultModel",
+    "MBUFaultModel",
+    "CorrelationFaultModel",
+    "batch_active_mask",
     "run_campaign",
     "run_campaign_parallel",
     "resume_campaign_parallel",
     "default_jobs",
     "run_halflatch_campaign",
+    "run_halflatch_sweep",
     "merge_results",
     "save_result",
     "load_result",

@@ -13,17 +13,21 @@ For every candidate configuration bit the campaign:
    first output error, repair the configuration without reset, and
    classify persistence.
 
-The loop is factored into three reusable pieces so serial and sharded
-execution run the *same* code: :func:`build_context` derives the
-per-(design, config) artifacts (golden trace, warm-state snapshot),
-:func:`classify_candidate` is the structural pre-filter for one bit, and
-:func:`simulate_batch` runs one batch of survivors to verdicts.  The
-multi-core engine in :mod:`repro.seu.parallel` shards candidate bits
-over processes and folds partial results with :func:`merge_results`.
+The sweep machinery — batching, process sharding, checkpoint/resume,
+merging, telemetry — lives in the fault-model-agnostic engine
+(:mod:`repro.engine`); this module contributes the *SEU fault model*
+(:class:`SEUFaultModel`) and keeps the historical public API:
+:func:`build_context` derives the per-(design, config) artifacts (golden
+trace, warm-state snapshot), :func:`classify_candidate` is the
+structural pre-filter for one bit, and :func:`simulate_batch` runs one
+batch of survivors to verdicts.  Results and checkpoints remain
+:class:`CampaignResult` archives in the original ``.npz`` schema.
 
 A separate campaign (:func:`run_halflatch_campaign`) sweeps the *hidden*
 half-latch state — the cross-section readback cannot see, which drives
-the beam-validation residual (paper section III-C).
+the beam-validation residual (paper section III-C).  It rides the same
+engine via :class:`HalfLatchFaultModel`, so it shares ``jobs=N``
+sharding and checkpoint/resume with the single-bit sweep.
 """
 
 from __future__ import annotations
@@ -32,11 +36,28 @@ import dataclasses
 import enum
 import json
 import os
-import time
+import warnings
 from dataclasses import dataclass, field
+from typing import Any, ClassVar
 
 import numpy as np
 
+from repro.engine.cache import implemented_design, prime_design_cache
+from repro.engine.detect import detect_failures
+from repro.engine.model import (
+    CODE_FAIL,
+    CODE_NO_EFFECT,
+    CODE_NOT_TESTED,
+    CODE_SKIP_CONE,
+    FaultModel,
+)
+from repro.engine.sweep import (
+    SweepResult,
+    resume_sweep,
+    run_serial,
+    run_sweep,
+)
+from repro.engine.telemetry import CampaignTelemetry
 from repro.errors import CampaignError
 from repro.fpga.resources import ResourceKind
 from repro.netlist.compiled import CompiledDesign, FFField, Patch
@@ -49,11 +70,15 @@ __all__ = [
     "CampaignContext",
     "CampaignResult",
     "CampaignTelemetry",
+    "SEUFaultModel",
+    "HalfLatchFaultModel",
+    "batch_active_mask",
     "build_context",
     "classify_candidate",
     "simulate_batch",
     "run_campaign",
     "run_halflatch_campaign",
+    "run_halflatch_sweep",
     "merge_results",
     "save_result",
     "load_result",
@@ -62,7 +87,12 @@ __all__ = [
 
 
 class BitVerdict(enum.IntEnum):
-    """Per-bit campaign outcome."""
+    """Per-bit campaign outcome.
+
+    Codes 0-3 follow the engine-wide convention of
+    :mod:`repro.engine.model`; codes 4-6 are the SEU model's simulated
+    outcomes.
+    """
 
     NOT_TESTED = 0  #: outside the candidate set
     SKIP_STRUCTURAL = 1  #: flip does not alter the decoded hardware
@@ -97,64 +127,6 @@ class CampaignConfig:
     @property
     def total_cycles(self) -> int:
         return self.warmup_cycles + self.detect_cycles + self.persist_cycles
-
-
-@dataclass
-class CampaignTelemetry:
-    """Throughput record of one campaign run (the perf-tracking contract).
-
-    Emitted by :func:`run_campaign` and
-    :func:`repro.seu.parallel.run_campaign_parallel`; the benchmark
-    harness serialises it into ``BENCH_campaign.json`` so the throughput
-    trajectory (bits/sec, µs/bit) is tracked across revisions.  Worker
-    phase timings are summed CPU seconds; ``wall_seconds`` is the
-    parent's wall clock.
-    """
-
-    n_candidates: int = 0
-    n_simulated: int = 0
-    n_batches: int = 0
-    skip_structural: int = 0
-    skip_cone: int = 0
-    skip_unaddressed: int = 0
-    prefilter_seconds: float = 0.0
-    simulate_seconds: float = 0.0
-    checkpoint_seconds: float = 0.0
-    wall_seconds: float = 0.0
-    jobs: int = 1
-
-    @property
-    def n_skipped(self) -> int:
-        return self.skip_structural + self.skip_cone + self.skip_unaddressed
-
-    @property
-    def skip_rate(self) -> float:
-        """Fraction of candidates the structural pre-filter absorbed."""
-        return self.n_skipped / self.n_candidates if self.n_candidates else 0.0
-
-    @property
-    def bits_per_sec(self) -> float:
-        return self.n_candidates / self.wall_seconds if self.wall_seconds > 0 else 0.0
-
-    @property
-    def us_per_bit(self) -> float:
-        return 1e6 * self.wall_seconds / self.n_candidates if self.n_candidates else 0.0
-
-    def to_dict(self) -> dict:
-        """JSON-ready record (the ``BENCH_campaign.json`` row schema)."""
-        d = dataclasses.asdict(self)
-        d["bits_per_sec"] = self.bits_per_sec
-        d["us_per_bit"] = self.us_per_bit
-        d["skip_rate"] = self.skip_rate
-        return d
-
-    def summary(self) -> str:
-        return (
-            f"{self.bits_per_sec:,.0f} bits/s ({self.us_per_bit:.1f} us/bit), "
-            f"{100 * self.skip_rate:.1f}% pre-filtered, "
-            f"{self.n_simulated} simulated in {self.n_batches} batches, "
-            f"jobs={self.jobs}"
-        )
 
 
 @dataclass
@@ -283,7 +255,7 @@ def simulate_batch(
         ctx.design,
         patches,
         initial_values=ctx.snapshot,
-        active_nodes=_batch_active_mask(ctx.design, patches),
+        active_nodes=batch_active_mask(ctx.design, patches),
     )
     machine_verdicts = sim.run_verdicts(
         ctx.post_stim,
@@ -323,7 +295,7 @@ def _lut_content_skip(patch: Patch, hw: HardwareDesign, addr_seen: np.ndarray) -
     return True
 
 
-def _batch_active_mask(design, patches: list[Patch]) -> np.ndarray:
+def batch_active_mask(design, patches: list[Patch]) -> np.ndarray:
     """Node mask closing the output cone over golden + patch edges.
 
     Sound superset of what any machine in the batch can need: the
@@ -363,6 +335,16 @@ def _batch_active_mask(design, patches: list[Patch]) -> np.ndarray:
             if not mask[s]:
                 stack.append(s)
     return mask
+
+
+def _batch_active_mask(design, patches: list[Patch]) -> np.ndarray:
+    """Deprecated alias of :func:`batch_active_mask`."""
+    warnings.warn(
+        "_batch_active_mask is deprecated; use batch_active_mask",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return batch_active_mask(design, patches)
 
 
 #: device name -> {(frame, offset) -> ResourceKind}; bit classification
@@ -454,6 +436,95 @@ def load_result(path: str) -> CampaignResult:
     )
 
 
+# -- the SEU fault model -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SEUFaultModel(FaultModel):
+    """Single-bit configuration upsets, as seen by the campaign engine.
+
+    Candidates are linear block-0 bitstream indices; the pre-filter is
+    :func:`classify_candidate`, the observation is
+    :func:`simulate_batch`'s inject/observe/repair/classify verdict.
+    Picklable by construction: heavy state (the implemented design, the
+    golden trace, the warm snapshot) is derived per process in
+    :meth:`build_context` through the shared implemented-design cache.
+    """
+
+    spec: Any
+    device_name: str
+    config: CampaignConfig
+
+    name: ClassVar[str] = "seu"
+
+    def key(self) -> str:
+        return (
+            f"seu:{self.spec.name}:{self.device_name}:"
+            f"{json.dumps(dataclasses.asdict(self.config), sort_keys=True)}"
+        )
+
+    def space_size(self) -> int:
+        return int(self._hw().device.total_config_bits)
+
+    def enumerate_candidates(self) -> np.ndarray:
+        return _candidate_bits(self._hw(), self.config)
+
+    def _hw(self) -> HardwareDesign:
+        return implemented_design(self.spec, self.device_name)
+
+    def build_context(self) -> tuple[HardwareDesign, CampaignContext]:
+        hw = self._hw()
+        return hw, build_context(hw, self.config)
+
+    def prefilter(self, candidate: int, ctx) -> tuple[int, Patch | None]:
+        hw, cctx = ctx
+        return classify_candidate(hw, cctx, candidate)
+
+    def patch_for(self, candidate: int, ctx) -> Patch:
+        hw, _ = ctx
+        return hw.decoded.patch_for_bit(candidate)
+
+    def observe_batch(self, ctx, pending: list[tuple[int, Patch]]) -> list[int]:
+        _, cctx = ctx
+        return simulate_batch(self.config, cctx, pending)
+
+    def classify(self, observation: int) -> int:
+        return int(observation)
+
+
+def _to_sweep(model: SEUFaultModel, result: CampaignResult) -> SweepResult:
+    """View a prior :class:`CampaignResult` as an engine partial."""
+    return SweepResult(
+        model_name=model.name,
+        model_key=model.key(),
+        n_space=int(result.verdicts.size),
+        verdicts=result.verdicts,
+        candidate_ids=np.asarray(result.candidate_bits, dtype=np.int64),
+        n_simulated=result.n_simulated,
+        host_seconds=result.host_seconds,
+        telemetry=result.telemetry,
+    )
+
+
+def _from_sweep(
+    hw: HardwareDesign, config: CampaignConfig, sweep: SweepResult
+) -> CampaignResult:
+    """Materialise an engine sweep as the historical result type."""
+    result = CampaignResult(
+        design_name=hw.spec.name,
+        device_name=hw.device.name,
+        config=config,
+        n_candidates=sweep.n_candidates,
+        verdicts=sweep.verdicts,
+        candidate_bits=sweep.candidate_ids,
+        host_seconds=sweep.host_seconds,
+        n_simulated=sweep.n_simulated,
+        telemetry=sweep.telemetry,
+    )
+    result.by_kind = _by_kind(hw, result.sensitive_bits)
+    return result
+
+
 def run_campaign(
     hw: HardwareDesign,
     config: CampaignConfig | None = None,
@@ -476,98 +547,30 @@ def run_campaign(
     bit-identical verdicts by sharding at batch boundaries.
     """
     config = config or CampaignConfig()
-    ctx = build_context(hw, config)
-
+    prime_design_cache(hw)
+    model = SEUFaultModel(hw.spec, hw.device.name, config)
     if candidate_bits is None:
         candidate_bits = _candidate_bits(hw, config)
     candidate_bits = np.asarray(candidate_bits, dtype=np.int64)
 
-    verdicts = np.zeros(hw.device.total_config_bits, dtype=np.uint8)
-    t0 = time.perf_counter()
-    telem = CampaignTelemetry(n_candidates=int(candidate_bits.size), jobs=1)
-    n_simulated = 0
-
-    pending: list[tuple[int, Patch]] = []
-
-    def flush() -> None:
-        nonlocal n_simulated
-        if not pending:
-            return
-        t_sim = time.perf_counter()
-        codes = simulate_batch(config, ctx, pending)
-        for (bit, _), code in zip(pending, codes):
-            verdicts[bit] = code
-        n_simulated += len(pending)
-        telem.n_batches += 1
-        telem.simulate_seconds += time.perf_counter() - t_sim
-        pending.clear()
-
-    def make_result(n_done: int) -> CampaignResult:
-        done = candidate_bits[:n_done]
-        part = CampaignResult(
-            design_name=hw.spec.name,
-            device_name=hw.device.name,
-            config=config,
-            n_candidates=int(done.size),
-            verdicts=verdicts.copy() if n_done < candidate_bits.size else verdicts,
-            candidate_bits=done,
-            host_seconds=time.perf_counter() - t0,
-            n_simulated=n_simulated,
-        )
-        part.by_kind = _by_kind(hw, part.sensitive_bits)
-        return part
-
-    def checkpoint(n_done: int) -> None:
-        t_ck = time.perf_counter()
-        part = make_result(n_done)
-        if merge_with is not None:
-            part = merge_results([merge_with, part])
-        save_result(part, checkpoint_path)
-        telem.checkpoint_seconds += time.perf_counter() - t_ck
-
-    since_checkpoint = 0
-    for i, bit in enumerate(candidate_bits):
-        bit = int(bit)
-        since_checkpoint += 1
-        code, patch = classify_candidate(hw, ctx, bit)
-        if code == BitVerdict.SKIP_STRUCTURAL:
-            verdicts[bit] = code
-            telem.skip_structural += 1
-        elif code == BitVerdict.SKIP_CONE:
-            verdicts[bit] = code
-            telem.skip_cone += 1
-        elif code == BitVerdict.SKIP_UNADDRESSED:
-            verdicts[bit] = code
-            telem.skip_unaddressed += 1
-        else:
-            pending.append((bit, patch))
-            if len(pending) >= config.batch_size:
-                flush()
-        # Checkpoint only at natural batch boundaries (pending empty): a
-        # forced flush would change batch composition, and the per-batch
-        # active-node closure can flip marginal persistence verdicts —
-        # resume must reproduce the uninterrupted run bit for bit.
-        if (
-            checkpoint_path is not None
-            and since_checkpoint >= checkpoint_every
-            and not pending
-        ):
-            checkpoint(i + 1)
-            since_checkpoint = 0
-    flush()
-
-    result = make_result(int(candidate_bits.size))
-    if merge_with is not None:
-        result = merge_results([merge_with, result])
-    telem.n_simulated = n_simulated
-    telem.wall_seconds = time.perf_counter() - t0
-    telem.prefilter_seconds = max(
-        0.0, telem.wall_seconds - telem.simulate_seconds - telem.checkpoint_seconds
-    )
-    result.telemetry = telem
+    checkpoint_cb = None
     if checkpoint_path is not None:
-        save_result(result, checkpoint_path)
-    return result
+
+        def checkpoint_cb(sweep: SweepResult) -> None:
+            # Resolve save_result at call time so tests (and tools) that
+            # monkeypatch it see every checkpoint write.
+            save_result(_from_sweep(hw, config, sweep), checkpoint_path)
+
+    sweep = run_serial(
+        model,
+        batch_size=config.batch_size,
+        candidates=candidate_bits,
+        checkpoint_save=checkpoint_cb,
+        checkpoint_every=checkpoint_every,
+        merge_with=_to_sweep(model, merge_with) if merge_with is not None else None,
+        context=(hw, build_context(hw, config)),
+    )
+    return _from_sweep(hw, config, sweep)
 
 
 def resume_campaign(
@@ -654,51 +657,137 @@ def merge_results(parts: list[CampaignResult]) -> CampaignResult:
     )
 
 
+# -- the half-latch fault model ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HalfLatchFaultModel(FaultModel):
+    """Hidden half-latch upsets (paper Figures 13-14), engine model.
+
+    Candidates are node ids; the upset pins the node to 0.  These
+    upsets are invisible to readback and unrepaired by partial
+    reconfiguration, so the sweep runs detect-only, with no repair
+    phase.  Per-machine outcomes are independent of batch composition
+    here (const patches never violate the evaluation schedule and no
+    active-node mask is applied), so any grouping is sound.
+    """
+
+    spec: Any
+    device_name: str
+    config: CampaignConfig
+    nodes: tuple[int, ...] | None = None
+
+    name: ClassVar[str] = "halflatch"
+
+    def key(self) -> str:
+        nodes_part = (
+            "all" if self.nodes is None else f"{len(self.nodes)}@{hash(self.nodes):x}"
+        )
+        return (
+            f"halflatch:{self.spec.name}:{self.device_name}:{nodes_part}:"
+            f"{json.dumps(dataclasses.asdict(self.config), sort_keys=True)}"
+        )
+
+    def _hw(self) -> HardwareDesign:
+        return implemented_design(self.spec, self.device_name)
+
+    def space_size(self) -> int:
+        return int(self._hw().decoded.design.n_nodes)
+
+    def enumerate_candidates(self) -> np.ndarray:
+        if self.nodes is not None:
+            return np.asarray(self.nodes, dtype=np.int64)
+        return np.asarray(self._hw().decoded.design.half_latch_nodes, dtype=np.int64)
+
+    def build_context(self) -> tuple[HardwareDesign, CampaignContext]:
+        hw = self._hw()
+        return hw, build_context(hw, self.config)
+
+    def prefilter(self, candidate: int, ctx) -> tuple[int, None]:
+        hw, _ = ctx
+        # Only nodes inside the output cone can matter; skip the rest.
+        if not hw.decoded.node_in_cone(candidate):
+            return CODE_SKIP_CONE, None
+        return CODE_NOT_TESTED, None
+
+    def patch_for(self, candidate: int, ctx) -> Patch:
+        return Patch(consts=[(candidate, 0)])
+
+    def observe_batch(self, ctx, pending: list[tuple[int, Patch]]) -> list[bool]:
+        _, cctx = ctx
+        sim = BatchSimulator(
+            cctx.design, [p for _, p in pending], initial_values=cctx.snapshot
+        )
+        failed = detect_failures(
+            sim, cctx.post_stim, cctx.post_golden.outputs, self.config.detect_cycles
+        )
+        return [bool(f) for f in failed]
+
+    def classify(self, observation: bool) -> int:
+        return CODE_FAIL if observation else CODE_NO_EFFECT
+
+
+def run_halflatch_sweep(
+    hw: HardwareDesign,
+    config: CampaignConfig | None = None,
+    nodes: np.ndarray | None = None,
+    jobs: int = 1,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
+) -> SweepResult:
+    """Half-latch sweep as a full engine result (verdicts + telemetry).
+
+    Runs on the shared campaign engine: ``jobs=N`` shards the node set
+    over processes with verdicts identical to ``jobs=1``, and
+    ``checkpoint_path`` snapshots engine-native archives a killed sweep
+    restarts from (``resume=True``).
+    """
+    config = config or CampaignConfig()
+    prime_design_cache(hw)
+    model = HalfLatchFaultModel(
+        hw.spec,
+        hw.device.name,
+        config,
+        None if nodes is None else tuple(int(n) for n in np.asarray(nodes).ravel()),
+    )
+    if resume:
+        if checkpoint_path is None:
+            raise CampaignError("resume requires a checkpoint path")
+        return resume_sweep(
+            model, checkpoint_path, jobs=jobs, batch_size=config.batch_size
+        )
+    return run_sweep(
+        model,
+        jobs=jobs,
+        batch_size=config.batch_size,
+        checkpoint_path=checkpoint_path,
+    )
+
+
 def run_halflatch_campaign(
     hw: HardwareDesign,
     config: CampaignConfig | None = None,
     nodes: np.ndarray | None = None,
+    jobs: int = 1,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
 ) -> dict[int, bool]:
     """Sweep half-latch (hidden-state) upsets: node -> caused an error?
 
-    These upsets are invisible to readback and unrepaired by partial
-    reconfiguration (paper Figures 13-14); the campaign therefore runs
-    detect-only, with no repair phase.
+    The historical dict-shaped view of :func:`run_halflatch_sweep`
+    (which exposes the engine verdicts and telemetry).
     """
-    config = config or CampaignConfig()
-    decoded = hw.decoded
-    design = decoded.design
-    stim = hw.spec.stimulus(config.total_cycles, config.seed)
-    golden = BatchSimulator.golden_trace(design, stim)
-    warm = BatchSimulator(design)
-    warm.run(stim[: config.warmup_cycles])
-    snapshot = warm.state_snapshot()
-    post_stim = stim[config.warmup_cycles :]
-    post_out = golden.outputs[config.warmup_cycles :]
-
+    sweep = run_halflatch_sweep(
+        hw,
+        config,
+        nodes=nodes,
+        jobs=jobs,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+    )
     if nodes is None:
-        nodes = design.half_latch_nodes
-    nodes = np.asarray(nodes, dtype=np.int64)
-    outcome: dict[int, bool] = {}
-
-    for start in range(0, nodes.size, config.batch_size):
-        chunk = nodes[start : start + config.batch_size]
-        # Only nodes inside the output cone can matter; skip the rest.
-        sim_nodes = [int(n) for n in chunk if decoded.node_in_cone(int(n))]
-        for n in chunk:
-            if int(n) not in sim_nodes:
-                outcome[int(n)] = False
-        if not sim_nodes:
-            continue
-        patches = [Patch(consts=[(n, 0)]) for n in sim_nodes]
-        sim = BatchSimulator(design, patches, initial_values=snapshot)
-        cycles = config.detect_cycles
-        failed = np.zeros(len(sim_nodes), dtype=bool)
-        for t in range(cycles):
-            out = sim.step(post_stim[t])
-            failed |= np.any(out != post_out[t][None, :], axis=1)
-            if np.all(failed):
-                break
-        for n, f in zip(sim_nodes, failed):
-            outcome[n] = bool(f)
-    return outcome
+        nodes = hw.decoded.design.half_latch_nodes
+    return {
+        int(n): bool(sweep.verdicts[int(n)] == CODE_FAIL)
+        for n in np.asarray(nodes, dtype=np.int64)
+    }

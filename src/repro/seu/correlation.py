@@ -11,20 +11,40 @@ and records *which output bits* each upset disturbs; the resulting
 :class:`OutputCorrelation` answers the designer's questions: which
 outputs does frame F endanger, and which bitstream region must I harden
 to protect output k (the input to selective TMR).
+
+The sweep runs on the shared campaign engine (:mod:`repro.engine`),
+using its *payload* channel to retain the per-bit disturbed-output mask
+beside the verdict code — which is what gives this table ``jobs=N``
+process sharding and checkpoint/resume for free.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
+from typing import Any, ClassVar
 
 import numpy as np
 
+from repro.engine.cache import implemented_design, prime_design_cache
+from repro.engine.detect import detect_disturbed_outputs
+from repro.engine.model import CODE_FAIL, CODE_NO_EFFECT, FaultModel
+from repro.engine.sweep import resume_sweep, run_sweep
+from repro.engine.telemetry import CampaignTelemetry
 from repro.errors import CampaignError
+from repro.netlist.compiled import Patch
 from repro.netlist.simulator import BatchSimulator
 from repro.place.flow import HardwareDesign
-from repro.seu.campaign import CampaignConfig, CampaignResult, _batch_active_mask
+from repro.seu.campaign import (
+    CampaignConfig,
+    CampaignContext,
+    CampaignResult,
+    batch_active_mask,
+    build_context,
+)
 
-__all__ = ["OutputCorrelation", "build_correlation_table"]
+__all__ = ["OutputCorrelation", "CorrelationFaultModel", "build_correlation_table"]
 
 
 @dataclass
@@ -34,6 +54,8 @@ class OutputCorrelation:
     n_outputs: int
     #: linear config bit -> bool vector over outputs (True = disturbed)
     by_bit: dict[int, np.ndarray] = field(default_factory=dict)
+    #: throughput record of the sweep that produced this table
+    telemetry: CampaignTelemetry | None = None
 
     def outputs_of(self, linear_bit: int) -> np.ndarray:
         """Output indices disturbed by upsetting ``linear_bit``."""
@@ -67,55 +89,110 @@ class OutputCorrelation:
         return hist
 
 
+@dataclass(frozen=True)
+class CorrelationFaultModel(FaultModel):
+    """Sensitive-bit re-run retaining the disturbed-output mask.
+
+    Candidates are the campaign's sensitive bits; the observation is
+    the accumulated per-output deviation mask over the full detect
+    window (no early exit), kept as the engine payload.
+    """
+
+    spec: Any
+    device_name: str
+    config: CampaignConfig
+    bits: tuple[int, ...]
+
+    name: ClassVar[str] = "correlation"
+
+    def key(self) -> str:
+        return (
+            f"correlation:{self.spec.name}:{self.device_name}:"
+            f"{len(self.bits)}@{hash(self.bits):x}:"
+            f"{json.dumps(dataclasses.asdict(self.config), sort_keys=True)}"
+        )
+
+    def _hw(self) -> HardwareDesign:
+        return implemented_design(self.spec, self.device_name)
+
+    def space_size(self) -> int:
+        return int(self._hw().device.total_config_bits)
+
+    def enumerate_candidates(self) -> np.ndarray:
+        return np.asarray(self.bits, dtype=np.int64)
+
+    def build_context(self) -> tuple[HardwareDesign, CampaignContext]:
+        hw = self._hw()
+        return hw, build_context(hw, self.config)
+
+    def patch_for(self, candidate: int, ctx) -> Patch:
+        hw, _ = ctx
+        patch = hw.decoded.patch_for_bit(candidate)
+        if patch is None:  # cannot happen for campaign-sensitive bits
+            raise CampaignError(f"bit {candidate} no longer decodes to a fault")
+        return patch
+
+    def observe_batch(self, ctx, pending: list[tuple[int, Patch]]) -> list[np.ndarray]:
+        _, cctx = ctx
+        patches = [p for _, p in pending]
+        sim = BatchSimulator(
+            cctx.design,
+            patches,
+            initial_values=cctx.snapshot,
+            active_nodes=batch_active_mask(cctx.design, patches),
+        )
+        disturbed = detect_disturbed_outputs(
+            sim, cctx.post_stim, cctx.post_golden.outputs, self.config.detect_cycles
+        )
+        return [disturbed[i] for i in range(len(pending))]
+
+    def classify(self, observation: np.ndarray) -> int:
+        return CODE_FAIL if observation.any() else CODE_NO_EFFECT
+
+    def payload(self, observation: np.ndarray) -> np.ndarray:
+        return observation
+
+
 def build_correlation_table(
     hw: HardwareDesign,
     result: CampaignResult,
     config: CampaignConfig | None = None,
     max_bits: int | None = None,
+    jobs: int = 1,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
 ) -> OutputCorrelation:
     """Re-run each sensitive bit recording the disturbed output set.
 
     ``max_bits`` truncates the sweep for quick looks; the default
-    processes every sensitive bit of the campaign.
+    processes every sensitive bit of the campaign.  Runs on the shared
+    campaign engine: ``jobs=N`` shards bits over processes
+    (batch-aligned, so the table is identical to ``jobs=1``), and
+    ``checkpoint_path`` snapshots engine-native archives a killed sweep
+    restarts from (``resume=True``).
     """
     config = config or result.config
-    decoded = hw.decoded
-    design = decoded.design
-
-    stim = hw.spec.stimulus(config.total_cycles, config.seed)
-    golden = BatchSimulator.golden_trace(design, stim)
-    warm = BatchSimulator(design)
-    warm.run(stim[: config.warmup_cycles])
-    snapshot = warm.state_snapshot()
-    post_stim = stim[config.warmup_cycles :]
-    post_out = golden.outputs[config.warmup_cycles :]
-
     bits = [int(b) for b in result.sensitive_bits]
     if max_bits is not None:
         bits = bits[:max_bits]
-
-    table = OutputCorrelation(n_outputs=design.n_outputs)
-    B = config.batch_size
-    for start in range(0, len(bits), B):
-        chunk = bits[start : start + B]
-        patches = []
-        kept = []
-        for bit in chunk:
-            p = decoded.patch_for_bit(bit)
-            if p is None:  # cannot happen for campaign-sensitive bits
-                raise CampaignError(f"bit {bit} no longer decodes to a fault")
-            patches.append(p)
-            kept.append(bit)
-        sim = BatchSimulator(
-            design,
-            patches,
-            initial_values=snapshot,
-            active_nodes=_batch_active_mask(design, patches),
+    prime_design_cache(hw)
+    model = CorrelationFaultModel(hw.spec, hw.device.name, config, tuple(bits))
+    if resume:
+        if checkpoint_path is None:
+            raise CampaignError("resume requires a checkpoint path")
+        sweep = resume_sweep(
+            model, checkpoint_path, jobs=jobs, batch_size=config.batch_size
         )
-        disturbed = np.zeros((len(kept), design.n_outputs), dtype=bool)
-        for t in range(config.detect_cycles):
-            out = sim.step(post_stim[t])
-            disturbed |= out != post_out[t][None, :]
-        for bit, mask in zip(kept, disturbed):
-            table.by_bit[bit] = mask
+    else:
+        sweep = run_sweep(
+            model,
+            jobs=jobs,
+            batch_size=config.batch_size,
+            checkpoint_path=checkpoint_path,
+        )
+    table = OutputCorrelation(
+        n_outputs=hw.decoded.design.n_outputs, telemetry=sweep.telemetry
+    )
+    for bit in bits:
+        table.by_bit[bit] = sweep.payloads[bit]
     return table

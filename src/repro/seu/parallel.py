@@ -2,193 +2,47 @@
 
 The paper's exhaustive sweep is tractable only because hardware runs it
 at 214 µs/bit; our software reproduction gets its throughput from two
-levers — the batched simulator kernel and, here, sharding the candidate
-bit space over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+levers — the batched simulator kernel and process sharding.  The
+sharding machinery itself (two-phase pre-filter/observe split, shard
+cuts at whole-batch boundaries, worker-side context caching,
+checkpoint folding) lives in the fault-model-agnostic engine
+(:mod:`repro.engine.sweep`); this module is the SEU adapter that keeps
+the historical entry points and the :class:`CampaignResult` checkpoint
+format.
 
-**Determinism contract.** ``jobs=N`` produces verdicts *byte-identical*
-to ``jobs=1``.  Batch composition decides marginal verdicts (the
-active-node closure and settle-pass count are per-batch), so sharding
-must not change which bits share a batch.  The engine therefore runs in
-two phases:
-
-1. **Pre-filter** — candidate bits are split into contiguous chunks and
-   classified in parallel (:func:`~repro.seu.campaign.classify_candidate`
-   is a pure per-bit function, so any split is safe).  Survivors are
-   collected in candidate order.
-2. **Simulate** — the survivor sequence is cut into contiguous shards
-   whose sizes are multiples of ``config.batch_size`` (only the global
-   tail shard may be ragged).  Grouping each shard into consecutive
-   ``batch_size`` blocks then reproduces exactly the serial loop's
-   batches, so every batch simulates with the same companions it would
-   have had under ``jobs=1``.
-
-Workers re-derive the :class:`HardwareDesign` (the implementation flow
-is deterministic) and the campaign context **once per process** and
-cache them; under a ``fork`` start method the parent pre-populates the
-caches so children inherit them copy-on-write and re-derive nothing.
-
-**Checkpoint/resume.** The parent folds each completed shard into the
-checkpoint through :func:`~repro.seu.campaign.merge_results`.  Because
-every completed shard is a whole number of batches, the un-simulated
-remainder re-shards on resume into the *same* batch grouping — a killed
-parallel sweep resumes to the byte-identical result, and serial and
-parallel runs can resume each other's checkpoints.
+**Determinism contract** (enforced by the engine): ``jobs=N`` produces
+verdicts *byte-identical* to ``jobs=1``, because shards are cut only at
+``config.batch_size`` boundaries and so reproduce exactly the serial
+loop's batch composition.  **Checkpoint/resume**: every checkpoint
+holds whole batches only, so a killed parallel sweep resumes to the
+byte-identical result, and serial and parallel runs can resume each
+other's checkpoints.
 """
 
 from __future__ import annotations
 
-import os
-import pickle
-import time
-from concurrent.futures import Executor, ProcessPoolExecutor, as_completed
+from concurrent.futures import Executor
 
 import numpy as np
 
+from repro.engine.cache import prime_design_cache
+from repro.engine.sweep import SweepResult, default_jobs, run_sharded
+from repro.engine.sweep import shard_survivors as _shard_survivors  # noqa: F401 (compat)
 from repro.errors import CampaignError
-from repro.place.flow import HardwareDesign, implement
+from repro.place.flow import HardwareDesign
 from repro.seu.campaign import (
-    BitVerdict,
     CampaignConfig,
-    CampaignContext,
     CampaignResult,
-    CampaignTelemetry,
-    _by_kind,
+    SEUFaultModel,
     _candidate_bits,
-    build_context,
-    classify_candidate,
+    _from_sweep,
+    _to_sweep,
     load_result,
-    merge_results,
     run_campaign,
     save_result,
-    simulate_batch,
 )
 
 __all__ = ["run_campaign_parallel", "resume_campaign_parallel", "default_jobs"]
-
-
-def default_jobs() -> int:
-    """CPU-count-aware default worker count."""
-    return max(1, os.cpu_count() or 1)
-
-
-# -- per-worker state ----------------------------------------------------------
-#
-# Keyed by the pickled DesignSpec (names alone do not identify scaled
-# suite variants built with non-default keyword arguments).  Bounded so a
-# long-lived pool sweeping many designs cannot hoard implementations.
-
-_MAX_CACHED = 4
-_HW_CACHE: dict[tuple[bytes, str], HardwareDesign] = {}
-_CTX_CACHE: dict[tuple[bytes, str, CampaignConfig], CampaignContext] = {}
-
-
-def _worker_state(
-    spec_blob: bytes, device_name: str, config: CampaignConfig
-) -> tuple[HardwareDesign, CampaignContext]:
-    """The worker-side cache: implement once, derive context once."""
-    from repro.fpga import get_device
-
-    key = (spec_blob, device_name)
-    hw = _HW_CACHE.get(key)
-    if hw is None:
-        if len(_HW_CACHE) >= _MAX_CACHED:
-            _HW_CACHE.clear()
-        hw = implement(pickle.loads(spec_blob), get_device(device_name))
-        _HW_CACHE[key] = hw
-    ckey = (spec_blob, device_name, config)
-    ctx = _CTX_CACHE.get(ckey)
-    if ctx is None:
-        if len(_CTX_CACHE) >= _MAX_CACHED:
-            _CTX_CACHE.clear()
-        ctx = build_context(hw, config)
-        _CTX_CACHE[ckey] = ctx
-    return hw, ctx
-
-
-def _worker_prefilter(
-    spec_blob: bytes, device_name: str, config: CampaignConfig, bits: np.ndarray
-) -> tuple[np.ndarray, float]:
-    """Classify one contiguous candidate chunk.
-
-    Returns per-bit verdict codes aligned with ``bits``
-    (``BitVerdict.NOT_TESTED`` marks a pre-filter survivor that must be
-    simulated) and the worker seconds spent.
-    """
-    t0 = time.perf_counter()
-    hw, ctx = _worker_state(spec_blob, device_name, config)
-    codes = np.empty(bits.size, dtype=np.uint8)
-    for i, bit in enumerate(bits):
-        codes[i], _ = classify_candidate(hw, ctx, int(bit))
-    return codes, time.perf_counter() - t0
-
-
-def _worker_simulate(
-    spec_blob: bytes, device_name: str, config: CampaignConfig, bits: np.ndarray
-) -> tuple[np.ndarray, int, float]:
-    """Simulate one survivor shard in consecutive ``batch_size`` batches.
-
-    ``bits`` must be pre-filter survivors in candidate order; patches are
-    re-derived in process (``patch_for_bit`` is deterministic).  Returns
-    verdict codes aligned with ``bits``, the batch count, and the worker
-    seconds spent.
-    """
-    t0 = time.perf_counter()
-    hw, ctx = _worker_state(spec_blob, device_name, config)
-    codes = np.empty(bits.size, dtype=np.uint8)
-    n_batches = 0
-    for start in range(0, int(bits.size), config.batch_size):
-        chunk = bits[start : start + config.batch_size]
-        pending = [(int(b), hw.decoded.patch_for_bit(int(b))) for b in chunk]
-        codes[start : start + len(pending)] = simulate_batch(config, ctx, pending)
-        n_batches += 1
-    return codes, n_batches, time.perf_counter() - t0
-
-
-# -- parent-side engine --------------------------------------------------------
-
-
-def _part_result(
-    hw: HardwareDesign,
-    config: CampaignConfig,
-    bits: np.ndarray,
-    codes: np.ndarray,
-    host_seconds: float,
-    n_simulated: int,
-) -> CampaignResult:
-    """Wrap one shard's verdicts as a mergeable partial result."""
-    verdicts = np.zeros(hw.device.total_config_bits, dtype=np.uint8)
-    verdicts[bits] = codes
-    part = CampaignResult(
-        design_name=hw.spec.name,
-        device_name=hw.device.name,
-        config=config,
-        n_candidates=int(bits.size),
-        verdicts=verdicts,
-        candidate_bits=np.asarray(bits, dtype=np.int64),
-        host_seconds=host_seconds,
-        n_simulated=n_simulated,
-    )
-    part.by_kind = _by_kind(hw, part.sensitive_bits)
-    return part
-
-
-def _shard_survivors(survivors: np.ndarray, batch_size: int, n_shards: int) -> list[np.ndarray]:
-    """Cut the survivor sequence into contiguous shards of whole batches.
-
-    Every shard except (possibly) the last holds a multiple of
-    ``batch_size`` survivors — the invariant that makes shard-local
-    batching identical to the serial loop's, both on a fresh run and
-    when re-sharding the remainder after a partial (killed) sweep.
-    """
-    n_batches = -(-int(survivors.size) // batch_size)
-    n_shards = max(1, min(n_shards, n_batches))
-    bounds = [round(i * n_batches / n_shards) for i in range(n_shards + 1)]
-    shards = []
-    for b0, b1 in zip(bounds[:-1], bounds[1:]):
-        shard = survivors[b0 * batch_size : b1 * batch_size]
-        if shard.size:
-            shards.append(shard)
-    return shards
 
 
 def run_campaign_parallel(
@@ -228,97 +82,28 @@ def run_campaign_parallel(
             merge_with=merge_with,
         )
 
-    t0 = time.perf_counter()
-    telem = CampaignTelemetry(n_candidates=int(candidate_bits.size), jobs=jobs)
-    spec_blob = pickle.dumps(hw.spec)
-    device_name = hw.device.name
-    # Pre-populate the worker caches: under fork the children inherit
-    # the implemented design and context copy-on-write; under spawn this
-    # only warms the parent (harmless).
-    _HW_CACHE.setdefault((spec_blob, device_name), hw)
-    _CTX_CACHE.setdefault(
-        (spec_blob, device_name, config), build_context(hw, config)
+    prime_design_cache(hw)
+    model = SEUFaultModel(hw.spec, hw.device.name, config)
+
+    checkpoint_cb = None
+    if checkpoint_path is not None:
+
+        def checkpoint_cb(sweep: SweepResult) -> None:
+            # Resolve save_result at call time so tests (and tools) that
+            # monkeypatch it see every checkpoint write.
+            save_result(_from_sweep(hw, config, sweep), checkpoint_path)
+
+    sweep = run_sharded(
+        model,
+        jobs=jobs,
+        batch_size=config.batch_size,
+        candidates=candidate_bits,
+        checkpoint_save=checkpoint_cb,
+        merge_with=_to_sweep(model, merge_with) if merge_with is not None else None,
+        executor=executor,
+        shards_per_job=shards_per_job,
     )
-
-    own_pool = executor is None
-    if own_pool:
-        executor = ProcessPoolExecutor(max_workers=jobs)
-    try:
-        # Phase 1: parallel pre-filter over contiguous candidate chunks.
-        n_chunks = max(1, min(jobs * shards_per_job, int(candidate_bits.size)))
-        chunks = np.array_split(candidate_bits, n_chunks)
-        futures = [
-            executor.submit(_worker_prefilter, spec_blob, device_name, config, c)
-            for c in chunks
-            if c.size
-        ]
-        code_parts = []
-        for f in futures:
-            codes, seconds = f.result()
-            code_parts.append(codes)
-            telem.prefilter_seconds += seconds
-        codes = (
-            np.concatenate(code_parts)
-            if code_parts
-            else np.empty(0, dtype=np.uint8)
-        )
-        survivor_mask = codes == BitVerdict.NOT_TESTED
-        survivors = candidate_bits[survivor_mask]
-        skipped = candidate_bits[~survivor_mask]
-        telem.skip_structural = int(np.count_nonzero(codes == BitVerdict.SKIP_STRUCTURAL))
-        telem.skip_cone = int(np.count_nonzero(codes == BitVerdict.SKIP_CONE))
-        telem.skip_unaddressed = int(
-            np.count_nonzero(codes == BitVerdict.SKIP_UNADDRESSED)
-        )
-        telem.n_simulated = int(survivors.size)
-
-        parts: list[CampaignResult] = []
-        if merge_with is not None:
-            parts.append(merge_with)
-        if skipped.size:
-            parts.append(
-                _part_result(
-                    hw, config, skipped, codes[~survivor_mask], telem.prefilter_seconds, 0
-                )
-            )
-        acc = merge_results(parts) if len(parts) > 1 else (parts[0] if parts else None)
-
-        def checkpoint(result: CampaignResult) -> None:
-            if checkpoint_path is not None:
-                t_ck = time.perf_counter()
-                save_result(result, checkpoint_path)
-                telem.checkpoint_seconds += time.perf_counter() - t_ck
-
-        if acc is not None:
-            checkpoint(acc)
-
-        # Phase 2: survivor shards, whole batches each, fanned out.
-        shard_futures = {
-            executor.submit(_worker_simulate, spec_blob, device_name, config, shard): shard
-            for shard in _shard_survivors(survivors, config.batch_size, jobs * shards_per_job)
-        }
-        for f in as_completed(shard_futures):
-            shard = shard_futures[f]
-            shard_codes, n_batches, seconds = f.result()
-            telem.n_batches += n_batches
-            telem.simulate_seconds += seconds
-            part = _part_result(hw, config, shard, shard_codes, seconds, int(shard.size))
-            acc = part if acc is None else merge_results([acc, part])
-            checkpoint(acc)
-    finally:
-        if own_pool:
-            executor.shutdown()
-
-    if acc is None:  # no candidates at all
-        acc = _part_result(
-            hw, config, candidate_bits, np.empty(0, dtype=np.uint8), 0.0, 0
-        )
-    telem.wall_seconds = time.perf_counter() - t0
-    prior = merge_with.host_seconds if merge_with is not None else 0.0
-    acc.host_seconds = prior + telem.wall_seconds
-    acc.telemetry = telem
-    checkpoint(acc)
-    return acc
+    return _from_sweep(hw, config, sweep)
 
 
 def resume_campaign_parallel(

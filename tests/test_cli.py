@@ -168,3 +168,61 @@ class TestErrorHandling:
         )
         assert rc == 2
         assert "repro: error:" in capsys.readouterr().err
+
+
+class TestEngineSubcommands:
+    """The sweeps newly ported onto the shared campaign engine."""
+
+    def test_multibit_parser_defaults(self):
+        args = build_parser().parse_args(["multibit", "MULT4"])
+        assert args.k == 2 and args.trials == 512 and args.jobs == 1
+        assert args.checkpoint is None and not args.resume
+
+    def test_multibit_runs(self, capsys):
+        rc = main(
+            [
+                "multibit", "MULT3", "--device", "S8",
+                "--k", "2", "--trials", "32", "--seed", "3",
+                "--detect-cycles", "48", "--single-sensitivity", "0.05",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "k=2" in out and "throughput:" in out
+
+    def test_multibit_jobs_matches_serial(self, capsys):
+        base = [
+            "multibit", "MULT3", "--device", "S8",
+            "--k", "2", "--trials", "32", "--seed", "3",
+            "--detect-cycles", "48", "--single-sensitivity", "0.05",
+        ]
+        assert main(base + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert serial.splitlines()[0] == sharded.splitlines()[0]
+
+    def test_bist_coverage_runs(self, capsys, tmp_path):
+        path = str(tmp_path / "bist.npz")
+        base = [
+            "bist-coverage", "--device", "S8", "--faults", "16",
+            "--seed", "5", "--cycles", "64",
+        ]
+        rc = main(base + ["--checkpoint", path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults detected" in out and "throughput:" in out
+        import os
+
+        assert os.path.exists(path)
+        # A complete checkpoint resumes to the same report, nothing re-run.
+        rc = main(base + ["--checkpoint", path, "--resume"])
+        assert rc == 0
+        resumed = capsys.readouterr().out
+        assert out.splitlines()[0] == resumed.splitlines()[0]
+
+    def test_resume_without_checkpoint_errors(self, capsys):
+        rc = main(["multibit", "MULT3", "--device", "S8", "--resume",
+                   "--single-sensitivity", "0.05", "--trials", "8"])
+        assert rc == 2
+        assert "checkpoint" in capsys.readouterr().err
