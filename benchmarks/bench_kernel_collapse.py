@@ -1,0 +1,99 @@
+"""Campaign-shrinker harness: collapse+retire vs the naive kernel.
+
+Runs one exhaustive small-device SEU sweep twice — both shrinkers on
+(the default) and both forced off — verifies the byte-identity contract
+on the side, and appends both telemetry records plus the wall-clock
+speedup to ``BENCH_kernel.json``.  The collapsed row also carries the
+collapse/retire rates, so a regression that silently stops collapsing
+(rates drop to zero) is visible even when the runner is too noisy for
+the timing floor.
+
+Environment knobs:
+
+``REPRO_BENCH_DIR``
+    Directory for ``BENCH_kernel.json`` (default: current directory).
+``REPRO_BENCH_KERNEL_DETECT`` / ``REPRO_BENCH_KERNEL_PERSIST``
+    Verdict-window sizes (defaults 288/96).  Long windows are the
+    shrinkers' home turf: retirement savings scale with the cycles a
+    sealed machine would otherwise burn.
+``REPRO_BENCH_KERNEL_BATCH``
+    Simulator batch size (default 1024).  Large batches amortise the
+    per-cycle Python dispatch, so the timing isolates the kernel work
+    retirement actually removes.
+``REPRO_BENCH_MIN_KERNEL_SPEEDUP``
+    Hard floor for the collapsed-over-naive wall-clock speedup
+    (default 0, i.e. report-only for noisy shared runners; an
+    unloaded machine clears 2x).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.seu import CampaignConfig, run_campaign
+
+
+def test_kernel_collapse_speedup(report):
+    from repro.designs import get_design
+    from repro.fpga import get_device
+    from repro.place import implement
+
+    detect = int(os.environ.get("REPRO_BENCH_KERNEL_DETECT", "288"))
+    persist = int(os.environ.get("REPRO_BENCH_KERNEL_PERSIST", "96"))
+    batch = int(os.environ.get("REPRO_BENCH_KERNEL_BATCH", "1024"))
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_KERNEL_SPEEDUP", "0"))
+
+    hw = implement(get_design("MULT4"), get_device("S8"))
+    cfg = CampaignConfig(
+        detect_cycles=detect, persist_cycles=persist, stride=1, batch_size=batch
+    )
+
+    naive = run_campaign(hw, cfg, collapse=False, retire=False)
+    collapsed = run_campaign(hw, cfg)
+
+    # The admissibility contract: shrinking must not move a verdict.
+    assert np.array_equal(collapsed.verdicts, naive.verdicts)
+    assert collapsed.n_simulated == naive.n_simulated
+    assert collapsed.telemetry.n_collapsed > 0
+    assert collapsed.telemetry.machines_retired > 0
+
+    speedup = naive.telemetry.wall_seconds / collapsed.telemetry.wall_seconds
+    rows = []
+    for label, result in (("naive", naive), ("collapse+retire", collapsed)):
+        row = result.telemetry.to_dict()
+        row.update(
+            label=label,
+            design=hw.spec.name,
+            device=hw.device.name,
+            detect_cycles=detect,
+            persist_cycles=persist,
+        )
+        rows.append(row)
+    rows.append(
+        {
+            "label": "speedup",
+            "design": hw.spec.name,
+            "device": hw.device.name,
+            "kernel_speedup": speedup,
+            "collapse_rate": collapsed.telemetry.collapse_rate,
+            "retire_rate": collapsed.telemetry.retire_rate,
+        }
+    )
+
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "BENCH_kernel.json"
+    out_path.write_text(json.dumps(rows, indent=2) + "\n")
+
+    report(
+        "",
+        "== Kernel shrinkers (MULT4/S8 exhaustive, "
+        f"{naive.n_candidates:,} bits, {detect}+{persist} cycles) ==",
+        f"naive     : {naive.telemetry.summary()}",
+        f"collapsed : {collapsed.telemetry.summary()}",
+        f"speedup   : {speedup:.2f}x; verdicts byte-identical",
+        f"record    : {out_path}",
+    )
+    assert speedup >= min_speedup

@@ -34,7 +34,7 @@ from repro.engine.telemetry import CampaignTelemetry
 from repro.errors import CampaignError
 from repro.fpga.device import VirtexDevice
 from repro.netlist.compiled import Patch
-from repro.netlist.simulator import BatchSimulator
+from repro.netlist.simulator import SETTLE_CAP, BatchSimulator, max_schedule_violations
 
 __all__ = ["CoverageReport", "BistCoverageModel", "run_coverage"]
 
@@ -88,6 +88,7 @@ class BistCoverageModel(FaultModel):
     faults: tuple[StuckAtFault, ...]
     n_register_pairs: int
     cycles: int
+    retire: bool = True
 
     name: ClassVar[str] = "bist-coverage"
 
@@ -135,11 +136,39 @@ class BistCoverageModel(FaultModel):
         return tuple(fault_patch(hw.decoded, fault) for hw, _, _ in ctx)
 
     def observe_batch(self, ctx, pending) -> list[tuple[bool, bool]]:
+        return self._observe(ctx, pending, settle=None)
+
+    def _observe(
+        self, ctx, pending, settle: tuple[int, ...] | None
+    ) -> list[tuple[bool, bool]]:
         hits = []
         for v, (hw, stim, golden) in enumerate(ctx):
-            sim = BatchSimulator(hw.decoded.design, [pair[v] for _, pair in pending])
-            hits.append(detect_failures(sim, stim, golden.outputs, self.cycles))
+            sim = BatchSimulator(
+                hw.decoded.design,
+                [pair[v] for _, pair in pending],
+                settle_passes=settle[v] if settle is not None else None,
+            )
+            hits.append(
+                detect_failures(sim, stim, golden.outputs, self.cycles, retire=self.retire)
+            )
         return [(bool(h0), bool(h1)) for h0, h1 in zip(*hits)]
+
+    # Each variant's batch auto-detects its own settle count, so the
+    # salt is the pair of counts the fault's naive batch would derive.
+    def collapse_salt_datum(self, candidate: int, ctx, pair) -> tuple[int, ...]:
+        return tuple(
+            max_schedule_violations(hw.decoded.design, [pair[v]])
+            for v, (hw, _, _) in enumerate(ctx)
+        )
+
+    def collapse_salt(self, ctx, data) -> tuple[int, ...]:
+        return tuple(
+            1 + min(SETTLE_CAP, max(d[v] for d in data) if data else 0)
+            for v in range(len(ctx))
+        )
+
+    def observe_collapsed(self, ctx, pending, salt) -> list[tuple[bool, bool]]:
+        return self._observe(ctx, pending, settle=salt)
 
     def classify(self, observation: tuple[bool, bool]) -> int:
         hit0, hit1 = observation
@@ -183,21 +212,34 @@ def run_coverage(
     batch_size: int = 128,
     checkpoint_path: str | None = None,
     resume: bool = False,
+    collapse: bool = True,
+    retire: bool = True,
 ) -> CoverageReport:
     """Run both complementary CLB test variants over a fault list.
 
     Runs on the shared campaign engine: ``jobs=N`` shards faults over
     processes with a report identical to ``jobs=1``, and
     ``checkpoint_path`` snapshots engine-native archives a killed sweep
-    restarts from (``resume=True``).
+    restarts from (``resume=True``).  ``collapse``/``retire`` toggle the
+    verdict-identical campaign shrinkers (faults decoding to identical
+    patch pairs share one simulation; machines whose error latch already
+    fired drop out of the batch mid-run).
     """
-    model = BistCoverageModel(device.name, tuple(faults), n_register_pairs, cycles)
+    model = BistCoverageModel(
+        device.name, tuple(faults), n_register_pairs, cycles, retire=retire
+    )
     if resume:
         if checkpoint_path is None:
             raise CampaignError("resume requires a checkpoint path")
-        sweep = resume_sweep(model, checkpoint_path, jobs=jobs, batch_size=batch_size)
+        sweep = resume_sweep(
+            model, checkpoint_path, jobs=jobs, batch_size=batch_size, collapse=collapse
+        )
     else:
         sweep = run_sweep(
-            model, jobs=jobs, batch_size=batch_size, checkpoint_path=checkpoint_path
+            model,
+            jobs=jobs,
+            batch_size=batch_size,
+            checkpoint_path=checkpoint_path,
+            collapse=collapse,
         )
     return _report_from_sweep(model, sweep)

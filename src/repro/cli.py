@@ -30,6 +30,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_shrinker_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--no-collapse", action="store_true",
+            help="disable fault collapsing (simulate every survivor even when "
+            "its patch duplicates an earlier one; verdicts are identical "
+            "either way)",
+        )
+        p.add_argument(
+            "--no-retire", action="store_true",
+            help="disable live machine retirement (keep sealed machines in "
+            "the batch to the last cycle; verdicts are identical either way)",
+        )
+
     sub.add_parser("devices", help="list the device catalog")
 
     p = sub.add_parser("implement", help="place/route/bitgen one design")
@@ -60,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-every", type=int, default=50_000,
         help="candidate bits between snapshots",
     )
+    add_shrinker_flags(p)
 
     p = sub.add_parser(
         "multibit", help="k-bit simultaneous-upset (MBU) campaign on one design"
@@ -91,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume from --checkpoint instead of starting over",
     )
+    add_shrinker_flags(p)
 
     p = sub.add_parser(
         "bist-coverage", help="hard-fault coverage of the CLB BIST configurations"
@@ -113,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume from --checkpoint instead of starting over",
     )
+    add_shrinker_flags(p)
 
     p = sub.add_parser("table1", help="reproduce Table I on scaled designs")
     p.add_argument("--device", default="S12")
@@ -195,16 +211,24 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
 
     jobs = default_jobs() if args.jobs is None else args.jobs
+    collapse = not args.no_collapse
+    retire = not args.no_retire
     hw = implement(get_design(args.design), get_device(args.device))
     if args.resume:
         if not args.checkpoint:
             raise CampaignError("--resume requires --checkpoint PATH")
         if jobs == 1:
             result = resume_campaign(
-                hw, args.checkpoint, checkpoint_every=args.checkpoint_every
+                hw,
+                args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                collapse=collapse,
+                retire=retire,
             )
         else:
-            result = resume_campaign_parallel(hw, args.checkpoint, jobs=jobs)
+            result = resume_campaign_parallel(
+                hw, args.checkpoint, jobs=jobs, collapse=collapse, retire=retire
+            )
     else:
         config = CampaignConfig(
             detect_cycles=args.detect_cycles,
@@ -217,10 +241,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 config,
                 checkpoint_path=args.checkpoint,
                 checkpoint_every=args.checkpoint_every,
+                collapse=collapse,
+                retire=retire,
             )
         else:
             result = run_campaign_parallel(
-                hw, config, jobs=jobs, checkpoint_path=args.checkpoint
+                hw,
+                config,
+                jobs=jobs,
+                checkpoint_path=args.checkpoint,
+                collapse=collapse,
+                retire=retire,
             )
     print(result.summary())
     if result.telemetry is not None:
@@ -263,6 +294,8 @@ def _cmd_multibit(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
+        collapse=not args.no_collapse,
+        retire=not args.no_retire,
     )
     print(result.summary())
     if result.telemetry is not None:
@@ -292,6 +325,8 @@ def _cmd_bist_coverage(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
+        collapse=not args.no_collapse,
+        retire=not args.no_retire,
     )
     print(report.summary())
     for config_name, caught in report.detected_by.items():

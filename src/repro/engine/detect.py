@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.netlist.simulator import BatchSimulator
+from repro.netlist.simulator import KERNEL_COUNTERS, BatchSimulator
 
 __all__ = ["detect_failures", "detect_disturbed_outputs"]
 
@@ -30,26 +30,58 @@ def _packed_reference(ref_outputs: np.ndarray, cycles: int, n_out: int):
 
 
 def detect_failures(
-    sim: BatchSimulator, stimulus: np.ndarray, ref_outputs: np.ndarray, cycles: int
+    sim: BatchSimulator,
+    stimulus: np.ndarray,
+    ref_outputs: np.ndarray,
+    cycles: int,
+    retire: bool = False,
 ) -> np.ndarray:
     """Boolean per machine: did any output deviate within ``cycles``?
 
     ``ref_outputs`` is the golden ``(>= cycles, n_outputs)`` trace
     aligned with ``stimulus``.  The failure flag latches on the first
     mismatch; the loop exits early once every machine has failed.
+
+    With ``retire=True``, machines whose flag has latched are compacted
+    out of the batch mid-run (their remaining trajectory cannot change
+    the result), so per-cycle cost tracks still-healthy machines.  The
+    returned array is always indexed by *original* batch slot and is
+    byte-identical to the ``retire=False`` result.
     """
     n_out = sim.design.n_outputs
     ref_words, n_bytes, n_words = _packed_reference(ref_outputs, cycles, n_out)
     out_padded = np.zeros((sim.B, n_words * 8), dtype=np.uint8)
     out_words = out_padded.view(np.uint64)
-    failed = np.zeros(sim.B, dtype=bool)
+    n_total = sim.B
+    failed = np.zeros(n_total, dtype=bool)
+    retired_at = np.full(n_total, -1, dtype=np.int64)
+    t_exit = cycles - 1
     for t in range(cycles):
         out = sim.step(stimulus[t])
         if n_out:
             out_padded[:, :n_bytes] = np.packbits(out, axis=1)
-        failed |= np.any(out_words != ref_words[t][None, :], axis=1)
+        mism = np.any(out_words != ref_words[t][None, :], axis=1)
+        failed[sim.batch_slots[mism]] = True
+        # All latched: nothing left to learn.  Checked before compaction
+        # so a batch is never compacted down to zero machines.
         if failed.all():
+            t_exit = t
             break
+        if retire:
+            dead = failed[sim.batch_slots]
+            n_dead = int(np.count_nonzero(dead))
+            # Hysteresis: rebuilding the gather caches costs a few
+            # batch-cycles, so only shrink once enough machines latched.
+            if n_dead >= max(8, sim.B // 4):
+                retired_at[sim.batch_slots[dead]] = t
+                sim.compact(np.flatnonzero(~dead))
+                out_padded = np.zeros((sim.B, n_words * 8), dtype=np.uint8)
+                out_words = out_padded.view(np.uint64)
+    if retire:
+        dropped = retired_at >= 0
+        KERNEL_COUNTERS.machine_cycles_saved += int(
+            np.sum(t_exit - retired_at[dropped])
+        )
     return failed
 
 

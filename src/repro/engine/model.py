@@ -44,6 +44,7 @@ __all__ = [
     "CODE_NO_EFFECT",
     "CODE_FAIL",
     "FaultModel",
+    "default_patch_signature",
 ]
 
 #: candidate not (yet) tested — also the pre-filter "survivor" code
@@ -60,6 +61,35 @@ CODE_NO_EFFECT = 4
 CODE_FAIL = 5
 
 
+def default_patch_signature(patch: Any) -> Any:
+    """Canonical hashable signature of a ``patch_for`` result, or None.
+
+    ``None`` means "not collapsible" — the engine always simulates such
+    a candidate itself.  Handles the shapes the bundled fault models
+    produce: a single :class:`~repro.netlist.compiled.Patch`, a
+    tuple/list of them (BIST variant pairs), and plain hashable scalars.
+    A container propagates ``None`` from any element (one opaque member
+    makes the whole candidate opaque).
+    """
+    from repro.netlist.compiled import Patch
+
+    if patch is None:
+        return None
+    if isinstance(patch, Patch):
+        return ("patch", patch.signature())
+    if isinstance(patch, (tuple, list)):
+        parts = []
+        for p in patch:
+            sig = default_patch_signature(p)
+            if sig is None:
+                return None
+            parts.append(sig)
+        return ("seq", tuple(parts))
+    if isinstance(patch, (int, str, bytes, bool)):
+        return ("raw", patch)
+    return None
+
+
 class FaultModel(abc.ABC):
     """One fault class, as seen by the campaign engine.
 
@@ -73,6 +103,11 @@ class FaultModel(abc.ABC):
 
     #: short identifier recorded in checkpoints ("seu", "mbu", ...)
     name: ClassVar[str] = "fault"
+
+    #: opt out of fault collapsing entirely (e.g. models whose payloads
+    #: depend on more than the patch); the engine then simulates every
+    #: survivor itself regardless of the driver's ``collapse`` flag
+    collapsible: ClassVar[bool] = True
 
     @abc.abstractmethod
     def key(self) -> str:
@@ -127,6 +162,53 @@ class FaultModel(abc.ABC):
     @abc.abstractmethod
     def classify(self, observation: Any) -> int:
         """Map one observation to its verdict code (>= 4)."""
+
+    # -- fault collapsing ---------------------------------------------------
+    #
+    # A candidate's observation is a pure function of (its patch, the
+    # batch-level simulation parameters its original batch would have
+    # derived).  Collapsing exploits this: candidates with equal
+    # signatures AND equal *salts* (the derived batch parameters, e.g.
+    # auto-detected settle passes) form one equivalence class; the
+    # engine simulates a single representative per class — grouped with
+    # same-salt representatives and forced to that salt via
+    # ``observe_collapsed`` — and fans the observation out.
+
+    def collapse_signature(self, candidate: int, ctx: Any, patch: Any) -> Any:
+        """Hashable equivalence-class key of this candidate's patch.
+
+        ``None`` opts the candidate out (it is always simulated).  The
+        default derives it from the patch itself; override only when
+        the observation depends on more than the patch.
+        """
+        return default_patch_signature(patch)
+
+    def collapse_salt_datum(self, candidate: int, ctx: Any, patch: Any) -> Any:
+        """Per-candidate input to :meth:`collapse_salt` (picklable)."""
+        return None
+
+    def collapse_salt(self, ctx: Any, data: list[Any]) -> Any:
+        """Batch-level simulation parameters a naive batch would derive.
+
+        ``data`` holds the :meth:`collapse_salt_datum` of every survivor
+        the naive engine would have grouped into one batch.  The return
+        value must be hashable; representatives are regrouped per salt
+        and simulated via :meth:`observe_collapsed` with the salt forced,
+        so regrouping cannot change any observation.  ``None`` (default)
+        says observations are batch-composition independent.
+        """
+        return None
+
+    def observe_collapsed(self, ctx: Any, pending: list[tuple[int, Any]], salt: Any) -> list[Any]:
+        """Simulate one batch of collapse-class representatives.
+
+        ``salt`` is the :meth:`collapse_salt` every entry's original
+        batch would have derived; implementations must force their
+        batch-level parameters to it instead of re-deriving them from
+        this (regrouped) batch.  The default ignores the salt — correct
+        only for models whose :meth:`collapse_salt` is constant.
+        """
+        return self.observe_batch(ctx, pending)
 
     def payload(self, observation: Any) -> np.ndarray | None:
         """Optional rich per-candidate result to retain beside the code.

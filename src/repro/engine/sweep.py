@@ -30,6 +30,25 @@ remainder always re-groups into the *same* batches on resume, and a
 killed sweep resumes to the byte-identical result.  Serial and sharded
 runs resume each other's checkpoints.
 
+**Fault collapsing.** Candidates whose patches configure identical
+hardware produce identical observations — *if* they simulate under the
+batch-level parameters their naive batch would have derived (settle
+passes auto-detect per batch, so a candidate's observation is a pure
+function of ``(patch, salt)`` where the *salt* is
+:meth:`FaultModel.collapse_salt` over its naive batch).  With
+``collapse=True`` (the default, honoured only when the model is
+:attr:`~repro.engine.model.FaultModel.collapsible`) the drivers still
+walk survivors in naive ``batch_size`` groups to derive each
+candidate's salt, but only simulate one *representative* per
+``(salt, signature)`` class — grouped with same-salt representatives
+and simulated via :meth:`FaultModel.observe_collapsed` with the salt
+forced — and fan the observation out to the class.  Verdicts are
+byte-identical to ``collapse=False`` for any ``jobs``; checkpoints are
+still cut only at naive-batch boundaries (with every pending
+representative flushed first), so resume re-derives the same salts and
+a follower whose representative was checkpointed simply becomes the
+representative of its class in the remainder.
+
 Workers re-derive the model context **once per process** and cache it;
 under a ``fork`` start method the parent pre-populates the cache so
 children inherit it copy-on-write and re-derive nothing.
@@ -56,6 +75,7 @@ from repro.engine.model import (
     FaultModel,
 )
 from repro.engine.telemetry import CampaignTelemetry
+from repro.netlist.simulator import KERNEL_COUNTERS
 
 __all__ = [
     "SweepResult",
@@ -237,6 +257,7 @@ def run_serial(
     checkpoint_every: int = 50_000,
     merge_with: SweepResult | None = None,
     context: Any | None = None,
+    collapse: bool = True,
 ) -> SweepResult:
     """Exhaustive serial sweep of one fault model.
 
@@ -246,15 +267,23 @@ def run_serial(
     and once more at the end); ``merge_with`` folds an earlier partial
     result into every snapshot (used by resume so re-interrupted runs
     stay whole).
+
+    ``collapse=True`` (honoured only for collapsible models) turns on
+    fault collapsing: one representative per ``(salt, signature)``
+    equivalence class is simulated and the observation fanned out to the
+    class — verdicts, checkpoints and ``n_simulated`` are byte-identical
+    to ``collapse=False`` (see the module docstring for the contract).
     """
     if candidates is None:
         candidates = model.enumerate_candidates()
     candidates = np.asarray(candidates, dtype=np.int64)
     ctx = model.build_context() if context is None else context
+    do_collapse = bool(collapse) and model.collapsible
 
     verdicts = np.zeros(model.space_size(), dtype=np.uint8)
     payloads: dict[int, np.ndarray] = {}
     t0 = time.perf_counter()
+    kern0 = KERNEL_COUNTERS.snapshot()
     telem = CampaignTelemetry(n_candidates=int(candidates.size), jobs=1)
     n_simulated = 0
 
@@ -275,6 +304,76 @@ def run_serial(
         telem.n_batches += 1
         telem.simulate_seconds += time.perf_counter() - t_sim
         pending.clear()
+
+    # Collapse-path state.  ``naive_buf`` holds survivors of the naive
+    # batch currently forming; once full, its salt is derived and each
+    # member becomes a class representative, a follower of a pending
+    # representative, or an immediate fan-out of a resolved class.
+    naive_buf: list[tuple[int, Any, Any, Any]] = []  # (cand, patch, sig, datum)
+    rep_pending: dict[Any, list[tuple[int, Any, Any]]] = {}  # salt -> (cand, patch, key)
+    followers: dict[Any, list[int]] = {}  # key -> cands awaiting their rep
+    resolved: dict[Any, int] = {}  # key -> verdict code
+    resolved_payload: dict[Any, np.ndarray | None] = {}
+
+    def fan_out(cand: int, code: int, rich: np.ndarray | None) -> None:
+        nonlocal n_simulated
+        verdicts[cand] = code
+        if rich is not None:
+            payloads[cand] = rich.copy()
+        n_simulated += 1
+        telem.n_collapsed += 1
+
+    def flush_salt(salt: Any, limit: int) -> None:
+        nonlocal n_simulated
+        group = rep_pending.get(salt)
+        if not group:
+            return
+        reps = group[:limit]
+        del group[:limit]
+        if not group:
+            del rep_pending[salt]
+        t_sim = time.perf_counter()
+        observations = model.observe_collapsed(ctx, [(c, p) for c, p, _ in reps], salt)
+        telem.n_batches += 1
+        for (cand, _, key), obs in zip(reps, observations):
+            code = model.classify(obs)
+            rich = model.payload(obs)
+            verdicts[cand] = code
+            if rich is not None:
+                payloads[cand] = rich
+            n_simulated += 1
+            if key is not None:
+                resolved[key] = code
+                resolved_payload[key] = rich
+                for f in followers.pop(key, ()):
+                    fan_out(f, code, rich)
+        telem.simulate_seconds += time.perf_counter() - t_sim
+
+    def process_naive_batch() -> None:
+        if not naive_buf:
+            return
+        salt = model.collapse_salt(ctx, [d for _, _, _, d in naive_buf])
+        for cand, patch, sig, _ in naive_buf:
+            key = None if sig is None else (salt, sig)
+            if key is not None:
+                code = resolved.get(key)
+                if code is not None:
+                    fan_out(cand, code, resolved_payload[key])
+                    continue
+                flw = followers.get(key)
+                if flw is not None:  # representative already queued
+                    flw.append(cand)
+                    continue
+                followers[key] = []
+            rep_pending.setdefault(salt, []).append((cand, patch, key))
+        naive_buf.clear()
+        while len(rep_pending.get(salt, ())) >= batch_size:
+            flush_salt(salt, batch_size)
+
+    def flush_all() -> None:
+        for salt in list(rep_pending):
+            while salt in rep_pending:
+                flush_salt(salt, batch_size)
 
     def make_result(n_done: int) -> SweepResult:
         done = candidates[:n_done]
@@ -306,29 +405,55 @@ def run_serial(
         if code != CODE_NOT_TESTED:
             verdicts[cand] = code
             _count_skip(telem, code)
+        elif do_collapse:
+            patch = payload if payload is not None else model.patch_for(cand, ctx)
+            naive_buf.append(
+                (
+                    cand,
+                    patch,
+                    model.collapse_signature(cand, ctx, patch),
+                    model.collapse_salt_datum(cand, ctx, patch),
+                )
+            )
+            if len(naive_buf) >= batch_size:
+                process_naive_batch()
         else:
             pending.append(
                 (cand, payload if payload is not None else model.patch_for(cand, ctx))
             )
             if len(pending) >= batch_size:
                 flush()
-        # Checkpoint only at natural batch boundaries (pending empty): a
-        # forced flush would change batch composition, and the per-batch
-        # active-node closure can flip marginal observations — resume
-        # must reproduce the uninterrupted run bit for bit.
+        # Checkpoint only at naive batch boundaries (buffer empty): a
+        # forced flush would change naive batch composition, and the
+        # per-batch active-node closure / settle salt can flip marginal
+        # observations — resume must reproduce the uninterrupted run bit
+        # for bit.  Under collapse every pending representative is
+        # simulated first so the snapshot covers the whole prefix
+        # (regrouping representatives is verdict-safe: their salts are
+        # already fixed).
         if (
             checkpoint_save is not None
             and since_checkpoint >= checkpoint_every
-            and not pending
+            and not (naive_buf if do_collapse else pending)
         ):
+            if do_collapse:
+                flush_all()
             checkpoint(i + 1)
             since_checkpoint = 0
-    flush()
+    if do_collapse:
+        process_naive_batch()
+        flush_all()
+    else:
+        flush()
 
     result = make_result(int(candidates.size))
     if merge_with is not None:
         result = merge_sweeps([merge_with, result])
     telem.n_simulated = n_simulated
+    kd = KERNEL_COUNTERS.delta(kern0)
+    telem.machines_retired += kd[0]
+    telem.batch_compactions += kd[1]
+    telem.machine_cycles_saved += kd[2]
     telem.wall_seconds = time.perf_counter() - t0
     telem.prefilter_seconds = max(
         0.0, telem.wall_seconds - telem.simulate_seconds - telem.checkpoint_seconds
@@ -378,15 +503,17 @@ def _worker_prefilter(model_blob: bytes, cands: np.ndarray) -> tuple[np.ndarray,
 
 def _worker_observe(
     model_blob: bytes, batch_size: int, cands: np.ndarray
-) -> tuple[np.ndarray, dict[int, np.ndarray], int, float]:
+) -> tuple[np.ndarray, dict[int, np.ndarray], int, float, tuple[int, int, int]]:
     """Simulate one survivor shard in consecutive ``batch_size`` batches.
 
     ``cands`` must be pre-filter survivors in candidate order; patches
     are re-derived in process (:meth:`FaultModel.patch_for` is
     deterministic).  Returns verdict codes aligned with ``cands``, the
-    retained payloads, the batch count, and the worker seconds spent.
+    retained payloads, the batch count, the worker seconds spent, and
+    the kernel fault-dropping counter delta.
     """
     t0 = time.perf_counter()
+    kern0 = KERNEL_COUNTERS.snapshot()
     model, ctx = _model_state(model_blob)
     codes = np.empty(cands.size, dtype=np.uint8)
     payloads: dict[int, np.ndarray] = {}
@@ -401,7 +528,67 @@ def _worker_observe(
             if rich is not None:
                 payloads[cand] = rich
         n_batches += 1
-    return codes, payloads, n_batches, time.perf_counter() - t0
+    return codes, payloads, n_batches, time.perf_counter() - t0, KERNEL_COUNTERS.delta(kern0)
+
+
+def _worker_prefilter_collapse(
+    model_blob: bytes, cands: np.ndarray
+) -> tuple[np.ndarray, list[tuple[Any, Any] | None], float]:
+    """Pre-filter one chunk, also deriving collapse inputs for survivors.
+
+    Like :func:`_worker_prefilter`, plus a per-candidate entry that is
+    ``None`` for skips and ``(signature, salt_datum)`` for survivors —
+    everything the parent needs to group collapse classes without ever
+    shipping patches across processes.
+    """
+    t0 = time.perf_counter()
+    model, ctx = _model_state(model_blob)
+    codes = np.empty(cands.size, dtype=np.uint8)
+    info: list[tuple[Any, Any] | None] = []
+    for i, cand in enumerate(cands):
+        cand = int(cand)
+        code, payload = model.prefilter(cand, ctx)
+        codes[i] = code
+        if code == CODE_NOT_TESTED:
+            patch = payload if payload is not None else model.patch_for(cand, ctx)
+            info.append(
+                (
+                    model.collapse_signature(cand, ctx, patch),
+                    model.collapse_salt_datum(cand, ctx, patch),
+                )
+            )
+        else:
+            info.append(None)
+    return codes, info, time.perf_counter() - t0
+
+
+def _worker_observe_collapsed(
+    model_blob: bytes, batch_size: int, cands: np.ndarray, salt: Any
+) -> tuple[np.ndarray, dict[int, np.ndarray], int, float, tuple[int, int, int]]:
+    """Simulate one shard of same-salt collapse-class representatives.
+
+    Identical to :func:`_worker_observe` except every batch is simulated
+    through :meth:`FaultModel.observe_collapsed` with ``salt`` forced,
+    so regrouped representatives keep the observations their original
+    naive batches would have produced.
+    """
+    t0 = time.perf_counter()
+    kern0 = KERNEL_COUNTERS.snapshot()
+    model, ctx = _model_state(model_blob)
+    codes = np.empty(cands.size, dtype=np.uint8)
+    payloads: dict[int, np.ndarray] = {}
+    n_batches = 0
+    for start in range(0, int(cands.size), batch_size):
+        chunk = cands[start : start + batch_size]
+        pending = [(int(c), model.patch_for(int(c), ctx)) for c in chunk]
+        observations = model.observe_collapsed(ctx, pending, salt)
+        for j, ((cand, _), obs) in enumerate(zip(pending, observations)):
+            codes[start + j] = model.classify(obs)
+            rich = model.payload(obs)
+            if rich is not None:
+                payloads[cand] = rich
+        n_batches += 1
+    return codes, payloads, n_batches, time.perf_counter() - t0, KERNEL_COUNTERS.delta(kern0)
 
 
 # -- sharded driver ------------------------------------------------------------
@@ -459,6 +646,7 @@ def run_sharded(
     merge_with: SweepResult | None = None,
     executor=None,
     shards_per_job: int = 4,
+    collapse: bool = True,
 ) -> SweepResult:
     """Sharded multi-process sweep, byte-identical to ``jobs=1``.
 
@@ -469,6 +657,15 @@ def run_sharded(
     granularity; raise ``shards_per_job`` for finer snapshots).  An
     external ``executor`` (e.g. a shared pool) is used as-is and not
     shut down.
+
+    With ``collapse`` the parent derives each survivor's collapse class
+    from worker-computed ``(signature, salt_datum)`` pairs, dispatches
+    only same-salt representative shards, and fans verdicts out to
+    followers.  Checkpoints then fold only the longest fully-resolved
+    survivor *prefix* (cut at a naive-batch boundary) — unlike the
+    naive path, out-of-order shard completions cannot be folded
+    individually, because removing a scattered subset of survivors
+    would regroup the remainder's naive batches on resume.
     """
     from concurrent.futures import ProcessPoolExecutor, as_completed
 
@@ -486,7 +683,9 @@ def run_sharded(
             checkpoint_save=checkpoint_save,
             checkpoint_every=checkpoint_every,
             merge_with=merge_with,
+            collapse=collapse,
         )
+    do_collapse = bool(collapse) and model.collapsible
 
     t0 = time.perf_counter()
     telem = CampaignTelemetry(n_candidates=int(candidates.size), jobs=jobs)
@@ -499,6 +698,11 @@ def run_sharded(
             _MODEL_STATE.clear()
         _MODEL_STATE[model_blob] = (model, model.build_context())
 
+    def add_kernel_delta(kd: tuple[int, int, int]) -> None:
+        telem.machines_retired += kd[0]
+        telem.batch_compactions += kd[1]
+        telem.machine_cycles_saved += kd[2]
+
     own_pool = executor is None
     if own_pool:
         executor = ProcessPoolExecutor(max_workers=jobs)
@@ -506,14 +710,30 @@ def run_sharded(
         # Phase 1: parallel pre-filter over contiguous candidate chunks.
         n_chunks = max(1, min(jobs * shards_per_job, int(candidates.size)))
         chunks = np.array_split(candidates, n_chunks)
-        futures = [
-            executor.submit(_worker_prefilter, model_blob, c) for c in chunks if c.size
-        ]
-        code_parts = []
-        for f in futures:
-            codes, seconds = f.result()
-            code_parts.append(codes)
-            telem.prefilter_seconds += seconds
+        infos: list[tuple[Any, Any] | None] = []
+        if do_collapse:
+            futures = [
+                executor.submit(_worker_prefilter_collapse, model_blob, c)
+                for c in chunks
+                if c.size
+            ]
+            code_parts = []
+            for f in futures:
+                codes, info, seconds = f.result()
+                code_parts.append(codes)
+                infos.extend(info)
+                telem.prefilter_seconds += seconds
+        else:
+            futures = [
+                executor.submit(_worker_prefilter, model_blob, c)
+                for c in chunks
+                if c.size
+            ]
+            code_parts = []
+            for f in futures:
+                codes, seconds = f.result()
+                code_parts.append(codes)
+                telem.prefilter_seconds += seconds
         codes = (
             np.concatenate(code_parts) if code_parts else np.empty(0, dtype=np.uint8)
         )
@@ -545,21 +765,109 @@ def run_sharded(
         if acc is not None:
             checkpoint(acc)
 
-        # Phase 2: survivor shards, whole batches each, fanned out.
-        shard_futures = {
-            executor.submit(_worker_observe, model_blob, batch_size, shard): shard
-            for shard in shard_survivors(survivors, batch_size, jobs * shards_per_job)
-        }
-        for f in as_completed(shard_futures):
-            shard = shard_futures[f]
-            shard_codes, shard_payloads, n_batches, seconds = f.result()
-            telem.n_batches += n_batches
-            telem.simulate_seconds += seconds
-            part = _part_sweep(
-                model, shard, shard_codes, seconds, int(shard.size), shard_payloads
-            )
-            acc = part if acc is None else merge_sweeps([acc, part])
-            checkpoint(acc)
+        if not do_collapse:
+            # Phase 2: survivor shards, whole batches each, fanned out.
+            shard_futures = {
+                executor.submit(_worker_observe, model_blob, batch_size, shard): shard
+                for shard in shard_survivors(survivors, batch_size, jobs * shards_per_job)
+            }
+            for f in as_completed(shard_futures):
+                shard = shard_futures[f]
+                shard_codes, shard_payloads, n_batches, seconds, kd = f.result()
+                telem.n_batches += n_batches
+                telem.simulate_seconds += seconds
+                add_kernel_delta(kd)
+                part = _part_sweep(
+                    model, shard, shard_codes, seconds, int(shard.size), shard_payloads
+                )
+                acc = part if acc is None else merge_sweeps([acc, part])
+                checkpoint(acc)
+        else:
+            # Phase 2 (collapsed): group survivors into their naive
+            # batches to derive salts, assign one representative per
+            # (salt, signature) class, and fan shards of same-salt
+            # representatives out to the pool.
+            ctx = _MODEL_STATE[model_blob][1]
+            surv_info = [infos[i] for i in np.flatnonzero(survivor_mask)]
+            n_surv = int(survivors.size)
+            rep_followers: dict[int, list[int]] = {}  # rep cand -> follower cands
+            reps_by_salt: dict[Any, list[int]] = {}
+            seen_key: dict[Any, int] = {}  # (salt, signature) -> rep cand
+            for b0 in range(0, n_surv, batch_size):
+                idx = range(b0, min(b0 + batch_size, n_surv))
+                salt = model.collapse_salt(ctx, [surv_info[i][1] for i in idx])
+                for i in idx:
+                    cand = int(survivors[i])
+                    sig = surv_info[i][0]
+                    key = None if sig is None else (salt, sig)
+                    rep = seen_key.get(key) if key is not None else None
+                    if rep is not None:
+                        rep_followers[rep].append(cand)
+                    else:
+                        if key is not None:
+                            seen_key[key] = cand
+                        rep_followers[cand] = []
+                        reps_by_salt.setdefault(salt, []).append(cand)
+
+            shard_futures = {}
+            for salt, reps in reps_by_salt.items():
+                reps_arr = np.asarray(reps, dtype=np.int64)
+                for shard in shard_survivors(reps_arr, batch_size, jobs * shards_per_job):
+                    shard_futures[
+                        executor.submit(
+                            _worker_observe_collapsed, model_blob, batch_size, shard, salt
+                        )
+                    ] = shard
+
+            resolved_code: dict[int, int] = {}
+            resolved_payloads: dict[int, np.ndarray] = {}
+            ck_done = 0  # survivor-prefix length already folded into acc
+
+            def fold_prefix(hi: int) -> None:
+                nonlocal acc, ck_done
+                part_cands = survivors[ck_done:hi]
+                part_codes = np.array(
+                    [resolved_code[int(c)] for c in part_cands], dtype=np.uint8
+                )
+                part_payloads = {
+                    int(c): resolved_payloads[int(c)]
+                    for c in part_cands
+                    if int(c) in resolved_payloads
+                }
+                part = _part_sweep(
+                    model, part_cands, part_codes, 0.0, int(part_cands.size), part_payloads
+                )
+                acc = part if acc is None else merge_sweeps([acc, part])
+                ck_done = hi
+
+            for f in as_completed(shard_futures):
+                shard = shard_futures[f]
+                shard_codes, shard_payloads, n_batches, seconds, kd = f.result()
+                telem.n_batches += n_batches
+                telem.simulate_seconds += seconds
+                add_kernel_delta(kd)
+                for j, rep in enumerate(shard):
+                    rep = int(rep)
+                    code = int(shard_codes[j])
+                    rich = shard_payloads.get(rep)
+                    resolved_code[rep] = code
+                    if rich is not None:
+                        resolved_payloads[rep] = rich
+                    for flw in rep_followers[rep]:
+                        resolved_code[flw] = code
+                        if rich is not None:
+                            resolved_payloads[flw] = rich.copy()
+                        telem.n_collapsed += 1
+                if checkpoint_save is not None:
+                    p = ck_done
+                    while p < n_surv and int(survivors[p]) in resolved_code:
+                        p += 1
+                    p -= p % batch_size
+                    if p > ck_done:
+                        fold_prefix(p)
+                        checkpoint(acc)
+            if ck_done < n_surv:
+                fold_prefix(n_surv)
     finally:
         if own_pool:
             executor.shutdown()
@@ -590,6 +898,7 @@ def run_sweep(
     merge_with: SweepResult | None = None,
     executor=None,
     shards_per_job: int = 4,
+    collapse: bool = True,
 ) -> SweepResult:
     """Run a sweep with the engine's native checkpoint format.
 
@@ -612,6 +921,7 @@ def run_sweep(
             checkpoint_save=checkpoint_cb,
             checkpoint_every=checkpoint_every,
             merge_with=merge_with,
+            collapse=collapse,
         )
     return run_sharded(
         model,
@@ -623,6 +933,7 @@ def run_sweep(
         merge_with=merge_with,
         executor=executor,
         shards_per_job=shards_per_job,
+        collapse=collapse,
     )
 
 
@@ -634,6 +945,7 @@ def resume_sweep(
     checkpoint_every: int = 50_000,
     executor=None,
     shards_per_job: int = 4,
+    collapse: bool = True,
 ) -> SweepResult:
     """Resume an interrupted sweep from an engine-native checkpoint.
 
@@ -662,4 +974,5 @@ def resume_sweep(
         merge_with=part,
         executor=executor,
         shards_per_job=shards_per_job,
+        collapse=collapse,
     )

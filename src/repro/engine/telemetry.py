@@ -27,6 +27,14 @@ class CampaignTelemetry:
     ``n_candidates`` counts whatever the fault model enumerates —
     configuration bits, trial sets, hidden-state nodes, hard faults —
     so ``bits_per_sec`` reads as candidates/sec for non-SEU models.
+
+    The campaign-shrinker counters: ``n_collapsed`` is how many
+    simulation survivors rode along as *followers* of a collapse-class
+    representative (they count in ``n_simulated`` but cost no batch
+    slot); ``machines_retired`` / ``batch_compactions`` /
+    ``machine_cycles_saved`` aggregate the kernel's fault-dropping
+    statistics (machines sealed mid-run, compaction events, and
+    machine-cycles never simulated because of them).
     """
 
     n_candidates: int = 0
@@ -35,6 +43,10 @@ class CampaignTelemetry:
     skip_structural: int = 0
     skip_cone: int = 0
     skip_unaddressed: int = 0
+    n_collapsed: int = 0
+    machines_retired: int = 0
+    batch_compactions: int = 0
+    machine_cycles_saved: int = 0
     prefilter_seconds: float = 0.0
     simulate_seconds: float = 0.0
     checkpoint_seconds: float = 0.0
@@ -58,18 +70,32 @@ class CampaignTelemetry:
     def us_per_bit(self) -> float:
         return 1e6 * self.wall_seconds / self.n_candidates if self.n_candidates else 0.0
 
+    @property
+    def collapse_rate(self) -> float:
+        """Fraction of simulation survivors that rode along as followers."""
+        return self.n_collapsed / self.n_simulated if self.n_simulated else 0.0
+
+    @property
+    def retire_rate(self) -> float:
+        """Fraction of simulation survivors sealed and dropped mid-run."""
+        return self.machines_retired / self.n_simulated if self.n_simulated else 0.0
+
     def to_dict(self) -> dict:
         """JSON-ready record (the ``BENCH_*.json`` row schema)."""
         d = dataclasses.asdict(self)
         d["bits_per_sec"] = self.bits_per_sec
         d["us_per_bit"] = self.us_per_bit
         d["skip_rate"] = self.skip_rate
+        d["collapse_rate"] = self.collapse_rate
+        d["retire_rate"] = self.retire_rate
         return d
 
     def summary(self) -> str:
         return (
             f"{self.bits_per_sec:,.0f} bits/s ({self.us_per_bit:.1f} us/bit), "
             f"{100 * self.skip_rate:.1f}% pre-filtered, "
-            f"{self.n_simulated} simulated in {self.n_batches} batches, "
+            f"{self.n_simulated} simulated in {self.n_batches} batches "
+            f"({100 * self.collapse_rate:.1f}% collapsed, "
+            f"{100 * self.retire_rate:.1f}% retired), "
             f"jobs={self.jobs}"
         )

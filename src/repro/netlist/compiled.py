@@ -88,6 +88,40 @@ class Patch:
             self.outputs + other.outputs,
         )
 
+    def signature(self) -> tuple:
+        """Canonical hashable form: two patches get equal signatures iff
+        they configure identical hardware.
+
+        Normalises exactly the way the simulator applies a patch — the
+        last writer wins per target (a LUT row for tables, a (row, pin)
+        for inputs, a (row, field) for FF fields, a node for constants,
+        a position for outputs) — then sorts each target map, so entry
+        order and shadowed writes cannot distinguish equivalent patches.
+        Fault collapsing keys its equivalence classes on this.
+        """
+        tables: dict[int, bytes] = {}
+        for row, table in self.lut_tables:
+            tables[int(row)] = np.asarray(table, dtype=np.uint8).tobytes()
+        inputs: dict[tuple[int, int], int] = {}
+        for row, pin, node in self.lut_inputs:
+            inputs[(int(row), int(pin))] = int(node)
+        ffs: dict[tuple[int, int], int] = {}
+        for row, fieldname, value in self.ff_fields:
+            ffs[(int(row), int(fieldname))] = int(value)
+        consts: dict[int, int] = {}
+        for node, value in self.consts:
+            consts[int(node)] = int(value)
+        outputs: dict[int, int] = {}
+        for pos, node in self.outputs:
+            outputs[int(pos)] = int(node)
+        return (
+            tuple(sorted(tables.items())),
+            tuple(sorted(inputs.items())),
+            tuple(sorted(ffs.items())),
+            tuple(sorted(consts.items())),
+            tuple(sorted(outputs.items())),
+        )
+
 
 @dataclass
 class CompiledDesign:

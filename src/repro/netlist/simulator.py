@@ -26,7 +26,8 @@ state — exactly the persistence experiment of paper section III-A).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -38,7 +39,65 @@ from repro.netlist.compiled import (
     Patch,
 )
 
-__all__ = ["GoldenTrace", "MachineVerdict", "BatchSimulator"]
+__all__ = [
+    "GoldenTrace",
+    "MachineVerdict",
+    "BatchSimulator",
+    "KernelCounters",
+    "KERNEL_COUNTERS",
+    "SETTLE_CAP",
+    "max_schedule_violations",
+]
+
+#: largest auto-detected settle-pass surplus; deeper acyclic rewirings
+#: run under-settled (and warn, so campaigns cannot miss it silently)
+SETTLE_CAP = 3
+
+_SETTLE_CAP_MSG = (
+    "patch set exceeds the settle-pass cap: schedule-violating rewires deeper "
+    "than SETTLE_CAP run with capped settle passes and may not reach their "
+    "exact fixpoint (see BatchSimulator.schedule_violations_uncapped)"
+)
+
+
+@dataclass
+class KernelCounters:
+    """Process-global fault-dropping statistics of the simulator kernel.
+
+    Campaign drivers snapshot/diff these around observation calls (and
+    collect the diffs from worker processes) to report retirement rates
+    in :class:`~repro.engine.telemetry.CampaignTelemetry`.
+    """
+
+    machines_retired: int = 0
+    batch_compactions: int = 0
+    machine_cycles_saved: int = 0
+
+    def snapshot(self) -> tuple[int, int, int]:
+        return (self.machines_retired, self.batch_compactions, self.machine_cycles_saved)
+
+    def delta(self, since: tuple[int, int, int]) -> tuple[int, int, int]:
+        now = self.snapshot()
+        return (now[0] - since[0], now[1] - since[1], now[2] - since[2])
+
+    def add(self, delta: tuple[int, int, int]) -> None:
+        self.machines_retired += int(delta[0])
+        self.batch_compactions += int(delta[1])
+        self.machine_cycles_saved += int(delta[2])
+
+
+KERNEL_COUNTERS = KernelCounters()
+
+
+def max_schedule_violations(design: CompiledDesign, patches: list[Patch] | None) -> int:
+    """Largest per-machine count of LUT edges defying golden levels.
+
+    Public view of the settle-pass auto-detect input: fault models use
+    it to *salt* collapse classes, so a representative simulated in a
+    regrouped batch is forced to the settle count its candidate's
+    original batch would have auto-detected.
+    """
+    return BatchSimulator._max_schedule_violations(design, patches)
 
 
 @dataclass
@@ -48,11 +107,18 @@ class GoldenTrace:
     ``addr_seen[lut]`` is a 16-bit occupancy mask of the truth-table
     entries the run actually addressed — the structural pre-filter uses
     it to skip LUT-content faults on never-exercised entries.
+
+    ``addr_rows`` (recorded on request) is the per-cycle version: row
+    ``t`` holds each LUT's one-hot address mask at the *evaluation
+    fixpoint* of cycle ``t`` (before the flip-flops clock), which is the
+    exact entry set a lock-step machine can read that cycle.  Fault
+    dropping builds its "never addressed again" suffix masks from it.
     """
 
     outputs: np.ndarray  # (cycles, n_outputs) uint8
     addr_seen: np.ndarray  # (n_luts,) uint16
     final_state: np.ndarray  # (n_ffs,) uint8
+    addr_rows: np.ndarray | None = field(default=None)  # (cycles, n_luts) uint16
 
     @property
     def n_cycles(self) -> int:
@@ -79,6 +145,7 @@ class BatchSimulator:
         settle_passes: int | None = None,
         initial_values: np.ndarray | None = None,
         active_nodes: np.ndarray | None = None,
+        companion: bool = False,
     ):
         """``initial_values`` (a ``(n_nodes,)`` snapshot from a golden run)
         makes :meth:`reset` restore that mid-run state instead of the
@@ -98,10 +165,28 @@ class BatchSimulator:
         pass absorbs one stale step, so the batch runs with enough
         passes that acyclic rewirings settle to their exact fixpoint
         (golden-equivalent machines are unaffected — levelized
-        evaluation is idempotent)."""
+        evaluation is idempotent).  Sets beyond :data:`SETTLE_CAP`
+        violations warn and record the uncapped count in
+        :attr:`schedule_violations_uncapped`.
+
+        ``companion=True`` appends one extra *golden* machine (empty
+        patch) at the last batch slot.  It adds no patch edges and no
+        schedule violations, so it never changes any other machine's
+        verdict; :meth:`run_verdicts` uses it as the in-batch golden
+        state reference that fault dropping compares against."""
         self.design = design
+        self.companion = bool(companion)
+        patches = list(patches) if patches else [Patch()]
+        if companion:
+            patches.append(Patch())
+        #: uncapped schedule-violation count when auto-detect ran, else None
+        self.schedule_violations_uncapped: int | None = None
         if settle_passes is None:
-            settle_passes = 1 + min(3, self._max_schedule_violations(design, patches))
+            raw = self._max_schedule_violations(design, patches)
+            self.schedule_violations_uncapped = raw
+            if raw > SETTLE_CAP:
+                warnings.warn(_SETTLE_CAP_MSG, RuntimeWarning, stacklevel=2)
+            settle_passes = 1 + min(SETTLE_CAP, raw)
         if settle_passes < 1:
             raise NetlistError("settle_passes must be >= 1")
         self.settle_passes = settle_passes
@@ -110,10 +195,13 @@ class BatchSimulator:
         )
         if self._initial_values is not None and self._initial_values.shape != (design.n_nodes,):
             raise NetlistError("initial_values must be a (n_nodes,) snapshot")
-        self.patches = list(patches) if patches else [Patch()]
+        self.patches = patches
         self.B = len(self.patches)
         if self.B < 1:
             raise NetlistError("batch must contain at least one machine")
+        #: original slot of each current machine (compaction bookkeeping)
+        self.batch_slots = np.arange(self.B, dtype=np.int64)
+        self._addr_capture: list[np.ndarray] | None = None
 
         d = design
         B = self.B
@@ -325,6 +413,47 @@ class BatchSimulator:
         self._broken[m] = False
         self._refresh_machine_caches(m)
 
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop retired machines: shrink the batch to ``keep`` in place.
+
+        ``keep`` lists *current* machine indices (order-preserving).
+        All per-machine arrays, node values and patches are re-indexed
+        and the gather caches are rebuilt over the survivors, so from
+        here on the per-cycle ``np.take`` cost scales with live machines
+        instead of the original batch size.  :attr:`batch_slots` keeps
+        each survivor's original slot so callers can map results back.
+
+        Sound for any subset: machines never interact during evaluation
+        (lock-step batching is pure data parallelism), so each
+        survivor's future trajectory is unchanged by its companions
+        leaving.  The settle-pass count is frozen at construction and
+        deliberately *not* re-derived from the surviving patches — a
+        smaller settle count could change a survivor's fixpoint.
+        """
+        keep = np.asarray(keep, dtype=np.int64)
+        if keep.size == self.B:
+            return
+        if keep.size < 1:
+            raise NetlistError("cannot compact a batch to zero machines")
+        n_dropped = self.B - int(keep.size)
+        self.lut_inputs = self.lut_inputs[keep]
+        self.lut_tables = self.lut_tables[keep]
+        self.ff_d = self.ff_d[keep]
+        self.ff_ce = self.ff_ce[keep]
+        self.ff_sr = self.ff_sr[keep]
+        self.ff_init = self.ff_init[keep]
+        self.ff_clocked = self.ff_clocked[keep]
+        self.const_values = self.const_values[keep]
+        self.output_nodes = self.output_nodes[keep]
+        self.values = np.ascontiguousarray(self.values[keep])
+        self._broken = self._broken[keep]
+        self.batch_slots = self.batch_slots[keep]
+        self.patches = [self.patches[int(i)] for i in keep]
+        self.B = int(keep.size)
+        self._build_gather_caches()
+        KERNEL_COUNTERS.machines_retired += n_dropped
+        KERNEL_COUNTERS.batch_compactions += 1
+
     # -- execution ---------------------------------------------------------
 
     def reset(self) -> None:
@@ -407,34 +536,74 @@ class BatchSimulator:
             self.values[:, d.input_nodes] = stimulus_row[None, :]
         self._eval_combinational()
         out = np.take(self._values_flat, self._out_idx)
+        if self._addr_capture is not None:
+            # Machine 0's one-hot LUT address masks at the evaluation
+            # fixpoint — captured *before* the flip-flops clock, because
+            # a LUT reading an FF node composes this cycle's address
+            # from the pre-clock value.
+            self._addr_capture.append(self._machine0_addr_row())
         self._clock_ffs()
         return out
 
-    def run(self, stimulus: np.ndarray, record_addresses: bool = False) -> np.ndarray:
+    def _machine0_addr_row(self) -> np.ndarray:
+        """One-hot uint16 per LUT: machine 0's current address mask."""
+        d = self.design
+        if not d.n_luts:
+            return np.zeros(0, dtype=np.uint16)
+        flat = self.values[0].take(self._m0_flat_idx).reshape(d.n_luts, 4)
+        addr = (
+            flat[:, 0].astype(np.uint16)
+            | (flat[:, 1].astype(np.uint16) << 1)
+            | (flat[:, 2].astype(np.uint16) << 2)
+            | (flat[:, 3].astype(np.uint16) << 3)
+        )
+        return np.left_shift(np.uint16(1), addr)
+
+    def run(
+        self,
+        stimulus: np.ndarray,
+        record_addresses: bool = False,
+        record_addr_rows: bool = False,
+    ) -> np.ndarray:
         """Run all machines over a (cycles, n_inputs) stimulus.
 
         Returns outputs of shape ``(cycles, B, n_outputs)``.  With
         ``record_addresses`` the LUT address-occupancy mask is collected
-        into :attr:`last_addr_seen` (meaningful for the golden machine).
+        into :attr:`last_addr_seen` (meaningful for the golden machine);
+        ``record_addr_rows`` additionally collects machine 0's per-cycle
+        evaluation-fixpoint address masks into :attr:`last_addr_rows`.
         """
         d = self.design
         stimulus = np.asarray(stimulus, dtype=np.uint8)
         cycles = stimulus.shape[0]
         outputs = np.empty((cycles, self.B, d.n_outputs), dtype=np.uint8)
         addr_seen = np.zeros(d.n_luts, dtype=np.uint16)
-        for t in range(cycles):
-            outputs[t] = self.step(stimulus[t])
-            if record_addresses and d.n_luts:
-                flat = np.take_along_axis(
-                    self.values, self.lut_inputs[0].reshape(1, -1), axis=1
-                ).reshape(d.n_luts, 4)
-                addr = (
-                    flat[:, 0].astype(np.uint16)
-                    | (flat[:, 1].astype(np.uint16) << 1)
-                    | (flat[:, 2].astype(np.uint16) << 2)
-                    | (flat[:, 3].astype(np.uint16) << 3)
+        # The flat machine-0 operand index is fixed for the whole run
+        # (no patch/repair happens inside run), so build it once instead
+        # of reconstructing it every recorded cycle.
+        self._m0_flat_idx = self.lut_inputs[0].reshape(-1).astype(np.intp)
+        if record_addr_rows:
+            self._addr_capture = []
+        try:
+            for t in range(cycles):
+                outputs[t] = self.step(stimulus[t])
+                if record_addresses and d.n_luts:
+                    flat = self.values[0].take(self._m0_flat_idx).reshape(d.n_luts, 4)
+                    addr = (
+                        flat[:, 0].astype(np.uint16)
+                        | (flat[:, 1].astype(np.uint16) << 1)
+                        | (flat[:, 2].astype(np.uint16) << 2)
+                        | (flat[:, 3].astype(np.uint16) << 3)
+                    )
+                    addr_seen |= np.left_shift(np.uint16(1), addr)
+            if record_addr_rows:
+                self.last_addr_rows = (
+                    np.stack(self._addr_capture)
+                    if self._addr_capture
+                    else np.zeros((0, d.n_luts), dtype=np.uint16)
                 )
-                addr_seen |= np.left_shift(np.uint16(1), addr)
+        finally:
+            self._addr_capture = None
         self.last_addr_seen = addr_seen
         return outputs
 
@@ -442,15 +611,53 @@ class BatchSimulator:
 
     @classmethod
     def golden_trace(
-        cls, design: CompiledDesign, stimulus: np.ndarray, settle_passes: int = 1
+        cls,
+        design: CompiledDesign,
+        stimulus: np.ndarray,
+        settle_passes: int = 1,
+        record_addr_rows: bool = False,
     ) -> GoldenTrace:
         """Run the fault-free design once, recording the reference trace."""
         sim = cls(design, settle_passes=settle_passes)
-        outputs = sim.run(stimulus, record_addresses=True)
+        outputs = sim.run(
+            stimulus, record_addresses=True, record_addr_rows=record_addr_rows
+        )
         final_state = sim.values[0, design.ff_nodes].copy() if design.n_ffs else np.zeros(0, np.uint8)
-        return GoldenTrace(outputs[:, 0, :].copy(), sim.last_addr_seen, final_state)
+        return GoldenTrace(
+            outputs[:, 0, :].copy(),
+            sim.last_addr_seen,
+            final_state,
+            addr_rows=sim.last_addr_rows if record_addr_rows else None,
+        )
 
     # -- detect / repair / persist campaign step ---------------------------------
+
+    def _tables_only_flip_masks(self, n_machines: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-machine flipped-entry masks for tables-only patches.
+
+        Returns ``(eligible, flips)``: ``eligible[m]`` is True when
+        machine ``m``'s patch touches nothing but LUT truth tables (its
+        wiring, FF fields, constants and output bindings are golden);
+        ``flips[m]`` is the ``(n_luts,)`` uint16 mask of truth-table
+        entries the patch actually changes.  Fault dropping combines
+        these with the golden address-suffix masks to prove an
+        unrepaired quiet machine can never deviate again.
+        """
+        d = self.design
+        eligible = np.zeros(n_machines, dtype=bool)
+        flips = np.zeros((n_machines, d.n_luts), dtype=np.uint16)
+        for m in range(n_machines):
+            p = self.patches[m]
+            if p.lut_inputs or p.ff_fields or p.consts or p.outputs:
+                continue
+            eligible[m] = True
+            for row, table in p.lut_tables:
+                changed = np.flatnonzero(np.asarray(table, dtype=np.uint8) ^ d.lut_tables[row])
+                if changed.size:
+                    flips[m, row] |= np.bitwise_or.reduce(
+                        np.left_shift(np.uint16(1), changed.astype(np.uint16))
+                    )
+        return eligible, flips
 
     def run_verdicts(
         self,
@@ -459,6 +666,8 @@ class BatchSimulator:
         detect_cycles: int,
         persist_cycles: int,
         converge_run: int = 8,
+        retire: bool = False,
+        addr_suffix: np.ndarray | None = None,
     ) -> list[MachineVerdict]:
         """The paper's injection protocol, for every machine in the batch.
 
@@ -470,6 +679,28 @@ class BatchSimulator:
         the fault was **non-persistent**; machines still diverging when
         the budget runs out are **persistent** (they need a reset, paper
         Figure 7).
+
+        ``retire=True`` (requires ``companion=True`` at construction)
+        turns on *fault dropping*: machines whose remaining trajectory
+        is provably decided are sealed early and compacted out of the
+        batch, so the per-cycle cost tracks live machines.  Three exact
+        rules seal a machine:
+
+        * its verdict phase already completed (done machines only cost
+          cycles);
+        * it was repaired and its node values equal the golden
+          companion's — every future cycle matches, so the convergence
+          cycle is the closed form ``t + (converge_run - run_len)``;
+        * it is unrepaired and quiet, its patch flips only LUT
+          truth-table entries, its values equal the companion's, and
+          ``addr_suffix`` proves golden never addresses a flipped entry
+          again — by induction it stays lock-step with golden forever.
+
+        ``addr_suffix`` (optional, enables the third rule) is the
+        reverse-OR of the golden per-cycle address masks aligned with
+        ``stimulus``: row ``t`` must cover every address golden
+        exercises from cycle ``t`` on.  All three rules reproduce the
+        byte-identical verdicts of ``retire=False``.
         """
         stimulus = np.asarray(stimulus, dtype=np.uint8)
         total_needed = detect_cycles + persist_cycles
@@ -479,13 +710,19 @@ class BatchSimulator:
             )
         if golden.n_cycles < total_needed:
             raise NetlistError("golden trace shorter than the verdict run")
+        if retire and not self.companion:
+            raise NetlistError("retire=True needs a batch built with companion=True")
 
-        B = self.B
-        phase = np.zeros(B, dtype=np.int8)  # 0 watch, 1 converge, 2 done
-        first_error = np.full(B, -1, dtype=np.int64)
-        recovered = np.full(B, -1, dtype=np.int64)
-        run_len = np.zeros(B, dtype=np.int64)
-        persistent = np.zeros(B, dtype=bool)
+        # Verdict bookkeeping is indexed by *original* slot and covers
+        # the logical machines only (the companion, always the last
+        # slot, is excluded from verdicts and from the exit condition).
+        n_logical = self.B - 1 if self.companion else self.B
+        phase = np.zeros(n_logical, dtype=np.int8)  # 0 watch, 1 converge, 2 done
+        first_error = np.full(n_logical, -1, dtype=np.int64)
+        recovered = np.full(n_logical, -1, dtype=np.int64)
+        run_len = np.zeros(n_logical, dtype=np.int64)
+        persistent = np.zeros(n_logical, dtype=bool)
+        retired_at = np.full(n_logical, -1, dtype=np.int64)
 
         # Pack the output-vs-golden comparison into uint64 words: both
         # sides become (·, W) word vectors, so the per-cycle health check
@@ -500,21 +737,34 @@ class BatchSimulator:
                 golden.outputs[:total_needed], axis=1
             )
         golden_words = golden_padded.view(np.uint64)  # (total_needed, W)
-        out_padded = np.zeros((B, n_words * 8), dtype=np.uint8)
+        out_padded = np.zeros((self.B, n_words * 8), dtype=np.uint8)
         out_words = out_padded.view(np.uint64)  # (B, W)
 
+        if retire and addr_suffix is not None:
+            if addr_suffix.shape[0] < total_needed + 1:
+                raise NetlistError("addr_suffix shorter than the verdict run")
+            quiet_ok, flip_masks = self._tables_only_flip_masks(n_logical)
+        else:
+            addr_suffix = None
+            quiet_ok = flip_masks = None
+
         self.reset()
+        t_exit = total_needed - 1
         for t in range(total_needed):
             out = self.step(stimulus[t])
             if n_out:
                 out_padded[:, :n_bytes] = np.packbits(out, axis=1)
             mismatch = np.any(out_words != golden_words[t][None, :], axis=1)
 
+            n_live = self.B - 1 if self.companion else self.B
+            live = self.batch_slots[:n_live]  # original slots, batch order
+
             # Phase 0: first mismatch -> repair, enter phase 1.
-            hits = np.flatnonzero((phase == 0) & mismatch)
-            for m in hits:
+            hits = np.flatnonzero((phase[live] == 0) & mismatch[:n_live])
+            for c in hits:
+                m = int(live[c])
                 first_error[m] = t
-                self.repair_machine(int(m))
+                self.repair_machine(int(c))
                 phase[m] = 1
                 run_len[m] = 0
             # Machines that never err within the detect window are done.
@@ -522,17 +772,65 @@ class BatchSimulator:
                 phase[(phase == 0)] = 2
 
             # Phase 1: count consecutive matching cycles.
-            watching = phase == 1
+            ph = phase[live]
+            watching = ph == 1
             if np.any(watching):
-                good = watching & ~mismatch
+                good = live[watching & ~mismatch[:n_live]]
                 run_len[good] += 1
-                run_len[watching & mismatch] = 0
-                conv = watching & (run_len >= converge_run)
-                if np.any(conv):
+                run_len[live[watching & mismatch[:n_live]]] = 0
+                conv = good[run_len[good] >= converge_run]
+                if conv.size:
                     recovered[conv] = t
                     phase[conv] = 2
+
+            if retire:
+                # State-equality sealing against the in-batch golden
+                # companion (valid post-repair and post-reset alike).
+                eq = ~np.any(
+                    self.values[:n_live] != self.values[self.B - 1][None, :], axis=1
+                )
+                ph = phase[live]
+                # Repaired machines whose state re-converged: every
+                # future cycle matches, so the verdict is closed-form.
+                for c in np.flatnonzero((ph == 1) & eq):
+                    m = int(live[c])
+                    u = t + (converge_run - int(run_len[m]))
+                    if u <= total_needed - 1:
+                        recovered[m] = u
+                    else:
+                        persistent[m] = True
+                    phase[m] = 2
+                # Quiet tables-only machines whose flipped entries are
+                # provably never addressed again stay lock-step forever.
+                if addr_suffix is not None:
+                    cand = np.flatnonzero((phase[live] == 0) & eq & quiet_ok[live])
+                    if cand.size:
+                        suf = addr_suffix[t + 1]
+                        safe = ~np.any(flip_masks[live[cand]] & suf[None, :], axis=1)
+                        phase[live[cand[safe]]] = 2
+
             if np.all(phase == 2):
+                t_exit = t
                 break
+
+            if retire:
+                sealed = phase[live] == 2
+                n_sealed = int(np.count_nonzero(sealed))
+                # Compact with hysteresis: rebuilding the gather caches
+                # costs a few batch-cycles, so only shrink once enough
+                # machines are sealed to pay for it.
+                if n_sealed >= max(8, self.B // 4):
+                    retired_at[live[sealed]] = t
+                    keep = np.flatnonzero(~sealed)
+                    self.compact(np.append(keep, self.B - 1))
+                    out_padded = np.zeros((self.B, n_words * 8), dtype=np.uint8)
+                    out_words = out_padded.view(np.uint64)
+
+        if retire:
+            dropped = retired_at >= 0
+            KERNEL_COUNTERS.machine_cycles_saved += int(
+                np.sum(t_exit - retired_at[dropped])
+            )
 
         # Anything still in phase 1 never re-converged: persistent error.
         persistent[phase == 1] = True
@@ -543,5 +841,5 @@ class BatchSimulator:
                 persistent=bool(persistent[m]),
                 recovered_cycle=int(recovered[m]),
             )
-            for m in range(B)
+            for m in range(n_logical)
         ]

@@ -61,7 +61,12 @@ from repro.engine.telemetry import CampaignTelemetry
 from repro.errors import CampaignError
 from repro.fpga.resources import ResourceKind
 from repro.netlist.compiled import CompiledDesign, FFField, Patch
-from repro.netlist.simulator import BatchSimulator, GoldenTrace
+from repro.netlist.simulator import (
+    SETTLE_CAP,
+    BatchSimulator,
+    GoldenTrace,
+    max_schedule_violations,
+)
 from repro.place.flow import HardwareDesign
 
 __all__ = [
@@ -196,20 +201,24 @@ def _candidate_bits(hw: HardwareDesign, config: CampaignConfig) -> np.ndarray:
 class CampaignContext:
     """Artifacts derived once per (design, config) and shared by every
     shard of a campaign: the golden trace, the warm-state snapshot at the
-    injection instant, and the post-injection stimulus/reference."""
+    injection instant, the post-injection stimulus/reference, and the
+    golden address-suffix masks fault dropping proves retirements with
+    (``addr_suffix[t]`` ORs every LUT address golden exercises from
+    post-injection cycle ``t`` onward)."""
 
     design: CompiledDesign
     golden: GoldenTrace
     snapshot: np.ndarray
     post_stim: np.ndarray
     post_golden: GoldenTrace
+    addr_suffix: np.ndarray | None = None
 
 
 def build_context(hw: HardwareDesign, config: CampaignConfig) -> CampaignContext:
     """Derive the shared campaign artifacts for one (design, config)."""
     design = hw.decoded.design
     stim = hw.spec.stimulus(config.total_cycles, config.seed)
-    golden = BatchSimulator.golden_trace(design, stim)
+    golden = BatchSimulator.golden_trace(design, stim, record_addr_rows=True)
     # Snapshot the running state at the injection instant.
     warm_sim = BatchSimulator(design)
     warm_sim.run(stim[: config.warmup_cycles])
@@ -218,7 +227,17 @@ def build_context(hw: HardwareDesign, config: CampaignConfig) -> CampaignContext
     post_golden = GoldenTrace(
         golden.outputs[config.warmup_cycles :], golden.addr_seen, golden.final_state
     )
-    return CampaignContext(design, golden, snapshot, post_stim, post_golden)
+    # Reverse-cumulative OR of the post-injection per-cycle address
+    # masks: row t covers everything golden addresses from cycle t on,
+    # and the final all-zero row says "nothing remains after the run".
+    rows = golden.addr_rows[config.warmup_cycles :]
+    n_post = int(rows.shape[0])
+    addr_suffix = np.zeros((n_post + 1, design.n_luts), dtype=np.uint16)
+    if n_post:
+        addr_suffix[:n_post] = np.bitwise_or.accumulate(rows[::-1], axis=0)[::-1]
+    return CampaignContext(
+        design, golden, snapshot, post_stim, post_golden, addr_suffix
+    )
 
 
 def classify_candidate(
@@ -241,7 +260,11 @@ def classify_candidate(
 
 
 def simulate_batch(
-    config: CampaignConfig, ctx: CampaignContext, pending: list[tuple[int, Patch]]
+    config: CampaignConfig,
+    ctx: CampaignContext,
+    pending: list[tuple[int, Patch]],
+    settle_passes: int | None = None,
+    retire: bool = True,
 ) -> list[int]:
     """Simulate one batch of pre-filter survivors to per-bit verdicts.
 
@@ -249,13 +272,21 @@ def simulate_batch(
     returned verdict codes align with it.  Both the serial loop and the
     parallel shards call this, so batch composition alone determines the
     verdicts — the determinism contract sharding relies on.
+
+    ``settle_passes`` forces the settle count instead of auto-detecting
+    it from this batch — the collapse driver passes each class's salt so
+    regrouped representatives keep their naive batch's behaviour.
+    ``retire`` turns on mid-run fault dropping (verdict-identical; adds
+    a golden companion machine to the batch).
     """
     patches = [p for _, p in pending]
     sim = BatchSimulator(
         ctx.design,
         patches,
+        settle_passes=settle_passes,
         initial_values=ctx.snapshot,
         active_nodes=batch_active_mask(ctx.design, patches),
+        companion=retire,
     )
     machine_verdicts = sim.run_verdicts(
         ctx.post_stim,
@@ -263,6 +294,8 @@ def simulate_batch(
         config.detect_cycles,
         config.persist_cycles if config.classify_persistence else 0,
         config.converge_run,
+        retire=retire,
+        addr_suffix=ctx.addr_suffix if retire else None,
     )
     codes: list[int] = []
     for mv in machine_verdicts:
@@ -449,11 +482,17 @@ class SEUFaultModel(FaultModel):
     Picklable by construction: heavy state (the implemented design, the
     golden trace, the warm snapshot) is derived per process in
     :meth:`build_context` through the shared implemented-design cache.
+
+    ``retire`` enables mid-run fault dropping (verdict-identical, see
+    :meth:`BatchSimulator.run_verdicts`); it is an execution knob, so it
+    is deliberately excluded from :meth:`key` — checkpoints written with
+    either setting resume into each other.
     """
 
     spec: Any
     device_name: str
     config: CampaignConfig
+    retire: bool = True
 
     name: ClassVar[str] = "seu"
 
@@ -486,7 +525,24 @@ class SEUFaultModel(FaultModel):
 
     def observe_batch(self, ctx, pending: list[tuple[int, Patch]]) -> list[int]:
         _, cctx = ctx
-        return simulate_batch(self.config, cctx, pending)
+        return simulate_batch(self.config, cctx, pending, retire=self.retire)
+
+    # A bit's verdict is a function of (patch, settle passes), and the
+    # settle count auto-detects *per batch* — so the collapse salt is
+    # the settle count the candidate's naive batch would derive, and
+    # representatives simulate with it forced.
+    def collapse_salt_datum(self, candidate: int, ctx, patch: Patch) -> int:
+        _, cctx = ctx
+        return max_schedule_violations(cctx.design, [patch])
+
+    def collapse_salt(self, ctx, data: list[int]) -> int:
+        return 1 + min(SETTLE_CAP, max(data) if data else 0)
+
+    def observe_collapsed(self, ctx, pending: list[tuple[int, Patch]], salt: int) -> list[int]:
+        _, cctx = ctx
+        return simulate_batch(
+            self.config, cctx, pending, settle_passes=salt, retire=self.retire
+        )
 
     def classify(self, observation: int) -> int:
         return int(observation)
@@ -532,6 +588,8 @@ def run_campaign(
     checkpoint_path: str | None = None,
     checkpoint_every: int = 50_000,
     merge_with: CampaignResult | None = None,
+    collapse: bool = True,
+    retire: bool = True,
 ) -> CampaignResult:
     """Exhaustive (or strided) single-bit SEU campaign over one design.
 
@@ -542,13 +600,18 @@ def run_campaign(
     starting over.  ``merge_with`` folds an earlier partial result into
     every snapshot (used by resume so re-interrupted runs stay whole).
 
+    ``collapse`` (fault collapsing: one simulation per identical-patch
+    class) and ``retire`` (mid-run fault dropping) are verdict-identical
+    accelerations, on by default; the ``--no-collapse`` / ``--no-retire``
+    CLI flags map here.
+
     For multi-core sweeps see
     :func:`repro.seu.parallel.run_campaign_parallel`, which produces
     bit-identical verdicts by sharding at batch boundaries.
     """
     config = config or CampaignConfig()
     prime_design_cache(hw)
-    model = SEUFaultModel(hw.spec, hw.device.name, config)
+    model = SEUFaultModel(hw.spec, hw.device.name, config, retire=retire)
     if candidate_bits is None:
         candidate_bits = _candidate_bits(hw, config)
     candidate_bits = np.asarray(candidate_bits, dtype=np.int64)
@@ -569,6 +632,7 @@ def run_campaign(
         checkpoint_every=checkpoint_every,
         merge_with=_to_sweep(model, merge_with) if merge_with is not None else None,
         context=(hw, build_context(hw, config)),
+        collapse=collapse,
     )
     return _from_sweep(hw, config, sweep)
 
@@ -578,6 +642,8 @@ def resume_campaign(
     checkpoint_path: str,
     candidate_bits: np.ndarray | None = None,
     checkpoint_every: int = 50_000,
+    collapse: bool = True,
+    retire: bool = True,
 ) -> CampaignResult:
     """Resume an interrupted campaign from its checkpoint.
 
@@ -606,6 +672,8 @@ def resume_campaign(
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
         merge_with=part,
+        collapse=collapse,
+        retire=retire,
     )
 
 
@@ -676,6 +744,7 @@ class HalfLatchFaultModel(FaultModel):
     device_name: str
     config: CampaignConfig
     nodes: tuple[int, ...] | None = None
+    retire: bool = True
 
     name: ClassVar[str] = "halflatch"
 
@@ -719,7 +788,11 @@ class HalfLatchFaultModel(FaultModel):
             cctx.design, [p for _, p in pending], initial_values=cctx.snapshot
         )
         failed = detect_failures(
-            sim, cctx.post_stim, cctx.post_golden.outputs, self.config.detect_cycles
+            sim,
+            cctx.post_stim,
+            cctx.post_golden.outputs,
+            self.config.detect_cycles,
+            retire=self.retire,
         )
         return [bool(f) for f in failed]
 
@@ -734,6 +807,8 @@ def run_halflatch_sweep(
     jobs: int = 1,
     checkpoint_path: str | None = None,
     resume: bool = False,
+    collapse: bool = True,
+    retire: bool = True,
 ) -> SweepResult:
     """Half-latch sweep as a full engine result (verdicts + telemetry).
 
@@ -749,18 +824,24 @@ def run_halflatch_sweep(
         hw.device.name,
         config,
         None if nodes is None else tuple(int(n) for n in np.asarray(nodes).ravel()),
+        retire=retire,
     )
     if resume:
         if checkpoint_path is None:
             raise CampaignError("resume requires a checkpoint path")
         return resume_sweep(
-            model, checkpoint_path, jobs=jobs, batch_size=config.batch_size
+            model,
+            checkpoint_path,
+            jobs=jobs,
+            batch_size=config.batch_size,
+            collapse=collapse,
         )
     return run_sweep(
         model,
         jobs=jobs,
         batch_size=config.batch_size,
         checkpoint_path=checkpoint_path,
+        collapse=collapse,
     )
 
 
@@ -771,6 +852,8 @@ def run_halflatch_campaign(
     jobs: int = 1,
     checkpoint_path: str | None = None,
     resume: bool = False,
+    collapse: bool = True,
+    retire: bool = True,
 ) -> dict[int, bool]:
     """Sweep half-latch (hidden-state) upsets: node -> caused an error?
 
@@ -784,6 +867,8 @@ def run_halflatch_campaign(
         jobs=jobs,
         checkpoint_path=checkpoint_path,
         resume=resume,
+        collapse=collapse,
+        retire=retire,
     )
     if nodes is None:
         nodes = hw.decoded.design.half_latch_nodes

@@ -104,6 +104,10 @@ class CorrelationFaultModel(FaultModel):
     bits: tuple[int, ...]
 
     name: ClassVar[str] = "correlation"
+    #: every candidate is an already-confirmed-sensitive bit, so classes
+    #: are near-singletons and the fan-out would duplicate payload rows
+    #: for no simulation saved — stay on the naive path
+    collapsible: ClassVar[bool] = False
 
     def key(self) -> str:
         return (

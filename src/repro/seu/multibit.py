@@ -35,7 +35,7 @@ from repro.engine.sweep import SweepResult, resume_sweep, run_sweep
 from repro.engine.telemetry import CampaignTelemetry
 from repro.errors import CampaignError
 from repro.netlist.compiled import Patch
-from repro.netlist.simulator import BatchSimulator
+from repro.netlist.simulator import SETTLE_CAP, BatchSimulator, max_schedule_violations
 from repro.place.flow import HardwareDesign
 from repro.seu.campaign import (
     CampaignConfig,
@@ -100,6 +100,7 @@ class MBUFaultModel(FaultModel):
     k: int
     n_trials: int
     seed: int
+    retire: bool = True
 
     name: ClassVar[str] = "mbu"
 
@@ -143,18 +144,41 @@ class MBUFaultModel(FaultModel):
         return merged
 
     def observe_batch(self, ctx, pending: list[tuple[int, Patch]]) -> list[bool]:
+        return self._observe(ctx, pending, settle_passes=None)
+
+    def _observe(
+        self, ctx, pending: list[tuple[int, Patch]], settle_passes: int | None
+    ) -> list[bool]:
         _, cctx, _ = ctx
         patches = [p for _, p in pending]
         sim = BatchSimulator(
             cctx.design,
             patches,
+            settle_passes=settle_passes,
             initial_values=cctx.snapshot,
             active_nodes=batch_active_mask(cctx.design, patches),
         )
         failed = detect_failures(
-            sim, cctx.post_stim, cctx.post_golden.outputs, self.config.detect_cycles
+            sim,
+            cctx.post_stim,
+            cctx.post_golden.outputs,
+            self.config.detect_cycles,
+            retire=self.retire,
         )
         return [bool(f) for f in failed]
+
+    # Trials whose k bits decode to identical (often empty) merged
+    # patches collapse; the settle count auto-detects per batch, so the
+    # salt is the count the trial's naive batch would derive.
+    def collapse_salt_datum(self, candidate: int, ctx, patch: Patch) -> int:
+        _, cctx, _ = ctx
+        return max_schedule_violations(cctx.design, [patch])
+
+    def collapse_salt(self, ctx, data: list[int]) -> int:
+        return 1 + min(SETTLE_CAP, max(data) if data else 0)
+
+    def observe_collapsed(self, ctx, pending: list[tuple[int, Patch]], salt: int) -> list[bool]:
+        return self._observe(ctx, pending, settle_passes=salt)
 
     def classify(self, observation: bool) -> int:
         return CODE_FAIL if observation else CODE_NO_EFFECT
@@ -170,6 +194,8 @@ def run_multibit_campaign(
     jobs: int = 1,
     checkpoint_path: str | None = None,
     resume: bool = False,
+    collapse: bool = True,
+    retire: bool = True,
 ) -> MultiBitResult:
     """Inject ``n_trials`` random k-bit upset sets; count output failures.
 
@@ -177,17 +203,26 @@ def run_multibit_campaign(
     processes (batch-aligned, so the failure count is identical to
     ``jobs=1``), and ``checkpoint_path`` snapshots engine-native
     archives a killed sweep restarts from (``resume=True``).
+    ``collapse``/``retire`` toggle the verdict-identical campaign
+    shrinkers (identical-patch trials share one simulation; latched
+    machines drop out of the batch mid-run).
     """
     if k < 1:
         raise CampaignError("k must be >= 1")
     config = config or CampaignConfig()
     prime_design_cache(hw)
-    model = MBUFaultModel(hw.spec, hw.device.name, config, k, n_trials, seed)
+    model = MBUFaultModel(
+        hw.spec, hw.device.name, config, k, n_trials, seed, retire=retire
+    )
     if resume:
         if checkpoint_path is None:
             raise CampaignError("resume requires a checkpoint path")
         sweep: SweepResult = resume_sweep(
-            model, checkpoint_path, jobs=jobs, batch_size=config.batch_size
+            model,
+            checkpoint_path,
+            jobs=jobs,
+            batch_size=config.batch_size,
+            collapse=collapse,
         )
     else:
         sweep = run_sweep(
@@ -195,6 +230,7 @@ def run_multibit_campaign(
             jobs=jobs,
             batch_size=config.batch_size,
             checkpoint_path=checkpoint_path,
+            collapse=collapse,
         )
     return MultiBitResult(
         k,

@@ -54,6 +54,8 @@ def run_campaign_parallel(
     merge_with: CampaignResult | None = None,
     executor: Executor | None = None,
     shards_per_job: int = 4,
+    collapse: bool = True,
+    retire: bool = True,
 ) -> CampaignResult:
     """Sharded multi-process SEU campaign, byte-identical to ``jobs=1``.
 
@@ -64,7 +66,8 @@ def run_campaign_parallel(
     granularity; raise ``shards_per_job`` for finer snapshots), so a
     killed sweep resumes with :func:`resume_campaign_parallel`.  An
     external ``executor`` (e.g. a shared pool) is used as-is and not
-    shut down.
+    shut down.  ``collapse``/``retire`` toggle the verdict-identical
+    campaign shrinkers.
     """
     config = config or CampaignConfig()
     jobs = default_jobs() if jobs is None else int(jobs)
@@ -80,10 +83,12 @@ def run_campaign_parallel(
             candidate_bits=candidate_bits,
             checkpoint_path=checkpoint_path,
             merge_with=merge_with,
+            collapse=collapse,
+            retire=retire,
         )
 
     prime_design_cache(hw)
-    model = SEUFaultModel(hw.spec, hw.device.name, config)
+    model = SEUFaultModel(hw.spec, hw.device.name, config, retire=retire)
 
     checkpoint_cb = None
     if checkpoint_path is not None:
@@ -102,6 +107,7 @@ def run_campaign_parallel(
         merge_with=_to_sweep(model, merge_with) if merge_with is not None else None,
         executor=executor,
         shards_per_job=shards_per_job,
+        collapse=collapse,
     )
     return _from_sweep(hw, config, sweep)
 
@@ -113,6 +119,8 @@ def resume_campaign_parallel(
     candidate_bits: np.ndarray | None = None,
     executor: Executor | None = None,
     shards_per_job: int = 4,
+    collapse: bool = True,
+    retire: bool = True,
 ) -> CampaignResult:
     """Resume an interrupted (serial *or* parallel) campaign, sharded.
 
@@ -143,4 +151,6 @@ def resume_campaign_parallel(
         merge_with=part,
         executor=executor,
         shards_per_job=shards_per_job,
+        collapse=collapse,
+        retire=retire,
     )

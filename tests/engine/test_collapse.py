@@ -1,0 +1,305 @@
+"""Fault collapsing in the engine: fewer simulations, identical verdicts.
+
+A toy model whose observation is a pure function of (patch, salt) probes
+the collapse drivers directly: duplicate-patch candidates must share one
+simulation, the per-class salt must be forced (not re-derived from the
+regrouped representative batch), and every flag/jobs/kill-resume
+combination must produce the byte-identical sweep of the naive path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, Future
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+import numpy as np
+import pytest
+
+import repro.engine.sweep as sweepmod
+from repro.engine import (
+    CODE_NOT_TESTED,
+    CODE_SKIP_STRUCTURAL,
+    FaultModel,
+    load_sweep,
+    resume_sweep,
+    run_serial,
+    run_sharded,
+    run_sweep,
+)
+from repro.engine.model import default_patch_signature
+from repro.netlist.compiled import Patch
+
+# In-process call accounting (works for serial runs and InlineExecutor
+# sharded runs; reset per test via the `calls` fixture).
+CALLS = {"naive_entries": 0, "collapsed_entries": 0, "salts": []}
+
+
+@dataclass(frozen=True)
+class CollapsingToyModel(FaultModel):
+    """Observation = f(patch, salt); patches repeat heavily (c % n_classes).
+
+    Mirrors the real kernels' settle-pass hazard: the naive path derives
+    ``salt`` from its own batch composition, so collapse is sound only
+    because the engine regroups representatives per salt and forces it.
+    """
+
+    n: int = 200
+    n_classes: int = 6
+    salted: bool = False
+
+    name: ClassVar[str] = "toy-collapse"
+
+    def key(self) -> str:
+        return f"toy-collapse:{self.n}:{self.n_classes}:{self.salted}"
+
+    def space_size(self) -> int:
+        return self.n
+
+    def enumerate_candidates(self) -> np.ndarray:
+        return np.arange(self.n, dtype=np.int64)
+
+    def build_context(self) -> Any:
+        return None
+
+    def prefilter(self, candidate: int, ctx) -> tuple[int, Any]:
+        if candidate % 11 == 0:
+            return CODE_SKIP_STRUCTURAL, None
+        return CODE_NOT_TESTED, None
+
+    def patch_for(self, candidate: int, ctx) -> int:
+        return candidate % self.n_classes
+
+    def _salt_of(self, data: list[int]) -> int:
+        return 1 + max(data) if (self.salted and data) else 1
+
+    def _observe(self, pending, salt: int) -> list[int]:
+        return [(p * 7 + salt) % 5 for _, p in pending]
+
+    def observe_batch(self, ctx, pending) -> list[int]:
+        CALLS["naive_entries"] += len(pending)
+        salt = self._salt_of([self.collapse_salt_datum(c, ctx, p) for c, p in pending])
+        return self._observe(pending, salt)
+
+    def collapse_salt_datum(self, candidate: int, ctx, patch: int) -> int:
+        # Range-based so different naive batches really derive different
+        # salts (a modulus would saturate every batch to the same max).
+        return candidate // 100 if self.salted else 0
+
+    def collapse_salt(self, ctx, data) -> int:
+        return self._salt_of(list(data))
+
+    def observe_collapsed(self, ctx, pending, salt: int) -> list[int]:
+        CALLS["collapsed_entries"] += len(pending)
+        CALLS["salts"].append(salt)
+        return self._observe(pending, salt)
+
+    def classify(self, observation: int) -> int:
+        return 4 + observation
+
+
+@dataclass(frozen=True)
+class OpaqueToyModel(CollapsingToyModel):
+    """Half the candidates have no signature: they must simulate naively."""
+
+    name: ClassVar[str] = "toy-opaque"
+
+    def key(self) -> str:
+        return f"toy-opaque:{self.n}"
+
+    def collapse_signature(self, candidate: int, ctx, patch) -> Any:
+        return None if candidate % 2 else ("raw", patch)
+
+
+@dataclass(frozen=True)
+class PayloadCollapseModel(CollapsingToyModel):
+    """Collapsing model retaining a per-candidate payload array."""
+
+    name: ClassVar[str] = "toy-collapse-payload"
+
+    def key(self) -> str:
+        return f"toy-collapse-payload:{self.n}:{self.n_classes}"
+
+    def payload(self, observation: int) -> np.ndarray:
+        return np.array([observation, observation * 2], dtype=np.uint8)
+
+
+@dataclass(frozen=True)
+class UncollapsibleModel(CollapsingToyModel):
+    name: ClassVar[str] = "toy-uncollapsible"
+    collapsible: ClassVar[bool] = False
+
+    def key(self) -> str:
+        return f"toy-uncollapsible:{self.n}"
+
+
+class InlineExecutor(Executor):
+    def submit(self, fn, /, *args, **kwargs):
+        f: Future = Future()
+        try:
+            f.set_result(fn(*args, **kwargs))
+        except BaseException as err:  # noqa: BLE001 - forwarded via the future
+            f.set_exception(err)
+        return f
+
+
+class Killed(Exception):
+    pass
+
+
+@pytest.fixture()
+def calls():
+    CALLS.update(naive_entries=0, collapsed_entries=0, salts=[])
+    return CALLS
+
+
+def assert_identical(a, b):
+    assert a.model_key == b.model_key
+    assert np.array_equal(a.verdicts, b.verdicts)
+    assert np.array_equal(a.candidate_ids, b.candidate_ids)
+    assert a.n_simulated == b.n_simulated
+
+
+class TestDefaultSignature:
+    def test_patch_and_containers(self):
+        p = Patch(lut_tables=[(0, np.zeros(16, dtype=np.uint8))])
+        q = Patch(lut_tables=[(0, np.zeros(16, dtype=np.uint8))])
+        assert default_patch_signature(p) == default_patch_signature(q)
+        assert default_patch_signature((p, q)) == default_patch_signature((q, p))
+        assert default_patch_signature(None) is None
+        assert default_patch_signature((p, None)) is None
+        assert default_patch_signature(3) == ("raw", 3)
+        assert default_patch_signature(object()) is None
+
+
+class TestSerialCollapse:
+    def test_identity_and_fewer_simulations(self, calls):
+        naive = run_serial(CollapsingToyModel(), batch_size=16, collapse=False)
+        n_naive = calls["naive_entries"]
+        calls.update(naive_entries=0)
+        collapsed = run_serial(CollapsingToyModel(), batch_size=16, collapse=True)
+        assert_identical(collapsed, naive)
+        # Only ~n_classes distinct patches exist per salt: nearly every
+        # survivor rides along as a follower.
+        assert calls["collapsed_entries"] + calls["naive_entries"] < n_naive / 4
+        assert collapsed.telemetry.n_collapsed > 0
+        assert collapsed.telemetry.collapse_rate > 0.5
+        assert naive.telemetry.n_collapsed == 0
+
+    def test_salted_identity_and_forced_salt(self, calls):
+        naive = run_serial(CollapsingToyModel(salted=True), batch_size=16, collapse=False)
+        calls.update(naive_entries=0, salts=[])
+        collapsed = run_serial(
+            CollapsingToyModel(salted=True), batch_size=16, collapse=True
+        )
+        assert_identical(collapsed, naive)
+        # Representatives were simulated through the salt-forcing hook,
+        # and more than one distinct salt class actually occurred.
+        assert calls["salts"] and len(set(calls["salts"])) > 1
+
+    def test_opaque_candidates_simulate_naively(self, calls):
+        naive = run_serial(OpaqueToyModel(), batch_size=16, collapse=False)
+        calls.update(naive_entries=0, collapsed_entries=0)
+        collapsed = run_serial(OpaqueToyModel(), batch_size=16, collapse=True)
+        assert_identical(collapsed, naive)
+        # The signature-less half still went through a real simulation.
+        assert calls["collapsed_entries"] >= naive.n_simulated // 2
+
+    def test_uncollapsible_model_ignores_flag(self, calls):
+        result = run_serial(UncollapsibleModel(), batch_size=16, collapse=True)
+        assert calls["collapsed_entries"] == 0
+        assert calls["naive_entries"] == result.n_simulated
+        assert result.telemetry.n_collapsed == 0
+
+    def test_payload_fanned_out_to_followers(self):
+        naive = run_serial(PayloadCollapseModel(), batch_size=16, collapse=False)
+        collapsed = run_serial(PayloadCollapseModel(), batch_size=16, collapse=True)
+        assert collapsed.payloads.keys() == naive.payloads.keys()
+        for cand, val in naive.payloads.items():
+            assert np.array_equal(val, collapsed.payloads[cand])
+        # Follower payloads are independent copies, not shared views.
+        ids = sorted(collapsed.payloads)
+        collapsed.payloads[ids[0]][0] ^= 1
+        same_class = [
+            i for i in ids[1:]
+            if (i % 6) == (ids[0] % 6) and np.array_equal(
+                naive.payloads[i], naive.payloads[ids[0]]
+            )
+        ]
+        if same_class:
+            assert np.array_equal(
+                collapsed.payloads[same_class[0]], naive.payloads[same_class[0]]
+            )
+
+
+class TestShardedCollapse:
+    @pytest.mark.parametrize("salted", [False, True])
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_jobs_identity(self, jobs, salted, calls):
+        model = CollapsingToyModel(salted=salted)
+        serial = run_serial(model, batch_size=16, collapse=True)
+        sharded = run_sharded(
+            model, jobs=jobs, batch_size=16, executor=InlineExecutor(),
+            shards_per_job=2, collapse=True,
+        )
+        assert_identical(sharded, serial)
+        assert sharded.telemetry.n_collapsed == serial.telemetry.n_collapsed
+
+    def test_sharded_collapse_vs_naive(self):
+        naive = run_sharded(
+            CollapsingToyModel(), jobs=2, batch_size=16,
+            executor=InlineExecutor(), collapse=False,
+        )
+        collapsed = run_sharded(
+            CollapsingToyModel(), jobs=2, batch_size=16,
+            executor=InlineExecutor(), collapse=True,
+        )
+        assert_identical(collapsed, naive)
+        assert collapsed.telemetry.n_collapsed > 0
+
+
+class TestResumeUnderCollapse:
+    def _killed_run(self, monkeypatch, path, die_after, **kw):
+        real_save = sweepmod.save_sweep
+        counter = {"n": 0}
+
+        def dying_save(sweep, p):
+            counter["n"] += 1
+            if counter["n"] > die_after:
+                raise Killed()
+            real_save(sweep, p)
+
+        monkeypatch.setattr(sweepmod, "save_sweep", dying_save)
+        with pytest.raises(Killed):
+            run_sweep(CollapsingToyModel(salted=True), checkpoint_path=path, **kw)
+        monkeypatch.setattr(sweepmod, "save_sweep", real_save)
+
+    def test_serial_kill_and_resume(self, tmp_path, monkeypatch):
+        serial = run_serial(CollapsingToyModel(salted=True), batch_size=16)
+        path = str(tmp_path / "collapse.npz")
+        self._killed_run(
+            monkeypatch, path, die_after=2, batch_size=16, checkpoint_every=32
+        )
+        part = load_sweep(path)
+        assert 0 < part.n_candidates < serial.n_candidates
+        resumed = resume_sweep(CollapsingToyModel(salted=True), path, batch_size=16)
+        assert_identical(resumed, serial)
+
+    @pytest.mark.parametrize("resume_collapse", [True, False])
+    def test_sharded_kill_and_resume_any_flag(
+        self, tmp_path, monkeypatch, resume_collapse
+    ):
+        """A collapsed checkpoint resumes under either flag setting."""
+        serial = run_serial(CollapsingToyModel(salted=True), batch_size=16)
+        path = str(tmp_path / f"collapse-{resume_collapse}.npz")
+        self._killed_run(
+            monkeypatch, path, die_after=1, jobs=3,
+            executor=InlineExecutor(), shards_per_job=2, batch_size=16,
+        )
+        part = load_sweep(path)
+        assert 0 < part.n_candidates < serial.n_candidates
+        resumed = resume_sweep(
+            CollapsingToyModel(salted=True), path, jobs=2, batch_size=16,
+            executor=InlineExecutor(), collapse=resume_collapse,
+        )
+        assert_identical(resumed, serial)

@@ -1,0 +1,122 @@
+"""Campaign-shrinker identity on the real fault models.
+
+The collapse/retire machinery is only admissible because it is
+verdict-invariant; these tests pin that against the same golden SHAs
+the engine port is pinned to: every flag combination — and every
+adapter — must reproduce the identical verdict bytes, while the
+telemetry proves the shrinkers actually engaged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.bist.coverage import run_coverage
+from repro.bist.faults import sample_faults
+from repro.bist.patterns import clb_test_design
+from repro.engine.cache import implemented_design
+from repro.seu import (
+    CampaignConfig,
+    run_campaign,
+    run_halflatch_sweep,
+    run_multibit_campaign,
+)
+from repro.seu.campaign import _batch_active_mask, batch_active_mask
+
+CFG = CampaignConfig(detect_cycles=48, persist_cycles=32, stride=7, batch_size=32)
+HL_CFG = CampaignConfig(
+    detect_cycles=48, persist_cycles=0, classify_persistence=False, batch_size=32
+)
+
+# The pre-engine capture (MULT4 on S8) — same pins as test_adapter_identity.
+SEU_GOLDEN_SHA = "d68e0e62c9ea82e91587795304d4c4ff5cbfb3f3292c4239f9c16d0a5ec321ec"
+HL_GOLDEN_SHA = "3edf712d36d1adfc5011d23c2b9ba1670f4eca2d20bdc794048e8e983d30119b"
+
+
+class TestSEUFlagMatrix:
+    @pytest.mark.parametrize(
+        "collapse,retire",
+        [(True, True), (True, False), (False, True), (False, False)],
+    )
+    def test_every_flag_combination_matches_golden(self, mult_hw, collapse, retire):
+        result = run_campaign(mult_hw, CFG, collapse=collapse, retire=retire)
+        assert hashlib.sha256(result.verdicts.tobytes()).hexdigest() == SEU_GOLDEN_SHA
+        assert result.n_simulated == 555  # followers still count as simulated
+        t = result.telemetry
+        if collapse:
+            assert t.n_collapsed > 0
+        else:
+            assert t.n_collapsed == 0
+        if retire:
+            assert t.machines_retired > 0 and t.machine_cycles_saved > 0
+        else:
+            assert t.machines_retired == 0 and t.machine_cycles_saved == 0
+
+    def test_sharded_flags_match_serial(self, mult_hw):
+        from repro.seu import run_campaign_parallel
+
+        serial = run_campaign(mult_hw, CFG)
+        for collapse, retire in [(True, True), (False, False)]:
+            sharded = run_campaign_parallel(
+                mult_hw, CFG, jobs=2, collapse=collapse, retire=retire
+            )
+            assert np.array_equal(sharded.verdicts, serial.verdicts)
+
+
+class TestHalfLatchFlags:
+    @pytest.mark.parametrize("collapse,retire", [(True, False), (False, True)])
+    def test_flags_match_golden(self, mult_hw, collapse, retire):
+        sweep = run_halflatch_sweep(
+            mult_hw, HL_CFG, collapse=collapse, retire=retire
+        )
+        assert hashlib.sha256(sweep.verdicts.tobytes()).hexdigest() == HL_GOLDEN_SHA
+
+
+class TestMultiBitFlags:
+    def test_flags_do_not_move_the_failure_count(self, mult_hw):
+        base = run_multibit_campaign(
+            mult_hw, 0.05, k=2, n_trials=128, config=CFG, seed=3
+        )
+        off = run_multibit_campaign(
+            mult_hw, 0.05, k=2, n_trials=128, config=CFG, seed=3,
+            collapse=False, retire=False,
+        )
+        assert base.n_failures == off.n_failures == 3
+        assert base.telemetry.n_simulated == off.telemetry.n_simulated == 128
+
+
+class TestBistCoverageFlags:
+    def test_flags_do_not_move_the_report(self, s8):
+        spec = clb_test_design(4, register_bits=8, variant=0)
+        hw = implemented_design(spec, s8.name)
+        faults = sample_faults(hw.decoded, 40, seed=5)
+        base = run_coverage(s8, faults, cycles=96)
+        off = run_coverage(s8, faults, cycles=96, collapse=False, retire=False)
+        assert base.detected_by == off.detected_by
+        assert base.undetected == off.undetected
+
+
+class TestDeprecatedAlias:
+    def test_batch_active_mask_alias_warns_and_delegates(self, mult_hw):
+        from repro.netlist.compiled import Patch
+
+        design = mult_hw.decoded.design
+        patches = [Patch(lut_tables=[(0, np.zeros(16, dtype=np.uint8))]), Patch()]
+        with pytest.warns(DeprecationWarning, match="batch_active_mask"):
+            old = _batch_active_mask(design, patches)
+        new = batch_active_mask(design, patches)
+        assert np.array_equal(old, new)
+
+
+class TestCLIShrinkerFlags:
+    def test_parser_accepts_and_defaults_off(self):
+        from repro.cli import build_parser
+
+        for cmd in (["campaign", "MULT4"], ["multibit", "MULT4"], ["bist-coverage"]):
+            args = build_parser().parse_args(cmd)
+            assert args.no_collapse is False and args.no_retire is False
+            args = build_parser().parse_args(cmd + ["--no-collapse", "--no-retire"])
+            assert args.no_collapse is True and args.no_retire is True
