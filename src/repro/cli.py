@@ -10,6 +10,12 @@ Installed as the ``repro`` console script::
     repro table1                         # scaled Table I reproduction
     repro table2                         # scaled Table II reproduction
     repro orbit --hours 2                # mission rehearsal
+    repro report trace.jsonl             # render a --trace file
+
+Long-running commands (campaign, multibit, bist-coverage,
+scrub-stress) accept ``--trace PATH`` (append-only JSONL span trace,
+see :mod:`repro.obs`) and ``--progress`` (live stderr progress line);
+both are verdict-invariant.
 """
 
 from __future__ import annotations
@@ -43,6 +49,17 @@ def build_parser() -> argparse.ArgumentParser:
             "the batch to the last cycle; verdicts are identical either way)",
         )
 
+    def add_obs_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="append a JSONL span trace to PATH (render with `repro "
+            "report PATH`; verdicts are identical with or without)",
+        )
+        p.add_argument(
+            "--progress", action="store_true",
+            help="live progress line on stderr (verdict-invariant)",
+        )
+
     sub.add_parser("devices", help="list the device catalog")
 
     p = sub.add_parser("implement", help="place/route/bitgen one design")
@@ -74,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="candidate bits between snapshots",
     )
     add_shrinker_flags(p)
+    add_obs_flags(p)
 
     p = sub.add_parser(
         "multibit", help="k-bit simultaneous-upset (MBU) campaign on one design"
@@ -106,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from --checkpoint instead of starting over",
     )
     add_shrinker_flags(p)
+    add_obs_flags(p)
 
     p = sub.add_parser(
         "bist-coverage", help="hard-fault coverage of the CLB BIST configurations"
@@ -129,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from --checkpoint instead of starting over",
     )
     add_shrinker_flags(p)
+    add_obs_flags(p)
 
     p = sub.add_parser("table1", help="reproduce Table I on scaled designs")
     p.add_argument("--device", default="S12")
@@ -169,6 +189,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="area-compensation factor for scaled devices",
     )
     p.add_argument("--seed", type=int, default=0)
+    add_obs_flags(p)
+
+    p = sub.add_parser(
+        "report", help="render a --trace JSONL file (span tree, critical path)"
+    )
+    p.add_argument(
+        "trace_file", metavar="TRACE", help="trace file written by --trace PATH"
+    )
     return parser
 
 
@@ -448,6 +476,13 @@ def _cmd_scrub_stress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace, render_report
+
+    print(render_report(load_trace(args.trace_file)), end="")
+    return 0
+
+
 _COMMANDS = {
     "devices": lambda args: _cmd_devices(),
     "implement": _cmd_implement,
@@ -458,15 +493,25 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "orbit": _cmd_orbit,
     "scrub-stress": _cmd_scrub_stress,
+    "report": _cmd_report,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     from repro.errors import ReproError
+    from repro.obs import observe
 
     args = build_parser().parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        # Commands without --trace/--progress fall through as a no-op
+        # observe() scope (null tracer, null progress).
+        with observe(
+            getattr(args, "trace", None),
+            getattr(args, "progress", False),
+            label=args.command,
+            resumed=bool(getattr(args, "resume", False)),
+        ):
+            return _COMMANDS[args.command](args)
     except ReproError as err:
         print(f"repro: error: {err}", file=sys.stderr)
         return 2

@@ -76,6 +76,12 @@ from repro.engine.model import (
 )
 from repro.engine.telemetry import CampaignTelemetry
 from repro.netlist.simulator import KERNEL_COUNTERS
+from repro.obs import get_observer
+from repro.obs.heartbeat import ShardTracker, completed_with_heartbeats
+
+# Emit a kernel-counter sample into the trace every this many simulator
+# batches (traced runs only).
+_COUNTER_SAMPLE_BATCHES = 16
 
 __all__ = [
     "SweepResult",
@@ -287,12 +293,40 @@ def run_serial(
     telem = CampaignTelemetry(n_candidates=int(candidates.size), jobs=1)
     n_simulated = 0
 
+    # Observability hooks.  Every emission below only *reads* campaign
+    # state — the verdict-invariance contract (see repro.obs) — and the
+    # untraced path pays one `observing` check per site.
+    observer = get_observer()
+    tracer, progress = observer.tracer, observer.progress
+    observing = observer.enabled
+    root_span = tracer.open_span(
+        "campaign",
+        model=model.name,
+        key=model.key(),
+        jobs=1,
+        candidates=int(candidates.size),
+        collapse=do_collapse,
+    )
+    progress.start(model.name, total=int(candidates.size))
+    batch_tick = 0
+
+    def after_batch(span: int, bits: int, seconds: float) -> None:
+        nonlocal batch_tick
+        telem.record_batch_seconds(seconds)
+        if not observing:
+            return
+        tracer.close_span(span, bits=bits, seconds=round(seconds, 6))
+        batch_tick += 1
+        if batch_tick % _COUNTER_SAMPLE_BATCHES == 0:
+            tracer.counters(KERNEL_COUNTERS.to_dict())
+
     pending: list[tuple[int, Any]] = []
 
     def flush() -> None:
         nonlocal n_simulated
         if not pending:
             return
+        span = tracer.open_span("batch", bits=len(pending)) if observing else -1
         t_sim = time.perf_counter()
         observations = model.observe_batch(ctx, pending)
         for (cand, _), obs in zip(pending, observations):
@@ -302,7 +336,9 @@ def run_serial(
                 payloads[cand] = rich
         n_simulated += len(pending)
         telem.n_batches += 1
-        telem.simulate_seconds += time.perf_counter() - t_sim
+        seconds = time.perf_counter() - t_sim
+        telem.simulate_seconds += seconds
+        after_batch(span, len(pending), seconds)
         pending.clear()
 
     # Collapse-path state.  ``naive_buf`` holds survivors of the naive
@@ -332,6 +368,11 @@ def run_serial(
         del group[:limit]
         if not group:
             del rep_pending[salt]
+        span = (
+            tracer.open_span("batch.collapsed", bits=len(reps), salt=salt)
+            if observing
+            else -1
+        )
         t_sim = time.perf_counter()
         observations = model.observe_collapsed(ctx, [(c, p) for c, p, _ in reps], salt)
         telem.n_batches += 1
@@ -347,7 +388,9 @@ def run_serial(
                 resolved_payload[key] = rich
                 for f in followers.pop(key, ()):
                     fan_out(f, code, rich)
-        telem.simulate_seconds += time.perf_counter() - t_sim
+        seconds = time.perf_counter() - t_sim
+        telem.simulate_seconds += seconds
+        after_batch(span, len(reps), seconds)
 
     def process_naive_batch() -> None:
         if not naive_buf:
@@ -395,12 +438,17 @@ def run_serial(
         if merge_with is not None:
             part = merge_sweeps([merge_with, part])
         checkpoint_save(part)
-        telem.checkpoint_seconds += time.perf_counter() - t_ck
+        seconds = time.perf_counter() - t_ck
+        telem.checkpoint_seconds += seconds
+        if observing:
+            tracer.point("checkpoint", n_done=n_done, seconds=round(seconds, 6))
 
     since_checkpoint = 0
     for i, cand in enumerate(candidates):
         cand = int(cand)
         since_checkpoint += 1
+        if observing:
+            progress.update(i + 1)
         code, payload = model.prefilter(cand, ctx)
         if code != CODE_NOT_TESTED:
             verdicts[cand] = code
@@ -459,6 +507,13 @@ def run_serial(
         0.0, telem.wall_seconds - telem.simulate_seconds - telem.checkpoint_seconds
     )
     result.telemetry = telem
+    if observing:
+        tracer.point("telemetry", **telem.to_dict())
+        tracer.counters(KERNEL_COUNTERS.to_dict())
+        tracer.close_span(
+            root_span, n_simulated=n_simulated, n_batches=telem.n_batches
+        )
+        progress.finish(telem.summary())
     if checkpoint_save is not None:
         checkpoint_save(result)
     return result
@@ -503,22 +558,26 @@ def _worker_prefilter(model_blob: bytes, cands: np.ndarray) -> tuple[np.ndarray,
 
 def _worker_observe(
     model_blob: bytes, batch_size: int, cands: np.ndarray
-) -> tuple[np.ndarray, dict[int, np.ndarray], int, float, tuple[int, int, int]]:
+) -> tuple[
+    np.ndarray, dict[int, np.ndarray], list[float], float, tuple[int, int, int]
+]:
     """Simulate one survivor shard in consecutive ``batch_size`` batches.
 
     ``cands`` must be pre-filter survivors in candidate order; patches
     are re-derived in process (:meth:`FaultModel.patch_for` is
     deterministic).  Returns verdict codes aligned with ``cands``, the
-    retained payloads, the batch count, the worker seconds spent, and
-    the kernel fault-dropping counter delta.
+    retained payloads, the per-batch durations (their length is the
+    batch count), the worker seconds spent, and the kernel
+    fault-dropping counter delta.
     """
     t0 = time.perf_counter()
     kern0 = KERNEL_COUNTERS.snapshot()
     model, ctx = _model_state(model_blob)
     codes = np.empty(cands.size, dtype=np.uint8)
     payloads: dict[int, np.ndarray] = {}
-    n_batches = 0
+    batch_seconds: list[float] = []
     for start in range(0, int(cands.size), batch_size):
+        t_batch = time.perf_counter()
         chunk = cands[start : start + batch_size]
         pending = [(int(c), model.patch_for(int(c), ctx)) for c in chunk]
         observations = model.observe_batch(ctx, pending)
@@ -527,8 +586,8 @@ def _worker_observe(
             rich = model.payload(obs)
             if rich is not None:
                 payloads[cand] = rich
-        n_batches += 1
-    return codes, payloads, n_batches, time.perf_counter() - t0, KERNEL_COUNTERS.delta(kern0)
+        batch_seconds.append(time.perf_counter() - t_batch)
+    return codes, payloads, batch_seconds, time.perf_counter() - t0, KERNEL_COUNTERS.delta(kern0)
 
 
 def _worker_prefilter_collapse(
@@ -564,7 +623,9 @@ def _worker_prefilter_collapse(
 
 def _worker_observe_collapsed(
     model_blob: bytes, batch_size: int, cands: np.ndarray, salt: Any
-) -> tuple[np.ndarray, dict[int, np.ndarray], int, float, tuple[int, int, int]]:
+) -> tuple[
+    np.ndarray, dict[int, np.ndarray], list[float], float, tuple[int, int, int]
+]:
     """Simulate one shard of same-salt collapse-class representatives.
 
     Identical to :func:`_worker_observe` except every batch is simulated
@@ -577,8 +638,9 @@ def _worker_observe_collapsed(
     model, ctx = _model_state(model_blob)
     codes = np.empty(cands.size, dtype=np.uint8)
     payloads: dict[int, np.ndarray] = {}
-    n_batches = 0
+    batch_seconds: list[float] = []
     for start in range(0, int(cands.size), batch_size):
+        t_batch = time.perf_counter()
         chunk = cands[start : start + batch_size]
         pending = [(int(c), model.patch_for(int(c), ctx)) for c in chunk]
         observations = model.observe_collapsed(ctx, pending, salt)
@@ -587,8 +649,8 @@ def _worker_observe_collapsed(
             rich = model.payload(obs)
             if rich is not None:
                 payloads[cand] = rich
-        n_batches += 1
-    return codes, payloads, n_batches, time.perf_counter() - t0, KERNEL_COUNTERS.delta(kern0)
+        batch_seconds.append(time.perf_counter() - t_batch)
+    return codes, payloads, batch_seconds, time.perf_counter() - t0, KERNEL_COUNTERS.delta(kern0)
 
 
 # -- sharded driver ------------------------------------------------------------
@@ -667,7 +729,7 @@ def run_sharded(
     individually, because removing a scattered subset of survivors
     would regroup the remainder's naive batches on resume.
     """
-    from concurrent.futures import ProcessPoolExecutor, as_completed
+    from concurrent.futures import ProcessPoolExecutor
 
     jobs = default_jobs() if jobs is None else int(jobs)
     if jobs < 1:
@@ -689,6 +751,17 @@ def run_sharded(
 
     t0 = time.perf_counter()
     telem = CampaignTelemetry(n_candidates=int(candidates.size), jobs=jobs)
+    observer = get_observer()
+    tracer, progress = observer.tracer, observer.progress
+    observing = observer.enabled
+    root_span = tracer.open_span(
+        "campaign",
+        model=model.name,
+        key=model.key(),
+        jobs=jobs,
+        candidates=int(candidates.size),
+        collapse=do_collapse,
+    )
     model_blob = pickle.dumps(model)
     # Pre-populate the worker cache: under fork the children inherit the
     # model context copy-on-write; under spawn this only warms the
@@ -711,6 +784,8 @@ def run_sharded(
         n_chunks = max(1, min(jobs * shards_per_job, int(candidates.size)))
         chunks = np.array_split(candidates, n_chunks)
         infos: list[tuple[Any, Any] | None] = []
+        prefilter_span = tracer.open_span("phase.prefilter", chunks=n_chunks)
+        progress.start(f"{model.name} prefilter", total=n_chunks)
         if do_collapse:
             futures = [
                 executor.submit(_worker_prefilter_collapse, model_blob, c)
@@ -723,6 +798,8 @@ def run_sharded(
                 code_parts.append(codes)
                 infos.extend(info)
                 telem.prefilter_seconds += seconds
+                if observing:
+                    progress.update(len(code_parts))
         else:
             futures = [
                 executor.submit(_worker_prefilter, model_blob, c)
@@ -734,6 +811,8 @@ def run_sharded(
                 codes, seconds = f.result()
                 code_parts.append(codes)
                 telem.prefilter_seconds += seconds
+                if observing:
+                    progress.update(len(code_parts))
         codes = (
             np.concatenate(code_parts) if code_parts else np.empty(0, dtype=np.uint8)
         )
@@ -744,6 +823,14 @@ def run_sharded(
         telem.skip_cone = int(np.count_nonzero(codes == CODE_SKIP_CONE))
         telem.skip_unaddressed = int(np.count_nonzero(codes == CODE_SKIP_UNADDRESSED))
         telem.n_simulated = int(survivors.size)
+        if observing:
+            tracer.close_span(
+                prefilter_span,
+                survivors=int(survivors.size),
+                skipped=int(skipped.size),
+                worker_seconds=round(telem.prefilter_seconds, 6),
+            )
+            progress.finish(f"{int(survivors.size)} survivor(s)")
 
         parts: list[SweepResult] = []
         if merge_with is not None:
@@ -760,22 +847,67 @@ def run_sharded(
             if checkpoint_save is not None:
                 t_ck = time.perf_counter()
                 checkpoint_save(result)
-                telem.checkpoint_seconds += time.perf_counter() - t_ck
+                seconds = time.perf_counter() - t_ck
+                telem.checkpoint_seconds += seconds
+                if observing:
+                    tracer.point(
+                        "checkpoint",
+                        n_done=int(result.candidate_ids.size),
+                        seconds=round(seconds, 6),
+                    )
 
         if acc is not None:
             checkpoint(acc)
 
+        observe_span = tracer.open_span("phase.observe", survivors=int(survivors.size))
+        progress.start(f"{model.name} observe", total=int(survivors.size))
+        tracker = ShardTracker(tracer, progress) if observing else None
+        shard_spans: dict[int, int] = {}
+        done_bits = 0
+
+        def submit_shard(fn, index: int, shard: np.ndarray, *extra) -> Any:
+            if observing:
+                shard_spans[index] = tracer.open_span(
+                    "shard", parent=observe_span, index=index, bits=int(shard.size)
+                )
+                tracker.submitted(index)
+            return executor.submit(fn, model_blob, batch_size, shard, *extra)
+
+        def shard_done(
+            index: int, shard: np.ndarray, batch_seconds: list[float], seconds: float
+        ) -> None:
+            nonlocal done_bits
+            telem.n_batches += len(batch_seconds)
+            telem.simulate_seconds += seconds
+            for b in batch_seconds:
+                telem.record_batch_seconds(b)
+            telem.record_shard_seconds(seconds)
+            if observing:
+                tracker.completed(index)
+                tracer.close_span(
+                    shard_spans.pop(index),
+                    batches=len(batch_seconds),
+                    worker_seconds=round(seconds, 6),
+                )
+                done_bits += int(shard.size)
+                progress.update(done_bits)
+                if telem.n_batches // _COUNTER_SAMPLE_BATCHES != (
+                    telem.n_batches - len(batch_seconds)
+                ) // _COUNTER_SAMPLE_BATCHES:
+                    tracer.counters(KERNEL_COUNTERS.to_dict())
+
         if not do_collapse:
             # Phase 2: survivor shards, whole batches each, fanned out.
             shard_futures = {
-                executor.submit(_worker_observe, model_blob, batch_size, shard): shard
-                for shard in shard_survivors(survivors, batch_size, jobs * shards_per_job)
+                submit_shard(_worker_observe, i, shard): (i, shard)
+                for i, shard in enumerate(
+                    shard_survivors(survivors, batch_size, jobs * shards_per_job)
+                )
             }
-            for f in as_completed(shard_futures):
-                shard = shard_futures[f]
-                shard_codes, shard_payloads, n_batches, seconds, kd = f.result()
-                telem.n_batches += n_batches
-                telem.simulate_seconds += seconds
+            for f in completed_with_heartbeats(shard_futures, tracker):
+                index, shard = shard_futures[f]
+                shard_codes, shard_payloads, batch_seconds, seconds, kd = f.result()
+                shard_done(index, shard, batch_seconds, seconds)
                 add_kernel_delta(kd)
                 part = _part_sweep(
                     model, shard, shard_codes, seconds, int(shard.size), shard_payloads
@@ -810,14 +942,14 @@ def run_sharded(
                         reps_by_salt.setdefault(salt, []).append(cand)
 
             shard_futures = {}
+            next_index = 0
             for salt, reps in reps_by_salt.items():
                 reps_arr = np.asarray(reps, dtype=np.int64)
                 for shard in shard_survivors(reps_arr, batch_size, jobs * shards_per_job):
                     shard_futures[
-                        executor.submit(
-                            _worker_observe_collapsed, model_blob, batch_size, shard, salt
-                        )
-                    ] = shard
+                        submit_shard(_worker_observe_collapsed, next_index, shard, salt)
+                    ] = (next_index, shard)
+                    next_index += 1
 
             resolved_code: dict[int, int] = {}
             resolved_payloads: dict[int, np.ndarray] = {}
@@ -840,11 +972,10 @@ def run_sharded(
                 acc = part if acc is None else merge_sweeps([acc, part])
                 ck_done = hi
 
-            for f in as_completed(shard_futures):
-                shard = shard_futures[f]
-                shard_codes, shard_payloads, n_batches, seconds, kd = f.result()
-                telem.n_batches += n_batches
-                telem.simulate_seconds += seconds
+            for f in completed_with_heartbeats(shard_futures, tracker):
+                index, shard = shard_futures[f]
+                shard_codes, shard_payloads, batch_seconds, seconds, kd = f.result()
+                shard_done(index, shard, batch_seconds, seconds)
                 add_kernel_delta(kd)
                 for j, rep in enumerate(shard):
                     rep = int(rep)
@@ -868,6 +999,9 @@ def run_sharded(
                         checkpoint(acc)
             if ck_done < n_surv:
                 fold_prefix(n_surv)
+        if observing:
+            tracer.close_span(observe_span, batches=telem.n_batches)
+            progress.finish(f"{telem.n_batches} batch(es)")
     finally:
         if own_pool:
             executor.shutdown()
@@ -882,6 +1016,12 @@ def run_sharded(
         t_ck = time.perf_counter()
         checkpoint_save(acc)
         telem.checkpoint_seconds += time.perf_counter() - t_ck
+    if observing:
+        tracer.point("telemetry", **telem.to_dict())
+        tracer.counters(KERNEL_COUNTERS.to_dict())
+        tracer.close_span(
+            root_span, n_simulated=telem.n_simulated, n_batches=telem.n_batches
+        )
     return acc
 
 

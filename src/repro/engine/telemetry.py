@@ -8,9 +8,19 @@ half-latch, BIST coverage — emits the same ``BENCH_*.json`` row schema.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from bisect import bisect_right
+from dataclasses import dataclass, field
 
-__all__ = ["CampaignTelemetry"]
+__all__ = ["CampaignTelemetry", "HIST_EDGES_SECONDS"]
+
+#: log-spaced bucket upper edges (seconds) for the per-stage timing
+#: histograms; a final open bucket catches everything slower.  Spanning
+#: 1 ms to 100 s covers one simulator batch on a toy design up to one
+#: whole shard of a large sweep.
+HIST_EDGES_SECONDS: tuple[float, ...] = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+)
 
 
 @dataclass
@@ -52,6 +62,38 @@ class CampaignTelemetry:
     checkpoint_seconds: float = 0.0
     wall_seconds: float = 0.0
     jobs: int = 1
+    # Per-stage timing histograms over HIST_EDGES_SECONDS (one extra
+    # open bucket at the end).  Empty list = nothing recorded; kept as
+    # plain lists so to_dict()/save/load round-trip them untouched.
+    batch_seconds_hist: list[int] = field(default_factory=list)
+    shard_seconds_hist: list[int] = field(default_factory=list)
+
+    @staticmethod
+    def _bucket(seconds: float) -> int:
+        return bisect_right(HIST_EDGES_SECONDS, seconds)
+
+    def _record(self, hist: list[int], seconds: float) -> None:
+        if not hist:
+            hist.extend([0] * (len(HIST_EDGES_SECONDS) + 1))
+        hist[self._bucket(seconds)] += 1
+
+    def record_batch_seconds(self, seconds: float) -> None:
+        """Fold one simulator-batch duration into the batch histogram."""
+        self._record(self.batch_seconds_hist, float(seconds))
+
+    def record_shard_seconds(self, seconds: float) -> None:
+        """Fold one completed-shard duration into the shard histogram."""
+        self._record(self.shard_seconds_hist, float(seconds))
+
+    @staticmethod
+    def merge_hist(into: list[int], other: list[int]) -> None:
+        """Accumulate ``other`` into ``into`` (sizing ``into`` lazily)."""
+        if not other:
+            return
+        if not into:
+            into.extend([0] * len(other))
+        for i, n in enumerate(other):
+            into[i] += int(n)
 
     @property
     def n_skipped(self) -> int:

@@ -85,6 +85,14 @@ class KernelCounters:
         self.batch_compactions += int(delta[1])
         self.machine_cycles_saved += int(delta[2])
 
+    def to_dict(self) -> dict[str, int]:
+        """JSON-ready sample (the trace ``counters`` event payload)."""
+        return {
+            "machines_retired": int(self.machines_retired),
+            "batch_compactions": int(self.batch_compactions),
+            "machine_cycles_saved": int(self.machine_cycles_saved),
+        }
+
 
 KERNEL_COUNTERS = KernelCounters()
 

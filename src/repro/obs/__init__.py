@@ -1,0 +1,112 @@
+"""Verdict-invariant observability: tracing, heartbeats, progress.
+
+The campaign engine, kernel, and scrubber are instrumented against an
+*ambient observer* rather than a threaded-through parameter: call sites
+ask :func:`get_observer` for the current :class:`Observer` and emit
+through it.  By default that observer is disabled (null tracer, null
+progress) and every hook is a guarded no-op, so the untraced hot path
+pays one attribute read per site.  The CLI (or a test) activates
+observability for a lexical scope with::
+
+    with observe(trace_path="t.jsonl", progress=True, label="campaign"):
+        run_campaign(...)
+
+The non-negotiable contract, pinned by the golden-SHA flag matrix in
+``tests/seu/test_shrinkers.py`` and the property suite in
+``tests/property/test_property_trace.py``: enabling any part of this
+layer never changes a campaign's verdict bytes.  Observers read state
+and timings; they never mutate batches, draw random numbers, or gate
+control flow that affects results.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.obs.heartbeat import ShardTracker, completed_with_heartbeats
+from repro.obs.progress import NULL_PROGRESS, NullProgress, ProgressReporter
+from repro.obs.report import Segment, Span, Trace, load_trace, render_report
+from repro.obs.trace import NULL_TRACER, SCHEMA_VERSION, NullTracer, TraceWriter
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "NullTracer",
+    "TraceWriter",
+    "NullProgress",
+    "ProgressReporter",
+    "ShardTracker",
+    "completed_with_heartbeats",
+    "Span",
+    "Segment",
+    "Trace",
+    "load_trace",
+    "render_report",
+    "Observer",
+    "NULL_OBSERVER",
+    "get_observer",
+    "set_observer",
+    "observe",
+]
+
+
+@dataclass(frozen=True)
+class Observer:
+    """The pair of sinks instrumentation emits through."""
+
+    tracer: NullTracer = NULL_TRACER
+    progress: NullProgress = NULL_PROGRESS
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.progress.enabled
+
+
+NULL_OBSERVER = Observer()
+
+_observer: Observer = NULL_OBSERVER
+
+
+def get_observer() -> Observer:
+    """The ambient observer (disabled unless inside :func:`observe`)."""
+    return _observer
+
+
+def set_observer(observer: Observer) -> Observer:
+    """Install ``observer`` as ambient; returns the previous one."""
+    global _observer
+    previous = _observer
+    _observer = observer
+    return previous
+
+
+@contextmanager
+def observe(
+    trace_path: str | None = None,
+    progress: bool = False,
+    *,
+    label: str = "run",
+    resumed: bool = False,
+):
+    """Activate observability for a lexical scope.
+
+    ``trace_path`` opens (append) a :class:`TraceWriter`; ``progress``
+    attaches a stderr :class:`ProgressReporter`.  With neither, this is
+    a no-op passthrough.  The previous observer is always restored and
+    the trace file closed (open spans force-closed, ``run_end``
+    written) on exit, including on error.
+    """
+    tracer: NullTracer = NULL_TRACER
+    if trace_path is not None:
+        tracer = TraceWriter(trace_path, label=label, resumed=resumed)
+    reporter: NullProgress = ProgressReporter() if progress else NULL_PROGRESS
+    observer = Observer(tracer=tracer, progress=reporter)
+    if not observer.enabled:
+        yield NULL_OBSERVER
+        return
+    previous = set_observer(observer)
+    try:
+        yield observer
+    finally:
+        set_observer(previous)
+        tracer.close()

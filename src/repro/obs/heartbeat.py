@@ -1,0 +1,129 @@
+"""Worker heartbeats and straggler detection for sharded runs.
+
+The sharded driver's merge step is order-independent (pinned by
+``tests/seu/test_parallel.py::TestMergeOrderIndependence``), which is
+what makes heartbeat monitoring admissible at all: when observability
+is on, we swap the plain ``as_completed`` drain for a
+``concurrent.futures.wait``-with-timeout loop that emits a liveness
+sample between completions.  Futures still resolve to exactly the same
+values, so verdict bytes are untouched; when observability is off the
+original drain is used and the scheduler sees zero difference.
+
+A shard is flagged as a *straggler* when it has been in flight longer
+than ``straggler_factor`` × the median duration of completed shards
+(needing at least ``min_samples`` completions first, so early noise
+doesn't fire the alarm).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, as_completed, wait
+from typing import Any, Iterable, Iterator
+
+from repro.obs.progress import NULL_PROGRESS, NullProgress
+from repro.obs.trace import NULL_TRACER, NullTracer
+
+__all__ = ["ShardTracker", "completed_with_heartbeats"]
+
+
+class ShardTracker:
+    """Tracks in-flight shards and emits heartbeats/straggler warnings."""
+
+    def __init__(
+        self,
+        tracer: NullTracer = NULL_TRACER,
+        progress: NullProgress = NULL_PROGRESS,
+        *,
+        kind: str = "shard",
+        interval: float = 2.0,
+        straggler_factor: float = 4.0,
+        min_samples: int = 3,
+    ):
+        self.tracer = tracer
+        self.progress = progress
+        self.kind = kind
+        self.interval = interval
+        self.straggler_factor = straggler_factor
+        self.min_samples = min_samples
+        self._inflight: dict[int, float] = {}  # shard index -> submit time
+        self._durations: list[float] = []
+        self._flagged: set[int] = set()
+        self.n_done = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.progress.enabled
+
+    def submitted(self, index: int) -> None:
+        self._inflight[index] = time.perf_counter()
+
+    def completed(self, index: int) -> None:
+        t0 = self._inflight.pop(index, None)
+        if t0 is not None:
+            self._durations.append(time.perf_counter() - t0)
+        self._flagged.discard(index)
+        self.n_done += 1
+
+    def _median_duration(self) -> float | None:
+        if len(self._durations) < self.min_samples:
+            return None
+        ordered = sorted(self._durations)
+        return ordered[len(ordered) // 2]
+
+    def stragglers(self) -> list[int]:
+        """Indices in flight for > factor × median completed duration."""
+        median = self._median_duration()
+        if median is None or median <= 0:
+            return []
+        now = time.perf_counter()
+        limit = self.straggler_factor * median
+        return [i for i, t0 in self._inflight.items() if now - t0 > limit]
+
+    def tick(self) -> None:
+        """Emit one liveness sample: heartbeat event + straggler notes."""
+        now = time.perf_counter()
+        workers = [
+            {"index": i, "elapsed": round(now - t0, 3)}
+            for i, t0 in sorted(self._inflight.items())
+        ]
+        self.tracer.heartbeat(workers, kind=self.kind, done=self.n_done)
+        for index in self.stragglers():
+            if index in self._flagged:
+                continue
+            self._flagged.add(index)
+            elapsed = now - self._inflight[index]
+            self.tracer.point(
+                "straggler", index=index, kind=self.kind, elapsed=round(elapsed, 3)
+            )
+            self.progress.note(
+                f"warning: {self.kind} {index} still running after {elapsed:.1f}s "
+                f"(median {self._median_duration():.1f}s)"
+            )
+
+
+def completed_with_heartbeats(
+    futures: Iterable[Future], tracker: ShardTracker | None = None
+) -> Iterator[Future]:
+    """Yield futures as they complete, ticking ``tracker`` while waiting.
+
+    With no tracker (or a disabled one) this is exactly
+    ``concurrent.futures.as_completed`` — the untraced hot path is the
+    stock drain.  With an enabled tracker, a ``wait(..., timeout)`` loop
+    yields the same completed futures (order may differ from
+    ``as_completed``'s, which the merge step is proven insensitive to)
+    and calls :meth:`ShardTracker.tick` whenever a wait times out with
+    work still in flight.
+    """
+    pending = set(futures)
+    if tracker is None or not tracker.enabled:
+        yield from as_completed(pending)
+        return
+    while pending:
+        done, pending = wait(pending, timeout=tracker.interval, return_when=FIRST_COMPLETED)
+        if not done:
+            tracker.tick()
+            continue
+        yield from done
+        if pending:
+            tracker.tick()

@@ -1,0 +1,108 @@
+"""Live progress reporting to stderr.
+
+A deliberately small single-line reporter: campaigns run for minutes,
+and the only live questions are "how far along", "how fast", and "is
+anything stuck".  Output goes to stderr so stdout stays pipeable
+(``repro campaign ... > summary.txt`` is unchanged by ``--progress``).
+
+Like the tracer, progress is verdict-invariant by construction — it
+formats numbers it is handed and never touches campaign state.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+__all__ = ["NullProgress", "ProgressReporter", "NULL_PROGRESS"]
+
+
+class NullProgress:
+    """Disabled reporter; every hook is a no-op."""
+
+    enabled = False
+
+    def start(self, label: str, total: int | None = None) -> None:
+        pass
+
+    def update(self, done: int, extra: str = "") -> None:
+        pass
+
+    def note(self, message: str) -> None:
+        pass
+
+    def finish(self, summary: str = "") -> None:
+        pass
+
+
+NULL_PROGRESS = NullProgress()
+
+
+class ProgressReporter(NullProgress):
+    """Throttled ``\\r``-rewriting progress line.
+
+    Repaints at most every ``min_interval`` seconds (plus always on
+    :meth:`start`/:meth:`finish`/:meth:`note`) so per-batch updates from
+    a hot loop cost a clock read, not a syscall.
+    """
+
+    enabled = True
+
+    def __init__(self, stream: TextIO | None = None, min_interval: float = 0.2):
+        self._stream = stream if stream is not None else sys.stderr
+        self._min_interval = min_interval
+        self._label = ""
+        self._total: int | None = None
+        self._t_start = 0.0
+        self._t_last = 0.0
+        self._line_len = 0
+
+    def _paint(self, text: str) -> None:
+        pad = max(0, self._line_len - len(text))
+        self._stream.write("\r" + text + " " * pad)
+        self._stream.flush()
+        self._line_len = len(text)
+
+    def start(self, label: str, total: int | None = None) -> None:
+        self._label = label
+        self._total = total
+        self._t_start = time.perf_counter()
+        self._t_last = 0.0
+        of = f"/{total}" if total is not None else ""
+        self._paint(f"{label}: 0{of}")
+
+    def update(self, done: int, extra: str = "") -> None:
+        now = time.perf_counter()
+        if now - self._t_last < self._min_interval:
+            return
+        self._t_last = now
+        elapsed = now - self._t_start
+        rate = done / elapsed if elapsed > 0 else 0.0
+        if self._total:
+            pct = 100.0 * done / self._total
+            text = f"{self._label}: {done}/{self._total} ({pct:.1f}%) {rate:.1f}/s"
+        else:
+            text = f"{self._label}: {done} {rate:.1f}/s"
+        if extra:
+            text += f" {extra}"
+        self._paint(text)
+
+    def note(self, message: str) -> None:
+        # Permanent line (e.g. a straggler warning): finish the live
+        # line, print the note, resume painting below it.
+        self._paint("")
+        self._stream.write(f"\r{message}\n")
+        self._stream.flush()
+        self._line_len = 0
+        self._t_last = 0.0
+
+    def finish(self, summary: str = "") -> None:
+        elapsed = time.perf_counter() - self._t_start
+        text = f"{self._label}: done in {elapsed:.1f}s"
+        if summary:
+            text += f" — {summary}"
+        self._paint(text)
+        self._stream.write("\n")
+        self._stream.flush()
+        self._line_len = 0

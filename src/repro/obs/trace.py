@@ -1,0 +1,227 @@
+"""Structured span tracing: append-only JSONL, verdict-invariant.
+
+A trace is a flat stream of JSON events, one per line, written in the
+order they happen.  Hierarchy comes from *spans*: ``span_open`` /
+``span_close`` pairs that carry a monotonically-assigned id and an
+explicit parent id, so the campaign → phase → shard → batch tree can be
+rebuilt from the file alone (:mod:`repro.obs.report`), even when spans
+of sibling shards interleave arbitrarily.
+
+The hard contract of the whole :mod:`repro.obs` layer is **verdict
+invariance**: tracing only ever *reads* campaign state.  It draws no
+random numbers, mutates no batch, and never reorders work — so a traced
+run's verdict bytes are identical to an untraced run's (pinned by the
+golden-SHA flag matrix in ``tests/seu/test_shrinkers.py``).
+
+Event schema (versioned by the ``schema`` field of ``run_start``):
+
+==============  ==============================================================
+``run_start``   ``schema``, ``wall`` (epoch seconds), ``pid``, ``label``,
+                ``resumed`` — one per run segment; a resumed campaign appends
+                a second segment to the same file
+``span_open``   ``span`` (id), ``parent`` (id or null), ``name``, free fields
+``span_close``  ``span``, free fields (e.g. ``seconds``, batch counts)
+``point``       instantaneous event: ``kind``, current span, free fields
+``heartbeat``   liveness sample: in-flight workers/shards with elapsed times
+``counters``    kernel-counter sample (:data:`~repro.netlist.simulator.KERNEL_COUNTERS`)
+``run_end``     closes a segment
+==============  ==============================================================
+
+Every event carries ``t``, seconds since its segment's ``run_start`` on
+the monotonic clock, so durations are robust against wall-clock steps.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any
+
+__all__ = ["SCHEMA_VERSION", "NullTracer", "TraceWriter", "NULL_TRACER"]
+
+#: version of the event schema written by :class:`TraceWriter` (and the
+#: newest version :mod:`repro.obs.report` understands)
+SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce one field value to something ``json.dumps`` accepts.
+
+    Numpy scalars (the common case: counters, seconds) are unwrapped via
+    their ``item()``; anything else unknown becomes its ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+class NullTracer:
+    """The disabled tracer: every hook is a cheap no-op.
+
+    Campaign hot paths guard field construction with ``tracer.enabled``
+    so an untraced run pays one attribute read per hook site, nothing
+    more.  :class:`TraceWriter` subclasses this, keeping one method
+    surface for both.
+    """
+
+    enabled = False
+
+    def open_span(self, name: str, parent: int | None = None, **fields: Any) -> int:
+        return -1
+
+    def close_span(self, span_id: int, **fields: Any) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **fields: Any):
+        """Context-manager sugar over :meth:`open_span`/:meth:`close_span`."""
+        span_id = self.open_span(name, **fields)
+        try:
+            yield span_id
+        finally:
+            self.close_span(span_id)
+
+    def point(self, kind: str, **fields: Any) -> None:
+        pass
+
+    def heartbeat(self, workers: list[dict[str, Any]], **fields: Any) -> None:
+        pass
+
+    def counters(self, sample: dict[str, Any]) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class TraceWriter(NullTracer):
+    """Append-only JSONL span tracer.
+
+    Opens ``path`` in append mode so a resumed campaign extends the
+    original file with a second ``run_start`` segment (``resumed=True``)
+    instead of destroying the killed run's partial trace.  Each line is
+    flushed as written: a killed process leaves at worst one truncated
+    final line, which the report parser skips and counts.
+
+    Thread-safe (the heartbeat monitor emits from between-completion
+    waits) and fork-safe: a worker process inheriting the writer keeps
+    the parent's file handle, so :meth:`_emit` drops events from any pid
+    other than the opening one rather than interleaving corrupt lines.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str, label: str = "run", resumed: bool = False):
+        self.path = str(path)
+        self._pid = os.getpid()
+        self._lock = threading.Lock()
+        self._t0 = time.perf_counter()
+        self._next_span = 0
+        self._stack: list[int] = []  # open span ids, innermost last
+        self._file: io.TextIOBase | None = open(self.path, "a", encoding="utf-8")
+        self._emit(
+            {
+                "ev": "run_start",
+                "schema": SCHEMA_VERSION,
+                "wall": time.time(),
+                "pid": self._pid,
+                "label": str(label),
+                "resumed": bool(resumed),
+            }
+        )
+
+    # -- low-level emission ---------------------------------------------------
+
+    def _emit(self, event: dict[str, Any]) -> None:
+        if os.getpid() != self._pid:  # forked child: never write
+            return
+        with self._lock:
+            if self._file is None:
+                return
+            event.setdefault("t", round(time.perf_counter() - self._t0, 6))
+            self._file.write(json.dumps(event, separators=(",", ":")) + "\n")
+            self._file.flush()
+
+    def _event(self, ev: str, fields: dict[str, Any], **core: Any) -> dict[str, Any]:
+        event: dict[str, Any] = {"ev": ev, **core}
+        for key, value in fields.items():
+            if key not in event:
+                event[key] = _jsonable(value)
+        return event
+
+    # -- the tracer surface ---------------------------------------------------
+
+    def open_span(self, name: str, parent: int | None = None, **fields: Any) -> int:
+        with self._lock:
+            span_id = self._next_span
+            self._next_span += 1
+            if parent is None and self._stack:
+                parent = self._stack[-1]
+            self._stack.append(span_id)
+        self._emit(self._event("span_open", fields, span=span_id, parent=parent, name=name))
+        return span_id
+
+    def close_span(self, span_id: int, **fields: Any) -> None:
+        if span_id < 0:
+            return
+        with self._lock:
+            # Sibling spans (shards in flight) close in completion order,
+            # not LIFO — remove wherever it sits.
+            try:
+                self._stack.remove(span_id)
+            except ValueError:
+                pass
+        self._emit(self._event("span_close", fields, span=span_id))
+
+    def point(self, kind: str, **fields: Any) -> None:
+        with self._lock:
+            current = self._stack[-1] if self._stack else None
+        self._emit(self._event("point", fields, kind=kind, span=current))
+
+    def heartbeat(self, workers: list[dict[str, Any]], **fields: Any) -> None:
+        self._emit(self._event("heartbeat", fields, workers=_jsonable(workers)))
+
+    def counters(self, sample: dict[str, Any]) -> None:
+        self._emit(self._event("counters", {str(k): _jsonable(v) for k, v in sample.items()}))
+
+    def close(self) -> None:
+        if os.getpid() != self._pid:
+            return
+        with self._lock:
+            if self._file is None:
+                return
+            # Close any spans left open (a crashed phase) so the file
+            # stays structurally well formed.
+            now = round(time.perf_counter() - self._t0, 6)
+            for span_id in reversed(self._stack):
+                self._file.write(
+                    json.dumps(
+                        {"ev": "span_close", "span": span_id, "t": now, "aborted": True},
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+            self._stack.clear()
+            self._file.write(
+                json.dumps({"ev": "run_end", "t": now}, separators=(",", ":")) + "\n"
+            )
+            self._file.flush()
+            self._file.close()
+            self._file = None

@@ -322,6 +322,13 @@ class FaultManager:
         and a device that exhausts the ladder is quarantined out of the
         rotation rather than crashing the loop.
         """
+        from repro.obs import get_observer
+
+        tracer = get_observer().tracer
+        span = tracer.open_span(
+            "scrub.scan_cycle",
+            devices=sum(1 for d in self.devices if not d.quarantined),
+        ) if tracer.enabled else -1
         t0 = self.clock.now
         tallies = (ScrubEventKind.FALSE_ALARM, ScrubEventKind.RETRY,
                    ScrubEventKind.ESCALATION, ScrubEventKind.SEFI_RECOVERY)
@@ -364,7 +371,7 @@ class FaultManager:
             # No bus work happened (e.g. every device quarantined): advance
             # a minimum idle tick so polling loops always make progress.
             self.clock.advance(self.idle_tick_s)
-        return ScanReport(
+        report = ScanReport(
             duration_s=self.clock.now - t0,
             detected=detected,
             repaired=repaired,
@@ -380,6 +387,20 @@ class FaultManager:
             quarantined=[d.name for d in self.devices
                          if d.quarantined and d.name not in was_quarantined],
         )
+        if tracer.enabled:
+            tracer.close_span(
+                span,
+                scan_seconds=round(report.duration_s, 6),
+                detected=len(report.detected),
+                repaired=len(report.repaired),
+                resets=report.resets,
+                false_alarms=report.false_alarms,
+                retries=report.retries,
+                escalations=report.escalations,
+                sefi_recoveries=report.sefi_recoveries,
+                quarantined=len(report.quarantined),
+            )
+        return report
 
     def self_test(self, dev: ManagedDevice, frame_index: int, bit: int = 0) -> bool:
         """Artificial SEU insertion (paper section II-A).

@@ -180,10 +180,20 @@ class OnOrbitSystem:
         exhausts the escalation ladder is quarantined — reducing
         ``device_availability`` — instead of aborting the mission.
         """
+        from repro.obs import get_observer
+
+        observer = get_observer()
         rate = self.environment.device_upset_rate(self.cross_section) * self.n_devices
         start = self.clock.now
         upset_times = start + sample_upset_times(rate, duration_s, self.rng)
         quarantined_at: dict[str, float] = {}
+        mission_span = observer.tracer.open_span(
+            "mission.fly",
+            n_devices=self.n_devices,
+            duration_s=float(duration_s),
+            n_upsets=int(len(upset_times)),
+        )
+        observer.progress.start("mission upsets", total=int(len(upset_times)))
 
         def note_quarantines(scan) -> None:
             for name in scan.quarantined:
@@ -240,6 +250,8 @@ class OnOrbitSystem:
                     report.n_undetected_bram += 1
                 elif (name, frame) in detected_frames:
                     report.detection_latencies_s.append(self.clock.now - when)
+            if observer.enabled:
+                observer.progress.update(i)
         self.clock.advance_to(start + duration_s)
 
         end = self.clock.now
@@ -247,4 +259,14 @@ class OnOrbitSystem:
         lost = sum(end - t0 for t0 in quarantined_at.values())
         total = self.n_devices * (end - start)
         report.device_availability = 1.0 - lost / total if total > 0 else 1.0
+        if observer.enabled:
+            observer.tracer.close_span(
+                mission_span,
+                detected=report.n_detected,
+                repaired=report.n_repaired,
+                quarantined=len(report.quarantined),
+            )
+            observer.progress.finish(
+                f"{report.n_detected} detected, {report.n_repaired} repaired"
+            )
         return report

@@ -17,6 +17,14 @@ loop's batch composition.  **Checkpoint/resume**: every checkpoint
 holds whole batches only, so a killed parallel sweep resumes to the
 byte-identical result, and serial and parallel runs can resume each
 other's checkpoints.
+
+**Observability** (:mod:`repro.obs`): with an active tracer or progress
+reporter the engine's observe phase waits on shard futures with a
+heartbeat timeout instead of blocking, so shard *completion order* may
+differ from an untraced run — admissible because each shard covers a
+disjoint candidate range and the merge is order-independent; the
+verdict bytes still match the untraced golden SHAs
+(``tests/seu/test_shrinkers.py::TestObservabilityInvariance``).
 """
 
 from __future__ import annotations

@@ -12,7 +12,6 @@ Two layers of protection for the big refactor:
 
 from __future__ import annotations
 
-import hashlib
 from concurrent.futures import Executor, Future
 
 import numpy as np
@@ -29,16 +28,13 @@ from repro.seu import (
     run_halflatch_sweep,
     run_multibit_campaign,
 )
+from tests.utils.goldens import assert_golden_verdicts
 
 # Same shape as tests/seu: small batches so sweeps span many batches.
 CFG = CampaignConfig(detect_cycles=48, persist_cycles=32, stride=7, batch_size=32)
 HL_CFG = CampaignConfig(
     detect_cycles=48, persist_cycles=0, classify_persistence=False, batch_size=32
 )
-
-# Captured from the pre-engine implementation (MULT4 on S8).
-SEU_GOLDEN_SHA = "d68e0e62c9ea82e91587795304d4c4ff5cbfb3f3292c4239f9c16d0a5ec321ec"
-HL_GOLDEN_SHA = "3edf712d36d1adfc5011d23c2b9ba1670f4eca2d20bdc794048e8e983d30119b"
 
 
 class InlineExecutor(Executor):
@@ -93,7 +89,7 @@ def assert_sweeps_identical(a, b):
 class TestSEUGoldenRegression:
     def test_verdicts_unchanged_by_engine_port(self, mult_hw):
         result = run_campaign(mult_hw, CFG)
-        assert hashlib.sha256(result.verdicts.tobytes()).hexdigest() == SEU_GOLDEN_SHA
+        assert_golden_verdicts("seu_verdicts", result.verdicts)
         assert result.n_candidates == 23246
         assert result.n_simulated == 555
         assert int(result.n_failures) == 270
@@ -108,7 +104,7 @@ class TestHalfLatchAdapter:
     def test_golden_regression(self, serial):
         assert serial.n_candidates == 1795
         assert serial.count(5) == 10  # CODE_FAIL: critical half-latch nodes
-        assert hashlib.sha256(serial.verdicts.tobytes()).hexdigest() == HL_GOLDEN_SHA
+        assert_golden_verdicts("halflatch_verdicts", serial.verdicts)
 
     @pytest.mark.parametrize("jobs", [2, 4])
     def test_jobs_identity(self, mult_hw, serial, jobs):

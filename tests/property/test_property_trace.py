@@ -1,0 +1,112 @@
+"""Property tests for the trace writer/loader pair.
+
+Random interleavings of span opens, closes (including non-LIFO ones),
+points, heartbeats and counter samples are executed against a real
+:class:`~repro.obs.trace.TraceWriter`, and the resulting file is read
+back with :func:`~repro.obs.report.load_trace`.  Whatever the program
+did, the trace must parse with no malformed lines or orphans, every
+span must end up closed, parent links must resolve, and event times
+must be monotonic.  For stack-disciplined programs the children of any
+span must account for no more time than the span itself.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.obs.report import load_trace  # noqa: E402
+from repro.obs.trace import TraceWriter  # noqa: E402
+
+_NAMES = ["campaign", "phase", "shard", "batch", "scan"]
+
+# An operation is (kind, a, b) with a/b in [0, 1) used to pick targets.
+_OP = st.tuples(
+    st.sampled_from(["open", "close", "point", "heartbeat", "counters"]),
+    st.floats(min_value=0.0, max_value=0.999),
+    st.floats(min_value=0.0, max_value=0.999),
+)
+
+
+def _pick(seq, fraction):
+    return seq[int(fraction * len(seq))]
+
+
+def _run_program(ops, lifo: bool):
+    """Execute ``ops`` against a TraceWriter; return the loaded Trace."""
+    fd, path = tempfile.mkstemp(suffix=".jsonl")
+    os.close(fd)
+    try:
+        tracer = TraceWriter(path, label="prop")
+        open_spans: list[int] = []
+        for kind, a, b in ops:
+            if kind == "open":
+                # Explicit parents make sibling spans overlap in time;
+                # the LIFO duration property only holds for pure nesting.
+                explicit = (not lifo) and open_spans and a < 0.5
+                parent = _pick(open_spans, b) if explicit else None
+                open_spans.append(
+                    tracer.open_span(_pick(_NAMES, b), parent=parent, index=len(open_spans))
+                )
+            elif kind == "close" and open_spans:
+                span = open_spans.pop() if lifo else open_spans.pop(int(a * len(open_spans)))
+                tracer.close_span(span, ok=True)
+            elif kind == "point":
+                tracer.point("checkpoint", n_done=int(a * 100))
+            elif kind == "heartbeat":
+                tracer.heartbeat([{"index": 0, "elapsed": a}], done=int(b * 10))
+            elif kind == "counters":
+                tracer.counters({"machines_retired": int(a * 10)})
+        tracer.close()  # force-closes whatever is still open
+        return load_trace(path)
+    finally:
+        os.unlink(path)
+
+
+def _check_structure(trace):
+    assert trace.malformed == 0
+    assert trace.orphans == 0
+    assert len(trace.segments) == 1
+    seg = trace.segments[0]
+    assert seg.ended
+    last_t = 0.0
+    for span in seg.spans.values():
+        assert span.closed, f"span {span.span_id} never closed"
+        assert span.duration is not None and span.duration >= 0.0
+        if span.parent is not None:
+            assert span.parent in seg.spans
+            assert span in seg.spans[span.parent].children
+        else:
+            assert span in seg.roots
+        last_t = max(last_t, span.t_close)
+    return seg
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_OP, max_size=40))
+def test_any_interleaving_parses(ops):
+    """Arbitrary programs — non-LIFO closes, spans left open — still
+    produce a well-formed, fully-closed, parseable trace."""
+    seg = _check_structure(_run_program(ops, lifo=False))
+    # Event times are monotonic in file order within the segment.
+    ts = [e["t"] for e in [*seg.points, *seg.heartbeats, *seg.counters]]
+    assert all(t >= 0.0 for t in ts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_OP, max_size=40))
+def test_nested_children_fit_in_parent(ops):
+    """Stack-disciplined programs: each span's direct children open
+    after it and account for no more time than the span itself."""
+    seg = _check_structure(_run_program(ops, lifo=True))
+    for span in seg.spans.values():
+        for child in span.children:
+            assert child.t_open >= span.t_open
+        # t values are rounded to 1e-6 on write; allow that slack per child.
+        child_sum = sum(c.duration for c in span.children)
+        assert child_sum <= span.duration + 2e-6 * max(1, len(span.children))

@@ -9,8 +9,6 @@ telemetry proves the shrinkers actually engaged.
 
 from __future__ import annotations
 
-import hashlib
-
 import numpy as np
 import pytest
 
@@ -25,15 +23,12 @@ from repro.seu import (
     run_multibit_campaign,
 )
 from repro.seu.campaign import _batch_active_mask, batch_active_mask
+from tests.utils.goldens import assert_golden_verdicts
 
 CFG = CampaignConfig(detect_cycles=48, persist_cycles=32, stride=7, batch_size=32)
 HL_CFG = CampaignConfig(
     detect_cycles=48, persist_cycles=0, classify_persistence=False, batch_size=32
 )
-
-# The pre-engine capture (MULT4 on S8) — same pins as test_adapter_identity.
-SEU_GOLDEN_SHA = "d68e0e62c9ea82e91587795304d4c4ff5cbfb3f3292c4239f9c16d0a5ec321ec"
-HL_GOLDEN_SHA = "3edf712d36d1adfc5011d23c2b9ba1670f4eca2d20bdc794048e8e983d30119b"
 
 
 class TestSEUFlagMatrix:
@@ -43,7 +38,7 @@ class TestSEUFlagMatrix:
     )
     def test_every_flag_combination_matches_golden(self, mult_hw, collapse, retire):
         result = run_campaign(mult_hw, CFG, collapse=collapse, retire=retire)
-        assert hashlib.sha256(result.verdicts.tobytes()).hexdigest() == SEU_GOLDEN_SHA
+        assert_golden_verdicts("seu_verdicts", result.verdicts)
         assert result.n_simulated == 555  # followers still count as simulated
         t = result.telemetry
         if collapse:
@@ -72,7 +67,7 @@ class TestHalfLatchFlags:
         sweep = run_halflatch_sweep(
             mult_hw, HL_CFG, collapse=collapse, retire=retire
         )
-        assert hashlib.sha256(sweep.verdicts.tobytes()).hexdigest() == HL_GOLDEN_SHA
+        assert_golden_verdicts("halflatch_verdicts", sweep.verdicts)
 
 
 class TestMultiBitFlags:
@@ -109,6 +104,92 @@ class TestDeprecatedAlias:
             old = _batch_active_mask(design, patches)
         new = batch_active_mask(design, patches)
         assert np.array_equal(old, new)
+
+
+class TestObservabilityInvariance:
+    """Tracing/progress are observability, not semantics: every axis of
+    the obs layer must leave the verdict bytes untouched (the obs
+    contract, see DESIGN.md)."""
+
+    @pytest.mark.parametrize(
+        "trace,progress", [(True, False), (False, True), (True, True)]
+    )
+    def test_trace_and_progress_do_not_move_verdicts(
+        self, mult_hw, tmp_path, trace, progress
+    ):
+        from repro.obs import observe
+        from repro.obs.report import load_trace
+
+        trace_path = str(tmp_path / "t.jsonl") if trace else None
+        with observe(trace_path, progress, label="test"):
+            result = run_campaign(mult_hw, CFG)
+        assert_golden_verdicts("seu_verdicts", result.verdicts)
+        assert result.n_simulated == 555
+        if trace:
+            tr = load_trace(trace_path)
+            assert tr.malformed == 0 and not tr.resumed
+            seg = tr.segments[0]
+            names = {s.name for s in seg.spans.values()}
+            assert "campaign" in names
+            assert names & {"batch", "batch.collapsed"}
+            assert seg.ended
+
+    def test_sharded_trace_matches_golden(self, mult_hw, tmp_path):
+        from repro.obs import observe
+        from repro.obs.report import load_trace
+        from repro.seu import run_campaign_parallel
+
+        trace_path = str(tmp_path / "sharded.jsonl")
+        with observe(trace_path, progress=False, label="test"):
+            sharded = run_campaign_parallel(mult_hw, CFG, jobs=2)
+        assert_golden_verdicts("seu_verdicts", sharded.verdicts)
+        seg = load_trace(trace_path).segments[0]
+        names = {s.name for s in seg.spans.values()}
+        assert {"campaign", "phase.prefilter", "phase.observe", "shard"} <= names
+
+    def test_kill_and_resume_trace_is_well_formed(
+        self, mult_hw, tmp_path, monkeypatch
+    ):
+        import repro.engine.sweep as sweepmod
+        from repro.obs import observe
+        from repro.obs.report import load_trace
+
+        class Killed(Exception):
+            pass
+
+        real_save = sweepmod.save_sweep
+        calls = {"n": 0}
+
+        def dying_save(sweep, path):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise Killed()
+            real_save(sweep, path)
+
+        ckpt = str(tmp_path / "hl.npz")
+        trace_path = str(tmp_path / "resumed.jsonl")
+        monkeypatch.setattr(sweepmod, "save_sweep", dying_save)
+        with pytest.raises(Killed), observe(trace_path, label="test"):
+            run_halflatch_sweep(mult_hw, HL_CFG, jobs=2, checkpoint_path=ckpt)
+        monkeypatch.setattr(sweepmod, "save_sweep", real_save)
+
+        with observe(trace_path, label="test", resumed=True):
+            resumed = run_halflatch_sweep(
+                mult_hw, HL_CFG, jobs=2, checkpoint_path=ckpt, resume=True
+            )
+        assert_golden_verdicts("halflatch_verdicts", resumed.verdicts)
+
+        tr = load_trace(trace_path)
+        assert tr.malformed == 0
+        assert len(tr.segments) == 2
+        assert not tr.segments[0].resumed and tr.segments[1].resumed
+        assert tr.resumed
+        # The killed segment was force-closed (aborted spans), the
+        # resumed one ran to a clean run_end.
+        assert tr.segments[0].ended and tr.segments[1].ended
+        assert any(
+            s.fields.get("aborted") for s in tr.segments[0].spans.values()
+        ) or all(s.closed for s in tr.segments[0].spans.values())
 
 
 class TestCLIShrinkerFlags:
