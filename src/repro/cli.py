@@ -60,6 +60,25 @@ def build_parser() -> argparse.ArgumentParser:
             help="live progress line on stderr (verdict-invariant)",
         )
 
+    def add_resilience_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--shard-attempts", type=int, default=None, metavar="N",
+            help="worker attempts per shard before it is quarantined "
+            "(default 3; sharded runs only)",
+        )
+        p.add_argument(
+            "--allow-partial", action="store_true",
+            help="exit 0 even when shards were quarantined (the result then "
+            "excludes their candidates; default: nonzero exit)",
+        )
+        p.add_argument(
+            "--chaos", metavar="SPEC", default=None,
+            help="inject deterministic worker faults, e.g. "
+            "'seed=3,crash=0.2,hang=0.1,hang-s=5' — a recovery test knob; "
+            "verdicts are identical to an undisturbed run whenever the "
+            "executor recovers",
+        )
+
     sub.add_parser("devices", help="list the device catalog")
 
     p = sub.add_parser("implement", help="place/route/bitgen one design")
@@ -92,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_shrinker_flags(p)
     add_obs_flags(p)
+    add_resilience_flags(p)
 
     p = sub.add_parser(
         "multibit", help="k-bit simultaneous-upset (MBU) campaign on one design"
@@ -125,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_shrinker_flags(p)
     add_obs_flags(p)
+    add_resilience_flags(p)
 
     p = sub.add_parser(
         "bist-coverage", help="hard-fault coverage of the CLB BIST configurations"
@@ -149,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_shrinker_flags(p)
     add_obs_flags(p)
+    add_resilience_flags(p)
 
     p = sub.add_parser("table1", help="reproduce Table I on scaled designs")
     p.add_argument("--device", default="S12")
@@ -198,6 +220,17 @@ def build_parser() -> argparse.ArgumentParser:
         "trace_file", metavar="TRACE", help="trace file written by --trace PATH"
     )
     return parser
+
+
+def _warn_quarantine(telemetry) -> None:
+    """Surface quarantined work in a partial result (``--allow-partial``)."""
+    if telemetry is not None and telemetry.shards_quarantined:
+        print(
+            f"warning: {telemetry.shards_quarantined} shard(s) quarantined; "
+            f"{telemetry.candidates_quarantined} candidate(s) excluded from "
+            f"this result (re-run to retry them)",
+            file=sys.stderr,
+        )
 
 
 def _cmd_devices() -> int:
@@ -284,6 +317,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(result.summary())
     if result.telemetry is not None:
         print(f"throughput: {result.telemetry.summary()}")
+    _warn_quarantine(result.telemetry)
     print(format_table1([table1_row(hw, result)]))
     print(f"persistence ratio: {100 * result.persistence_ratio:.1f}%")
     if args.save_map:
@@ -328,6 +362,7 @@ def _cmd_multibit(args: argparse.Namespace) -> int:
     print(result.summary())
     if result.telemetry is not None:
         print(f"throughput: {result.telemetry.summary()}")
+    _warn_quarantine(result.telemetry)
     return 0
 
 
@@ -361,6 +396,7 @@ def _cmd_bist_coverage(args: argparse.Namespace) -> int:
         print(f"  {config_name}: {len(caught)} detected")
     if report.telemetry is not None:
         print(f"throughput: {report.telemetry.summary()}")
+    _warn_quarantine(report.telemetry)
     return 0
 
 
@@ -498,19 +534,34 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.engine.chaos import ChaosPolicy
+    from repro.engine.executor import executor_policy
     from repro.errors import ReproError
     from repro.obs import observe
 
     args = build_parser().parse_args(argv)
+    overrides: dict = {}
+    if getattr(args, "chaos", None):
+        try:
+            overrides["chaos"] = ChaosPolicy.parse(args.chaos)
+        except ReproError as err:
+            print(f"repro: error: {err}", file=sys.stderr)
+            return 2
+    if getattr(args, "allow_partial", False):
+        overrides["allow_partial"] = True
+    if getattr(args, "shard_attempts", None) is not None:
+        overrides["max_attempts"] = args.shard_attempts
     try:
         # Commands without --trace/--progress fall through as a no-op
-        # observe() scope (null tracer, null progress).
+        # observe() scope (null tracer, null progress); likewise the
+        # executor_policy scope is the ambient default without
+        # --chaos/--allow-partial/--shard-attempts.
         with observe(
             getattr(args, "trace", None),
             getattr(args, "progress", False),
             label=args.command,
             resumed=bool(getattr(args, "resume", False)),
-        ):
+        ), executor_policy(**overrides):
             return _COMMANDS[args.command](args)
     except ReproError as err:
         print(f"repro: error: {err}", file=sys.stderr)

@@ -16,7 +16,14 @@ permanent defect hunted by BIST.  This package owns that loop once:
   partial-result merging and :class:`CampaignTelemetry`;
 * :mod:`~repro.engine.detect` holds the vectorised detect-only kernel
   (bit-packed output comparison, early exit) shared by every
-  detect-classify fault model.
+  detect-classify fault model;
+* :class:`~repro.engine.executor.ShardExecutor` owns the failure
+  surface of sharded runs — retry with backoff, pool rebuild on worker
+  death, speculative re-execution of stragglers, poison-shard
+  quarantine — governed by an ambient
+  :class:`~repro.engine.executor.ExecutorPolicy`, with
+  :class:`~repro.engine.chaos.ChaosPolicy` as the deterministic fault
+  injector that proves the recovery paths.
 
 Domain packages (:mod:`repro.seu`, :mod:`repro.bist`) define thin
 adapters: a :class:`FaultModel` subclass plus a public function that
@@ -24,7 +31,15 @@ preserves the historical API and result types.
 """
 
 from repro.engine.cache import implemented_design, prime_design_cache
+from repro.engine.chaos import ChaosPolicy
 from repro.engine.detect import detect_disturbed_outputs, detect_failures
+from repro.engine.executor import (
+    ExecutorPolicy,
+    ShardExecutor,
+    TaskSpec,
+    executor_policy,
+    get_executor_policy,
+)
 from repro.engine.model import (
     CODE_FAIL,
     CODE_NO_EFFECT,
@@ -58,6 +73,12 @@ __all__ = [
     "FaultModel",
     "CampaignTelemetry",
     "SweepResult",
+    "ChaosPolicy",
+    "ExecutorPolicy",
+    "ShardExecutor",
+    "TaskSpec",
+    "executor_policy",
+    "get_executor_policy",
     "run_serial",
     "run_sharded",
     "run_sweep",

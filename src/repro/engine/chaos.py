@@ -1,0 +1,145 @@
+"""Deterministic chaos injection for the sharded campaign harness.
+
+The paper's premise is a system that keeps producing correct results
+while its substrate misbehaves; :mod:`repro.engine.executor` is the
+layer that gives the *harness* the same property.  This module makes
+that recovery provable rather than assumed: a :class:`ChaosPolicy`
+injects worker crashes (``os._exit``), hangs and delays into the worker
+entry points, and because every decision is a pure hash of
+``(seed, kind, task key, launch index)`` the same spec replays the same
+failure schedule on every run — a chaos test is as reproducible as the
+sweep it disturbs.
+
+The hard contract (pinned by ``tests/seu/test_recovery.py`` against the
+golden-SHA registry): a campaign run under any chaos spec that the
+executor survives produces verdict bytes **identical** to the chaos-off
+run.  Chaos only ever decides *whether a worker answers*, never *what
+it answers* — workers recompute shards deterministically, so retried
+and speculative launches reproduce the original bytes.
+
+Spec syntax (the CLI ``--chaos`` test flag)::
+
+    seed=3,crash=0.3,hang=0.2,hang-s=6,delay=0.5,delay-s=0.02,launches=1
+
+``crash``/``hang``/``delay`` are per-launch probabilities; ``hang-s``/
+``delay-s`` the injected sleep durations; ``launches`` caps injection
+to the first N launches of each task (default 1: every fault is
+transient, so a retry or speculative re-execution always recovers —
+raise it to model poison shards that fail every attempt).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+
+from repro.errors import CampaignError
+
+__all__ = ["ChaosPolicy", "CRASH_EXIT_CODE"]
+
+#: exit status of a chaos-crashed worker (distinguishable from a real
+#: segfault's negative signal status in post-mortems)
+CRASH_EXIT_CODE = 32
+
+
+def _uniform(seed: int, kind: str, key: str) -> float:
+    """Deterministic uniform draw in [0, 1) for one (kind, key).
+
+    Deliberately launch-independent: whether a task is fault-scheduled
+    is a property of the *key*, and ``launches`` alone decides how many
+    of its launches suffer the fault — so ``launches=1`` is a transient
+    fault every retry survives, and a large ``launches`` is a poison
+    shard that fails every attempt (a per-launch redraw could never
+    model poison: three independent 30% crashes almost never line up).
+    """
+    digest = hashlib.sha256(f"{seed}:{kind}:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Seeded fault schedule for worker entry points.
+
+    Immutable and built from primitives only, so it pickles across the
+    process boundary with the task it disturbs.  ``decide`` is the pure
+    schedule (unit-testable in-process); ``apply`` executes it and is
+    only ever called inside a worker process — ``crash`` really does
+    ``os._exit``.
+    """
+
+    seed: int = 0
+    crash: float = 0.0  # P(worker dies via os._exit) per launch
+    hang: float = 0.0  # P(worker sleeps hang_s before answering)
+    hang_s: float = 30.0
+    delay: float = 0.0  # P(worker sleeps delay_s before working)
+    delay_s: float = 0.05
+    launches: int = 1  # inject only into launch indices < launches
+
+    _FIELDS = {
+        "seed": int,
+        "crash": float,
+        "hang": float,
+        "hang_s": float,
+        "delay": float,
+        "delay_s": float,
+        "launches": int,
+    }
+
+    def __post_init__(self):
+        for name in ("crash", "hang", "delay"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise CampaignError(f"chaos {name} must be a probability, got {p}")
+        if self.hang_s < 0 or self.delay_s < 0:
+            raise CampaignError("chaos durations must be >= 0")
+        if self.launches < 0:
+            raise CampaignError("chaos launches must be >= 0")
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosPolicy":
+        """Parse a ``--chaos`` spec string (``key=value`` pairs, comma-sep)."""
+        kwargs: dict[str, object] = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise CampaignError(f"bad chaos spec item {item!r} (want key=value)")
+            key, _, value = item.partition("=")
+            key = key.strip().replace("-", "_")
+            cast = cls._FIELDS.get(key)
+            if cast is None:
+                raise CampaignError(
+                    f"unknown chaos knob {key!r} (known: {', '.join(sorted(cls._FIELDS))})"
+                )
+            try:
+                kwargs[key] = cast(value.strip())
+            except ValueError:
+                raise CampaignError(f"bad chaos value {item!r}") from None
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def decide(self, key: str, launch: int) -> str | None:
+        """The pure schedule: ``"crash"``/``"hang"``/``"delay"``/``None``.
+
+        Each kind gets an independent deterministic draw; the most
+        destructive one that triggers wins, so raising ``delay`` never
+        reshuffles which launches crash.
+        """
+        if launch >= self.launches:
+            return None
+        for kind, p in (("crash", self.crash), ("hang", self.hang), ("delay", self.delay)):
+            if p > 0.0 and _uniform(self.seed, kind, key) < p:
+                return kind
+        return None
+
+    def apply(self, key: str, launch: int) -> None:
+        """Execute the schedule for one launch (worker side; may not return)."""
+        action = self.decide(key, launch)
+        if action == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        elif action == "hang":
+            time.sleep(self.hang_s)
+        elif action == "delay":
+            time.sleep(self.delay_s)

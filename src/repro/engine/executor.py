@@ -1,0 +1,510 @@
+"""Fault-tolerant shard execution: the pluggable pool behind ``run_sharded``.
+
+The sharded drivers used to drain a bare ``ProcessPoolExecutor`` with
+``f.result()``: one OOM-killed or segfaulted worker raised
+``BrokenProcessPool`` in the parent and discarded everything since the
+last checkpoint, and the straggler detector only ever printed warnings.
+:class:`ShardExecutor` owns that failure surface for both sharded
+phases:
+
+* **Per-shard retry** with exponential backoff and decorrelated jitter
+  for per-task worker exceptions.
+* **Automatic pool rebuild** on ``BrokenProcessPool`` (own pools only):
+  the dead pool is replaced and every unresolved task relaunched;
+  results already yielded (and therefore checkpointed by the driver)
+  are never lost.
+* **Speculative re-execution** of stalled shards: the
+  :class:`~repro.obs.heartbeat.ShardTracker` straggler signal (factor ×
+  median completed duration) or an absolute ``speculate_after_s``
+  ceiling launches one duplicate of a stalled task; first result wins.
+  Shards are deterministic, so the duplicate's bytes are identical and
+  speculation can never change a verdict.
+* **Poison-shard quarantine**: a task that keeps failing (or keeps
+  hanging past ``hang_timeout_s`` after speculation already tried) is
+  quarantined instead of wedging the campaign; the sweep completes,
+  quarantined work is reported distinctly through telemetry and trace
+  points, and the driver raises at the very end unless
+  ``allow_partial``.
+
+Every recovery action is recorded in :class:`CampaignTelemetry`
+(``shard_retries``, ``speculative_launches``, ``speculative_wins``,
+``pool_rebuilds``, ``shards_quarantined``) and, when observability is
+on, as ``retry`` / ``speculate`` / ``pool_rebuild`` / ``quarantine``
+trace points that ``repro report`` renders as a recovery timeline.
+
+The determinism contract is untouched: recovery only re-runs pure
+worker functions, so any schedule of crashes, hangs and retries that
+the executor survives yields verdict bytes identical to an undisturbed
+run (pinned by ``tests/seu/test_recovery.py``).  Chaos injection
+(:mod:`repro.engine.chaos`) makes that claim testable on demand.
+
+The active :class:`ExecutorPolicy` is ambient, mirroring
+:mod:`repro.obs`: the CLI (or a test) activates retry/chaos knobs for a
+lexical scope with ``with executor_policy(policy): ...`` and the
+drivers pick it up via :func:`get_executor_policy` — no adapter
+signature needs to thread it through.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import time
+from concurrent.futures import FIRST_COMPLETED, Executor, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.engine.chaos import ChaosPolicy
+from repro.engine.telemetry import CampaignTelemetry
+from repro.errors import CampaignError
+from repro.obs import get_observer
+from repro.obs.heartbeat import ShardTracker
+
+__all__ = [
+    "ExecutorPolicy",
+    "ShardExecutor",
+    "TaskSpec",
+    "executor_policy",
+    "get_executor_policy",
+    "DEFAULT_POLICY",
+]
+
+
+@dataclass(frozen=True)
+class ExecutorPolicy:
+    """Failure-handling knobs for :class:`ShardExecutor`.
+
+    ``max_attempts`` bounds per-task worker *exceptions*.  Pool-wide
+    breaks (one worker death fails every in-flight future, innocents
+    included) are attributed by launch recency: a task that crashes its
+    worker dies within milliseconds of launching, so the most recently
+    launched casualty is charged as the *suspect* and quarantined after
+    ``2 × max_attempts`` implications, while bystanders only count
+    breaks against a ``4 × max_attempts`` backstop — a poison shard
+    cannot drag a long-running healthy shard into quarantine with it,
+    but an ambiguous break storm still terminates.  ``on_workers`` is a parent-side
+    test hook called with ``(phase, live worker pid set)`` whenever the
+    set changes (used by the SIGKILL recovery tests to aim at a real
+    worker during a chosen phase).
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    backoff_seed: int | None = None
+    speculate: bool = True
+    speculate_after_s: float | None = None  # absolute stall ceiling (None: tracker only)
+    straggler_factor: float = 4.0
+    min_samples: int = 3
+    heartbeat_interval_s: float = 2.0
+    hang_timeout_s: float | None = None  # quarantine ceiling for hung tasks (None: never)
+    allow_partial: bool = False
+    chaos: ChaosPolicy | None = None
+    on_workers: Callable[[str, frozenset[int]], None] | None = None
+
+
+DEFAULT_POLICY = ExecutorPolicy()
+
+_policy: ExecutorPolicy = DEFAULT_POLICY
+
+
+def get_executor_policy() -> ExecutorPolicy:
+    """The ambient policy (``DEFAULT_POLICY`` unless inside a scope)."""
+    return _policy
+
+
+@contextmanager
+def executor_policy(policy: ExecutorPolicy | None = None, **overrides: Any):
+    """Install ``policy`` (or the default with ``overrides``) for a scope."""
+    global _policy
+    new = policy if policy is not None else DEFAULT_POLICY
+    if overrides:
+        new = replace(new, **overrides)
+    previous = _policy
+    _policy = new
+    try:
+        yield new
+    finally:
+        _policy = previous
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of sharded work: a picklable function and its arguments.
+
+    ``key`` is the stable identity retries, speculation, chaos and
+    quarantine reporting all hash on (e.g. ``"observe:3"``); ``fields``
+    are extra span-open fields when the executor traces per-task spans.
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    args: tuple
+    fields: dict[str, Any] = field(default_factory=dict)
+
+
+class _Task:
+    """Parent-side lifecycle state of one :class:`TaskSpec`."""
+
+    __slots__ = (
+        "spec", "launches", "failures", "pool_failures", "break_suspects",
+        "resolved", "speculated", "retry_pending", "last_launch_t",
+        "backoff_prev", "futures", "span",
+    )
+
+    def __init__(self, spec: TaskSpec):
+        self.spec = spec
+        self.launches = 0
+        self.failures = 0  # per-task worker exceptions
+        self.pool_failures = 0  # pool-wide breaks this task was caught in
+        self.break_suspects = 0  # breaks where this task was the likely trigger
+        self.resolved = False
+        self.speculated = False
+        self.retry_pending = False
+        self.last_launch_t = 0.0
+        self.backoff_prev = 0.0
+        self.futures: set[Future] = set()
+        self.span = -1
+
+    @property
+    def live(self) -> bool:
+        return bool(self.futures)
+
+
+def _run_task(chaos: ChaosPolicy, key: str, launch: int, fn, args):
+    """Worker entry wrapper: apply the chaos schedule, then do the work."""
+    chaos.apply(key, launch)
+    return fn(*args)
+
+
+def _worker_pids(pool: Executor) -> frozenset[int]:
+    procs = getattr(pool, "_processes", None)
+    return frozenset(procs.keys()) if procs else frozenset()
+
+
+def _hard_shutdown(pool: Executor) -> None:
+    """Tear a pool down without waiting on hung or abandoned workers."""
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.terminate()
+        except (OSError, ValueError):
+            pass
+    for proc in procs:
+        try:
+            proc.join(5)
+        except (OSError, ValueError, AssertionError):
+            pass
+
+
+class ShardExecutor:
+    """Failure-owning wrapper around a (process) pool for sharded phases.
+
+    One instance spans both campaign phases (pre-filter and observe) so
+    warmed worker processes are reused; :meth:`run` drains one phase's
+    tasks, yielding ``(key, result)`` in completion order, and
+    :meth:`close` tears the pool down (``shutdown(cancel_futures=True)``
+    on the clean path, worker termination when hung futures were
+    abandoned — so an exception mid-phase never blocks on queued work).
+
+    With an external ``pool`` the executor never rebuilds or shuts it
+    down (a synchronous test executor or a caller-shared pool keeps its
+    historical semantics): a ``BrokenProcessPool`` there is re-raised as
+    a :class:`CampaignError`.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        policy: ExecutorPolicy | None = None,
+        pool: Executor | None = None,
+    ):
+        self.jobs = int(jobs)
+        self.policy = policy if policy is not None else get_executor_policy()
+        self._own_pool = pool is None
+        self._pool: Executor = ProcessPoolExecutor(max_workers=self.jobs) if pool is None else pool
+        self._rng = random.Random(self.policy.backoff_seed)
+        self._seq = itertools.count()
+        # Futures left behind (hung quarantined tasks, speculation losers
+        # still running): if any is alive at close, workers are
+        # terminated instead of joined.
+        self._abandoned: set[Future] = set()
+        self._known_pids: frozenset[int] = frozenset()
+        self.quarantined: dict[str, str] = {}  # task key -> last error description
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the pool (no-op for external pools)."""
+        if not self._own_pool:
+            return
+        if any(not fut.done() for fut in self._abandoned):
+            _hard_shutdown(self._pool)
+        else:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- the drain ------------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Iterable[TaskSpec],
+        *,
+        phase: str = "shard",
+        telemetry: CampaignTelemetry | None = None,
+        span_name: str | None = None,
+        span_parent: int | None = None,
+    ) -> Iterator[tuple[str, Any]]:
+        """Drain one phase: yield ``(key, result)`` as tasks resolve.
+
+        Tasks that exhaust their attempts are quarantined, not raised —
+        the phase always drains to completion and the caller decides
+        (via :attr:`quarantined` / ``policy.allow_partial``) whether a
+        partial sweep is an error.  When ``span_name`` is given and
+        observability is on, each task gets a trace span from first
+        launch to resolution.
+        """
+        policy = self.policy
+        observer = get_observer()
+        tracer, progress = observer.tracer, observer.progress
+        tracker = ShardTracker(
+            tracer,
+            progress,
+            kind=phase,
+            interval=policy.heartbeat_interval_s,
+            straggler_factor=policy.straggler_factor,
+            min_samples=policy.min_samples,
+        )
+        self._known_pids = frozenset()  # re-announce pids to on_workers per phase
+        states = {spec.key: _Task(spec) for spec in tasks}
+        future_map: dict[Future, tuple[_Task, bool]] = {}  # future -> (task, speculative)
+        retries: list[tuple[float, int, str]] = []  # (ready time, seq, key)
+        open_keys = {k for k in states if k not in self.quarantined}
+
+        def launch(task: _Task, speculative: bool = False) -> None:
+            index = task.launches
+            task.launches += 1
+            task.last_launch_t = time.perf_counter()
+            if index == 0:
+                tracker.submitted(task.spec.key)
+                if span_name is not None and observer.enabled:
+                    task.span = tracer.open_span(
+                        span_name, parent=span_parent, **task.spec.fields
+                    )
+            def submit() -> Future:
+                if policy.chaos is not None:
+                    return self._pool.submit(
+                        _run_task, policy.chaos, task.spec.key, index,
+                        task.spec.fn, task.spec.args,
+                    )
+                return self._pool.submit(task.spec.fn, *task.spec.args)
+
+            try:
+                fut = submit()
+            except BrokenProcessPool as err:
+                # The pool died before accepting this launch (e.g. an
+                # abandoned speculative worker crashed between drain
+                # rounds).  Rebuild, charge the in-flight casualties —
+                # this launch was never accepted, so it is not one —
+                # and submit to the fresh pool.
+                pool_break(err, set())
+                fut = submit()
+            future_map[fut] = (task, speculative)
+            task.futures.add(fut)
+
+        def fail(task: _Task, err: BaseException, pool_wide: bool) -> None:
+            if task.resolved or task.spec.key in self.quarantined or task.retry_pending:
+                return
+            if pool_wide:
+                task.pool_failures += 1
+            else:
+                task.failures += 1
+            exhausted = (
+                task.failures >= policy.max_attempts
+                or task.break_suspects >= 2 * policy.max_attempts
+                or task.pool_failures >= 4 * policy.max_attempts
+            )
+            if exhausted:
+                quarantine(task, err)
+                return
+            if telemetry is not None:
+                telemetry.shard_retries += 1
+            attempt = task.failures + task.pool_failures
+            if observer.enabled:
+                tracer.point(
+                    "retry", key=task.spec.key, phase=phase,
+                    attempt=attempt, error=repr(err),
+                )
+            # Exponential backoff with decorrelated jitter: each delay is
+            # uniform in [base, 3 x previous], capped — retries of a
+            # flapping worker spread out instead of thundering back in.
+            prev = task.backoff_prev or policy.backoff_base_s
+            delay = min(
+                policy.backoff_cap_s,
+                self._rng.uniform(policy.backoff_base_s, 3.0 * prev),
+            )
+            task.backoff_prev = delay
+            task.retry_pending = True
+            heapq.heappush(
+                retries, (time.perf_counter() + delay, next(self._seq), task.spec.key)
+            )
+
+        def quarantine(task: _Task, err: BaseException | str) -> None:
+            key = task.spec.key
+            self.quarantined[key] = str(err) if isinstance(err, str) else repr(err)
+            open_keys.discard(key)
+            self._abandoned.update(task.futures)  # a hung worker may hold these
+            if telemetry is not None:
+                telemetry.shards_quarantined += 1
+            if observer.enabled:
+                tracer.point(
+                    "quarantine", key=key, phase=phase,
+                    attempts=task.launches, error=self.quarantined[key],
+                )
+                progress.note(
+                    f"warning: {phase} {key} quarantined after "
+                    f"{task.launches} launch(es): {self.quarantined[key]}"
+                )
+                if task.span >= 0:
+                    tracer.close_span(task.span, quarantined=True)
+                    task.span = -1
+
+        def pool_break(err: BaseException, broken_tasks: set[_Task]) -> None:
+            if not self._own_pool:
+                raise CampaignError(
+                    f"worker pool broke during {phase} and the external "
+                    f"executor cannot be rebuilt: {err!r}"
+                ) from err
+            if telemetry is not None:
+                telemetry.pool_rebuilds += 1
+            if observer.enabled:
+                tracer.point("pool_rebuild", phase=phase, error=repr(err))
+                progress.note(f"warning: worker pool broke during {phase}; rebuilding")
+            dead, self._pool = self._pool, ProcessPoolExecutor(max_workers=self.jobs)
+            dead.shutdown(wait=False, cancel_futures=True)
+            self._known_pids = frozenset()
+            # Every in-flight future died with the pool — both the ones
+            # the drain round already popped (``broken_tasks``) and any
+            # still pending in ``future_map``: charge each unresolved
+            # task one pool-wide failure and schedule its relaunch.  The
+            # most recently launched open casualty is additionally
+            # charged as the break's *suspect*: a task that kills its
+            # worker dies within milliseconds of launching, so launch
+            # recency attributes the break far better than charging the
+            # whole blast radius equally.
+            casualties = broken_tasks | {t for t, _ in future_map.values()}
+            future_map.clear()
+            open_casualties = [
+                t for t in casualties
+                if not t.resolved and t.spec.key not in self.quarantined
+            ]
+            suspect = max(
+                open_casualties, key=lambda t: t.last_launch_t, default=None
+            )
+            if suspect is not None:
+                suspect.break_suspects += 1
+            for task in casualties:
+                task.futures.clear()
+                fail(task, err, pool_wide=True)
+
+        def tick() -> None:
+            now = time.perf_counter()
+            if self.policy.on_workers is not None:
+                pids = _worker_pids(self._pool)
+                if pids and pids != self._known_pids:
+                    self._known_pids = pids
+                    self.policy.on_workers(phase, pids)
+            tracker.tick()
+            stalled = set(tracker.stragglers())
+            for key in list(open_keys):
+                task = states[key]
+                if task.resolved or not task.live:
+                    continue
+                elapsed = now - task.last_launch_t
+                is_stalled = key in stalled or (
+                    policy.speculate_after_s is not None
+                    and elapsed > policy.speculate_after_s
+                )
+                if not is_stalled:
+                    continue
+                if policy.speculate and not task.speculated and not task.retry_pending:
+                    task.speculated = True
+                    if telemetry is not None:
+                        telemetry.speculative_launches += 1
+                    if observer.enabled:
+                        tracer.point(
+                            "speculate", key=key, phase=phase, elapsed=round(elapsed, 3)
+                        )
+                        progress.note(
+                            f"speculating {phase} {key} (stalled {elapsed:.1f}s)"
+                        )
+                    launch(task, speculative=True)
+                elif (
+                    policy.hang_timeout_s is not None
+                    and elapsed > policy.hang_timeout_s
+                    and (task.speculated or not policy.speculate)
+                ):
+                    quarantine(task, f"hung for {elapsed:.1f}s (timeout)")
+
+        for task in states.values():
+            if task.spec.key in open_keys:
+                launch(task)
+
+        while open_keys:
+            now = time.perf_counter()
+            while retries and retries[0][0] <= now:
+                _, _, key = heapq.heappop(retries)
+                task = states[key]
+                task.retry_pending = False
+                if not task.resolved and key in open_keys:
+                    launch(task)
+            timeout = tracker.interval
+            if retries:
+                timeout = min(timeout, max(0.0, retries[0][0] - now))
+            if not future_map:
+                if not retries:  # only quarantined hangs remain
+                    break
+                time.sleep(min(timeout, 0.1) or 0.01)
+                continue
+            done, _ = wait(set(future_map), timeout=timeout, return_when=FIRST_COMPLETED)
+            broken: BaseException | None = None
+            broken_tasks: set[_Task] = set()
+            for fut in done:
+                entry = future_map.pop(fut, None)
+                if entry is None:  # invalidated by a pool rebuild this round
+                    continue
+                task, speculative = entry
+                task.futures.discard(fut)
+                try:
+                    result = fut.result()
+                except BrokenProcessPool as err:
+                    broken = err
+                    broken_tasks.add(task)
+                    continue
+                except CampaignError:
+                    raise
+                except BaseException as err:  # noqa: BLE001 - worker failure, retried
+                    fail(task, err, pool_wide=False)
+                    continue
+                if task.resolved or task.spec.key in self.quarantined:
+                    continue  # speculation loser or late success: discard
+                task.resolved = True
+                open_keys.discard(task.spec.key)
+                tracker.completed(task.spec.key)
+                self._abandoned.update(task.futures)  # losing duplicates, if any
+                if speculative and telemetry is not None:
+                    telemetry.speculative_wins += 1
+                if task.span >= 0:
+                    tracer.close_span(
+                        task.span,
+                        attempts=task.launches,
+                        speculated=task.speculated,
+                    )
+                    task.span = -1
+                yield task.spec.key, result
+            if broken is not None:
+                pool_break(broken, broken_tasks)
+            tick()

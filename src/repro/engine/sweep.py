@@ -74,10 +74,15 @@ from repro.engine.model import (
     CODE_SKIP_UNADDRESSED,
     FaultModel,
 )
+from repro.engine.executor import (
+    ExecutorPolicy,
+    ShardExecutor,
+    TaskSpec,
+    get_executor_policy,
+)
 from repro.engine.telemetry import CampaignTelemetry
 from repro.netlist.simulator import KERNEL_COUNTERS
 from repro.obs import get_observer
-from repro.obs.heartbeat import ShardTracker, completed_with_heartbeats
 
 # Emit a kernel-counter sample into the trace every this many simulator
 # batches (traced runs only).
@@ -98,8 +103,17 @@ __all__ = [
 
 
 def default_jobs() -> int:
-    """CPU-count-aware default worker count."""
-    return max(1, os.cpu_count() or 1)
+    """CPU-count-aware default worker count.
+
+    Respects the process's CPU affinity mask where the platform exposes
+    it (``os.sched_getaffinity``), so a cgroup/container-limited run —
+    CI pinned to 2 cores on a 64-core host — shards for the CPUs it may
+    actually use instead of oversubscribing.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # platforms without affinity masks
+        return max(1, os.cpu_count() or 1)
 
 
 @dataclass
@@ -709,6 +723,7 @@ def run_sharded(
     executor=None,
     shards_per_job: int = 4,
     collapse: bool = True,
+    policy: ExecutorPolicy | None = None,
 ) -> SweepResult:
     """Sharded multi-process sweep, byte-identical to ``jobs=1``.
 
@@ -728,9 +743,22 @@ def run_sharded(
     naive path, out-of-order shard completions cannot be folded
     individually, because removing a scattered subset of survivors
     would regroup the remainder's naive batches on resume.
-    """
-    from concurrent.futures import ProcessPoolExecutor
 
+    **Fault tolerance.** Both phases drain through a
+    :class:`~repro.engine.executor.ShardExecutor` governed by ``policy``
+    (default: the ambient :func:`get_executor_policy`): worker
+    exceptions retry with backoff, a broken pool is rebuilt and its
+    in-flight shards relaunched, stalled shards are speculatively
+    re-executed (first result wins; shards are deterministic so the
+    bytes cannot differ), and shards that keep failing are quarantined.
+    A quarantined shard's candidates stay untested and are *excluded*
+    from ``candidate_ids`` — the sweep still completes and checkpoints
+    everything resolved, then raises :class:`CampaignError` unless
+    ``policy.allow_partial``.  Quarantine drops are resume-safe: every
+    dropped piece is a whole number of ``batch_size`` batches (or a
+    prefix-aligned tail under collapse), so a later resume re-groups
+    the remainder into the byte-identical batches.
+    """
     jobs = default_jobs() if jobs is None else int(jobs)
     if jobs < 1:
         raise CampaignError(f"jobs must be >= 1, got {jobs}")
@@ -776,49 +804,53 @@ def run_sharded(
         telem.batch_compactions += kd[1]
         telem.machine_cycles_saved += kd[2]
 
-    own_pool = executor is None
-    if own_pool:
-        executor = ProcessPoolExecutor(max_workers=jobs)
+    if policy is None:
+        policy = get_executor_policy()
+    shard_exec = ShardExecutor(jobs, policy, pool=executor)
     try:
         # Phase 1: parallel pre-filter over contiguous candidate chunks.
         n_chunks = max(1, min(jobs * shards_per_job, int(candidates.size)))
-        chunks = np.array_split(candidates, n_chunks)
+        chunks = [c for c in np.array_split(candidates, n_chunks) if c.size]
+        prefilter_fn = _worker_prefilter_collapse if do_collapse else _worker_prefilter
+        prefilter_span = tracer.open_span("phase.prefilter", chunks=len(chunks))
+        progress.start(f"{model.name} prefilter", total=len(chunks))
+        chunk_results: dict[int, tuple] = {}
+        prefilter_tasks = [
+            TaskSpec(f"prefilter:{i}", prefilter_fn, (model_blob, c))
+            for i, c in enumerate(chunks)
+        ]
+        for key, res in shard_exec.run(
+            prefilter_tasks, phase="prefilter", telemetry=telem
+        ):
+            chunk_results[int(key.split(":", 1)[1])] = res
+            telem.prefilter_seconds += res[-1]
+            if observing:
+                progress.update(len(chunk_results))
+        # Reassemble in chunk order, dropping quarantined chunks — their
+        # candidates stay untested, excluded from the result entirely, so
+        # a later resume re-tests them (pre-filtering is per-candidate
+        # pure; dropping any subset is resume-safe).
+        kept_codes: list[np.ndarray] = []
+        kept_chunks: list[np.ndarray] = []
         infos: list[tuple[Any, Any] | None] = []
-        prefilter_span = tracer.open_span("phase.prefilter", chunks=n_chunks)
-        progress.start(f"{model.name} prefilter", total=n_chunks)
-        if do_collapse:
-            futures = [
-                executor.submit(_worker_prefilter_collapse, model_blob, c)
-                for c in chunks
-                if c.size
-            ]
-            code_parts = []
-            for f in futures:
-                codes, info, seconds = f.result()
-                code_parts.append(codes)
-                infos.extend(info)
-                telem.prefilter_seconds += seconds
-                if observing:
-                    progress.update(len(code_parts))
-        else:
-            futures = [
-                executor.submit(_worker_prefilter, model_blob, c)
-                for c in chunks
-                if c.size
-            ]
-            code_parts = []
-            for f in futures:
-                codes, seconds = f.result()
-                code_parts.append(codes)
-                telem.prefilter_seconds += seconds
-                if observing:
-                    progress.update(len(code_parts))
+        for i, chunk in enumerate(chunks):
+            res = chunk_results.get(i)
+            if res is None:  # quarantined chunk
+                telem.candidates_quarantined += int(chunk.size)
+                continue
+            kept_codes.append(res[0])
+            kept_chunks.append(chunk)
+            if do_collapse:
+                infos.extend(res[1])
         codes = (
-            np.concatenate(code_parts) if code_parts else np.empty(0, dtype=np.uint8)
+            np.concatenate(kept_codes) if kept_codes else np.empty(0, dtype=np.uint8)
+        )
+        kept = (
+            np.concatenate(kept_chunks) if kept_chunks else np.empty(0, dtype=np.int64)
         )
         survivor_mask = codes == CODE_NOT_TESTED
-        survivors = candidates[survivor_mask]
-        skipped = candidates[~survivor_mask]
+        survivors = kept[survivor_mask]
+        skipped = kept[~survivor_mask]
         telem.skip_structural = int(np.count_nonzero(codes == CODE_SKIP_STRUCTURAL))
         telem.skip_cone = int(np.count_nonzero(codes == CODE_SKIP_CONE))
         telem.skip_unaddressed = int(np.count_nonzero(codes == CODE_SKIP_UNADDRESSED))
@@ -861,20 +893,10 @@ def run_sharded(
 
         observe_span = tracer.open_span("phase.observe", survivors=int(survivors.size))
         progress.start(f"{model.name} observe", total=int(survivors.size))
-        tracker = ShardTracker(tracer, progress) if observing else None
-        shard_spans: dict[int, int] = {}
         done_bits = 0
 
-        def submit_shard(fn, index: int, shard: np.ndarray, *extra) -> Any:
-            if observing:
-                shard_spans[index] = tracer.open_span(
-                    "shard", parent=observe_span, index=index, bits=int(shard.size)
-                )
-                tracker.submitted(index)
-            return executor.submit(fn, model_blob, batch_size, shard, *extra)
-
         def shard_done(
-            index: int, shard: np.ndarray, batch_seconds: list[float], seconds: float
+            shard: np.ndarray, batch_seconds: list[float], seconds: float
         ) -> None:
             nonlocal done_bits
             telem.n_batches += len(batch_seconds)
@@ -883,12 +905,6 @@ def run_sharded(
                 telem.record_batch_seconds(b)
             telem.record_shard_seconds(seconds)
             if observing:
-                tracker.completed(index)
-                tracer.close_span(
-                    shard_spans.pop(index),
-                    batches=len(batch_seconds),
-                    worker_seconds=round(seconds, 6),
-                )
                 done_bits += int(shard.size)
                 progress.update(done_bits)
                 if telem.n_batches // _COUNTER_SAMPLE_BATCHES != (
@@ -898,22 +914,40 @@ def run_sharded(
 
         if not do_collapse:
             # Phase 2: survivor shards, whole batches each, fanned out.
-            shard_futures = {
-                submit_shard(_worker_observe, i, shard): (i, shard)
-                for i, shard in enumerate(
-                    shard_survivors(survivors, batch_size, jobs * shards_per_job)
+            shards = shard_survivors(survivors, batch_size, jobs * shards_per_job)
+            observe_tasks = [
+                TaskSpec(
+                    f"observe:{i}",
+                    _worker_observe,
+                    (model_blob, batch_size, shard),
+                    {"index": i, "bits": int(shard.size)},
                 )
-            }
-            for f in completed_with_heartbeats(shard_futures, tracker):
-                index, shard = shard_futures[f]
-                shard_codes, shard_payloads, batch_seconds, seconds, kd = f.result()
-                shard_done(index, shard, batch_seconds, seconds)
+                for i, shard in enumerate(shards)
+            ]
+            for key, res in shard_exec.run(
+                observe_tasks,
+                phase="observe",
+                telemetry=telem,
+                span_name="shard",
+                span_parent=observe_span,
+            ):
+                shard = shards[int(key.split(":", 1)[1])]
+                shard_codes, shard_payloads, batch_seconds, seconds, kd = res
+                shard_done(shard, batch_seconds, seconds)
                 add_kernel_delta(kd)
                 part = _part_sweep(
                     model, shard, shard_codes, seconds, int(shard.size), shard_payloads
                 )
                 acc = part if acc is None else merge_sweeps([acc, part])
                 checkpoint(acc)
+            # A quarantined shard's candidates are simply absent from the
+            # result — each shard is a whole run of naive batches, so the
+            # untested remainder re-groups identically on resume.
+            for key in shard_exec.quarantined:
+                if key.startswith("observe:"):
+                    telem.candidates_quarantined += int(
+                        shards[int(key.split(":", 1)[1])].size
+                    )
         else:
             # Phase 2 (collapsed): group survivors into their naive
             # batches to derive salts, assign one representative per
@@ -941,15 +975,20 @@ def run_sharded(
                         rep_followers[cand] = []
                         reps_by_salt.setdefault(salt, []).append(cand)
 
-            shard_futures = {}
-            next_index = 0
+            shard_specs: list[tuple[np.ndarray, Any]] = []
             for salt, reps in reps_by_salt.items():
                 reps_arr = np.asarray(reps, dtype=np.int64)
                 for shard in shard_survivors(reps_arr, batch_size, jobs * shards_per_job):
-                    shard_futures[
-                        submit_shard(_worker_observe_collapsed, next_index, shard, salt)
-                    ] = (next_index, shard)
-                    next_index += 1
+                    shard_specs.append((shard, salt))
+            observe_tasks = [
+                TaskSpec(
+                    f"observe:{i}",
+                    _worker_observe_collapsed,
+                    (model_blob, batch_size, shard, salt),
+                    {"index": i, "bits": int(shard.size)},
+                )
+                for i, (shard, salt) in enumerate(shard_specs)
+            ]
 
             resolved_code: dict[int, int] = {}
             resolved_payloads: dict[int, np.ndarray] = {}
@@ -972,10 +1011,16 @@ def run_sharded(
                 acc = part if acc is None else merge_sweeps([acc, part])
                 ck_done = hi
 
-            for f in completed_with_heartbeats(shard_futures, tracker):
-                index, shard = shard_futures[f]
-                shard_codes, shard_payloads, batch_seconds, seconds, kd = f.result()
-                shard_done(index, shard, batch_seconds, seconds)
+            for key, res in shard_exec.run(
+                observe_tasks,
+                phase="observe",
+                telemetry=telem,
+                span_name="shard",
+                span_parent=observe_span,
+            ):
+                shard, _salt = shard_specs[int(key.split(":", 1)[1])]
+                shard_codes, shard_payloads, batch_seconds, seconds, kd = res
+                shard_done(shard, batch_seconds, seconds)
                 add_kernel_delta(kd)
                 for j, rep in enumerate(shard):
                     rep = int(rep)
@@ -997,17 +1042,31 @@ def run_sharded(
                     if p > ck_done:
                         fold_prefix(p)
                         checkpoint(acc)
-            if ck_done < n_surv:
+            if any(k.startswith("observe:") for k in shard_exec.quarantined):
+                # Quarantined representatives leave holes in the survivor
+                # sequence: fold only the resolved prefix, cut at a naive-
+                # batch boundary, and drop everything past it (resolved
+                # stragglers included) — folding a scattered subset would
+                # regroup the remainder's naive batches on resume.
+                p = ck_done
+                while p < n_surv and int(survivors[p]) in resolved_code:
+                    p += 1
+                p -= p % batch_size
+                if p > ck_done:
+                    fold_prefix(p)
+                telem.candidates_quarantined += n_surv - p
+            elif ck_done < n_surv:
                 fold_prefix(n_surv)
         if observing:
             tracer.close_span(observe_span, batches=telem.n_batches)
             progress.finish(f"{telem.n_batches} batch(es)")
     finally:
-        if own_pool:
-            executor.shutdown()
+        shard_exec.close()
 
-    if acc is None:  # no candidates at all
-        acc = _part_sweep(model, candidates, np.empty(0, dtype=np.uint8), 0.0, 0)
+    if acc is None:  # no candidates at all, or everything quarantined
+        acc = _part_sweep(
+            model, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.uint8), 0.0, 0
+        )
     telem.wall_seconds = time.perf_counter() - t0
     prior = merge_with.host_seconds if merge_with is not None else 0.0
     acc.host_seconds = prior + telem.wall_seconds
@@ -1021,6 +1080,13 @@ def run_sharded(
         tracer.counters(KERNEL_COUNTERS.to_dict())
         tracer.close_span(
             root_span, n_simulated=telem.n_simulated, n_batches=telem.n_batches
+        )
+    if shard_exec.quarantined and not policy.allow_partial:
+        keys = ", ".join(sorted(shard_exec.quarantined))
+        raise CampaignError(
+            f"{len(shard_exec.quarantined)} shard(s) quarantined ({keys}); "
+            f"everything resolved was checkpointed — re-run to retry the "
+            f"missing work, or pass --allow-partial to accept a partial sweep"
         )
     return acc
 
@@ -1039,13 +1105,16 @@ def run_sweep(
     executor=None,
     shards_per_job: int = 4,
     collapse: bool = True,
+    policy: ExecutorPolicy | None = None,
 ) -> SweepResult:
     """Run a sweep with the engine's native checkpoint format.
 
     The one-stop entry point for adapters without a historical
     checkpoint format of their own: ``jobs`` picks serial vs sharded,
     ``checkpoint_path`` snapshots :func:`save_sweep` archives that
-    :func:`resume_sweep` restarts from.
+    :func:`resume_sweep` restarts from.  ``policy`` overrides the
+    ambient :class:`ExecutorPolicy` for sharded runs (serial runs have
+    no pool to recover).
     """
     checkpoint_cb = None
     if checkpoint_path is not None:
@@ -1074,6 +1143,7 @@ def run_sweep(
         executor=executor,
         shards_per_job=shards_per_job,
         collapse=collapse,
+        policy=policy,
     )
 
 
@@ -1086,6 +1156,7 @@ def resume_sweep(
     executor=None,
     shards_per_job: int = 4,
     collapse: bool = True,
+    policy: ExecutorPolicy | None = None,
 ) -> SweepResult:
     """Resume an interrupted sweep from an engine-native checkpoint.
 
@@ -1115,4 +1186,5 @@ def resume_sweep(
         executor=executor,
         shards_per_job=shards_per_job,
         collapse=collapse,
+        policy=policy,
     )

@@ -62,6 +62,19 @@ class CampaignTelemetry:
     checkpoint_seconds: float = 0.0
     wall_seconds: float = 0.0
     jobs: int = 1
+    # Recovery counters (sharded runs; see repro.engine.executor): how
+    # often the executor retried a failed shard, launched a speculative
+    # duplicate of a stalled one (and how often the duplicate won),
+    # rebuilt a broken worker pool, and how many shards it quarantined.
+    # ``candidates_quarantined`` counts candidates dropped from the
+    # result because their shard was quarantined (under collapse this
+    # includes resolved stragglers past the foldable prefix).
+    shard_retries: int = 0
+    speculative_launches: int = 0
+    speculative_wins: int = 0
+    pool_rebuilds: int = 0
+    shards_quarantined: int = 0
+    candidates_quarantined: int = 0
     # Per-stage timing histograms over HIST_EDGES_SECONDS (one extra
     # open bucket at the end).  Empty list = nothing recorded; kept as
     # plain lists so to_dict()/save/load round-trip them untouched.

@@ -46,9 +46,10 @@ class ShardTracker:
         self.interval = interval
         self.straggler_factor = straggler_factor
         self.min_samples = min_samples
-        self._inflight: dict[int, float] = {}  # shard index -> submit time
+        self._inflight: dict[Any, float] = {}  # shard key -> submit time
         self._durations: list[float] = []
-        self._flagged: set[int] = set()
+        self._flagged: set[Any] = set()
+        self._last_beat = 0.0
         self.n_done = 0
 
     @property
@@ -81,11 +82,21 @@ class ShardTracker:
         return [i for i, t0 in self._inflight.items() if now - t0 > limit]
 
     def tick(self) -> None:
-        """Emit one liveness sample: heartbeat event + straggler notes."""
+        """Emit one liveness sample: heartbeat event + straggler notes.
+
+        Throttled to one heartbeat per ``interval`` so callers (the
+        shard executor ticks after every drain round) can invoke it
+        freely without flooding the trace; straggler detection itself is
+        unthrottled — :meth:`stragglers` stays exact for callers that
+        act on it (speculative re-execution).
+        """
         now = time.perf_counter()
+        if now - self._last_beat < self.interval:
+            return
+        self._last_beat = now
         workers = [
             {"index": i, "elapsed": round(now - t0, 3)}
-            for i, t0 in sorted(self._inflight.items())
+            for i, t0 in sorted(self._inflight.items(), key=lambda kv: str(kv[0]))
         ]
         self.tracer.heartbeat(workers, kind=self.kind, done=self.n_done)
         for index in self.stragglers():
@@ -94,7 +105,7 @@ class ShardTracker:
             self._flagged.add(index)
             elapsed = now - self._inflight[index]
             self.tracer.point(
-                "straggler", index=index, kind=self.kind, elapsed=round(elapsed, 3)
+                "straggler", index=index, phase=self.kind, elapsed=round(elapsed, 3)
             )
             self.progress.note(
                 f"warning: {self.kind} {index} still running after {elapsed:.1f}s "

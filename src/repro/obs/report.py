@@ -246,6 +246,52 @@ def _savings_lines(segment: Segment) -> list[str]:
     return lines
 
 
+_RECOVERY_KINDS = ("retry", "speculate", "pool_rebuild", "quarantine", "straggler")
+
+
+def _recovery_lines(segment: Segment) -> list[str]:
+    """The fault-recovery timeline: what the shard executor had to do.
+
+    Rendered only when recovery points exist (an undisturbed run keeps
+    its report unchanged).  Counts come from the trace points; the
+    telemetry point (when present) cross-checks them and adds the
+    speculation win rate and candidates lost to quarantine.
+    """
+    counts = {kind: 0 for kind in _RECOVERY_KINDS}
+    for point in segment.points:
+        kind = point.get("kind")
+        if kind in counts:
+            counts[kind] += 1
+    if not any(counts.values()):
+        return []
+    lines = ["", "recovery:"]
+    telem = segment.last_point("telemetry") or {}
+    if counts["retry"]:
+        lines.append(f"  retries:      {counts['retry']} failed launch(es) retried")
+    if counts["straggler"] or counts["speculate"]:
+        wins = telem.get("speculative_wins")
+        win_text = f", {wins} duplicate(s) won" if wins is not None else ""
+        lines.append(
+            f"  speculation:  {counts['straggler']} straggler(s) flagged, "
+            f"{counts['speculate']} speculative launch(es){win_text}"
+        )
+    if counts["pool_rebuild"]:
+        lines.append(
+            f"  pool:         rebuilt {counts['pool_rebuild']} time(s) after worker death"
+        )
+    if counts["quarantine"]:
+        dropped = telem.get("candidates_quarantined")
+        drop_text = f" ({dropped} candidate(s) excluded)" if dropped else ""
+        lines.append(f"  quarantine:   {counts['quarantine']} shard(s) given up{drop_text}")
+        for point in segment.points:
+            if point.get("kind") == "quarantine":
+                lines.append(
+                    f"    {point.get('phase', '?')} {point.get('key', '?')}: "
+                    f"{point.get('error', 'unknown error')}"
+                )
+    return lines
+
+
 def render_report(trace: Trace) -> str:
     """Render the ``repro report`` text for a parsed trace."""
     lines: list[str] = []
@@ -293,6 +339,7 @@ def render_report(trace: Trace) -> str:
         lines.append("")
         lines.append("shrinker savings:")
         lines.extend(_savings_lines(segment))
+        lines.extend(_recovery_lines(segment))
         if segment.heartbeats:
             stalls = sum(1 for p in segment.points if p.get("kind") == "straggler")
             lines.append("")

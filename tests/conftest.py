@@ -1,11 +1,21 @@
-"""Shared fixtures.
+"""Shared fixtures, plus a ``timeout`` marker fallback.
 
 Implemented (placed + routed + decoded) designs are expensive, so they
 are built once per session and shared; tests must not mutate them (the
 fault machinery works on patches, never on the shared golden state).
+
+The recovery tests mark themselves ``@pytest.mark.timeout(N)`` so a
+regression that wedges the shard executor fails fast instead of hanging
+the suite.  CI installs ``pytest-timeout`` (which owns the marker and
+adds a global ``--timeout`` ceiling); when the plugin is absent the
+SIGALRM fallback below enforces marked tests only, and the marker is
+registered here so ``--strict-markers`` stays clean either way.
 """
 
 from __future__ import annotations
+
+import importlib.util
+import signal
 
 import numpy as np
 import pytest
@@ -14,6 +24,41 @@ from repro.designs import array_multiplier, lfsr_cluster_design
 from repro.designs.counter import counter_design
 from repro.fpga import get_device
 from repro.place import implement
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+
+
+def pytest_configure(config):
+    if not _HAVE_PYTEST_TIMEOUT:
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): fail the test if it runs longer than the "
+            "given wall-clock ceiling (SIGALRM fallback; normally owned "
+            "by the pytest-timeout plugin)",
+        )
+
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(item):
+        marker = item.get_closest_marker("timeout")
+        seconds = float(marker.args[0]) if marker and marker.args else 0.0
+        if seconds <= 0:
+            return (yield)
+
+        def on_alarm(signum, frame):
+            raise pytest.fail.Exception(
+                f"test exceeded the {seconds:.0f}s timeout ceiling"
+            )
+
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            return (yield)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")
