@@ -1,0 +1,168 @@
+"""Kernel-backend harness: bit-plane (and JIT) vs the reference kernel.
+
+Times the netlist kernel itself — a full faulty batch stepped over a
+long stimulus on the exhaustive MULT4/S8 implementation — once per
+available backend, asserts the outputs and final node state are
+byte-identical, and appends the per-backend timings plus speedups to
+``BENCH_backend.json``.  A campaign-level run per backend rides along
+for context (also byte-checked), but the floors gate the kernel
+measurement: campaign wall clock is dominated by decode/pre-filter and
+shrinks the batch as machines retire, which is exactly the regime the
+backends do *not* differ in.
+
+The JIT backend is timed warm: one untimed step triggers numba
+compilation, and the compile seconds are reported as their own field
+rather than folded into the kernel time.
+
+Environment knobs:
+
+``REPRO_BENCH_DIR``
+    Directory for ``BENCH_backend.json`` (default: current directory).
+``REPRO_BENCH_KERNEL_BATCH``
+    Machines per batch (default 1024 — 16 uint64 words).
+``REPRO_BENCH_BACKEND_CYCLES``
+    Stimulus length for the kernel timing (default 400).
+``REPRO_BENCH_MIN_BACKEND_SPEEDUP``
+    Hard floor for the numpy bit-plane kernel speedup over the
+    reference kernel (default 0 = report-only; an unloaded machine
+    clears 2x).
+``REPRO_BENCH_MIN_JIT_SPEEDUP``
+    Hard floor for the JIT kernel speedup (default 0; only checked
+    when numba is installed; an unloaded machine clears 5x).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.netlist.backends import jit_available, kernel_backend, make_simulator
+from repro.seu import CampaignConfig, run_campaign
+
+
+def _batch_patches(hw, B):
+    """The first B campaign-style fault patches (addressable bits)."""
+    patches = []
+    for bit in range(hw.device.total_config_bits):
+        patch = hw.decoded.patch_for_bit(bit)
+        if patch is not None and not patch.is_empty():
+            patches.append(patch)
+        if len(patches) == B:
+            break
+    return patches
+
+
+def _time_kernel(backend, hw, patches, stim, repeats=3):
+    """Best-of-N wall seconds for a full batch run under ``backend``."""
+    with kernel_backend(backend):
+        sim = make_simulator(hw.decoded.design, patches, companion=True)
+    sim.run(stim[:1])  # warm: numba compiles here, caches build here
+    best = float("inf")
+    for _ in range(repeats):
+        sim.reset()
+        t0 = time.perf_counter()
+        outputs = sim.run(stim)
+        best = min(best, time.perf_counter() - t0)
+    return best, outputs.copy(), sim.values.copy()
+
+
+def test_backend_speedup(report):
+    from repro.designs import get_design
+    from repro.fpga import get_device
+    from repro.place import implement
+
+    B = int(os.environ.get("REPRO_BENCH_KERNEL_BATCH", "1024"))
+    cycles = int(os.environ.get("REPRO_BENCH_BACKEND_CYCLES", "400"))
+    min_bp = float(os.environ.get("REPRO_BENCH_MIN_BACKEND_SPEEDUP", "0"))
+    min_jit = float(os.environ.get("REPRO_BENCH_MIN_JIT_SPEEDUP", "0"))
+
+    hw = implement(get_design("MULT4"), get_device("S8"))
+    patches = _batch_patches(hw, B)
+    stim = hw.spec.stimulus(cycles)
+
+    backends = ["reference", "bitplane"]
+    if jit_available():
+        backends.append("bitplane-jit")
+
+    kernel_rows = []
+    ref_outputs = ref_values = None
+    times = {}
+    for backend in backends:
+        seconds, outputs, values = _time_kernel(backend, hw, patches, stim)
+        if ref_outputs is None:
+            ref_outputs, ref_values = outputs, values
+        else:
+            # The contract the floors ride on: bytes first, speed second.
+            assert np.array_equal(outputs, ref_outputs), backend
+            assert np.array_equal(values, ref_values), backend
+        times[backend] = seconds
+        row = {
+            "label": f"kernel:{backend}",
+            "backend": backend,
+            "batch": len(patches),
+            "cycles": cycles,
+            "kernel_seconds": seconds,
+            "machine_cycles_per_sec": len(patches) * cycles / seconds,
+        }
+        if backend == "bitplane-jit":
+            from repro.netlist.backends import jit as jitmod
+
+            row["compile_seconds"] = jitmod.compile_seconds
+        kernel_rows.append(row)
+
+    bp_speedup = times["reference"] / times["bitplane"]
+    jit_speedup = (
+        times["reference"] / times["bitplane-jit"] if "bitplane-jit" in times else None
+    )
+
+    # Campaign context: end-to-end wall per backend, verdicts byte-checked.
+    cfg = CampaignConfig(
+        detect_cycles=96, persist_cycles=64, stride=1, batch_size=B
+    )
+    campaign_rows = []
+    ref_verdicts = None
+    for backend in backends:
+        with kernel_backend(backend):
+            result = run_campaign(hw, cfg)
+        if ref_verdicts is None:
+            ref_verdicts = result.verdicts
+        else:
+            assert np.array_equal(result.verdicts, ref_verdicts), backend
+        row = result.telemetry.to_dict()
+        row["label"] = f"campaign:{result.telemetry.backend}"
+        campaign_rows.append(row)
+
+    rows = kernel_rows + campaign_rows
+    rows.append(
+        {
+            "label": "speedup",
+            "design": hw.spec.name,
+            "device": hw.device.name,
+            "bitplane_kernel_speedup": bp_speedup,
+            "jit_kernel_speedup": jit_speedup,
+        }
+    )
+
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "BENCH_backend.json"
+    out_path.write_text(json.dumps(rows, indent=2) + "\n")
+
+    lines = [
+        "",
+        f"== Kernel backends (MULT4/S8, {len(patches)} machines x {cycles} cycles) ==",
+    ]
+    for backend in backends:
+        lines.append(f"{backend:<13}: {times[backend]:.3f}s kernel")
+    lines.append(f"bitplane      : {bp_speedup:.2f}x vs reference")
+    if jit_speedup is not None:
+        lines.append(f"bitplane-jit  : {jit_speedup:.2f}x vs reference")
+    lines.append("outputs, state and campaign verdicts byte-identical")
+    lines.append(f"record        : {out_path}")
+    report(*lines)
+
+    assert bp_speedup >= min_bp
+    if jit_speedup is not None:
+        assert jit_speedup >= min_jit

@@ -34,7 +34,8 @@ from repro.engine.telemetry import CampaignTelemetry
 from repro.errors import CampaignError
 from repro.fpga.device import VirtexDevice
 from repro.netlist.compiled import Patch
-from repro.netlist.simulator import SETTLE_CAP, BatchSimulator, max_schedule_violations
+from repro.netlist.backends import make_simulator, simulator_class
+from repro.netlist.simulator import SETTLE_CAP, max_schedule_violations
 
 __all__ = ["CoverageReport", "BistCoverageModel", "run_coverage"]
 
@@ -118,7 +119,7 @@ class BistCoverageModel(FaultModel):
         for spec in self.variant_specs():
             hw = implemented_design(spec, self.device_name)
             stim = hw.spec.stimulus(self.cycles, 0)
-            golden = BatchSimulator.golden_trace(hw.decoded.design, stim)
+            golden = simulator_class().golden_trace(hw.decoded.design, stim)
             variants.append((hw, stim, golden))
         return tuple(variants)
 
@@ -143,7 +144,7 @@ class BistCoverageModel(FaultModel):
     ) -> list[tuple[bool, bool]]:
         hits = []
         for v, (hw, stim, golden) in enumerate(ctx):
-            sim = BatchSimulator(
+            sim = make_simulator(
                 hw.decoded.design,
                 [pair[v] for _, pair in pending],
                 settle_passes=settle[v] if settle is not None else None,

@@ -81,6 +81,7 @@ from repro.engine.executor import (
     get_executor_policy,
 )
 from repro.engine.telemetry import CampaignTelemetry
+from repro.netlist.backends import resolve_backend
 from repro.netlist.simulator import KERNEL_COUNTERS
 from repro.obs import get_observer
 
@@ -304,7 +305,9 @@ def run_serial(
     payloads: dict[int, np.ndarray] = {}
     t0 = time.perf_counter()
     kern0 = KERNEL_COUNTERS.snapshot()
-    telem = CampaignTelemetry(n_candidates=int(candidates.size), jobs=1)
+    telem = CampaignTelemetry(
+        n_candidates=int(candidates.size), jobs=1, backend=resolve_backend()
+    )
     n_simulated = 0
 
     # Observability hooks.  Every emission below only *reads* campaign
@@ -320,6 +323,7 @@ def run_serial(
         jobs=1,
         candidates=int(candidates.size),
         collapse=do_collapse,
+        backend=telem.backend,
     )
     progress.start(model.name, total=int(candidates.size))
     batch_tick = 0
@@ -778,7 +782,9 @@ def run_sharded(
     do_collapse = bool(collapse) and model.collapsible
 
     t0 = time.perf_counter()
-    telem = CampaignTelemetry(n_candidates=int(candidates.size), jobs=jobs)
+    telem = CampaignTelemetry(
+        n_candidates=int(candidates.size), jobs=jobs, backend=resolve_backend()
+    )
     observer = get_observer()
     tracer, progress = observer.tracer, observer.progress
     observing = observer.enabled
@@ -789,6 +795,7 @@ def run_sharded(
         jobs=jobs,
         candidates=int(candidates.size),
         collapse=do_collapse,
+        backend=telem.backend,
     )
     model_blob = pickle.dumps(model)
     # Pre-populate the worker cache: under fork the children inherit the

@@ -62,6 +62,10 @@ class CampaignTelemetry:
     checkpoint_seconds: float = 0.0
     wall_seconds: float = 0.0
     jobs: int = 1
+    # Kernel backend the run resolved to (reference / bitplane /
+    # bitplane-jit); verdict-invariant, recorded so BENCH_*.json rows
+    # and trace spans say which engine produced the throughput numbers.
+    backend: str = "reference"
     # Recovery counters (sharded runs; see repro.engine.executor): how
     # often the executor retried a failed shard, launched a speculative
     # duplicate of a stalled one (and how often the duplicate won),
@@ -152,5 +156,5 @@ class CampaignTelemetry:
             f"{self.n_simulated} simulated in {self.n_batches} batches "
             f"({100 * self.collapse_rate:.1f}% collapsed, "
             f"{100 * self.retire_rate:.1f}% retired), "
-            f"jobs={self.jobs}"
+            f"jobs={self.jobs}, backend={self.backend}"
         )

@@ -46,6 +46,7 @@ __all__ = [
     "KernelCounters",
     "KERNEL_COUNTERS",
     "SETTLE_CAP",
+    "compose_lut_addresses",
     "max_schedule_violations",
 ]
 
@@ -95,6 +96,25 @@ class KernelCounters:
 
 
 KERNEL_COUNTERS = KernelCounters()
+
+
+def compose_lut_addresses(operands: np.ndarray, out: np.ndarray, tmp: np.ndarray) -> np.ndarray:
+    """Compose 4-bit LUT addresses from an ``(..., 4)`` operand array.
+
+    Writes ``op0 | op1<<1 | op2<<2 | op3<<3`` into ``out`` using ``tmp``
+    as shift scratch; ``out``/``tmp`` share the operands' leading shape
+    and may be any unsigned dtype wide enough for a 4-bit value.
+    Operand values must be 0/1.  The single source of the address
+    idiom the per-level kernel, the machine-0 address capture and the
+    occupancy recording all used to duplicate.
+    """
+    np.left_shift(operands[..., 1], 1, out=tmp)
+    np.bitwise_or(operands[..., 0], tmp, out=out)
+    np.left_shift(operands[..., 2], 2, out=tmp)
+    np.bitwise_or(out, tmp, out=out)
+    np.left_shift(operands[..., 3], 3, out=tmp)
+    np.bitwise_or(out, tmp, out=out)
+    return out
 
 
 def max_schedule_violations(design: CompiledDesign, patches: list[Patch] | None) -> int:
@@ -213,6 +233,9 @@ class BatchSimulator:
 
         d = design
         B = self.B
+        #: set once the gather caches exist; a mid-run patch refreshes
+        #: the touched machine's caches only when this is True
+        self._caches_built = False
         # Per-machine hardware arrays (patched copies of the golden arrays).
         self.lut_inputs = np.broadcast_to(d.lut_inputs, (B, d.n_luts, 4)).copy()
         self.lut_tables = np.broadcast_to(d.lut_tables, (B, d.n_luts, 16)).copy()
@@ -240,12 +263,20 @@ class BatchSimulator:
             self._levels = [lv for lv in self._levels if lv.size]
             self._ff_rows = np.flatnonzero(active_nodes[d.ff_nodes])
 
-        self.values = np.zeros((B, d.n_nodes), dtype=np.uint8)
         self._const_mask = np.isin(
             d.node_kind, (int(NodeKind.CONST), int(NodeKind.HALF_LATCH))
         )
+        self._alloc_state()
         self._build_gather_caches()
         self.reset()
+
+    def _alloc_state(self) -> None:
+        """Allocate the node-state storage (backend hook).
+
+        The reference backend keeps a dense ``(B, n_nodes)`` uint8
+        matrix; bit-plane backends override this with packed planes.
+        """
+        self.values = np.zeros((self.B, self.design.n_nodes), dtype=np.uint8)
 
     # -- gather-index caches --------------------------------------------------
     #
@@ -306,7 +337,13 @@ class BatchSimulator:
         self._ff_unclocked = np.empty((B, R), dtype=bool)
 
         self._out_idx = np.empty((B, d.n_outputs), dtype=np.intp)
+        # Per-cycle reusable buffers: step() returns _out_buf (callers
+        # must copy to keep a cycle's outputs), and the stimulus scatter
+        # index makes the input write one flat broadcast assignment.
+        self._out_buf = np.empty((B, d.n_outputs), dtype=np.uint8)
+        self._in_scatter = self._moff + d.input_nodes.astype(np.intp)[None, :]
         self._refresh_machine_caches()
+        self._caches_built = True
 
     def _refresh_machine_caches(self, m: int | None = None) -> None:
         """Rebuild gather indices after wiring changed (patch / repair).
@@ -395,7 +432,7 @@ class BatchSimulator:
         # Mid-run injection (after __init__) must rebuild the machine's
         # gather indices; during __init__ the caches do not exist yet and
         # are built once after all patches are applied.
-        if hasattr(self, "_out_idx"):
+        if self._caches_built:
             self._refresh_machine_caches(m)
 
     def repair_machine(self, m: int) -> None:
@@ -417,9 +454,13 @@ class BatchSimulator:
         # keepers are hidden state and deliberately NOT restored.
         const_only = d.node_kind == int(NodeKind.CONST)
         self.const_values[m, const_only] = d.const_values[const_only]
-        self.values[m, const_only] = d.const_values[const_only]
+        self._restore_const_state(m, const_only)
         self._broken[m] = False
         self._refresh_machine_caches(m)
+
+    def _restore_const_state(self, m: int, const_only: np.ndarray) -> None:
+        """Reassert golden CONST node *values* for machine ``m`` (hook)."""
+        self.values[m, const_only] = self.design.const_values[const_only]
 
     def compact(self, keep: np.ndarray) -> None:
         """Drop retired machines: shrink the batch to ``keep`` in place.
@@ -453,7 +494,7 @@ class BatchSimulator:
         self.ff_clocked = self.ff_clocked[keep]
         self.const_values = self.const_values[keep]
         self.output_nodes = self.output_nodes[keep]
-        self.values = np.ascontiguousarray(self.values[keep])
+        self._compact_state(keep)
         self._broken = self._broken[keep]
         self.batch_slots = self.batch_slots[keep]
         self.patches = [self.patches[int(i)] for i in keep]
@@ -461,6 +502,10 @@ class BatchSimulator:
         self._build_gather_caches()
         KERNEL_COUNTERS.machines_retired += n_dropped
         KERNEL_COUNTERS.batch_compactions += 1
+
+    def _compact_state(self, keep: np.ndarray) -> None:
+        """Re-index the node state over the surviving machines (hook)."""
+        self.values = np.ascontiguousarray(self.values[keep])
 
     # -- execution ---------------------------------------------------------
 
@@ -486,7 +531,14 @@ class BatchSimulator:
 
     def state_snapshot(self) -> np.ndarray:
         """Copy of machine 0's node values (for mid-run injection starts)."""
-        return self.values[0].copy()
+        return self._machine0_values().copy()
+
+    def _machine0_values(self) -> np.ndarray:
+        """Machine 0's ``(n_nodes,)`` uint8 node values (backend hook).
+
+        May return a view; callers that keep the array must copy.
+        """
+        return self.values[0]
 
     def _eval_combinational(self) -> None:
         vf = self._values_flat
@@ -496,16 +548,10 @@ class BatchSimulator:
             for k in range(n_levels):
                 # Operand fetch: one flat gather into the level buffer.
                 np.take(vf, self._lvl_gather[k], out=self._lvl_buf[k])
-                f = self._lvl_buf3[k]
-                addr = self._lvl_addr[k]
-                tmp = self._lvl_tmp[k]
                 # Compose 4-bit addresses in uint8 (operands are 0/1).
-                np.left_shift(f[:, :, 1], 1, out=tmp)
-                np.bitwise_or(f[:, :, 0], tmp, out=addr)
-                np.left_shift(f[:, :, 2], 2, out=tmp)
-                np.bitwise_or(addr, tmp, out=addr)
-                np.left_shift(f[:, :, 3], 3, out=tmp)
-                np.bitwise_or(addr, tmp, out=addr)
+                addr = compose_lut_addresses(
+                    self._lvl_buf3[k], self._lvl_addr[k], self._lvl_tmp[k]
+                )
                 # Table lookup: flat gather into the per-level out buffer.
                 np.add(self._lvl_tab_base[k], addr, out=self._lvl_tab_idx[k])
                 np.take(tf, self._lvl_tab_idx[k], out=self._lvl_out[k])
@@ -533,7 +579,9 @@ class BatchSimulator:
 
         ``stimulus_row`` is the primary-input vector for this cycle,
         shared by every machine (golden and faulty parts see identical
-        stimulus, as on the SLAAC-1V).
+        stimulus, as on the SLAAC-1V).  The returned array is a
+        preallocated buffer reused by the next step — callers that keep
+        a cycle's outputs must copy them.
         """
         d = self.design
         if stimulus_row.shape != (d.n_inputs,):
@@ -541,9 +589,9 @@ class BatchSimulator:
                 f"stimulus row must have {d.n_inputs} entries, got {stimulus_row.shape}"
             )
         if d.n_inputs:
-            self.values[:, d.input_nodes] = stimulus_row[None, :]
+            self._values_flat[self._in_scatter] = stimulus_row
         self._eval_combinational()
-        out = np.take(self._values_flat, self._out_idx)
+        out = np.take(self._values_flat, self._out_idx, out=self._out_buf)
         if self._addr_capture is not None:
             # Machine 0's one-hot LUT address masks at the evaluation
             # fixpoint — captured *before* the flip-flops clock, because
@@ -558,13 +606,9 @@ class BatchSimulator:
         d = self.design
         if not d.n_luts:
             return np.zeros(0, dtype=np.uint16)
-        flat = self.values[0].take(self._m0_flat_idx).reshape(d.n_luts, 4)
-        addr = (
-            flat[:, 0].astype(np.uint16)
-            | (flat[:, 1].astype(np.uint16) << 1)
-            | (flat[:, 2].astype(np.uint16) << 2)
-            | (flat[:, 3].astype(np.uint16) << 3)
-        )
+        flat = self._machine0_values().take(self._m0_flat_idx).reshape(d.n_luts, 4)
+        addr = np.empty(d.n_luts, dtype=np.uint16)
+        compose_lut_addresses(flat, addr, np.empty(d.n_luts, dtype=np.uint16))
         return np.left_shift(np.uint16(1), addr)
 
     def run(
@@ -596,14 +640,10 @@ class BatchSimulator:
             for t in range(cycles):
                 outputs[t] = self.step(stimulus[t])
                 if record_addresses and d.n_luts:
-                    flat = self.values[0].take(self._m0_flat_idx).reshape(d.n_luts, 4)
-                    addr = (
-                        flat[:, 0].astype(np.uint16)
-                        | (flat[:, 1].astype(np.uint16) << 1)
-                        | (flat[:, 2].astype(np.uint16) << 2)
-                        | (flat[:, 3].astype(np.uint16) << 3)
-                    )
-                    addr_seen |= np.left_shift(np.uint16(1), addr)
+                    # Post-clock capture (unlike the pre-clock addr_rows
+                    # capture inside step): occupancy accumulates the
+                    # address each LUT presents *entering* the next cycle.
+                    addr_seen |= self._machine0_addr_row()
             if record_addr_rows:
                 self.last_addr_rows = (
                     np.stack(self._addr_capture)
@@ -630,7 +670,9 @@ class BatchSimulator:
         outputs = sim.run(
             stimulus, record_addresses=True, record_addr_rows=record_addr_rows
         )
-        final_state = sim.values[0, design.ff_nodes].copy() if design.n_ffs else np.zeros(0, np.uint8)
+        final_state = (
+            sim.state_snapshot()[design.ff_nodes] if design.n_ffs else np.zeros(0, np.uint8)
+        )
         return GoldenTrace(
             outputs[:, 0, :].copy(),
             sim.last_addr_seen,
@@ -666,6 +708,16 @@ class BatchSimulator:
                         np.left_shift(np.uint16(1), changed.astype(np.uint16))
                     )
         return eligible, flips
+
+    def _machines_equal_companion(self, n_live: int) -> np.ndarray:
+        """Per-machine bool: node state equals the golden companion's.
+
+        Backend hook for the retire state-equality rule; the companion
+        occupies the last batch slot.
+        """
+        return ~np.any(
+            self.values[:n_live] != self.values[self.B - 1][None, :], axis=1
+        )
 
     def run_verdicts(
         self,
@@ -794,9 +846,7 @@ class BatchSimulator:
             if retire:
                 # State-equality sealing against the in-batch golden
                 # companion (valid post-repair and post-reset alike).
-                eq = ~np.any(
-                    self.values[:n_live] != self.values[self.B - 1][None, :], axis=1
-                )
+                eq = self._machines_equal_companion(n_live)
                 ph = phase[live]
                 # Repaired machines whose state re-converged: every
                 # future cycle matches, so the verdict is closed-form.

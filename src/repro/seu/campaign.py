@@ -60,6 +60,7 @@ from repro.engine.sweep import (
 from repro.engine.telemetry import CampaignTelemetry
 from repro.errors import CampaignError
 from repro.fpga.resources import ResourceKind
+from repro.netlist.backends import make_simulator, simulator_class
 from repro.netlist.compiled import CompiledDesign, FFField, Patch
 from repro.netlist.simulator import (
     SETTLE_CAP,
@@ -218,9 +219,9 @@ def build_context(hw: HardwareDesign, config: CampaignConfig) -> CampaignContext
     """Derive the shared campaign artifacts for one (design, config)."""
     design = hw.decoded.design
     stim = hw.spec.stimulus(config.total_cycles, config.seed)
-    golden = BatchSimulator.golden_trace(design, stim, record_addr_rows=True)
+    golden = simulator_class().golden_trace(design, stim, record_addr_rows=True)
     # Snapshot the running state at the injection instant.
-    warm_sim = BatchSimulator(design)
+    warm_sim = make_simulator(design)
     warm_sim.run(stim[: config.warmup_cycles])
     snapshot = warm_sim.state_snapshot()
     post_stim = stim[config.warmup_cycles :]
@@ -280,7 +281,7 @@ def simulate_batch(
     a golden companion machine to the batch).
     """
     patches = [p for _, p in pending]
-    sim = BatchSimulator(
+    sim = make_simulator(
         ctx.design,
         patches,
         settle_passes=settle_passes,
@@ -784,7 +785,7 @@ class HalfLatchFaultModel(FaultModel):
 
     def observe_batch(self, ctx, pending: list[tuple[int, Patch]]) -> list[bool]:
         _, cctx = ctx
-        sim = BatchSimulator(
+        sim = make_simulator(
             cctx.design, [p for _, p in pending], initial_values=cctx.snapshot
         )
         failed = detect_failures(

@@ -34,7 +34,7 @@ from repro.engine.sweep import resume_sweep, run_sweep
 from repro.engine.telemetry import CampaignTelemetry
 from repro.errors import CampaignError
 from repro.netlist.compiled import Patch
-from repro.netlist.simulator import BatchSimulator
+from repro.netlist.backends import make_simulator
 from repro.place.flow import HardwareDesign
 from repro.seu.campaign import (
     CampaignConfig,
@@ -139,7 +139,7 @@ class CorrelationFaultModel(FaultModel):
     def observe_batch(self, ctx, pending: list[tuple[int, Patch]]) -> list[np.ndarray]:
         _, cctx = ctx
         patches = [p for _, p in pending]
-        sim = BatchSimulator(
+        sim = make_simulator(
             cctx.design,
             patches,
             initial_values=cctx.snapshot,

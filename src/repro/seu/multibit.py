@@ -35,7 +35,8 @@ from repro.engine.sweep import SweepResult, resume_sweep, run_sweep
 from repro.engine.telemetry import CampaignTelemetry
 from repro.errors import CampaignError
 from repro.netlist.compiled import Patch
-from repro.netlist.simulator import SETTLE_CAP, BatchSimulator, max_schedule_violations
+from repro.netlist.backends import make_simulator
+from repro.netlist.simulator import SETTLE_CAP, max_schedule_violations
 from repro.place.flow import HardwareDesign
 from repro.seu.campaign import (
     CampaignConfig,
@@ -151,7 +152,7 @@ class MBUFaultModel(FaultModel):
     ) -> list[bool]:
         _, cctx, _ = ctx
         patches = [p for _, p in pending]
-        sim = BatchSimulator(
+        sim = make_simulator(
             cctx.design,
             patches,
             settle_passes=settle_passes,

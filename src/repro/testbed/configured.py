@@ -113,7 +113,8 @@ class ConfiguredFpga:
         self._ensure_decoded()
         assert self._sim is not None
         self.cycles_run += 1
-        return self._sim.step(stimulus_row)[0]
+        # step() returns a reused buffer; hand callers a stable copy.
+        return self._sim.step(stimulus_row)[0].copy()
 
     def run(self, stimulus: np.ndarray) -> np.ndarray:
         out = np.empty((stimulus.shape[0], self.n_outputs), dtype=np.uint8)

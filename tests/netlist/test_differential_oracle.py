@@ -11,6 +11,11 @@ implementation that shares no code with the kernel.
 The suites total 230 randomized cases and run in a few seconds; any
 kernel "optimisation" that changes semantics fails here with the seed
 that reproduces it.
+
+Every case is parametrized over the kernel backends
+(:mod:`repro.netlist.backends`): the uint8 reference kernel, the
+uint64 bit-plane kernel, and — when numba is installed — the fused JIT
+kernel, pinning all of them to the same oracle bytes.
 """
 
 from __future__ import annotations
@@ -20,8 +25,35 @@ import warnings
 import numpy as np
 import pytest
 
+from repro.netlist.backends import jit_available
+from repro.netlist.backends.bitplane import BitplaneBatchSimulator
 from repro.netlist.simulator import BatchSimulator
 from tests.utils.oracle import OracleSimulator, random_compiled_design, random_patch
+
+
+def _jit_class():
+    from repro.netlist.backends.jit import BitplaneJitBatchSimulator
+
+    return BitplaneJitBatchSimulator
+
+
+BACKEND_PARAMS = [
+    pytest.param(lambda: BatchSimulator, id="reference"),
+    pytest.param(lambda: BitplaneBatchSimulator, id="bitplane"),
+    pytest.param(
+        _jit_class,
+        id="bitplane-jit",
+        marks=pytest.mark.skipif(
+            not jit_available(), reason="numba not installed (pip install .[jit])"
+        ),
+    ),
+]
+
+
+@pytest.fixture(params=BACKEND_PARAMS)
+def sim_class(request):
+    """The simulator class under test, one per kernel backend."""
+    return request.param()
 
 
 def _case(seed: int, max_cycles: int = 16):
@@ -41,13 +73,14 @@ def _case(seed: int, max_cycles: int = 16):
     return rng, design, patches, stimulus
 
 
-def _build_pair(design, patches, companion=False, initial_values=None):
-    """BatchSimulator + oracle with matching settle passes."""
+def _build_pair(design, patches, companion=False, initial_values=None,
+                sim_class=BatchSimulator):
+    """Backend simulator + oracle with matching settle passes."""
     with warnings.catch_warnings():
         # Schedule-violating rewires past the settle cap warn; the cap
         # itself is deterministic, so the oracle just mirrors it.
         warnings.simplefilter("ignore", RuntimeWarning)
-        sim = BatchSimulator(
+        sim = sim_class(
             design, patches, companion=companion, initial_values=initial_values
         )
     oracle = OracleSimulator(
@@ -71,9 +104,11 @@ class TestDifferentialPlain:
     """Straight runs: random designs, patches, stimulus."""
 
     @pytest.mark.parametrize("seed", range(150))
-    def test_outputs_and_state_match(self, seed):
+    def test_outputs_and_state_match(self, seed, sim_class):
         _, design, patches, stimulus = _case(seed)
-        sim, oracle = _build_pair(design, patches, companion=(seed % 5 == 0))
+        sim, oracle = _build_pair(
+            design, patches, companion=(seed % 5 == 0), sim_class=sim_class
+        )
         _assert_identical(sim, oracle, stimulus)
 
 
@@ -81,13 +116,15 @@ class TestDifferentialSnapshotStart:
     """Mid-run injection: both start from the same golden snapshot."""
 
     @pytest.mark.parametrize("seed", range(1000, 1020))
-    def test_snapshot_start_matches(self, seed):
+    def test_snapshot_start_matches(self, seed, sim_class):
         rng, design, patches, stimulus = _case(seed)
         warm = rng.integers(0, 2, size=(4, design.n_inputs)).astype(np.uint8)
-        golden = BatchSimulator(design)
+        golden = sim_class(design)
         golden.run(warm)
         snapshot = golden.state_snapshot()
-        sim, oracle = _build_pair(design, patches, initial_values=snapshot)
+        sim, oracle = _build_pair(
+            design, patches, initial_values=snapshot, sim_class=sim_class
+        )
         _assert_identical(sim, oracle, stimulus)
 
 
@@ -95,9 +132,9 @@ class TestDifferentialRepair:
     """Scrub semantics: repair a machine mid-run, keep flying."""
 
     @pytest.mark.parametrize("seed", range(2000, 2030))
-    def test_repair_mid_run_matches(self, seed):
+    def test_repair_mid_run_matches(self, seed, sim_class):
         rng, design, patches, stimulus = _case(seed)
-        sim, oracle = _build_pair(design, patches)
+        sim, oracle = _build_pair(design, patches, sim_class=sim_class)
         half = max(1, len(stimulus) // 2)
         _assert_identical(sim, oracle, stimulus[:half])
         m = int(rng.integers(sim.B))
@@ -111,9 +148,9 @@ class TestDifferentialCompact:
     """Retire-compaction: surviving machines keep exact trajectories."""
 
     @pytest.mark.parametrize("seed", range(3000, 3030))
-    def test_compact_mid_run_matches(self, seed):
+    def test_compact_mid_run_matches(self, seed, sim_class):
         rng, design, patches, stimulus = _case(seed)
-        sim, oracle = _build_pair(design, patches)
+        sim, oracle = _build_pair(design, patches, sim_class=sim_class)
         half = max(1, len(stimulus) // 2)
         _assert_identical(sim, oracle, stimulus[:half])
         n_keep = int(rng.integers(1, sim.B + 1))
