@@ -11,11 +11,17 @@ Installed as the ``repro`` console script::
     repro table2                         # scaled Table II reproduction
     repro orbit --hours 2                # mission rehearsal
     repro report trace.jsonl             # render a --trace file
+    repro worker --connect HOST:PORT     # join a distributed campaign
 
 Long-running commands (campaign, multibit, bist-coverage,
 scrub-stress) accept ``--trace PATH`` (append-only JSONL span trace,
 see :mod:`repro.obs`) and ``--progress`` (live stderr progress line);
 both are verdict-invariant.
+
+The sweep commands (campaign, multibit, bist-coverage) also accept
+``--executor tcp --listen HOST:PORT`` to fan shards out to ``repro
+worker`` processes over sockets instead of a local process pool —
+verdicts stay byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -84,9 +90,32 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--chaos", metavar="SPEC", default=None,
             help="inject deterministic worker faults, e.g. "
-            "'seed=3,crash=0.2,hang=0.1,hang-s=5' — a recovery test knob; "
-            "verdicts are identical to an undisturbed run whenever the "
-            "executor recovers",
+            "'seed=3,crash=0.2,hang=0.1,hang-s=5,drop=0.1,partition=0.05' — "
+            "a recovery test knob; verdicts are identical to an undisturbed "
+            "run whenever the executor recovers",
+        )
+
+    def add_transport_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--executor", choices=("local", "tcp"), default=None, dest="transport",
+            help="shard transport: 'local' process pool (default) or 'tcp' "
+            "distributed workers started with `repro worker --connect` "
+            "(verdicts are byte-identical either way)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="with --executor tcp: wait for N connected workers before "
+            "dispatching (default 1; late joiners still steal work)",
+        )
+        p.add_argument(
+            "--listen", metavar="HOST:PORT", default=None,
+            help="with --executor tcp: bind address for the coordinator "
+            "(default 127.0.0.1:0 — an ephemeral port; see --announce)",
+        )
+        p.add_argument(
+            "--announce", metavar="PATH", default=None,
+            help="with --executor tcp: write the bound host:port to PATH so "
+            "workers can `--connect @PATH` without knowing the port",
         )
 
     sub.add_parser("devices", help="list the device catalog")
@@ -122,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_shrinker_flags(p)
     add_obs_flags(p)
     add_resilience_flags(p)
+    add_transport_flags(p)
     add_backend_flag(p)
 
     p = sub.add_parser(
@@ -157,6 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_shrinker_flags(p)
     add_obs_flags(p)
     add_resilience_flags(p)
+    add_transport_flags(p)
     add_backend_flag(p)
 
     p = sub.add_parser(
@@ -183,6 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_shrinker_flags(p)
     add_obs_flags(p)
     add_resilience_flags(p)
+    add_transport_flags(p)
     add_backend_flag(p)
 
     p = sub.add_parser("table1", help="reproduce Table I on scaled designs")
@@ -233,16 +265,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "trace_file", metavar="TRACE", help="trace file written by --trace PATH"
     )
+
+    p = sub.add_parser(
+        "worker",
+        help="serve shards for a distributed campaign (`--executor tcp`)",
+    )
+    p.add_argument(
+        "--connect", required=True, metavar="HOST:PORT|@PATH",
+        help="coordinator address, or @PATH to read it from an --announce file",
+    )
+    p.add_argument(
+        "--persist", action="store_true",
+        help="rejoin after the coordinator says goodbye (serve campaign after "
+        "campaign until killed; default: exit after one campaign)",
+    )
+    p.add_argument(
+        "--name", default=None,
+        help="worker name in telemetry and traces (default: host-pid)",
+    )
+    p.add_argument(
+        "--hb-interval", type=float, default=1.0, metavar="SECONDS",
+        help="heartbeat period before the coordinator's welcome overrides it",
+    )
+    p.add_argument(
+        "--connect-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="give up when no coordinator accepts within this window",
+    )
+    add_backend_flag(p)
     return parser
 
 
 def _warn_quarantine(telemetry) -> None:
     """Surface quarantined work in a partial result (``--allow-partial``)."""
     if telemetry is not None and telemetry.shards_quarantined:
+        late = ""
+        if getattr(telemetry, "late_results", 0):
+            late = (
+                f"; {telemetry.late_results} of them completed during "
+                f"teardown (logged in the trace, not merged)"
+            )
         print(
             f"warning: {telemetry.shards_quarantined} shard(s) quarantined; "
             f"{telemetry.candidates_quarantined} candidate(s) excluded from "
-            f"this result (re-run to retry them)",
+            f"this result (re-run to retry them){late}",
             file=sys.stderr,
         )
 
@@ -533,6 +598,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.engine.distributed import run_worker
+
+    return run_worker(
+        args.connect,
+        persist=args.persist,
+        hb_interval_s=args.hb_interval,
+        connect_timeout_s=args.connect_timeout,
+        name=args.name,
+    )
+
+
 _COMMANDS = {
     "devices": lambda args: _cmd_devices(),
     "implement": _cmd_implement,
@@ -544,6 +621,7 @@ _COMMANDS = {
     "orbit": _cmd_orbit,
     "scrub-stress": _cmd_scrub_stress,
     "report": _cmd_report,
+    "worker": _cmd_worker,
 }
 
 
@@ -573,6 +651,19 @@ def main(argv: list[str] | None = None) -> int:
         overrides["allow_partial"] = True
     if getattr(args, "shard_attempts", None) is not None:
         overrides["max_attempts"] = args.shard_attempts
+    if getattr(args, "transport", None):
+        overrides["transport"] = args.transport
+    if getattr(args, "listen", None):
+        overrides["listen"] = args.listen
+    if getattr(args, "announce", None):
+        overrides["announce"] = args.announce
+    if getattr(args, "workers", None):
+        overrides["min_workers"] = args.workers
+    if getattr(args, "transport", None) == "tcp" and getattr(args, "jobs", 0) in (None, 1):
+        # A TCP campaign must take the sharded path (jobs picks the shard
+        # count, not a local pool size); never let the serial default
+        # bypass the transport.
+        args.jobs = max(2, getattr(args, "workers", None) or 0)
     try:
         # Commands without --trace/--progress fall through as a no-op
         # observe() scope (null tracer, null progress); likewise the

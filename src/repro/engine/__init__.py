@@ -23,14 +23,36 @@ permanent defect hunted by BIST.  This package owns that loop once:
   quarantine — governed by an ambient
   :class:`~repro.engine.executor.ExecutorPolicy`, with
   :class:`~repro.engine.chaos.ChaosPolicy` as the deterministic fault
-  injector that proves the recovery paths.
+  injector that proves the recovery paths;
+* :mod:`~repro.engine.backends` defines the
+  :class:`~repro.engine.backends.ExecutorBackend` transport protocol
+  the executor drives — :class:`~repro.engine.backends.LocalPoolBackend`
+  wraps the process pool, :class:`~repro.engine.distributed.TcpBackend`
+  fans shards out to ``repro worker`` processes over sockets with
+  work-stealing assignment and elastic membership.
 
 Domain packages (:mod:`repro.seu`, :mod:`repro.bist`) define thin
 adapters: a :class:`FaultModel` subclass plus a public function that
 preserves the historical API and result types.
 """
 
-from repro.engine.cache import implemented_design, prime_design_cache
+from repro.engine.backends import (
+    ExecutorBackend,
+    LocalPoolBackend,
+    TaskDone,
+    TaskFailed,
+    WorkerJoined,
+    WorkerLeft,
+    WorkersLost,
+    make_backend,
+)
+from repro.engine.cache import (
+    BlobMissing,
+    implemented_design,
+    install_blob,
+    prime_design_cache,
+    resolve_blob,
+)
 from repro.engine.chaos import ChaosPolicy
 from repro.engine.detect import detect_disturbed_outputs, detect_failures
 from repro.engine.executor import (
@@ -92,4 +114,15 @@ __all__ = [
     "detect_disturbed_outputs",
     "implemented_design",
     "prime_design_cache",
+    "ExecutorBackend",
+    "LocalPoolBackend",
+    "make_backend",
+    "TaskDone",
+    "TaskFailed",
+    "WorkersLost",
+    "WorkerJoined",
+    "WorkerLeft",
+    "BlobMissing",
+    "install_blob",
+    "resolve_blob",
 ]

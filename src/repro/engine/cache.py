@@ -1,25 +1,63 @@
-"""Per-process implemented-design cache shared by every fault model.
+"""Per-process caches shared by every fault model and executor backend.
 
-Implementing a design (place + route + bitgen + decode) is the
-expensive part of a fault model's :meth:`~repro.engine.model.FaultModel.
-build_context`; several models over the same (design, device) — or the
-same model under several configs — must not pay for it repeatedly
-inside one worker process.  Under a ``fork`` start method the parent
-primes the cache (:func:`prime_design_cache`) so children inherit the
-implemented design copy-on-write and re-derive nothing.
+Two caches live here:
 
-Keyed by the pickled DesignSpec (names alone do not identify scaled
-suite variants built with non-default keyword arguments).  Bounded so a
-long-lived pool sweeping many designs cannot hoard implementations.
+* The **implemented-design cache**.  Implementing a design (place +
+  route + bitgen + decode) is the expensive part of a fault model's
+  :meth:`~repro.engine.model.FaultModel.build_context`; several models
+  over the same (design, device) — or the same model under several
+  configs — must not pay for it repeatedly inside one worker process.
+  Under a ``fork`` start method the parent primes the cache
+  (:func:`prime_design_cache`) so children inherit the implemented
+  design copy-on-write and re-derive nothing.  Keyed by the pickled
+  DesignSpec (names alone do not identify scaled suite variants built
+  with non-default keyword arguments).  Bounded so a long-lived pool
+  sweeping many designs cannot hoard implementations.
+
+* The **content-addressed blob store**.  Executor backends ship the
+  pickled fault model to workers exactly once per worker process —
+  local pools via the pool initializer (and fork copy-on-write), the
+  TCP backend via a one-time upload on worker hello — and every
+  :class:`~repro.engine.executor.TaskSpec` carries only the blob's
+  SHA-256 digest.  :func:`resolve_blob` is the worker-side lookup; it
+  also accepts raw ``bytes`` unchanged so external pools (synchronous
+  test executors) that never primed a store keep their historical
+  ship-the-blob semantics.
 """
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 
+from repro.errors import CampaignError
 from repro.place.flow import HardwareDesign, implement
 
-__all__ = ["implemented_design", "prime_design_cache"]
+__all__ = [
+    "implemented_design",
+    "prime_design_cache",
+    "BlobMissing",
+    "blob_digest",
+    "install_blob",
+    "install_blobs",
+    "known_blobs",
+    "resolve_blob",
+]
+
+
+class BlobMissing(CampaignError):
+    """A task referenced a content address this process has not installed.
+
+    Carries the digest so a transport worker can request exactly the
+    missing blob and retry, instead of failing the shard.
+    """
+
+    def __init__(self, digest: str):
+        super().__init__(
+            f"blob {digest[:12]}… not installed in this process "
+            f"(worker started without priming?)"
+        )
+        self.digest = digest
 
 _MAX_CACHED = 4
 _HW_CACHE: dict[tuple[bytes, str], HardwareDesign] = {}
@@ -51,3 +89,45 @@ def prime_design_cache(hw: HardwareDesign) -> None:
         if len(_HW_CACHE) >= _MAX_CACHED:
             _HW_CACHE.clear()
         _HW_CACHE[key] = hw
+
+
+# -- content-addressed blob store ----------------------------------------------
+
+_MAX_BLOBS = 8
+_BLOB_STORE: dict[str, bytes] = {}
+
+
+def blob_digest(blob: bytes) -> str:
+    """The content address of ``blob`` (hex SHA-256)."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+def install_blob(blob: bytes) -> str:
+    """Store ``blob`` under its content address; return the digest."""
+    digest = blob_digest(blob)
+    if digest not in _BLOB_STORE:
+        if len(_BLOB_STORE) >= _MAX_BLOBS:
+            _BLOB_STORE.clear()
+        _BLOB_STORE[digest] = blob
+    return digest
+
+
+def install_blobs(blobs: dict[str, bytes]) -> None:
+    """Bulk-install pre-addressed blobs (pool initializer entry point)."""
+    for blob in blobs.values():
+        install_blob(blob)
+
+
+def known_blobs() -> tuple[str, ...]:
+    """Digests already present in this process (worker hello payload)."""
+    return tuple(_BLOB_STORE)
+
+
+def resolve_blob(ref: str | bytes) -> bytes:
+    """Dereference a blob: a digest hits the store, raw bytes pass through."""
+    if isinstance(ref, bytes):
+        return ref
+    blob = _BLOB_STORE.get(ref)
+    if blob is None:
+        raise BlobMissing(ref)
+    return blob

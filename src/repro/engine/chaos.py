@@ -26,6 +26,16 @@ Spec syntax (the CLI ``--chaos`` test flag)::
 to the first N launches of each task (default 1: every fault is
 transient, so a retry or speculative re-execution always recovers —
 raise it to model poison shards that fail every attempt).
+
+Three connection-level kinds exercise the distributed backend
+(:mod:`repro.engine.distributed`): ``drop`` (the worker abruptly
+closes its connection without running the task — the parent must
+requeue it), ``partition``/``partition-s`` (the worker goes silent —
+no heartbeats, no result — for a window, then resumes) and
+``slowlink``/``slowlink-s`` (the result is delayed in transit).  On
+the local backend they degrade to the nearest in-host analogue: a
+dropped connection is a dead worker (``os._exit``), a partition or a
+slow link is a sleep.
 """
 
 from __future__ import annotations
@@ -75,6 +85,11 @@ class ChaosPolicy:
     hang_s: float = 30.0
     delay: float = 0.0  # P(worker sleeps delay_s before working)
     delay_s: float = 0.05
+    drop: float = 0.0  # P(worker drops its connection without running the task)
+    partition: float = 0.0  # P(worker goes silent for partition_s, then resumes)
+    partition_s: float = 5.0
+    slowlink: float = 0.0  # P(result delayed slowlink_s in transit)
+    slowlink_s: float = 0.5
     launches: int = 1  # inject only into launch indices < launches
 
     _FIELDS = {
@@ -84,15 +99,20 @@ class ChaosPolicy:
         "hang_s": float,
         "delay": float,
         "delay_s": float,
+        "drop": float,
+        "partition": float,
+        "partition_s": float,
+        "slowlink": float,
+        "slowlink_s": float,
         "launches": int,
     }
 
     def __post_init__(self):
-        for name in ("crash", "hang", "delay"):
+        for name in ("crash", "hang", "drop", "partition", "slowlink", "delay"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise CampaignError(f"chaos {name} must be a probability, got {p}")
-        if self.hang_s < 0 or self.delay_s < 0:
+        if min(self.hang_s, self.delay_s, self.partition_s, self.slowlink_s) < 0:
             raise CampaignError("chaos durations must be >= 0")
         if self.launches < 0:
             raise CampaignError("chaos launches must be >= 0")
@@ -129,17 +149,34 @@ class ChaosPolicy:
         """
         if launch >= self.launches:
             return None
-        for kind, p in (("crash", self.crash), ("hang", self.hang), ("delay", self.delay)):
+        for kind, p in (
+            ("crash", self.crash),
+            ("hang", self.hang),
+            ("drop", self.drop),
+            ("partition", self.partition),
+            ("slowlink", self.slowlink),
+            ("delay", self.delay),
+        ):
             if p > 0.0 and _uniform(self.seed, kind, key) < p:
                 return kind
         return None
 
     def apply(self, key: str, launch: int) -> None:
-        """Execute the schedule for one launch (worker side; may not return)."""
+        """Execute the schedule for one launch (worker side; may not return).
+
+        Connection-level kinds degrade to their in-host analogue here
+        (a process-pool worker has no connection to drop); the TCP
+        worker loop intercepts them before calling this and acts on the
+        actual socket instead.
+        """
         action = self.decide(key, launch)
-        if action == "crash":
+        if action in ("crash", "drop"):
             os._exit(CRASH_EXIT_CODE)
         elif action == "hang":
             time.sleep(self.hang_s)
+        elif action == "partition":
+            time.sleep(self.partition_s)
+        elif action == "slowlink":
+            time.sleep(self.slowlink_s)
         elif action == "delay":
             time.sleep(self.delay_s)

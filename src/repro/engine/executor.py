@@ -1,4 +1,4 @@
-"""Fault-tolerant shard execution: the pluggable pool behind ``run_sharded``.
+"""Fault-tolerant shard execution: the pluggable engine behind ``run_sharded``.
 
 The sharded drivers used to drain a bare ``ProcessPoolExecutor`` with
 ``f.result()``: one OOM-killed or segfaulted worker raised
@@ -9,10 +9,10 @@ phases:
 
 * **Per-shard retry** with exponential backoff and decorrelated jitter
   for per-task worker exceptions.
-* **Automatic pool rebuild** on ``BrokenProcessPool`` (own pools only):
-  the dead pool is replaced and every unresolved task relaunched;
-  results already yielded (and therefore checkpointed by the driver)
-  are never lost.
+* **Worker-loss recovery**: a dead local pool is rebuilt and a
+  disconnected TCP worker's in-flight shards are requeued — results
+  already yielded (and therefore checkpointed by the driver) are never
+  lost.
 * **Speculative re-execution** of stalled shards: the
   :class:`~repro.obs.heartbeat.ShardTracker` straggler signal (factor ×
   median completed duration) or an absolute ``speculate_after_s``
@@ -24,25 +24,38 @@ phases:
   quarantined instead of wedging the campaign; the sweep completes,
   quarantined work is reported distinctly through telemetry and trace
   points, and the driver raises at the very end unless
-  ``allow_partial``.
+  ``allow_partial``.  A quarantined task that completes anyway before
+  teardown is drained and logged (:attr:`ShardExecutor.late_results`),
+  never silently dropped.
+
+All of that recovery logic is written against the
+:class:`~repro.engine.backends.ExecutorBackend` protocol — submission
+ids in, completion/failure/worker-loss *events* out — so it behaves
+identically whether the transport is the in-host process pool
+(:class:`~repro.engine.backends.LocalPoolBackend`) or elastic TCP
+workers (:class:`~repro.engine.distributed.TcpBackend`).
 
 Every recovery action is recorded in :class:`CampaignTelemetry`
 (``shard_retries``, ``speculative_launches``, ``speculative_wins``,
-``pool_rebuilds``, ``shards_quarantined``) and, when observability is
-on, as ``retry`` / ``speculate`` / ``pool_rebuild`` / ``quarantine``
+``pool_rebuilds``, ``shards_quarantined``, plus the distributed
+counters ``workers_joined``/``workers_left``/``dist_steals``/
+``dist_requeues``/``late_results``) and, when observability is on, as
+``retry`` / ``speculate`` / ``pool_rebuild`` / ``quarantine`` /
+``worker_join`` / ``worker_leave`` / ``requeue`` / ``late_result``
 trace points that ``repro report`` renders as a recovery timeline.
 
 The determinism contract is untouched: recovery only re-runs pure
-worker functions, so any schedule of crashes, hangs and retries that
-the executor survives yields verdict bytes identical to an undisturbed
-run (pinned by ``tests/seu/test_recovery.py``).  Chaos injection
+worker functions, so any schedule of crashes, hangs, disconnects and
+retries that the executor survives yields verdict bytes identical to
+an undisturbed run (pinned by ``tests/seu/test_recovery.py`` and
+``tests/engine/test_distributed.py``).  Chaos injection
 (:mod:`repro.engine.chaos`) makes that claim testable on demand.
 
 The active :class:`ExecutorPolicy` is ambient, mirroring
-:mod:`repro.obs`: the CLI (or a test) activates retry/chaos knobs for a
-lexical scope with ``with executor_policy(policy): ...`` and the
-drivers pick it up via :func:`get_executor_policy` — no adapter
-signature needs to thread it through.
+:mod:`repro.obs`: the CLI (or a test) activates retry/chaos/transport
+knobs for a lexical scope with ``with executor_policy(policy): ...``
+and the drivers pick it up via :func:`get_executor_policy` — no
+adapter signature needs to thread it through.
 """
 
 from __future__ import annotations
@@ -51,12 +64,23 @@ import heapq
 import itertools
 import random
 import time
-from concurrent.futures import FIRST_COMPLETED, Executor, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import Executor
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Iterator
 
+from repro.engine.backends import (
+    ExecutorBackend,
+    TaskDone,
+    TaskFailed,
+    WorkerJoined,
+    WorkerLeft,
+    WorkersLost,
+    _hard_shutdown,  # noqa: F401 - re-exported for compatibility
+    _run_task,  # noqa: F401 - re-exported for compatibility (pickled by tests)
+    _worker_pids,  # noqa: F401 - re-exported for compatibility
+    make_backend,
+)
 from repro.engine.chaos import ChaosPolicy
 from repro.engine.telemetry import CampaignTelemetry
 from repro.errors import CampaignError
@@ -75,20 +99,32 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ExecutorPolicy:
-    """Failure-handling knobs for :class:`ShardExecutor`.
+    """Failure-handling and transport knobs for :class:`ShardExecutor`.
 
-    ``max_attempts`` bounds per-task worker *exceptions*.  Pool-wide
-    breaks (one worker death fails every in-flight future, innocents
-    included) are attributed by launch recency: a task that crashes its
-    worker dies within milliseconds of launching, so the most recently
-    launched casualty is charged as the *suspect* and quarantined after
-    ``2 × max_attempts`` implications, while bystanders only count
-    breaks against a ``4 × max_attempts`` backstop — a poison shard
-    cannot drag a long-running healthy shard into quarantine with it,
-    but an ambiguous break storm still terminates.  ``on_workers`` is a parent-side
-    test hook called with ``(phase, live worker pid set)`` whenever the
-    set changes (used by the SIGKILL recovery tests to aim at a real
-    worker during a chosen phase).
+    ``max_attempts`` bounds per-task worker *exceptions*.  Worker-loss
+    casualties (one worker death fails every in-flight shard on it,
+    innocents included) are attributed by launch recency: a task that
+    crashes its worker dies within milliseconds of launching, so the
+    most recently launched casualty is charged as the *suspect* and
+    quarantined after ``2 × max_attempts`` implications, while
+    bystanders only count losses against a ``4 × max_attempts``
+    backstop — a poison shard cannot drag a long-running healthy shard
+    into quarantine with it, but an ambiguous break storm still
+    terminates.  ``on_workers`` is a parent-side test hook called with
+    ``(phase, live worker census)`` whenever the set changes (used by
+    the SIGKILL recovery tests to aim at a real worker during a chosen
+    phase).
+
+    The transport block selects and configures the backend:
+    ``transport`` names it (``"local"``/``"tcp"``); ``listen`` is the
+    TCP bind address (``HOST:PORT``, port 0 for ephemeral);
+    ``announce`` a file the bound address is written to (workers
+    connect with ``@FILE``); ``min_workers`` how many workers must have
+    joined before the first shard is dispatched (late joiners beyond
+    that steal work whenever they arrive); ``worker_timeout_s`` the
+    heartbeat silence after which a worker is declared lost and its
+    in-flight shards requeued; ``join_timeout_s`` how long to wait for
+    ``min_workers``.
     """
 
     max_attempts: int = 3
@@ -103,7 +139,13 @@ class ExecutorPolicy:
     hang_timeout_s: float | None = None  # quarantine ceiling for hung tasks (None: never)
     allow_partial: bool = False
     chaos: ChaosPolicy | None = None
-    on_workers: Callable[[str, frozenset[int]], None] | None = None
+    on_workers: Callable[[str, frozenset], None] | None = None
+    transport: str = "local"
+    listen: str | None = None
+    announce: str | None = None
+    min_workers: int = 0
+    worker_timeout_s: float = 30.0
+    join_timeout_s: float = 60.0
 
 
 DEFAULT_POLICY = ExecutorPolicy()
@@ -152,69 +194,43 @@ class _Task:
     __slots__ = (
         "spec", "launches", "failures", "pool_failures", "break_suspects",
         "resolved", "speculated", "retry_pending", "last_launch_t",
-        "backoff_prev", "futures", "span",
+        "backoff_prev", "sids", "span",
     )
 
     def __init__(self, spec: TaskSpec):
         self.spec = spec
         self.launches = 0
         self.failures = 0  # per-task worker exceptions
-        self.pool_failures = 0  # pool-wide breaks this task was caught in
-        self.break_suspects = 0  # breaks where this task was the likely trigger
+        self.pool_failures = 0  # worker-loss events this task was caught in
+        self.break_suspects = 0  # losses where this task was the likely trigger
         self.resolved = False
         self.speculated = False
         self.retry_pending = False
         self.last_launch_t = 0.0
         self.backoff_prev = 0.0
-        self.futures: set[Future] = set()
+        self.sids: set[int] = set()  # in-flight submission ids
         self.span = -1
 
     @property
     def live(self) -> bool:
-        return bool(self.futures)
-
-
-def _run_task(chaos: ChaosPolicy, key: str, launch: int, fn, args):
-    """Worker entry wrapper: apply the chaos schedule, then do the work."""
-    chaos.apply(key, launch)
-    return fn(*args)
-
-
-def _worker_pids(pool: Executor) -> frozenset[int]:
-    procs = getattr(pool, "_processes", None)
-    return frozenset(procs.keys()) if procs else frozenset()
-
-
-def _hard_shutdown(pool: Executor) -> None:
-    """Tear a pool down without waiting on hung or abandoned workers."""
-    procs = list((getattr(pool, "_processes", None) or {}).values())
-    pool.shutdown(wait=False, cancel_futures=True)
-    for proc in procs:
-        try:
-            proc.terminate()
-        except (OSError, ValueError):
-            pass
-    for proc in procs:
-        try:
-            proc.join(5)
-        except (OSError, ValueError, AssertionError):
-            pass
+        return bool(self.sids)
 
 
 class ShardExecutor:
-    """Failure-owning wrapper around a (process) pool for sharded phases.
+    """Failure-owning wrapper around an executor backend for sharded phases.
 
     One instance spans both campaign phases (pre-filter and observe) so
-    warmed worker processes are reused; :meth:`run` drains one phase's
-    tasks, yielding ``(key, result)`` in completion order, and
-    :meth:`close` tears the pool down (``shutdown(cancel_futures=True)``
-    on the clean path, worker termination when hung futures were
-    abandoned — so an exception mid-phase never blocks on queued work).
+    warmed workers are reused; :meth:`run` drains one phase's tasks,
+    yielding ``(key, result)`` in completion order, and :meth:`close`
+    drains late results, then tears the transport down.
 
     With an external ``pool`` the executor never rebuilds or shuts it
     down (a synchronous test executor or a caller-shared pool keeps its
-    historical semantics): a ``BrokenProcessPool`` there is re-raised as
-    a :class:`CampaignError`.
+    historical semantics): a ``BrokenProcessPool`` there is re-raised
+    as a :class:`CampaignError`.  ``backend`` overrides the transport
+    entirely — an :class:`~repro.engine.backends.ExecutorBackend`
+    instance is used (and closed) as-is, a name is resolved against the
+    policy's transport block.
     """
 
     def __init__(
@@ -222,30 +238,66 @@ class ShardExecutor:
         jobs: int,
         policy: ExecutorPolicy | None = None,
         pool: Executor | None = None,
+        backend: ExecutorBackend | str | None = None,
     ):
         self.jobs = int(jobs)
         self.policy = policy if policy is not None else get_executor_policy()
-        self._own_pool = pool is None
-        self._pool: Executor = ProcessPoolExecutor(max_workers=self.jobs) if pool is None else pool
+        self.backend = make_backend(backend, self.policy, self.jobs, pool)
         self._rng = random.Random(self.policy.backoff_seed)
         self._seq = itertools.count()
-        # Futures left behind (hung quarantined tasks, speculation losers
-        # still running): if any is alive at close, workers are
-        # terminated instead of joined.
-        self._abandoned: set[Future] = set()
-        self._known_pids: frozenset[int] = frozenset()
+        self._sids: dict[int, tuple[_Task, bool]] = {}  # sid -> (task, speculative)
+        self._known_census: frozenset = frozenset()
+        self._phase = "shard"
+        self._telemetry: CampaignTelemetry | None = None
         self.quarantined: dict[str, str] = {}  # task key -> last error description
+        self.late_results: dict[str, Any] = {}  # quarantined key -> late result
 
     # -- lifecycle ------------------------------------------------------------
 
+    def prime_blob(self, blob: bytes) -> str | bytes:
+        """Register a shared blob with the transport; tasks carry the ref.
+
+        Local owned pools install it into every worker via the pool
+        initializer (rebuilds re-prime exactly once); the TCP backend
+        uploads it once per worker; external pools fall back to the raw
+        bytes riding in task args.
+        """
+        return self.backend.blob_ref(blob)
+
+    def _record_late(self, task: _Task, result: Any) -> None:
+        """A quarantined (or otherwise written-off) task completed anyway.
+
+        The verdict already excludes it — re-incorporating out-of-band
+        results would break the batch-aligned resume contract — but the
+        completion is drained and logged so ``--allow-partial`` reports
+        say which quarantined shards actually finished (a re-run will
+        resolve them cheaply).
+        """
+        key = task.spec.key
+        self.late_results[key] = result
+        if self._telemetry is not None:
+            self._telemetry.late_results += 1
+        observer = get_observer()
+        if observer.enabled:
+            observer.tracer.point("late_result", key=key, phase=self._phase)
+            observer.progress.note(
+                f"note: quarantined {self._phase} {key} completed late "
+                f"(result logged, not folded; a re-run will retry it)"
+            )
+
     def close(self) -> None:
-        """Release the pool (no-op for external pools)."""
-        if not self._own_pool:
-            return
-        if any(not fut.done() for fut in self._abandoned):
-            _hard_shutdown(self._pool)
-        else:
-            self._pool.shutdown(wait=True, cancel_futures=True)
+        """Drain late completions, then release the transport."""
+        try:
+            for ev in self.backend.poll(0.0):
+                if not isinstance(ev, TaskDone):
+                    continue
+                entry = self._sids.pop(ev.sid, None)
+                if entry is not None and not entry[0].resolved:
+                    self._record_late(entry[0], ev.result)
+        except CampaignError:
+            pass  # teardown must not mask the caller's outcome
+        finally:
+            self.backend.close()
 
     # -- the drain ------------------------------------------------------------
 
@@ -278,9 +330,11 @@ class ShardExecutor:
             straggler_factor=policy.straggler_factor,
             min_samples=policy.min_samples,
         )
-        self._known_pids = frozenset()  # re-announce pids to on_workers per phase
+        self._known_census = frozenset()  # re-announce workers per phase
+        self._phase = phase
+        self._telemetry = telemetry
+        remote = self.backend.name != "local"
         states = {spec.key: _Task(spec) for spec in tasks}
-        future_map: dict[Future, tuple[_Task, bool]] = {}  # future -> (task, speculative)
         retries: list[tuple[float, int, str]] = []  # (ready time, seq, key)
         open_keys = {k for k in states if k not in self.quarantined}
 
@@ -294,28 +348,12 @@ class ShardExecutor:
                     task.span = tracer.open_span(
                         span_name, parent=span_parent, **task.spec.fields
                     )
-            def submit() -> Future:
-                if policy.chaos is not None:
-                    return self._pool.submit(
-                        _run_task, policy.chaos, task.spec.key, index,
-                        task.spec.fn, task.spec.args,
-                    )
-                return self._pool.submit(task.spec.fn, *task.spec.args)
+            sid = next(self._seq)
+            self._sids[sid] = (task, speculative)
+            task.sids.add(sid)
+            self.backend.submit(sid, task.spec, index, policy.chaos)
 
-            try:
-                fut = submit()
-            except BrokenProcessPool as err:
-                # The pool died before accepting this launch (e.g. an
-                # abandoned speculative worker crashed between drain
-                # rounds).  Rebuild, charge the in-flight casualties —
-                # this launch was never accepted, so it is not one —
-                # and submit to the fresh pool.
-                pool_break(err, set())
-                fut = submit()
-            future_map[fut] = (task, speculative)
-            task.futures.add(fut)
-
-        def fail(task: _Task, err: BaseException, pool_wide: bool) -> None:
+        def fail(task: _Task, err: BaseException | str, pool_wide: bool) -> None:
             if task.resolved or task.spec.key in self.quarantined or task.retry_pending:
                 return
             if pool_wide:
@@ -356,7 +394,10 @@ class ShardExecutor:
             key = task.spec.key
             self.quarantined[key] = str(err) if isinstance(err, str) else repr(err)
             open_keys.discard(key)
-            self._abandoned.update(task.futures)  # a hung worker may hold these
+            # Still-running launches are written off — but their sid
+            # entries stay known so a completion that races teardown is
+            # logged as a late result instead of vanishing.
+            self.backend.abandon(task.sids)
             if telemetry is not None:
                 telemetry.shards_quarantined += 1
             if observer.enabled:
@@ -372,31 +413,42 @@ class ShardExecutor:
                     tracer.close_span(task.span, quarantined=True)
                     task.span = -1
 
-        def pool_break(err: BaseException, broken_tasks: set[_Task]) -> None:
-            if not self._own_pool:
+        def workers_lost(ev: WorkersLost) -> None:
+            if ev.fatal:
                 raise CampaignError(
                     f"worker pool broke during {phase} and the external "
-                    f"executor cannot be rebuilt: {err!r}"
-                ) from err
-            if telemetry is not None:
-                telemetry.pool_rebuilds += 1
-            if observer.enabled:
-                tracer.point("pool_rebuild", phase=phase, error=repr(err))
-                progress.note(f"warning: worker pool broke during {phase}; rebuilding")
-            dead, self._pool = self._pool, ProcessPoolExecutor(max_workers=self.jobs)
-            dead.shutdown(wait=False, cancel_futures=True)
-            self._known_pids = frozenset()
-            # Every in-flight future died with the pool — both the ones
-            # the drain round already popped (``broken_tasks``) and any
-            # still pending in ``future_map``: charge each unresolved
-            # task one pool-wide failure and schedule its relaunch.  The
-            # most recently launched open casualty is additionally
-            # charged as the break's *suspect*: a task that kills its
-            # worker dies within milliseconds of launching, so launch
-            # recency attributes the break far better than charging the
-            # whole blast radius equally.
-            casualties = broken_tasks | {t for t, _ in future_map.values()}
-            future_map.clear()
+                    f"executor cannot be rebuilt: {ev.error}"
+                )
+            if ev.rebuilt:
+                if telemetry is not None:
+                    telemetry.pool_rebuilds += 1
+                if observer.enabled:
+                    tracer.point("pool_rebuild", phase=phase, error=ev.error)
+                    progress.note(
+                        f"warning: worker pool broke during {phase}; rebuilding"
+                    )
+            # Charge each unresolved casualty one worker-loss failure and
+            # schedule its relaunch.  The most recently launched open
+            # casualty is additionally charged as the loss's *suspect*:
+            # a task that kills its worker dies within milliseconds of
+            # launching, so launch recency attributes the loss far
+            # better than charging the whole blast radius equally.
+            casualties: list[_Task] = []
+            for sid in ev.sids:
+                entry = self._sids.pop(sid, None)
+                if entry is None:
+                    continue
+                task = entry[0]
+                task.sids.discard(sid)
+                casualties.append(task)
+                if ev.worker is not None:
+                    if telemetry is not None:
+                        telemetry.dist_requeues += 1
+                    if observer.enabled:
+                        tracer.point(
+                            "requeue", key=task.spec.key, phase=phase,
+                            worker=ev.worker,
+                        )
             open_casualties = [
                 t for t in casualties
                 if not t.resolved and t.spec.key not in self.quarantined
@@ -407,17 +459,76 @@ class ShardExecutor:
             if suspect is not None:
                 suspect.break_suspects += 1
             for task in casualties:
-                task.futures.clear()
-                fail(task, err, pool_wide=True)
+                fail(task, ev.error, pool_wide=True)
+
+        def handle(ev: Any) -> Iterator[tuple[str, Any]]:
+            if isinstance(ev, TaskDone):
+                entry = self._sids.pop(ev.sid, None)
+                if entry is None:
+                    return
+                task, speculative = entry
+                task.sids.discard(ev.sid)
+                if ev.worker is not None and telemetry is not None:
+                    telemetry.worker_tasks[ev.worker] = (
+                        telemetry.worker_tasks.get(ev.worker, 0) + 1
+                    )
+                    if ev.stolen:
+                        telemetry.dist_steals += 1
+                if task.resolved:
+                    return  # speculation loser: byte-identical duplicate
+                if task.spec.key in self.quarantined:
+                    self._record_late(task, ev.result)
+                    return
+                task.resolved = True
+                open_keys.discard(task.spec.key)
+                tracker.completed(task.spec.key)
+                self.backend.abandon(task.sids)  # losing duplicates, if any
+                if speculative and telemetry is not None:
+                    telemetry.speculative_wins += 1
+                if task.span >= 0:
+                    tracer.close_span(
+                        task.span,
+                        attempts=task.launches,
+                        speculated=task.speculated,
+                        worker=ev.worker,
+                    )
+                    task.span = -1
+                yield task.spec.key, ev.result
+            elif isinstance(ev, TaskFailed):
+                entry = self._sids.pop(ev.sid, None)
+                if entry is None:
+                    return
+                task = entry[0]
+                task.sids.discard(ev.sid)
+                fail(task, ev.error, pool_wide=False)
+            elif isinstance(ev, WorkersLost):
+                workers_lost(ev)
+            elif isinstance(ev, WorkerJoined):
+                if telemetry is not None:
+                    telemetry.workers_joined += 1
+                if observer.enabled:
+                    tracer.point("worker_join", worker=ev.worker, phase=phase)
+                    progress.note(f"worker {ev.worker} joined during {phase}")
+            elif isinstance(ev, WorkerLeft):
+                if telemetry is not None:
+                    telemetry.workers_left += 1
+                if observer.enabled:
+                    tracer.point(
+                        "worker_leave", worker=ev.worker, phase=phase,
+                        reason=ev.reason,
+                    )
+                    progress.note(
+                        f"worker {ev.worker} left during {phase} ({ev.reason})"
+                    )
 
         def tick() -> None:
             now = time.perf_counter()
             if self.policy.on_workers is not None:
-                pids = _worker_pids(self._pool)
-                if pids and pids != self._known_pids:
-                    self._known_pids = pids
-                    self.policy.on_workers(phase, pids)
-            tracker.tick()
+                census = self.backend.census()
+                if census and census != self._known_census:
+                    self._known_census = census
+                    self.policy.on_workers(phase, census)
+            tracker.tick(self.backend.census_detail() if remote else None)
             stalled = set(tracker.stragglers())
             for key in list(open_keys):
                 task = states[key]
@@ -464,47 +575,10 @@ class ShardExecutor:
             timeout = tracker.interval
             if retries:
                 timeout = min(timeout, max(0.0, retries[0][0] - now))
-            if not future_map:
+            if not any(states[k].live for k in open_keys):
                 if not retries:  # only quarantined hangs remain
                     break
-                time.sleep(min(timeout, 0.1) or 0.01)
-                continue
-            done, _ = wait(set(future_map), timeout=timeout, return_when=FIRST_COMPLETED)
-            broken: BaseException | None = None
-            broken_tasks: set[_Task] = set()
-            for fut in done:
-                entry = future_map.pop(fut, None)
-                if entry is None:  # invalidated by a pool rebuild this round
-                    continue
-                task, speculative = entry
-                task.futures.discard(fut)
-                try:
-                    result = fut.result()
-                except BrokenProcessPool as err:
-                    broken = err
-                    broken_tasks.add(task)
-                    continue
-                except CampaignError:
-                    raise
-                except BaseException as err:  # noqa: BLE001 - worker failure, retried
-                    fail(task, err, pool_wide=False)
-                    continue
-                if task.resolved or task.spec.key in self.quarantined:
-                    continue  # speculation loser or late success: discard
-                task.resolved = True
-                open_keys.discard(task.spec.key)
-                tracker.completed(task.spec.key)
-                self._abandoned.update(task.futures)  # losing duplicates, if any
-                if speculative and telemetry is not None:
-                    telemetry.speculative_wins += 1
-                if task.span >= 0:
-                    tracer.close_span(
-                        task.span,
-                        attempts=task.launches,
-                        speculated=task.speculated,
-                    )
-                    task.span = -1
-                yield task.spec.key, result
-            if broken is not None:
-                pool_break(broken, broken_tasks)
+                timeout = min(timeout, 0.1) or 0.01
+            for ev in self.backend.poll(timeout):
+                yield from handle(ev)
             tick()

@@ -67,6 +67,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.errors import CampaignError
+from repro.engine.cache import resolve_blob
 from repro.engine.model import (
     CODE_NOT_TESTED,
     CODE_SKIP_CONE,
@@ -539,27 +540,30 @@ def run_serial(
 
 # -- worker-side state ---------------------------------------------------------
 #
-# Keyed by the pickled model (which identifies design, device and every
-# knob).  Bounded so a long-lived pool sweeping many models cannot hoard
-# contexts.
+# Keyed by the model *ref* — the content address of the pickled model
+# when an executor backend primed a blob store (local pool initializer,
+# TCP one-time upload), or the raw pickled bytes for external pools
+# that ship the blob per task (which identifies design, device and
+# every knob either way).  Bounded so a long-lived pool sweeping many
+# models cannot hoard contexts.
 
 _MAX_CACHED = 4
-_MODEL_STATE: dict[bytes, tuple[FaultModel, Any]] = {}
+_MODEL_STATE: dict[bytes | str, tuple[FaultModel, Any]] = {}
 
 
-def _model_state(model_blob: bytes) -> tuple[FaultModel, Any]:
+def _model_state(model_ref: bytes | str) -> tuple[FaultModel, Any]:
     """The worker-side cache: unpickle once, derive the context once."""
-    state = _MODEL_STATE.get(model_blob)
+    state = _MODEL_STATE.get(model_ref)
     if state is None:
         if len(_MODEL_STATE) >= _MAX_CACHED:
             _MODEL_STATE.clear()
-        model = pickle.loads(model_blob)
+        model = pickle.loads(resolve_blob(model_ref))
         state = (model, model.build_context())
-        _MODEL_STATE[model_blob] = state
+        _MODEL_STATE[model_ref] = state
     return state
 
 
-def _worker_prefilter(model_blob: bytes, cands: np.ndarray) -> tuple[np.ndarray, float]:
+def _worker_prefilter(model_ref, cands: np.ndarray) -> tuple[np.ndarray, float]:
     """Classify one contiguous candidate chunk.
 
     Returns per-candidate verdict codes aligned with ``cands``
@@ -567,7 +571,7 @@ def _worker_prefilter(model_blob: bytes, cands: np.ndarray) -> tuple[np.ndarray,
     simulated) and the worker seconds spent.
     """
     t0 = time.perf_counter()
-    model, ctx = _model_state(model_blob)
+    model, ctx = _model_state(model_ref)
     codes = np.empty(cands.size, dtype=np.uint8)
     for i, cand in enumerate(cands):
         codes[i], _ = model.prefilter(int(cand), ctx)
@@ -575,7 +579,7 @@ def _worker_prefilter(model_blob: bytes, cands: np.ndarray) -> tuple[np.ndarray,
 
 
 def _worker_observe(
-    model_blob: bytes, batch_size: int, cands: np.ndarray
+    model_ref, batch_size: int, cands: np.ndarray
 ) -> tuple[
     np.ndarray, dict[int, np.ndarray], list[float], float, tuple[int, int, int]
 ]:
@@ -590,7 +594,7 @@ def _worker_observe(
     """
     t0 = time.perf_counter()
     kern0 = KERNEL_COUNTERS.snapshot()
-    model, ctx = _model_state(model_blob)
+    model, ctx = _model_state(model_ref)
     codes = np.empty(cands.size, dtype=np.uint8)
     payloads: dict[int, np.ndarray] = {}
     batch_seconds: list[float] = []
@@ -609,7 +613,7 @@ def _worker_observe(
 
 
 def _worker_prefilter_collapse(
-    model_blob: bytes, cands: np.ndarray
+    model_ref, cands: np.ndarray
 ) -> tuple[np.ndarray, list[tuple[Any, Any] | None], float]:
     """Pre-filter one chunk, also deriving collapse inputs for survivors.
 
@@ -619,7 +623,7 @@ def _worker_prefilter_collapse(
     shipping patches across processes.
     """
     t0 = time.perf_counter()
-    model, ctx = _model_state(model_blob)
+    model, ctx = _model_state(model_ref)
     codes = np.empty(cands.size, dtype=np.uint8)
     info: list[tuple[Any, Any] | None] = []
     for i, cand in enumerate(cands):
@@ -640,7 +644,7 @@ def _worker_prefilter_collapse(
 
 
 def _worker_observe_collapsed(
-    model_blob: bytes, batch_size: int, cands: np.ndarray, salt: Any
+    model_ref, batch_size: int, cands: np.ndarray, salt: Any
 ) -> tuple[
     np.ndarray, dict[int, np.ndarray], list[float], float, tuple[int, int, int]
 ]:
@@ -653,7 +657,7 @@ def _worker_observe_collapsed(
     """
     t0 = time.perf_counter()
     kern0 = KERNEL_COUNTERS.snapshot()
-    model, ctx = _model_state(model_blob)
+    model, ctx = _model_state(model_ref)
     codes = np.empty(cands.size, dtype=np.uint8)
     payloads: dict[int, np.ndarray] = {}
     batch_seconds: list[float] = []
@@ -728,16 +732,21 @@ def run_sharded(
     shards_per_job: int = 4,
     collapse: bool = True,
     policy: ExecutorPolicy | None = None,
+    backend=None,
 ) -> SweepResult:
     """Sharded multi-process sweep, byte-identical to ``jobs=1``.
 
     ``jobs=None`` uses every CPU (:func:`default_jobs`); ``jobs=1``
-    (without an external executor) delegates to :func:`run_serial`.
-    With ``checkpoint_save`` the parent snapshots after the pre-filter
-    and after every completed shard (shards are the checkpoint
-    granularity; raise ``shards_per_job`` for finer snapshots).  An
-    external ``executor`` (e.g. a shared pool) is used as-is and not
-    shut down.
+    (without an external executor or a non-local transport) delegates
+    to :func:`run_serial`.  With ``checkpoint_save`` the parent
+    snapshots after the pre-filter and after every completed shard
+    (shards are the checkpoint granularity; raise ``shards_per_job``
+    for finer snapshots).  An external ``executor`` (e.g. a shared
+    pool) is used as-is and not shut down.  ``backend`` overrides the
+    transport: an :class:`~repro.engine.backends.ExecutorBackend`
+    instance is used directly, a name (``"local"``/``"tcp"``) is
+    resolved against the policy's transport block (which is also the
+    default, so ``--executor tcp`` reaches here ambiently).
 
     With ``collapse`` the parent derives each survivor's collapse class
     from worker-computed ``(signature, salt_datum)`` pairs, dispatches
@@ -766,10 +775,12 @@ def run_sharded(
     jobs = default_jobs() if jobs is None else int(jobs)
     if jobs < 1:
         raise CampaignError(f"jobs must be >= 1, got {jobs}")
+    if policy is None:
+        policy = get_executor_policy()
     if candidates is None:
         candidates = model.enumerate_candidates()
     candidates = np.asarray(candidates, dtype=np.int64)
-    if jobs == 1 and executor is None:
+    if jobs == 1 and executor is None and backend is None and policy.transport == "local":
         return run_serial(
             model,
             batch_size=batch_size,
@@ -797,23 +808,25 @@ def run_sharded(
         collapse=do_collapse,
         backend=telem.backend,
     )
-    model_blob = pickle.dumps(model)
-    # Pre-populate the worker cache: under fork the children inherit the
-    # model context copy-on-write; under spawn this only warms the
-    # parent (harmless).
-    if model_blob not in _MODEL_STATE:
-        if len(_MODEL_STATE) >= _MAX_CACHED:
-            _MODEL_STATE.clear()
-        _MODEL_STATE[model_blob] = (model, model.build_context())
-
     def add_kernel_delta(kd: tuple[int, int, int]) -> None:
         telem.machines_retired += kd[0]
         telem.batch_compactions += kd[1]
         telem.machine_cycles_saved += kd[2]
 
-    if policy is None:
-        policy = get_executor_policy()
-    shard_exec = ShardExecutor(jobs, policy, pool=executor)
+    shard_exec = ShardExecutor(jobs, policy, pool=executor, backend=backend)
+    # Register the pickled model with the transport once; every task
+    # carries only the returned ref (a content address for backends
+    # with a primed blob store, the raw bytes for external pools).
+    model_ref = shard_exec.prime_blob(pickle.dumps(model))
+    # Pre-populate the worker cache under the same ref the tasks carry:
+    # under fork the children inherit the model context copy-on-write;
+    # under spawn the pool initializer re-installs the blob and workers
+    # re-derive the context once each (and the parent still needs the
+    # context for collapse grouping).
+    if model_ref not in _MODEL_STATE:
+        if len(_MODEL_STATE) >= _MAX_CACHED:
+            _MODEL_STATE.clear()
+        _MODEL_STATE[model_ref] = (model, model.build_context())
     try:
         # Phase 1: parallel pre-filter over contiguous candidate chunks.
         n_chunks = max(1, min(jobs * shards_per_job, int(candidates.size)))
@@ -823,7 +836,7 @@ def run_sharded(
         progress.start(f"{model.name} prefilter", total=len(chunks))
         chunk_results: dict[int, tuple] = {}
         prefilter_tasks = [
-            TaskSpec(f"prefilter:{i}", prefilter_fn, (model_blob, c))
+            TaskSpec(f"prefilter:{i}", prefilter_fn, (model_ref, c))
             for i, c in enumerate(chunks)
         ]
         for key, res in shard_exec.run(
@@ -926,7 +939,7 @@ def run_sharded(
                 TaskSpec(
                     f"observe:{i}",
                     _worker_observe,
-                    (model_blob, batch_size, shard),
+                    (model_ref, batch_size, shard),
                     {"index": i, "bits": int(shard.size)},
                 )
                 for i, shard in enumerate(shards)
@@ -960,7 +973,7 @@ def run_sharded(
             # batches to derive salts, assign one representative per
             # (salt, signature) class, and fan shards of same-salt
             # representatives out to the pool.
-            ctx = _MODEL_STATE[model_blob][1]
+            ctx = _MODEL_STATE[model_ref][1]
             surv_info = [infos[i] for i in np.flatnonzero(survivor_mask)]
             n_surv = int(survivors.size)
             rep_followers: dict[int, list[int]] = {}  # rep cand -> follower cands
@@ -991,7 +1004,7 @@ def run_sharded(
                 TaskSpec(
                     f"observe:{i}",
                     _worker_observe_collapsed,
-                    (model_blob, batch_size, shard, salt),
+                    (model_ref, batch_size, shard, salt),
                     {"index": i, "bits": int(shard.size)},
                 )
                 for i, (shard, salt) in enumerate(shard_specs)
@@ -1090,8 +1103,14 @@ def run_sharded(
         )
     if shard_exec.quarantined and not policy.allow_partial:
         keys = ", ".join(sorted(shard_exec.quarantined))
+        late = ""
+        if shard_exec.late_results:
+            late = (
+                f" ({len(shard_exec.late_results)} quarantined shard(s) "
+                f"completed during teardown — logged, not merged)"
+            )
         raise CampaignError(
-            f"{len(shard_exec.quarantined)} shard(s) quarantined ({keys}); "
+            f"{len(shard_exec.quarantined)} shard(s) quarantined ({keys}){late}; "
             f"everything resolved was checkpointed — re-run to retry the "
             f"missing work, or pass --allow-partial to accept a partial sweep"
         )
@@ -1113,6 +1132,7 @@ def run_sweep(
     shards_per_job: int = 4,
     collapse: bool = True,
     policy: ExecutorPolicy | None = None,
+    backend=None,
 ) -> SweepResult:
     """Run a sweep with the engine's native checkpoint format.
 
@@ -1121,7 +1141,8 @@ def run_sweep(
     ``checkpoint_path`` snapshots :func:`save_sweep` archives that
     :func:`resume_sweep` restarts from.  ``policy`` overrides the
     ambient :class:`ExecutorPolicy` for sharded runs (serial runs have
-    no pool to recover).
+    no pool to recover); ``backend`` forces an executor transport the
+    same way it does for :func:`run_sharded`.
     """
     checkpoint_cb = None
     if checkpoint_path is not None:
@@ -1129,7 +1150,8 @@ def run_sweep(
         def checkpoint_cb(sweep: SweepResult) -> None:
             save_sweep(sweep, checkpoint_path)
 
-    if jobs == 1 and executor is None:
+    transport = (policy or get_executor_policy()).transport
+    if jobs == 1 and executor is None and backend is None and transport == "local":
         return run_serial(
             model,
             batch_size=batch_size,
@@ -1151,6 +1173,7 @@ def run_sweep(
         shards_per_job=shards_per_job,
         collapse=collapse,
         policy=policy,
+        backend=backend,
     )
 
 
@@ -1164,6 +1187,7 @@ def resume_sweep(
     shards_per_job: int = 4,
     collapse: bool = True,
     policy: ExecutorPolicy | None = None,
+    backend=None,
 ) -> SweepResult:
     """Resume an interrupted sweep from an engine-native checkpoint.
 
@@ -1194,4 +1218,5 @@ def resume_sweep(
         shards_per_job=shards_per_job,
         collapse=collapse,
         policy=policy,
+        backend=backend,
     )

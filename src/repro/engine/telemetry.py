@@ -79,6 +79,20 @@ class CampaignTelemetry:
     pool_rebuilds: int = 0
     shards_quarantined: int = 0
     candidates_quarantined: int = 0
+    # Distributed-execution counters (transport backends; see
+    # repro.engine.backends): worker membership churn, shards executed
+    # by a worker other than the one the round-robin plan intended
+    # (work stealing), shards requeued because their worker vanished
+    # mid-flight, and results that arrived after their task was already
+    # resolved or quarantined (drained and logged, never silently
+    # dropped).  ``worker_tasks`` maps worker name (or pid) to how many
+    # task results it delivered.
+    workers_joined: int = 0
+    workers_left: int = 0
+    dist_steals: int = 0
+    dist_requeues: int = 0
+    late_results: int = 0
+    worker_tasks: dict[str, int] = field(default_factory=dict)
     # Per-stage timing histograms over HIST_EDGES_SECONDS (one extra
     # open bucket at the end).  Empty list = nothing recorded; kept as
     # plain lists so to_dict()/save/load round-trip them untouched.

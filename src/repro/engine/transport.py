@@ -1,0 +1,177 @@
+"""Length-prefixed pickle frame protocol for the TCP executor backend.
+
+One frame = a 4-byte big-endian payload length followed by a pickled
+``dict`` with a ``"t"`` type tag.  Both sides of the campaign wire
+(:class:`~repro.engine.distributed.TcpBackend` in the parent,
+:func:`~repro.engine.distributed.run_worker` in each worker process)
+speak only these frames:
+
+========== =============== ====================================================
+type       direction       payload
+========== =============== ====================================================
+hello      worker → server ``worker`` name, ``blobs`` digests already cached
+welcome    server → worker ack; campaign-level settings (heartbeat interval)
+blob       server → worker one content-addressed blob (``digest``, ``data``)
+need_blob  worker → server a task referenced a digest the worker lacks
+task       server → worker one ``TaskSpec`` launch (key, fn, args, launch, sid)
+result     worker → server ``ok`` + value, or pickled/repr'd error
+hb         worker → server liveness beat (``busy``: running task key or None)
+bye        server → worker campaign over; drain and disconnect
+========== =============== ====================================================
+
+Why pickle and not a schema'd codec: task payloads are arbitrary
+Python (numpy shards, fault-model callables) that the local pool
+already ships through pickle, and the wire is a trusted loopback/LAN
+link between processes the same user started — the same trust model as
+``multiprocessing``.  The length prefix caps frames at
+:data:`MAX_FRAME` so a corrupt header cannot trigger a giant
+allocation.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+
+from repro.errors import CampaignError
+
+__all__ = [
+    "FrameConn",
+    "FrameError",
+    "RemoteTaskError",
+    "MAX_FRAME",
+    "pack_error",
+    "unpack_error",
+    "parse_hostport",
+]
+
+_HEADER = struct.Struct("!I")
+
+#: upper bound on one frame's payload (1 GiB): large enough for any
+#: model blob or shard, small enough to reject garbage headers.
+MAX_FRAME = 1 << 30
+
+#: how long a started frame may stall mid-read before the connection is
+#: declared broken (losing header/payload sync is unrecoverable).
+_MIDFRAME_TIMEOUT_S = 60.0
+
+
+class FrameError(CampaignError):
+    """The connection broke mid-frame or sent a malformed frame."""
+
+
+class RemoteTaskError(CampaignError):
+    """A worker-side task failure whose exception could not be pickled."""
+
+
+def parse_hostport(spec: str, default_port: int = 0) -> tuple[str, int]:
+    """Split ``"host:port"`` (port optional) into a bind/connect pair."""
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        return spec, default_port
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise CampaignError(f"bad address {spec!r} (want HOST:PORT)") from None
+
+
+def pack_error(err: BaseException) -> dict:
+    """Encode a worker-side exception for a ``result`` frame.
+
+    Pickled when possible so the parent re-raises the genuine type
+    (retry/quarantine classification keys off ``repr``); otherwise the
+    ``repr`` travels and the parent wraps it in :class:`RemoteTaskError`.
+    """
+    try:
+        blob = pickle.dumps(err)
+        pickle.loads(blob)  # round-trip check: some exceptions un-pickle badly
+        return {"pickled": blob}
+    except Exception:  # noqa: BLE001 - any failure falls back to repr
+        return {"repr": repr(err)}
+
+
+def unpack_error(payload: dict) -> BaseException:
+    """Decode a ``result`` frame's error back into an exception."""
+    blob = payload.get("pickled")
+    if blob is not None:
+        try:
+            err = pickle.loads(blob)
+            if isinstance(err, BaseException):
+                return err
+        except Exception:  # noqa: BLE001 - fall through to repr
+            pass
+    return RemoteTaskError(payload.get("repr", "unknown remote failure"))
+
+
+class FrameConn:
+    """One framed, thread-safe-for-send connection over a socket.
+
+    ``send`` may be called from several threads (the worker's heartbeat
+    thread races its result sender); ``recv`` must stay single-threaded.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._send_lock = threading.Lock()
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # non-TCP sockets (socketpair tests) don't have the option
+
+    def send(self, msg: dict) -> None:
+        payload = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(payload) > MAX_FRAME:
+            raise FrameError(f"frame too large ({len(payload)} bytes)")
+        with self._send_lock:
+            self.sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+    def _recv_exact(self, n: int, *, midframe: bool) -> bytes | None:
+        """Read exactly ``n`` bytes; None on clean EOF at a frame boundary."""
+        chunks: list[bytes] = []
+        got = 0
+        while got < n:
+            if chunks or midframe:
+                # Once a frame has started, a stall is fatal: header and
+                # payload must stay in sync or the stream is garbage.
+                self.sock.settimeout(_MIDFRAME_TIMEOUT_S)
+            try:
+                chunk = self.sock.recv(n - got)
+            except TimeoutError:
+                if chunks or midframe:
+                    raise FrameError("connection stalled mid-frame") from None
+                raise
+            if not chunk:
+                if chunks or midframe:
+                    raise FrameError("connection closed mid-frame")
+                return None
+            chunks.append(chunk)
+            got += len(chunk)
+        return b"".join(chunks)
+
+    def recv(self, timeout: float | None = None) -> dict | None:
+        """One frame, or ``None`` on clean EOF.
+
+        ``timeout`` bounds the wait for the *start* of a frame
+        (``TimeoutError`` when nothing arrives); a started frame is
+        always read to completion or declared broken.
+        """
+        self.sock.settimeout(timeout)
+        header = self._recv_exact(_HEADER.size, midframe=False)
+        if header is None:
+            return None
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME:
+            raise FrameError(f"oversized frame announced ({length} bytes)")
+        payload = self._recv_exact(length, midframe=True)
+        msg = pickle.loads(payload)
+        if not isinstance(msg, dict) or "t" not in msg:
+            raise FrameError("malformed frame (expected a typed dict)")
+        return msg
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass

@@ -81,7 +81,7 @@ class ShardTracker:
         limit = self.straggler_factor * median
         return [i for i, t0 in self._inflight.items() if now - t0 > limit]
 
-    def tick(self) -> None:
+    def tick(self, remote: dict[str, dict] | None = None) -> None:
         """Emit one liveness sample: heartbeat event + straggler notes.
 
         Throttled to one heartbeat per ``interval`` so callers (the
@@ -89,6 +89,13 @@ class ShardTracker:
         freely without flooding the trace; straggler detection itself is
         unthrottled — :meth:`stragglers` stays exact for callers that
         act on it (speculative re-execution).
+
+        ``remote`` is per-worker liveness detail from a distributed
+        backend (worker name -> last-heard age / running task); when
+        present it rides along in the heartbeat event, so the straggler
+        detector and the trace see TCP workers exactly as they see
+        local ones — heartbeats are transport messages, not pool
+        introspection.
         """
         now = time.perf_counter()
         if now - self._last_beat < self.interval:
@@ -98,7 +105,12 @@ class ShardTracker:
             {"index": i, "elapsed": round(now - t0, 3)}
             for i, t0 in sorted(self._inflight.items(), key=lambda kv: str(kv[0]))
         ]
-        self.tracer.heartbeat(workers, kind=self.kind, done=self.n_done)
+        if remote is not None:
+            self.tracer.heartbeat(
+                workers, kind=self.kind, done=self.n_done, remote=remote
+            )
+        else:
+            self.tracer.heartbeat(workers, kind=self.kind, done=self.n_done)
         for index in self.stragglers():
             if index in self._flagged:
                 continue

@@ -246,7 +246,17 @@ def _savings_lines(segment: Segment) -> list[str]:
     return lines
 
 
-_RECOVERY_KINDS = ("retry", "speculate", "pool_rebuild", "quarantine", "straggler")
+_RECOVERY_KINDS = (
+    "retry",
+    "speculate",
+    "pool_rebuild",
+    "quarantine",
+    "straggler",
+    "worker_join",
+    "worker_leave",
+    "requeue",
+    "late_result",
+)
 
 
 def _recovery_lines(segment: Segment) -> list[str]:
@@ -278,6 +288,19 @@ def _recovery_lines(segment: Segment) -> list[str]:
     if counts["pool_rebuild"]:
         lines.append(
             f"  pool:         rebuilt {counts['pool_rebuild']} time(s) after worker death"
+        )
+    if counts["worker_join"] or counts["worker_leave"] or counts["requeue"]:
+        steals = telem.get("dist_steals")
+        steal_text = f", {steals} shard(s) stolen" if steals else ""
+        lines.append(
+            f"  membership:   {counts['worker_join']} worker join(s), "
+            f"{counts['worker_leave']} leave(s), "
+            f"{counts['requeue']} in-flight shard(s) requeued{steal_text}"
+        )
+    if counts["late_result"]:
+        lines.append(
+            f"  late results: {counts['late_result']} quarantined shard(s) "
+            f"completed during teardown (logged, not merged)"
         )
     if counts["quarantine"]:
         dropped = telem.get("candidates_quarantined")
