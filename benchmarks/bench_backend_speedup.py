@@ -68,7 +68,7 @@ def _time_kernel(backend, hw, patches, stim, repeats=3):
     return best, outputs.copy(), sim.values.copy()
 
 
-def test_backend_speedup(report):
+def test_backend_speedup(report, bench_record):
     from repro.designs import get_design
     from repro.fpga import get_device
     from repro.place import implement
@@ -146,9 +146,7 @@ def test_backend_speedup(report):
     )
 
     out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    out_path = out_dir / "BENCH_backend.json"
-    out_path.write_text(json.dumps(rows, indent=2) + "\n")
+    out_path = bench_record(out_dir / "BENCH_backend.json", rows)
 
     lines = [
         "",

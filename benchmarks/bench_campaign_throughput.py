@@ -50,7 +50,7 @@ def _bench_rows(hw, results) -> list[dict]:
     return rows
 
 
-def test_campaign_throughput(bench_device, report):
+def test_campaign_throughput(bench_device, report, bench_record):
     from repro.designs import get_design
     from repro.place import implement
 
@@ -104,8 +104,7 @@ def test_campaign_throughput(bench_device, report):
         }
     )
 
-    out_path = out_dir / "BENCH_campaign.json"
-    out_path.write_text(json.dumps(rows, indent=2) + "\n")
+    out_path = bench_record(out_dir / "BENCH_campaign.json", rows)
 
     report(
         "",

@@ -46,7 +46,7 @@ POLICY = ExecutorPolicy(
 )
 
 
-def test_chaos_recovery(bench_device, report):
+def test_chaos_recovery(bench_device, report, bench_record):
     from repro.designs import get_design
     from repro.place import implement
 
@@ -90,8 +90,7 @@ def test_chaos_recovery(bench_device, report):
             "speculative_wins": dt.speculative_wins,
         }
     )
-    out_path = out_dir / "BENCH_chaos.json"
-    out_path.write_text(json.dumps(rows, indent=2) + "\n")
+    out_path = bench_record(out_dir / "BENCH_chaos.json", rows)
 
     report(
         "",

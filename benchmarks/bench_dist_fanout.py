@@ -85,7 +85,7 @@ def _run_tcp(hw, cfg, announce: str, n_workers: int, *, disturb=None):
     return result, time.perf_counter() - t0
 
 
-def test_dist_fanout(bench_device, report, tmp_path):
+def test_dist_fanout(bench_device, report, tmp_path, bench_record):
     from repro.designs import get_design
     from repro.place import implement
 
@@ -149,8 +149,7 @@ def test_dist_fanout(bench_device, report, tmp_path):
             "worker_tasks": ct.worker_tasks,
         },
     ]
-    out_path = out_dir / "BENCH_dist.json"
-    out_path.write_text(json.dumps(rows, indent=2) + "\n")
+    out_path = bench_record(out_dir / "BENCH_dist.json", rows)
 
     report(
         "",

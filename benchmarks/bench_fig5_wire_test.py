@@ -26,13 +26,17 @@ from repro.fpga.resources import Direction
 
 def _append_bench_rows(rows: list[dict]) -> Path:
     """Accumulate rows into ``BENCH_wire_test.json`` (shared record file)."""
+    from conftest import bench_envelope
+
     out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
     out_dir.mkdir(parents=True, exist_ok=True)
     out_path = out_dir / "BENCH_wire_test.json"
-    existing = json.loads(out_path.read_text()) if out_path.exists() else []
+    prior = json.loads(out_path.read_text()) if out_path.exists() else []
+    existing = prior.get("rows", []) if isinstance(prior, dict) else prior
     seen = {row["label"] for row in rows}
     existing = [row for row in existing if row.get("label") not in seen]
-    out_path.write_text(json.dumps(existing + rows, indent=2) + "\n")
+    record = {"envelope": bench_envelope(), "rows": existing + rows}
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
     return out_path
 
 

@@ -35,7 +35,7 @@ import numpy as np
 from repro.seu import CampaignConfig, run_campaign
 
 
-def test_kernel_collapse_speedup(report):
+def test_kernel_collapse_speedup(report, bench_record):
     from repro.designs import get_design
     from repro.fpga import get_device
     from repro.place import implement
@@ -83,9 +83,7 @@ def test_kernel_collapse_speedup(report):
     )
 
     out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    out_path = out_dir / "BENCH_kernel.json"
-    out_path.write_text(json.dumps(rows, indent=2) + "\n")
+    out_path = bench_record(out_dir / "BENCH_kernel.json", rows)
 
     report(
         "",

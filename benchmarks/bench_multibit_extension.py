@@ -33,7 +33,7 @@ from pathlib import Path
 from repro.seu import run_multibit_campaign
 
 
-def test_multibit_failure_scaling(table1_campaigns, report, benchmark):
+def test_multibit_failure_scaling(table1_campaigns, report, benchmark, bench_record):
     # Use the densest design (MULT 6): enough failures per trial batch
     # for stable statistics.
     hw, single = table1_campaigns[-1]
@@ -72,9 +72,7 @@ def test_multibit_failure_scaling(table1_campaigns, report, benchmark):
         rows.append(row)
 
     out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    out_path = out_dir / "BENCH_multibit.json"
-    out_path.write_text(json.dumps(rows, indent=2) + "\n")
+    out_path = bench_record(out_dir / "BENCH_multibit.json", rows)
     report(f"record  : {out_path}")
 
     probs = [r.failure_probability for r in results]

@@ -94,6 +94,18 @@ def build_parser() -> argparse.ArgumentParser:
             "a recovery test knob; verdicts are identical to an undisturbed "
             "run whenever the executor recovers",
         )
+        p.add_argument(
+            "--no-fast-forward", action="store_true",
+            help="build campaign contexts from cycle 0 instead of restoring "
+            "a golden-prefix snapshot (verdicts are byte-identical either "
+            "way; also via REPRO_FAST_FORWARD=0)",
+        )
+        p.add_argument(
+            "--result-cache", metavar="DIR|off", default=None,
+            help="content-addressed result store: a warm repeat of the same "
+            "sweep is served from DIR without simulating, byte-identically; "
+            "'off' disables an inherited REPRO_RESULT_CACHE",
+        )
 
     def add_transport_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -659,6 +671,10 @@ def main(argv: list[str] | None = None) -> int:
         overrides["announce"] = args.announce
     if getattr(args, "workers", None):
         overrides["min_workers"] = args.workers
+    if getattr(args, "no_fast_forward", False):
+        overrides["fast_forward"] = False
+    if getattr(args, "result_cache", None) is not None:
+        overrides["result_cache"] = args.result_cache
     if getattr(args, "transport", None) == "tcp" and getattr(args, "jobs", 0) in (None, 1):
         # A TCP campaign must take the sharded path (jobs picks the shard
         # count, not a local pool size); never let the serial default

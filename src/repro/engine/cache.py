@@ -23,12 +23,35 @@ Two caches live here:
   also accepts raw ``bytes`` unchanged so external pools (synchronous
   test executors) that never primed a store keep their historical
   ship-the-blob semantics.
+
+* The **content-addressed result cache** (:class:`ResultCache`): a
+  disk-backed store of finished sweep verdicts and per-shard worker
+  results, keyed by SHA-256 over everything that determines the bytes
+  (model blob digest, candidate ids, batch size, engine flags, kernel
+  backend — see :func:`content_key`).  A corrupted or truncated entry
+  is indistinguishable from a miss — the reader unpickles inside a
+  blanket except and recomputes — so the cache can accelerate but
+  never change a verdict.  The ambient directory is env-scoped
+  (``REPRO_RESULT_CACHE``) so forked *and* spawned workers, and
+  distributed ``repro worker`` processes with their own local
+  directory, all consult a store before simulating.
+
+* The **golden-pack store**: fast-forward keeps each design's golden
+  trace (outputs, address rows, and stride state snapshots) in a
+  bounded in-process memo plus, when a result-cache directory is
+  ambient, on disk — so every context build after the first skips the
+  full-stimulus golden simulation and restores the nearest snapshot
+  instead (``REPRO_FAST_FORWARD`` / ``REPRO_SNAPSHOT_STRIDE``).
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import os
 import pickle
+from dataclasses import dataclass
+from typing import Any, Iterator
 
 from repro.errors import CampaignError
 from repro.place.flow import HardwareDesign, implement
@@ -42,6 +65,17 @@ __all__ = [
     "install_blobs",
     "known_blobs",
     "resolve_blob",
+    "CacheStats",
+    "CACHE_STATS",
+    "ResultCache",
+    "content_key",
+    "result_cache",
+    "result_cache_scope",
+    "fast_forward_enabled",
+    "fast_forward_scope",
+    "snapshot_stride",
+    "cached_golden_pack",
+    "store_golden_pack",
 ]
 
 
@@ -131,3 +165,201 @@ def resolve_blob(ref: str | bytes) -> bytes:
     if blob is None:
         raise BlobMissing(ref)
     return blob
+
+
+# -- content-addressed result cache --------------------------------------------
+
+_ENV_CACHE_DIR = "REPRO_RESULT_CACHE"
+_ENV_FAST_FORWARD = "REPRO_FAST_FORWARD"
+_ENV_SNAPSHOT_STRIDE = "REPRO_SNAPSHOT_STRIDE"
+
+#: default golden-snapshot spacing (cycles); the expected residual
+#: replay is stride/2, so this trades snapshot memory against replay
+DEFAULT_SNAPSHOT_STRIDE = 64
+
+
+@dataclass
+class CacheStats:
+    """Process-global result-cache counters, snapshot/diffed like
+    :class:`~repro.netlist.simulator.KernelCounters` so sweeps fold the
+    per-run delta into :class:`~repro.engine.telemetry.CampaignTelemetry`."""
+
+    hits: int = 0
+    misses: int = 0
+    bytes: int = 0  # pickled bytes served from cache hits
+
+    def snapshot(self) -> tuple[int, int, int]:
+        return (self.hits, self.misses, self.bytes)
+
+    def delta(self, since: tuple[int, int, int]) -> tuple[int, int, int]:
+        now = self.snapshot()
+        return (now[0] - since[0], now[1] - since[1], now[2] - since[2])
+
+
+CACHE_STATS = CacheStats()
+
+
+def content_key(*parts: Any) -> str:
+    """SHA-256 over a canonical encoding of heterogeneous key parts.
+
+    Accepts ``bytes``, ``str``, ``int``, ``bool``, ``None`` and objects
+    with ``tobytes()`` (numpy arrays); every part is length-prefixed so
+    adjacent parts cannot alias.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        if part is None:
+            enc = b"\x00"
+        elif isinstance(part, bytes):
+            enc = part
+        elif isinstance(part, (str, int, bool)):
+            enc = repr(part).encode()
+        elif hasattr(part, "tobytes"):
+            # Raw bytes alone lose the array's geometry: a (112, 0)
+            # stimulus and a (64, 0) one both serialize to b"" (any
+            # zero-input design), so the shape/dtype header is part of
+            # the content.
+            header = repr((getattr(part, "shape", None), str(getattr(part, "dtype", "")))).encode()
+            enc = header + part.tobytes()
+        else:
+            enc = pickle.dumps(part)
+        h.update(str(len(enc)).encode())
+        h.update(b":")
+        h.update(enc)
+    return h.hexdigest()
+
+
+class ResultCache:
+    """Disk-backed content-addressed store of pickled results.
+
+    Entries live at ``root/<k[:2]>/<k>.pkl``; writes are atomic (tmp
+    file + rename) so a killed run never leaves a truncated entry a
+    later run could trust, and *any* read or unpickle failure is a miss
+    — corruption can cost a recompute, never a wrong verdict.
+    """
+
+    def __init__(self, root: str):
+        self.root = str(root)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def get(self, key: str) -> Any | None:
+        try:
+            with open(self._path(key), "rb") as f:
+                blob = f.read()
+            value = pickle.loads(blob)
+        except Exception:
+            CACHE_STATS.misses += 1
+            return None
+        CACHE_STATS.hits += 1
+        CACHE_STATS.bytes += len(blob)
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        path = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            blob = pickle.dumps(value)
+            tmp = f"{path}.{os.getpid()}.tmp"
+            with open(tmp, "wb") as f:
+                f.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            # A full or read-only cache disk degrades to "no cache".
+            pass
+
+
+def result_cache() -> ResultCache | None:
+    """The ambient result cache, or None when caching is off.
+
+    Resolved from ``REPRO_RESULT_CACHE`` at every call so forked and
+    spawned workers (which inherit the environment) and scope changes
+    all see the same decision.
+    """
+    raw = os.environ.get(_ENV_CACHE_DIR, "").strip()
+    if not raw or raw.lower() == "off":
+        return None
+    return ResultCache(raw)
+
+
+@contextlib.contextmanager
+def _env_scope(var: str, value: str) -> Iterator[None]:
+    # Exported via the environment (not a module global) so fork *and*
+    # spawn workers — and `repro worker` children — inherit the scope.
+    prev = os.environ.get(var)
+    os.environ[var] = value
+    try:
+        yield
+    finally:
+        if prev is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = prev
+
+
+@contextlib.contextmanager
+def result_cache_scope(path: str | None) -> Iterator[None]:
+    """Scope the ambient result-cache directory (None/'off' disables)."""
+    with _env_scope(_ENV_CACHE_DIR, path if path else "off"):
+        yield
+
+
+def fast_forward_enabled() -> bool:
+    """Ambient golden-prefix fast-forward toggle (default: on)."""
+    return os.environ.get(_ENV_FAST_FORWARD, "1").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+    )
+
+
+def snapshot_stride() -> int:
+    """Ambient golden-snapshot stride in cycles (>= 1)."""
+    try:
+        stride = int(os.environ.get(_ENV_SNAPSHOT_STRIDE, DEFAULT_SNAPSHOT_STRIDE))
+    except ValueError:
+        stride = DEFAULT_SNAPSHOT_STRIDE
+    return max(1, stride)
+
+
+@contextlib.contextmanager
+def fast_forward_scope(enabled: bool, stride: int | None = None) -> Iterator[None]:
+    """Scope the fast-forward toggle (and optionally the stride)."""
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(_env_scope(_ENV_FAST_FORWARD, "1" if enabled else "0"))
+        if stride is not None:
+            stack.enter_context(_env_scope(_ENV_SNAPSHOT_STRIDE, str(stride)))
+        yield
+
+
+# -- golden-pack store ---------------------------------------------------------
+
+_MAX_PACKS = 4
+_PACK_MEMO: dict[str, Any] = {}
+
+
+def cached_golden_pack(key: str) -> Any | None:
+    """A previously stored golden pack: in-process memo, then disk."""
+    pack = _PACK_MEMO.get(key)
+    if pack is not None:
+        return pack
+    store = result_cache()
+    if store is None:
+        return None
+    pack = store.get("golden-" + key)
+    if pack is not None:
+        if len(_PACK_MEMO) >= _MAX_PACKS:
+            _PACK_MEMO.clear()
+        _PACK_MEMO[key] = pack
+    return pack
+
+
+def store_golden_pack(key: str, pack: Any) -> None:
+    """Memoize a golden pack (and persist it when a cache dir is ambient)."""
+    if len(_PACK_MEMO) >= _MAX_PACKS:
+        _PACK_MEMO.clear()
+    _PACK_MEMO[key] = pack
+    store = result_cache()
+    if store is not None:
+        store.put("golden-" + key, pack)

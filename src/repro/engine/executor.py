@@ -65,10 +65,11 @@ import itertools
 import random
 import time
 from concurrent.futures import Executor
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Iterator
 
+from repro.engine.cache import fast_forward_scope, result_cache, result_cache_scope
 from repro.engine.backends import (
     ExecutorBackend,
     TaskDone,
@@ -125,6 +126,16 @@ class ExecutorPolicy:
     heartbeat silence after which a worker is declared lost and its
     in-flight shards requeued; ``join_timeout_s`` how long to wait for
     ``min_workers``.
+
+    The caching block is tri-state: ``fast_forward`` ``None`` inherits
+    the ambient ``REPRO_FAST_FORWARD`` toggle (golden-prefix snapshot
+    starts, default on), ``True``/``False`` force it for the scope;
+    ``result_cache`` ``None`` inherits ``REPRO_RESULT_CACHE``, a
+    directory enables the content-addressed result store there, and the
+    string ``"off"`` disables an inherited one.  :func:`executor_policy`
+    exports both as environment variables so every worker the scope
+    spawns — fork or spawn pools and ``repro worker`` children alike —
+    sees the same configuration.
     """
 
     max_attempts: int = 3
@@ -146,6 +157,8 @@ class ExecutorPolicy:
     min_workers: int = 0
     worker_timeout_s: float = 30.0
     join_timeout_s: float = 60.0
+    fast_forward: bool | None = None
+    result_cache: str | None = None
 
 
 DEFAULT_POLICY = ExecutorPolicy()
@@ -160,7 +173,12 @@ def get_executor_policy() -> ExecutorPolicy:
 
 @contextmanager
 def executor_policy(policy: ExecutorPolicy | None = None, **overrides: Any):
-    """Install ``policy`` (or the default with ``overrides``) for a scope."""
+    """Install ``policy`` (or the default with ``overrides``) for a scope.
+
+    The caching knobs (``fast_forward`` / ``result_cache``) are exported
+    as environment variables for the scope when set, so worker processes
+    launched inside it inherit them.
+    """
     global _policy
     new = policy if policy is not None else DEFAULT_POLICY
     if overrides:
@@ -168,7 +186,12 @@ def executor_policy(policy: ExecutorPolicy | None = None, **overrides: Any):
     previous = _policy
     _policy = new
     try:
-        yield new
+        with ExitStack() as stack:
+            if new.result_cache is not None:
+                stack.enter_context(result_cache_scope(new.result_cache))
+            if new.fast_forward is not None:
+                stack.enter_context(fast_forward_scope(new.fast_forward))
+            yield new
     finally:
         _policy = previous
 
@@ -180,12 +203,18 @@ class TaskSpec:
     ``key`` is the stable identity retries, speculation, chaos and
     quarantine reporting all hash on (e.g. ``"observe:3"``); ``fields``
     are extra span-open fields when the executor traces per-task spans.
+    ``cache_key`` is the optional content address of the task's result:
+    when the parent has an ambient result store the executor serves a
+    hit instead of launching, and stores the result on completion (the
+    same key usually also rides in ``args`` so workers can consult
+    *their* local store — see :func:`repro.engine.sweep._shard_cache`).
     """
 
     key: str
     fn: Callable[..., Any]
     args: tuple
     fields: dict[str, Any] = field(default_factory=dict)
+    cache_key: str | None = None
 
 
 class _Task:
@@ -334,6 +363,7 @@ class ShardExecutor:
         self._phase = phase
         self._telemetry = telemetry
         remote = self.backend.name != "local"
+        store = result_cache()
         states = {spec.key: _Task(spec) for spec in tasks}
         retries: list[tuple[float, int, str]] = []  # (ready time, seq, key)
         open_keys = {k for k in states if k not in self.quarantined}
@@ -483,6 +513,8 @@ class ShardExecutor:
                 open_keys.discard(task.spec.key)
                 tracker.completed(task.spec.key)
                 self.backend.abandon(task.sids)  # losing duplicates, if any
+                if store is not None and task.spec.cache_key is not None:
+                    store.put(task.spec.cache_key, ev.result)
                 if speculative and telemetry is not None:
                     telemetry.speculative_wins += 1
                 if task.span >= 0:
@@ -560,9 +592,25 @@ class ShardExecutor:
                 ):
                     quarantine(task, f"hung for {elapsed:.1f}s (timeout)")
 
+        # Initial dispatch.  A task whose result is already in the
+        # parent's store resolves here without ever launching — the
+        # warm-cache path of a repeated (or killed-and-resumed) sweep.
         for task in states.values():
-            if task.spec.key in open_keys:
-                launch(task)
+            if task.spec.key not in open_keys:
+                continue
+            if store is not None and task.spec.cache_key is not None:
+                hit = store.get(task.spec.cache_key)
+                if hit is not None:
+                    task.resolved = True
+                    open_keys.discard(task.spec.key)
+                    if observer.enabled:
+                        tracer.point(
+                            "cache_hit", scope="shard",
+                            key=task.spec.key, phase=phase,
+                        )
+                    yield task.spec.key, hit
+                    continue
+            launch(task)
 
         while open_keys:
             now = time.perf_counter()

@@ -210,6 +210,21 @@ class FaultModel(abc.ABC):
         """
         return self.observe_batch(ctx, pending)
 
+    # -- golden-prefix fast-forward ----------------------------------------
+
+    def fast_forward_cycle(self) -> int | None:
+        """Cycle before which every candidate machine is golden.
+
+        Models whose faults land at a known injection instant (SEU, MBU,
+        half-latch: the warmup boundary) return it, and their context
+        build may then start from the nearest golden state snapshot
+        instead of replaying the fault-free prefix from cycle 0 — the
+        restored state is byte-identical, so verdicts are too.  ``None``
+        (default) opts out, like :attr:`collapsible` — models that
+        observe the whole run (correlation, BIST) keep replaying.
+        """
+        return None
+
     def payload(self, observation: Any) -> np.ndarray | None:
         """Optional rich per-candidate result to retain beside the code.
 

@@ -57,6 +57,18 @@ class CampaignTelemetry:
     machines_retired: int = 0
     batch_compactions: int = 0
     machine_cycles_saved: int = 0
+    # Golden-prefix fast-forward: machine-cycles never replayed because
+    # a context build restored a golden snapshot (or served the whole
+    # golden run from the pack store) instead of simulating from cycle 0.
+    ff_cycles_skipped: int = 0
+    # Content-addressed result cache (repro.engine.cache.ResultCache):
+    # entries served / recomputed during this run, and the pickled bytes
+    # the hits avoided recomputing.  Parent-process counters — hits
+    # inside remote TCP workers accelerate the run but are counted in
+    # the worker's own process.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bytes: int = 0
     prefilter_seconds: float = 0.0
     simulate_seconds: float = 0.0
     checkpoint_seconds: float = 0.0
@@ -153,6 +165,12 @@ class CampaignTelemetry:
         """Fraction of simulation survivors sealed and dropped mid-run."""
         return self.machines_retired / self.n_simulated if self.n_simulated else 0.0
 
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of result-cache lookups served without simulating."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
     def to_dict(self) -> dict:
         """JSON-ready record (the ``BENCH_*.json`` row schema)."""
         d = dataclasses.asdict(self)
@@ -161,6 +179,7 @@ class CampaignTelemetry:
         d["skip_rate"] = self.skip_rate
         d["collapse_rate"] = self.collapse_rate
         d["retire_rate"] = self.retire_rate
+        d["cache_hit_rate"] = self.cache_hit_rate
         return d
 
     def summary(self) -> str:

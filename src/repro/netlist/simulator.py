@@ -73,18 +73,30 @@ class KernelCounters:
     machines_retired: int = 0
     batch_compactions: int = 0
     machine_cycles_saved: int = 0
+    ff_cycles_skipped: int = 0
 
-    def snapshot(self) -> tuple[int, int, int]:
-        return (self.machines_retired, self.batch_compactions, self.machine_cycles_saved)
+    def snapshot(self) -> tuple[int, int, int, int]:
+        return (
+            self.machines_retired,
+            self.batch_compactions,
+            self.machine_cycles_saved,
+            self.ff_cycles_skipped,
+        )
 
-    def delta(self, since: tuple[int, int, int]) -> tuple[int, int, int]:
+    def delta(self, since: tuple[int, int, int, int]) -> tuple[int, int, int, int]:
         now = self.snapshot()
-        return (now[0] - since[0], now[1] - since[1], now[2] - since[2])
+        return (
+            now[0] - since[0],
+            now[1] - since[1],
+            now[2] - since[2],
+            now[3] - since[3],
+        )
 
-    def add(self, delta: tuple[int, int, int]) -> None:
+    def add(self, delta: tuple[int, int, int, int]) -> None:
         self.machines_retired += int(delta[0])
         self.batch_compactions += int(delta[1])
         self.machine_cycles_saved += int(delta[2])
+        self.ff_cycles_skipped += int(delta[3])
 
     def to_dict(self) -> dict[str, int]:
         """JSON-ready sample (the trace ``counters`` event payload)."""
@@ -92,6 +104,7 @@ class KernelCounters:
             "machines_retired": int(self.machines_retired),
             "batch_compactions": int(self.batch_compactions),
             "machine_cycles_saved": int(self.machine_cycles_saved),
+            "ff_cycles_skipped": int(self.ff_cycles_skipped),
         }
 
 
@@ -141,16 +154,41 @@ class GoldenTrace:
     fixpoint* of cycle ``t`` (before the flip-flops clock), which is the
     exact entry set a lock-step machine can read that cycle.  Fault
     dropping builds its "never addressed again" suffix masks from it.
+
+    ``snapshot_cycles``/``snapshots`` (recorded with a
+    ``snapshot_stride``) are the golden-prefix checkpoints: row ``j`` of
+    ``snapshots`` is the full node-value vector *after*
+    ``snapshot_cycles[j]`` cycles have run, i.e. the exact state a fresh
+    simulator restores through ``initial_values`` to fast-forward past
+    the fault-free prefix.  Node values fully determine future evolution
+    given the stimulus, so a restored run is byte-identical to one from
+    cycle 0.
     """
 
     outputs: np.ndarray  # (cycles, n_outputs) uint8
     addr_seen: np.ndarray  # (n_luts,) uint16
     final_state: np.ndarray  # (n_ffs,) uint8
     addr_rows: np.ndarray | None = field(default=None)  # (cycles, n_luts) uint16
+    snapshot_cycles: np.ndarray | None = field(default=None)  # (k,) int64
+    snapshots: np.ndarray | None = field(default=None)  # (k, n_nodes) uint8
 
     @property
     def n_cycles(self) -> int:
         return int(self.outputs.shape[0])
+
+    def nearest_snapshot(self, cycle: int) -> tuple[int, np.ndarray | None]:
+        """Latest recorded snapshot at or before ``cycle``.
+
+        Returns ``(snapshot_cycle, state)`` — the number of cycles the
+        snapshot already covers and the node values to restore — or
+        ``(0, None)`` when no snapshot helps (replay from power-on).
+        """
+        if self.snapshot_cycles is None or self.snapshot_cycles.size == 0:
+            return 0, None
+        j = int(np.searchsorted(self.snapshot_cycles, cycle, side="right")) - 1
+        if j < 0:
+            return 0, None
+        return int(self.snapshot_cycles[j]), self.snapshots[j]
 
 
 @dataclass
@@ -616,6 +654,7 @@ class BatchSimulator:
         stimulus: np.ndarray,
         record_addresses: bool = False,
         record_addr_rows: bool = False,
+        snapshot_stride: int | None = None,
     ) -> np.ndarray:
         """Run all machines over a (cycles, n_inputs) stimulus.
 
@@ -624,12 +663,17 @@ class BatchSimulator:
         into :attr:`last_addr_seen` (meaningful for the golden machine);
         ``record_addr_rows`` additionally collects machine 0's per-cycle
         evaluation-fixpoint address masks into :attr:`last_addr_rows`.
+        With ``snapshot_stride`` machine 0's full node state is copied
+        into :attr:`last_snapshots` every ``stride`` cycles (post-clock,
+        so snapshot ``c`` is the state *entering* cycle ``c``) — the
+        golden-prefix checkpoints fast-forward restores from.
         """
         d = self.design
         stimulus = np.asarray(stimulus, dtype=np.uint8)
         cycles = stimulus.shape[0]
         outputs = np.empty((cycles, self.B, d.n_outputs), dtype=np.uint8)
         addr_seen = np.zeros(d.n_luts, dtype=np.uint16)
+        snaps: list[tuple[int, np.ndarray]] = []
         # The flat machine-0 operand index is fixed for the whole run
         # (no patch/repair happens inside run), so build it once instead
         # of reconstructing it every recorded cycle.
@@ -644,6 +688,8 @@ class BatchSimulator:
                     # capture inside step): occupancy accumulates the
                     # address each LUT presents *entering* the next cycle.
                     addr_seen |= self._machine0_addr_row()
+                if snapshot_stride and (t + 1) % snapshot_stride == 0:
+                    snaps.append((t + 1, self.state_snapshot()))
             if record_addr_rows:
                 self.last_addr_rows = (
                     np.stack(self._addr_capture)
@@ -653,6 +699,7 @@ class BatchSimulator:
         finally:
             self._addr_capture = None
         self.last_addr_seen = addr_seen
+        self.last_snapshots = snaps
         return outputs
 
     # -- golden reference ------------------------------------------------------
@@ -664,20 +711,36 @@ class BatchSimulator:
         stimulus: np.ndarray,
         settle_passes: int = 1,
         record_addr_rows: bool = False,
+        snapshot_stride: int | None = None,
     ) -> GoldenTrace:
-        """Run the fault-free design once, recording the reference trace."""
+        """Run the fault-free design once, recording the reference trace.
+
+        With ``snapshot_stride`` the trace additionally carries full
+        node-state checkpoints every ``stride`` cycles (all backends —
+        the capture lives in the shared :meth:`run` loop), which
+        fast-forwarding campaigns restore through ``initial_values``.
+        """
         sim = cls(design, settle_passes=settle_passes)
         outputs = sim.run(
-            stimulus, record_addresses=True, record_addr_rows=record_addr_rows
+            stimulus,
+            record_addresses=True,
+            record_addr_rows=record_addr_rows,
+            snapshot_stride=snapshot_stride,
         )
         final_state = (
             sim.state_snapshot()[design.ff_nodes] if design.n_ffs else np.zeros(0, np.uint8)
         )
+        snap_cycles = snap_states = None
+        if snapshot_stride and sim.last_snapshots:
+            snap_cycles = np.array([c for c, _ in sim.last_snapshots], dtype=np.int64)
+            snap_states = np.stack([s for _, s in sim.last_snapshots])
         return GoldenTrace(
             outputs[:, 0, :].copy(),
             sim.last_addr_seen,
             final_state,
             addr_rows=sim.last_addr_rows if record_addr_rows else None,
+            snapshot_cycles=snap_cycles,
+            snapshots=snap_states,
         )
 
     # -- detect / repair / persist campaign step ---------------------------------

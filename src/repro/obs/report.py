@@ -246,6 +246,50 @@ def _savings_lines(segment: Segment) -> list[str]:
     return lines
 
 
+def _ff_cache_lines(segment: Segment) -> list[str]:
+    """The temporal fast-forward / result-cache section.
+
+    Rendered only when the run skipped cycles or touched a result store
+    (a run with both features off keeps its report unchanged).  Counts
+    come from the final telemetry point; the ``cache_hit`` trace points
+    add where the hits landed (whole sweep vs individual shards).
+    """
+    telem = segment.last_point("telemetry")
+    if telem is None:
+        return []
+    skipped = telem.get("ff_cycles_skipped", 0)
+    hits = telem.get("cache_hits", 0)
+    misses = telem.get("cache_misses", 0)
+    if not (skipped or hits or misses):
+        return []
+    lines = ["", "fast-forward / result cache:"]
+    if skipped:
+        lines.append(
+            f"  fast-forward: {skipped} golden machine-cycle(s) skipped "
+            f"via snapshot restore"
+        )
+    else:
+        lines.append("  fast-forward: off or nothing skipped")
+    if hits or misses:
+        rate = telem.get("cache_hit_rate", 0.0)
+        lines.append(
+            f"  cache:        {hits} hit(s) / {misses} miss(es) "
+            f"({100.0 * rate:.1f}% served), "
+            f"{telem.get('cache_bytes', 0)} cached byte(s) read"
+        )
+        scopes: dict[str, int] = {}
+        for point in segment.points:
+            if point.get("kind") == "cache_hit":
+                scope = str(point.get("scope", "?"))
+                scopes[scope] = scopes.get(scope, 0) + 1
+        if scopes:
+            detail = ", ".join(
+                f"{n} {scope}-level" for scope, n in sorted(scopes.items())
+            )
+            lines.append(f"  hits:         {detail}")
+    return lines
+
+
 _RECOVERY_KINDS = (
     "retry",
     "speculate",
@@ -342,7 +386,10 @@ def render_report(trace: Trace) -> str:
             f"{flag_text}{schema_note}"
         )
         if not segment.spans:
+            # A warm cache-served sweep never opens a span; the
+            # fast-forward / cache section is the whole story then.
             lines.append("  (no spans)")
+            lines.extend(_ff_cache_lines(segment))
             continue
         lines.append("")
         lines.append("span tree:")
@@ -362,6 +409,7 @@ def render_report(trace: Trace) -> str:
         lines.append("")
         lines.append("shrinker savings:")
         lines.extend(_savings_lines(segment))
+        lines.extend(_ff_cache_lines(segment))
         lines.extend(_recovery_lines(segment))
         if segment.heartbeats:
             stalls = sum(1 for p in segment.points if p.get("kind") == "straggler")

@@ -36,13 +36,22 @@ import dataclasses
 import enum
 import json
 import os
+import pickle
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, ClassVar
 
 import numpy as np
 
-from repro.engine.cache import implemented_design, prime_design_cache
+from repro.engine.cache import (
+    cached_golden_pack,
+    content_key,
+    fast_forward_enabled,
+    implemented_design,
+    prime_design_cache,
+    snapshot_stride,
+    store_golden_pack,
+)
 from repro.engine.detect import detect_failures
 from repro.engine.model import (
     CODE_FAIL,
@@ -60,9 +69,10 @@ from repro.engine.sweep import (
 from repro.engine.telemetry import CampaignTelemetry
 from repro.errors import CampaignError
 from repro.fpga.resources import ResourceKind
-from repro.netlist.backends import make_simulator, simulator_class
+from repro.netlist.backends import make_simulator, resolve_backend, simulator_class
 from repro.netlist.compiled import CompiledDesign, FFField, Patch
 from repro.netlist.simulator import (
+    KERNEL_COUNTERS,
     SETTLE_CAP,
     BatchSimulator,
     GoldenTrace,
@@ -215,15 +225,66 @@ class CampaignContext:
     addr_suffix: np.ndarray | None = None
 
 
-def build_context(hw: HardwareDesign, config: CampaignConfig) -> CampaignContext:
-    """Derive the shared campaign artifacts for one (design, config)."""
+def _golden_pack_key(design, stim: np.ndarray, stride: int) -> str:
+    """Content address of one (design, stimulus, backend, stride) golden run."""
+    return content_key(
+        "golden-pack-v1",
+        pickle.dumps(design),
+        stim,
+        resolve_backend(),
+        stride,
+    )
+
+
+def build_context(
+    hw: HardwareDesign,
+    config: CampaignConfig,
+    fast_forward: bool | None = None,
+) -> CampaignContext:
+    """Derive the shared campaign artifacts for one (design, config).
+
+    With fast-forward on (the ambient default, see
+    :func:`repro.engine.cache.fast_forward_enabled`; ``None`` defers to
+    it) the golden run records state snapshots every
+    ``REPRO_SNAPSHOT_STRIDE`` cycles and is kept in the golden-pack
+    store, so the warm-state snapshot at the injection instant is
+    restored from the nearest golden checkpoint (replaying only the
+    residual prefix) and repeat context builds — second sweeps, every
+    worker process after the first on a shared store, resumed runs —
+    skip the full-stimulus golden simulation entirely.  Node values
+    fully determine future evolution given the stimulus, so both
+    shortcuts are byte-identical to the cold path.
+    """
     design = hw.decoded.design
     stim = hw.spec.stimulus(config.total_cycles, config.seed)
-    golden = simulator_class().golden_trace(design, stim, record_addr_rows=True)
-    # Snapshot the running state at the injection instant.
-    warm_sim = make_simulator(design)
-    warm_sim.run(stim[: config.warmup_cycles])
-    snapshot = warm_sim.state_snapshot()
+    if fast_forward is None:
+        fast_forward = fast_forward_enabled()
+    if fast_forward:
+        stride = snapshot_stride()
+        key = _golden_pack_key(design, stim, stride)
+        golden = cached_golden_pack(key)
+        if golden is None:
+            golden = simulator_class().golden_trace(
+                design, stim, record_addr_rows=True, snapshot_stride=stride
+            )
+            store_golden_pack(key, golden)
+        else:
+            # The whole golden simulation was served from the pack store.
+            KERNEL_COUNTERS.ff_cycles_skipped += golden.n_cycles
+        start, state = golden.nearest_snapshot(config.warmup_cycles)
+        if start == config.warmup_cycles and state is not None:
+            snapshot = state.copy()
+        else:
+            warm_sim = make_simulator(design, initial_values=state)
+            warm_sim.run(stim[start : config.warmup_cycles])
+            snapshot = warm_sim.state_snapshot()
+        KERNEL_COUNTERS.ff_cycles_skipped += start
+    else:
+        golden = simulator_class().golden_trace(design, stim, record_addr_rows=True)
+        # Snapshot the running state at the injection instant.
+        warm_sim = make_simulator(design)
+        warm_sim.run(stim[: config.warmup_cycles])
+        snapshot = warm_sim.state_snapshot()
     post_stim = stim[config.warmup_cycles :]
     post_golden = GoldenTrace(
         golden.outputs[config.warmup_cycles :], golden.addr_seen, golden.final_state
@@ -512,9 +573,16 @@ class SEUFaultModel(FaultModel):
     def _hw(self) -> HardwareDesign:
         return implemented_design(self.spec, self.device_name)
 
+    def fast_forward_cycle(self) -> int | None:
+        # Every machine is golden until the upset lands at the warmup
+        # boundary, so context builds may start from a golden snapshot.
+        return self.config.warmup_cycles
+
     def build_context(self) -> tuple[HardwareDesign, CampaignContext]:
         hw = self._hw()
-        return hw, build_context(hw, self.config)
+        return hw, build_context(
+            hw, self.config, fast_forward=None if self.fast_forward_cycle() is not None else False
+        )
 
     def prefilter(self, candidate: int, ctx) -> tuple[int, Patch | None]:
         hw, cctx = ctx
@@ -625,6 +693,10 @@ def run_campaign(
             # monkeypatch it see every checkpoint write.
             save_result(_from_sweep(hw, config, sweep), checkpoint_path)
 
+    # No pre-built context: run_serial consults the whole-sweep result
+    # cache *before* building one (model.build_context reuses the primed
+    # implemented design), so a warm repeat sweep never pays for the
+    # golden run at all.
     sweep = run_serial(
         model,
         batch_size=config.batch_size,
@@ -632,7 +704,6 @@ def run_campaign(
         checkpoint_save=checkpoint_cb,
         checkpoint_every=checkpoint_every,
         merge_with=_to_sweep(model, merge_with) if merge_with is not None else None,
-        context=(hw, build_context(hw, config)),
         collapse=collapse,
     )
     return _from_sweep(hw, config, sweep)
@@ -769,9 +840,15 @@ class HalfLatchFaultModel(FaultModel):
             return np.asarray(self.nodes, dtype=np.int64)
         return np.asarray(self._hw().decoded.design.half_latch_nodes, dtype=np.int64)
 
+    def fast_forward_cycle(self) -> int | None:
+        # The pin-to-0 upset lands at the warmup boundary like an SEU.
+        return self.config.warmup_cycles
+
     def build_context(self) -> tuple[HardwareDesign, CampaignContext]:
         hw = self._hw()
-        return hw, build_context(hw, self.config)
+        return hw, build_context(
+            hw, self.config, fast_forward=None if self.fast_forward_cycle() is not None else False
+        )
 
     def prefilter(self, candidate: int, ctx) -> tuple[int, None]:
         hw, _ = ctx

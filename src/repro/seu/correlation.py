@@ -127,7 +127,10 @@ class CorrelationFaultModel(FaultModel):
 
     def build_context(self) -> tuple[HardwareDesign, CampaignContext]:
         hw = self._hw()
-        return hw, build_context(hw, self.config)
+        # fast_forward_cycle() stays None (like collapsible above): the
+        # correlation observation spans the whole run, so the context is
+        # built on the cold path regardless of the ambient toggle.
+        return hw, build_context(hw, self.config, fast_forward=False)
 
     def patch_for(self, candidate: int, ctx) -> Patch:
         hw, _ = ctx

@@ -118,6 +118,10 @@ class MBUFaultModel(FaultModel):
     def enumerate_candidates(self) -> np.ndarray:
         return np.arange(self.n_trials, dtype=np.int64)
 
+    def fast_forward_cycle(self) -> int | None:
+        # All k upsets of a trial land together at the warmup boundary.
+        return self.config.warmup_cycles
+
     def build_context(self) -> tuple[HardwareDesign, CampaignContext, np.ndarray]:
         hw = implemented_design(self.spec, self.device_name)
         # Draw every trial's bit set sequentially from one stream — the
@@ -130,7 +134,15 @@ class MBUFaultModel(FaultModel):
                 for _ in range(self.n_trials)
             ]
         ) if self.n_trials else np.empty((0, self.k), dtype=np.int64)
-        return hw, build_context(hw, self.config), trial_bits
+        return (
+            hw,
+            build_context(
+                hw,
+                self.config,
+                fast_forward=None if self.fast_forward_cycle() is not None else False,
+            ),
+            trial_bits,
+        )
 
     def patch_for(self, candidate: int, ctx) -> Patch:
         hw, _, trial_bits = ctx

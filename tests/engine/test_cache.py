@@ -1,0 +1,236 @@
+"""The engine's per-process caches: design memo, blob store, result cache.
+
+The load-bearing claim for the result cache is *asymmetric failure*: a
+corrupted, truncated, or concurrently-clobbered entry may cost a
+recompute but can never surface as a wrong value — ``get`` treats any
+read or unpickle failure as a miss.  The blob-store tests pin the
+worker re-request path: :class:`BlobMissing` carries the digest so a
+transport worker can fetch exactly the missing blob and retry.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+import repro.engine.cache as cache
+from repro.engine.cache import (
+    CACHE_STATS,
+    BlobMissing,
+    ResultCache,
+    blob_digest,
+    content_key,
+    fast_forward_enabled,
+    fast_forward_scope,
+    install_blob,
+    known_blobs,
+    prime_design_cache,
+    resolve_blob,
+    result_cache,
+    result_cache_scope,
+    snapshot_stride,
+)
+
+
+@dataclass(frozen=True)
+class _Spec:
+    """Stand-in DesignSpec: picklable, distinct per name."""
+
+    name: str
+
+
+class _Device:
+    def __init__(self, name: str):
+        self.name = name
+
+
+class _HW:
+    """Minimal HardwareDesign stand-in for the design-cache tests."""
+
+    def __init__(self, tag: str):
+        self.spec = _Spec(tag)
+        self.device = _Device("S8")
+
+
+class TestDesignCache:
+    def test_prime_then_hit_returns_same_instance(self):
+        cache._HW_CACHE.clear()
+        hw = _HW("prime-hit")
+        prime_design_cache(hw)
+        key = (pickle.dumps(hw.spec), "S8")
+        assert cache._HW_CACHE[key] is hw
+
+    def test_bounded_eviction_clears_all_at_capacity(self):
+        cache._HW_CACHE.clear()
+        kept = [_HW(f"d{i}") for i in range(cache._MAX_CACHED)]
+        for hw in kept:
+            prime_design_cache(hw)
+        assert len(cache._HW_CACHE) == cache._MAX_CACHED
+        # One more entry trips the clear-all eviction: the cache holds
+        # exactly the newcomer, nothing stale survives partially.
+        straw = _HW("straw")
+        prime_design_cache(straw)
+        assert len(cache._HW_CACHE) == 1
+        assert next(iter(cache._HW_CACHE.values())) is straw
+        cache._HW_CACHE.clear()
+
+    def test_repriming_existing_key_is_a_noop(self):
+        cache._HW_CACHE.clear()
+        first, second = _HW("same"), _HW("same")
+        prime_design_cache(first)
+        prime_design_cache(second)
+        key = (pickle.dumps(first.spec), "S8")
+        assert cache._HW_CACHE[key] is first
+        cache._HW_CACHE.clear()
+
+
+class TestBlobStore:
+    def test_digest_round_trip(self):
+        blob = b"fault-model-bytes"
+        digest = install_blob(blob)
+        assert digest == blob_digest(blob)
+        assert digest in known_blobs()
+        assert resolve_blob(digest) == blob
+
+    def test_raw_bytes_pass_through(self):
+        assert resolve_blob(b"raw") == b"raw"
+
+    def test_missing_blob_carries_digest_for_rerequest(self):
+        missing = blob_digest(b"never-installed-blob")
+        with pytest.raises(BlobMissing) as exc:
+            resolve_blob(missing)
+        # The worker re-request path: the exception's digest is the
+        # exact content address to fetch, and installing that blob
+        # makes the identical resolve succeed.
+        assert exc.value.digest == missing
+        install_blob(b"never-installed-blob")
+        assert resolve_blob(missing) == b"never-installed-blob"
+
+
+class TestContentKey:
+    def test_length_prefix_prevents_aliasing(self):
+        assert content_key("ab", "c") != content_key("a", "bc")
+        assert content_key(b"ab", b"c") != content_key(b"a", b"bc")
+
+    def test_part_types_are_distinguished(self):
+        keys = {
+            content_key(None),
+            content_key(0),
+            content_key("0"),
+            content_key(False),
+        }
+        assert len(keys) == 4
+
+    def test_zero_width_arrays_key_by_shape(self):
+        # A zero-input design's stimulus is (T, 0): tobytes() is b""
+        # for every T, so the shape must be part of the key or golden
+        # packs of different lengths collide.
+        a = np.zeros((112, 0), dtype=np.uint8)
+        b = np.zeros((64, 0), dtype=np.uint8)
+        assert content_key(a) != content_key(b)
+
+    def test_dtype_is_part_of_the_key(self):
+        a = np.zeros(8, dtype=np.uint8)
+        b = np.zeros(2, dtype=np.uint32)  # same 8 raw bytes
+        assert content_key(a) != content_key(b)
+
+    def test_numpy_arrays_key_by_content(self):
+        a = np.arange(8, dtype=np.int64)
+        assert content_key(a) == content_key(a.copy())
+        b = a.copy()
+        b[3] = 99
+        assert content_key(a) != content_key(b)
+
+    def test_deterministic(self):
+        assert content_key("x", 1, None, b"y") == content_key("x", 1, None, b"y")
+
+
+class TestResultCache:
+    def test_round_trip_counts_hit(self, tmp_path):
+        store = ResultCache(str(tmp_path))
+        before = CACHE_STATS.snapshot()
+        store.put("a" * 64, {"verdicts": [1, 2, 3]})
+        assert store.get("a" * 64) == {"verdicts": [1, 2, 3]}
+        hits, misses, nbytes = CACHE_STATS.delta(before)
+        assert (hits, misses) == (1, 0)
+        assert nbytes > 0
+
+    def test_absent_key_is_a_miss(self, tmp_path):
+        store = ResultCache(str(tmp_path))
+        before = CACHE_STATS.snapshot()
+        assert store.get("b" * 64) is None
+        assert CACHE_STATS.delta(before)[:2] == (0, 1)
+
+    def test_truncated_entry_is_a_miss_never_a_wrong_value(self, tmp_path):
+        store = ResultCache(str(tmp_path))
+        key = "c" * 64
+        store.put(key, list(range(100)))
+        path = store._path(key)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as f:
+            f.write(blob[: len(blob) // 2])  # killed-writer shape
+        assert store.get(key) is None
+
+    def test_garbage_entry_is_a_miss(self, tmp_path):
+        store = ResultCache(str(tmp_path))
+        key = "d" * 64
+        store.put(key, "fine")
+        with open(store._path(key), "wb") as f:
+            f.write(b"\x80\x05not really a pickle at all")
+        assert store.get(key) is None
+
+    def test_unwritable_root_degrades_to_no_cache(self, tmp_path):
+        # A root whose parent is a plain file: every mkdir/open fails
+        # with an OSError subclass regardless of uid.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        store = ResultCache(str(blocker / "cache"))
+        store.put("e" * 64, "value")  # must not raise
+        assert store.get("e" * 64) is None
+
+    def test_put_is_atomic_no_tmp_left_behind(self, tmp_path):
+        store = ResultCache(str(tmp_path))
+        store.put("f" * 64, np.arange(1000))
+        leftovers = [
+            p for p in tmp_path.rglob("*") if p.is_file() and not p.name.endswith(".pkl")
+        ]
+        assert leftovers == []
+
+
+class TestAmbientScopes:
+    def test_result_cache_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
+        assert result_cache() is None
+
+    def test_result_cache_scope_sets_and_restores(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
+        with result_cache_scope(str(tmp_path)):
+            store = result_cache()
+            assert store is not None and store.root == str(tmp_path)
+            with result_cache_scope(None):  # nested disable
+                assert result_cache() is None
+            assert result_cache() is not None
+        assert result_cache() is None
+
+    def test_off_string_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "off")
+        assert result_cache() is None
+
+    def test_fast_forward_default_on_scope_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAST_FORWARD", raising=False)
+        assert fast_forward_enabled()
+        with fast_forward_scope(False):
+            assert not fast_forward_enabled()
+        assert fast_forward_enabled()
+
+    def test_snapshot_stride_bad_values_fall_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SNAPSHOT_STRIDE", "not-a-number")
+        assert snapshot_stride() == cache.DEFAULT_SNAPSHOT_STRIDE
+        monkeypatch.setenv("REPRO_SNAPSHOT_STRIDE", "-5")
+        assert snapshot_stride() == 1
+        monkeypatch.setenv("REPRO_SNAPSHOT_STRIDE", "128")
+        assert snapshot_stride() == 128

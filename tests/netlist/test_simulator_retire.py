@@ -99,7 +99,7 @@ class TestCompact:
         sim = BatchSimulator(d, [Patch(), Patch()])
         before = KERNEL_COUNTERS.snapshot()
         sim.compact(np.array([1]))
-        retired, compactions, _ = KERNEL_COUNTERS.delta(before)
+        retired, compactions, _, _ = KERNEL_COUNTERS.delta(before)
         assert retired == 1 and compactions == 1
         with pytest.raises(NetlistError):
             sim.compact(np.empty(0, dtype=np.int64))
@@ -128,7 +128,7 @@ class TestRetireVerdicts:
             + [Patch()] * 6                                              # clean
             + [_quiet_table_patch(d, g)] * 6                             # quiet forever
         )
-        naive, retired, (n_ret, _, saved) = self._verdict_pair(d, stim, patches, 40, 30)
+        naive, retired, (n_ret, _, saved, _) = self._verdict_pair(d, stim, patches, 40, 30)
         assert retired == naive  # MachineVerdict is a plain dataclass
         # The clean and quiet machines seal via the no-future-deviation
         # rule; cycles actually came off the batch.
@@ -143,7 +143,7 @@ class TestRetireVerdicts:
             + [Patch(lut_tables=[(0, np.ones(16, dtype=np.uint8))])] * 6
             + [Patch()] * 4
         )
-        naive, retired, (n_ret, _, _) = self._verdict_pair(d, stim, patches, 40, 30)
+        naive, retired, (n_ret, _, _, _) = self._verdict_pair(d, stim, patches, 40, 30)
         assert retired == naive
         assert n_ret > 0  # repaired-and-converged machines seal early
 
