@@ -1,0 +1,150 @@
+"""Service throughput: jobs/sec through ``repro serve``, cold vs cache-hit.
+
+Boots a real server subprocess, submits the golden SEU sweep cold (a
+full engine run per job), then re-submits it repeatedly so every job is
+served from the content-addressed result cache at submit time, and
+appends both rates to ``BENCH_service.json``.  Every job — cold or
+cached — must return verdict bytes matching the pinned golden SHA; a
+cache that trades bytes for speed would defeat the whole contract.
+
+Environment knobs (all optional):
+
+``REPRO_BENCH_DIR``
+    Directory for ``BENCH_service.json`` (default: current directory).
+``REPRO_BENCH_SERVICE_CACHED_JOBS``
+    Cache-hit submissions to time (default 50).
+``REPRO_BENCH_MIN_SERVICE_CACHED_JOBS_PER_SEC``
+    Floor for the cache-hit rate (default 0, i.e. report-only; the
+    point of the cache is that warm jobs cost HTTP + a dict lookup, so
+    local runs comfortably sustain tens per second).
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+if str(REPO) not in sys.path:  # the goldens live in tests/utils, not the package
+    sys.path.insert(0, str(REPO))
+from tests.utils.goldens import golden  # noqa: E402
+
+SEU_SPEC = {
+    "kind": "campaign",
+    "design": "MULT4",
+    "device": "S8",
+    "flags": {"detect_cycles": 48, "persist_cycles": 32, "stride": 7, "batch_size": 32},
+}
+
+
+def _request(base: str, method: str, path: str, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(base + path, data=data, method=method)
+    with urllib.request.urlopen(req, timeout=60.0) as resp:
+        return resp.status, resp.read()
+
+
+def _start_server(tmp_path: Path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_RESULT_CACHE", None)
+    port_file = tmp_path / "port.txt"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--listen", "127.0.0.1:0",
+         "--state", str(tmp_path / "state"),
+         "--announce", str(port_file),
+         "--job-workers", "2"],
+        env=env, cwd=str(REPO),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    deadline = time.monotonic() + 60.0
+    while not port_file.exists():
+        assert proc.poll() is None and time.monotonic() < deadline, (
+            "server failed to start"
+        )
+        time.sleep(0.05)
+    return proc, f"http://{port_file.read_text().strip()}"
+
+
+def _wait_done(base: str, job_id: str, timeout_s: float = 300.0) -> dict:
+    deadline = time.monotonic() + timeout_s
+    while True:
+        _, raw = _request(base, "GET", f"/v1/jobs/{job_id}")
+        rec = json.loads(raw)
+        if rec["state"] in ("done", "failed", "cancelled"):
+            return rec
+        assert time.monotonic() < deadline, rec
+        time.sleep(0.2)
+
+
+@pytest.mark.timeout(600)
+def test_service_throughput_cold_vs_cached(tmp_path, bench_record):
+    n_cached = int(os.environ.get("REPRO_BENCH_SERVICE_CACHED_JOBS", "50"))
+    floor = float(
+        os.environ.get("REPRO_BENCH_MIN_SERVICE_CACHED_JOBS_PER_SEC", "0")
+    )
+    proc, base = _start_server(tmp_path)
+    try:
+        # Cold: one full engine run, end to end over HTTP.
+        t0 = time.perf_counter()
+        _, raw = _request(base, "POST", "/v1/jobs", SEU_SPEC)
+        cold_rec = _wait_done(base, json.loads(raw)["job"]["id"])
+        cold_s = time.perf_counter() - t0
+        assert cold_rec["state"] == "done", cold_rec
+        assert cold_rec["verdict_sha256"] == golden("seu_verdicts")
+        _, cold_bytes = _request(base, "GET", f"/v1/jobs/{cold_rec['id']}/result")
+
+        # Cached: every duplicate settles at submit time, O(1).
+        t0 = time.perf_counter()
+        ids = []
+        for _ in range(n_cached):
+            _, raw = _request(base, "POST", "/v1/jobs", SEU_SPEC)
+            body = json.loads(raw)
+            assert body["cached"] is True, "warm submit missed the cache"
+            assert body["job"]["state"] == "done"
+            ids.append(body["job"]["id"])
+        cached_s = time.perf_counter() - t0
+        cached_rate = n_cached / cached_s
+
+        # Speed must not cost bytes: a sampled cached result is
+        # byte-identical to the cold one.
+        _, warm_bytes = _request(base, "GET", f"/v1/jobs/{ids[-1]}/result")
+        assert warm_bytes == cold_bytes
+        assert hashlib.sha256(warm_bytes).hexdigest() == golden("seu_verdicts")
+
+        rows = [{
+            "workload": "seu-golden-sweep",
+            "cold_s": round(cold_s, 4),
+            "cold_jobs_per_sec": round(1.0 / cold_s, 4),
+            "n_cached_jobs": n_cached,
+            "cached_s": round(cached_s, 4),
+            "cached_jobs_per_sec": round(cached_rate, 2),
+            "speedup": round(cached_rate * cold_s, 1),
+        }]
+        out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+        bench_record(out_dir / "BENCH_service.json", rows)
+        print(
+            f"\nservice throughput: cold {cold_s:.2f}s/job, "
+            f"cached {cached_rate:.1f} jobs/sec "
+            f"({rows[0]['speedup']}x)"
+        )
+        if floor > 0:
+            assert cached_rate >= floor, (
+                f"cached throughput {cached_rate:.1f} jobs/sec below floor {floor}"
+            )
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=5)

@@ -1,0 +1,127 @@
+"""Three concurrent clients against one ``repro serve`` — the CI smoke.
+
+Usage::
+
+    python examples/service_smoke.py http://127.0.0.1:8321
+
+Three threads play three tenants with different priorities: ``ops``
+submits the golden SEU sweep at ``high``, ``research`` an MBU sweep at
+``normal``, and ``batch-farm`` a duplicate of the SEU sweep at
+``batch`` (which must be served from the cache once ops' run lands).
+The script exits nonzero unless every job reaches ``done`` with the
+expected verdict bytes and the duplicate was a cache hit — a minimal
+end-to-end health check that exercises submit, scheduling, quotas,
+caching, and result retrieval over real HTTP.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import threading
+import time
+import urllib.request
+
+SEU_SPEC = {
+    "kind": "campaign",
+    "design": "MULT4",
+    "device": "S8",
+    "tenant": "ops",
+    "priority": "high",
+    "flags": {"detect_cycles": 48, "persist_cycles": 32, "stride": 7, "batch_size": 32},
+}
+
+MBU_SPEC = {
+    "kind": "multibit",
+    "design": "MULT4",
+    "device": "S8",
+    "tenant": "research",
+    "priority": "normal",
+    "flags": {
+        "detect_cycles": 48,
+        "batch_size": 32,
+        "k": 2,
+        "trials": 160,
+        "seed": 0,
+        "single_sensitivity": 0.25,
+    },
+}
+
+
+def request(base: str, method: str, path: str, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(base + path, data=data, method=method)
+    with urllib.request.urlopen(req, timeout=60.0) as resp:
+        return resp.read()
+
+
+def run_client(base: str, name: str, spec: dict, out: dict) -> None:
+    try:
+        body = json.loads(request(base, "POST", "/v1/jobs", spec))
+        job_id = body["job"]["id"]
+        deadline = time.monotonic() + 480.0
+        while True:
+            rec = json.loads(request(base, "GET", f"/v1/jobs/{job_id}"))
+            if rec["state"] in ("done", "failed", "cancelled"):
+                break
+            if time.monotonic() > deadline:
+                raise RuntimeError(f"job {job_id} stuck in {rec['state']}")
+            time.sleep(0.3)
+        if rec["state"] != "done":
+            raise RuntimeError(f"job {job_id} ended {rec['state']}: {rec.get('error')}")
+        verdicts = request(base, "GET", f"/v1/jobs/{job_id}/result")
+        out[name] = {
+            "job": job_id,
+            "cached": rec["cached"],
+            "sha": hashlib.sha256(verdicts).hexdigest(),
+        }
+        print(f"[{name}] {job_id} done, cached={rec['cached']}, sha={out[name]['sha'][:16]}…")
+    except Exception as err:  # noqa: BLE001 - smoke script reports, not raises
+        out[name] = {"error": str(err)}
+        print(f"[{name}] FAILED: {err}", file=sys.stderr)
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    base = sys.argv[1].rstrip("/")
+
+    # ops runs first so the batch duplicate below has a cache to hit.
+    results: dict = {}
+    ops = threading.Thread(target=run_client, args=(base, "ops", SEU_SPEC, results))
+    ops.start()
+    ops.join()
+
+    dup_spec = dict(SEU_SPEC, tenant="batch-farm", priority="batch")
+    threads = [
+        threading.Thread(target=run_client, args=(base, "research", MBU_SPEC, results)),
+        threading.Thread(target=run_client, args=(base, "batch-farm", dup_spec, results)),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    failures = [n for n, r in results.items() if "error" in r]
+    if failures:
+        print(f"smoke FAILED for: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    if results["ops"]["sha"] != results["batch-farm"]["sha"]:
+        print("smoke FAILED: duplicate sweep returned different bytes", file=sys.stderr)
+        return 1
+    if not results["batch-farm"]["cached"]:
+        print("smoke FAILED: duplicate sweep was not served from cache", file=sys.stderr)
+        return 1
+    stats = json.loads(request(base, "GET", "/v1/stats"))
+    print(
+        f"smoke OK: {stats['jobs']['completed']} jobs completed, "
+        f"{stats['jobs']['cache_hits']} cache hit(s), "
+        f"tenants: {', '.join(stats['queue']['by_tenant']) or 'all drained'}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ Installed as the ``repro`` console script::
     repro orbit --hours 2                # mission rehearsal
     repro report trace.jsonl             # render a --trace file
     repro worker --connect HOST:PORT     # join a distributed campaign
+    repro serve --listen HOST:PORT       # HTTP job service over the engine
 
 Long-running commands (campaign, multibit, bist-coverage,
 scrub-stress) accept ``--trace PATH`` (append-only JSONL span trace,
@@ -107,6 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
             "'off' disables an inherited REPRO_RESULT_CACHE",
         )
 
+    def add_batch_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--batch-size", type=int, default=None, metavar="N",
+            help="survivors simulated per batch (default 128; this is "
+            "verdict-affecting — batch composition decides which machines "
+            "are observed marginally — so fix it when pinning bytes)",
+        )
+
     def add_transport_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--executor", choices=("local", "tcp"), default=None, dest="transport",
@@ -160,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-every", type=int, default=50_000,
         help="candidate bits between snapshots",
     )
+    add_batch_flag(p)
     add_shrinker_flags(p)
     add_obs_flags(p)
     add_resilience_flags(p)
@@ -196,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume from --checkpoint instead of starting over",
     )
+    add_batch_flag(p)
     add_shrinker_flags(p)
     add_obs_flags(p)
     add_resilience_flags(p)
@@ -223,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume from --checkpoint instead of starting over",
     )
+    add_batch_flag(p)
     add_shrinker_flags(p)
     add_obs_flags(p)
     add_resilience_flags(p)
@@ -277,6 +289,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "trace_file", metavar="TRACE", help="trace file written by --trace PATH"
     )
+    p.add_argument(
+        "--json", action="store_true", dest="report_json",
+        help="emit the report as machine-readable JSON instead of text",
+    )
 
     p = sub.add_parser(
         "worker",
@@ -303,7 +319,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--connect-timeout", type=float, default=60.0, metavar="SECONDS",
         help="give up when no coordinator accepts within this window",
     )
+    p.add_argument(
+        "--join-timeout", type=float, default=None, metavar="SECONDS",
+        help="with --connect @PATH: fail with a clear error when the "
+        "announce file has not named a coordinator within this window "
+        "(default: keep polling until --connect-timeout expires)",
+    )
     add_backend_flag(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the campaign job service (HTTP API over the engine)",
+    )
+    p.add_argument(
+        "--listen", metavar="HOST:PORT", default="127.0.0.1:8321",
+        help="bind address (port 0 picks an ephemeral port; see --announce)",
+    )
+    p.add_argument(
+        "--state", metavar="DIR", default=".repro-service",
+        help="state directory for job records, results, traces and "
+        "checkpoints; restarting over the same DIR resumes interrupted jobs",
+    )
+    p.add_argument(
+        "--job-workers", type=int, default=2, metavar="N",
+        help="concurrent engine jobs (each job may itself use --jobs N)",
+    )
+    p.add_argument(
+        "--result-cache", metavar="DIR|off", default=None,
+        help="content-addressed result store consulted before running any "
+        "job (default: the REPRO_RESULT_CACHE env var; 'off' disables)",
+    )
+    p.add_argument(
+        "--max-running", type=int, default=4, metavar="N",
+        help="per-tenant cap on concurrently running jobs",
+    )
+    p.add_argument(
+        "--max-queued", type=int, default=None, metavar="N",
+        help="per-tenant cap on queued backlog (submit returns 429 beyond "
+        "it; default: unbounded)",
+    )
+    p.add_argument(
+        "--announce", metavar="PATH", default=None,
+        help="write the bound host:port to PATH once listening",
+    )
+    add_obs_flags(p)
     return parser
 
 
@@ -382,10 +441,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 hw, args.checkpoint, jobs=jobs, collapse=collapse, retire=retire
             )
     else:
+        cfg_extra = {} if args.batch_size is None else {"batch_size": args.batch_size}
         config = CampaignConfig(
             detect_cycles=args.detect_cycles,
             persist_cycles=args.persist_cycles,
             stride=args.stride,
+            **cfg_extra,
         )
         if jobs == 1:
             result = run_campaign(
@@ -422,13 +483,14 @@ def _cmd_multibit(args: argparse.Namespace) -> int:
     from repro.seu import run_multibit_campaign
 
     hw = implement(get_design(args.design), get_device(args.device))
+    cfg_extra = {} if args.batch_size is None else {"batch_size": args.batch_size}
     config = CampaignConfig(detect_cycles=args.detect_cycles, persist_cycles=0,
-                            classify_persistence=False)
+                            classify_persistence=False, **cfg_extra)
     sensitivity = args.single_sensitivity
     if sensitivity is None:
         probe = CampaignConfig(
             detect_cycles=args.detect_cycles, persist_cycles=0,
-            classify_persistence=False, stride=args.stride,
+            classify_persistence=False, stride=args.stride, **cfg_extra,
         )
         probe_result = run_campaign(hw, probe)
         sensitivity = probe_result.sensitivity
@@ -477,6 +539,7 @@ def _cmd_bist_coverage(args: argparse.Namespace) -> int:
         n_register_pairs=args.register_pairs,
         cycles=args.cycles,
         jobs=args.jobs,
+        batch_size=128 if args.batch_size is None else args.batch_size,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
         collapse=not args.no_collapse,
@@ -606,7 +669,15 @@ def _cmd_scrub_stress(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import load_trace, render_report
 
-    print(render_report(load_trace(args.trace_file)), end="")
+    trace = load_trace(args.trace_file)
+    if args.report_json:
+        import json
+
+        from repro.obs.report import report_dict
+
+        print(json.dumps(report_dict(trace), indent=1))
+    else:
+        print(render_report(trace), end="")
     return 0
 
 
@@ -618,7 +689,24 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         persist=args.persist,
         hb_interval_s=args.hb_interval,
         connect_timeout_s=args.connect_timeout,
+        join_timeout_s=args.join_timeout,
         name=args.name,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, run_server
+
+    return run_server(
+        ServiceConfig(
+            listen=args.listen,
+            state=args.state,
+            job_workers=args.job_workers,
+            cache=args.result_cache,
+            max_running_per_tenant=args.max_running,
+            max_queued_per_tenant=args.max_queued,
+            announce=args.announce,
+        )
     )
 
 
@@ -634,6 +722,7 @@ _COMMANDS = {
     "scrub-stress": _cmd_scrub_stress,
     "report": _cmd_report,
     "worker": _cmd_worker,
+    "serve": _cmd_serve,
 }
 
 

@@ -50,6 +50,8 @@ import contextlib
 import hashlib
 import os
 import pickle
+import threading
+import uuid
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -261,7 +263,11 @@ class ResultCache:
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             blob = pickle.dumps(value)
-            tmp = f"{path}.{os.getpid()}.tmp"
+            # The suffix must be unique per *writer*, not just per
+            # process: two threads of one pid racing the same key would
+            # otherwise interleave writes into one tmp file and rename
+            # a torn blob into place.
+            tmp = f"{path}.{os.getpid()}.{threading.get_ident()}.{uuid.uuid4().hex[:8]}.tmp"
             with open(tmp, "wb") as f:
                 f.write(blob)
             os.replace(tmp, path)

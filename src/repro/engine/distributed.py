@@ -523,12 +523,35 @@ def _resolve_connect(spec: str) -> tuple[str, int] | None:
     return parse_hostport(spec)
 
 
+def _never_joined_message(connect: str, addr, waited: float) -> str:
+    """Why a worker's first join failed — name the thing still missing."""
+    if connect.startswith("@"):
+        path = connect[1:]
+        if addr is None:
+            return (
+                f"no coordinator announced in {path!r} within {waited:g}s — "
+                f"check that a campaign is running with `--executor tcp "
+                f"--announce {path}` (or pass --join-timeout to wait longer)"
+            )
+        return (
+            f"coordinator {addr[0]}:{addr[1]} (announced in {path!r}) refused "
+            f"connections for {waited:g}s — it may have exited; remove the "
+            f"stale announce file or restart the campaign"
+        )
+    return (
+        f"no coordinator accepted at {connect!r} within {waited:g}s — "
+        f"check the address and that a campaign is running with "
+        f"`--executor tcp --listen {connect}`"
+    )
+
+
 def run_worker(
     connect: str,
     *,
     persist: bool = False,
     hb_interval_s: float = 1.0,
     connect_timeout_s: float = 60.0,
+    join_timeout_s: float | None = None,
     name: str | None = None,
 ) -> int:
     """A campaign worker process: join, pull shards, execute, repeat.
@@ -538,14 +561,23 @@ def run_worker(
     reconnect, so a persistent worker follows a parent across
     campaigns and ephemeral ports).  Returns 0 when the parent says
     ``bye`` (or, with ``persist``, keeps rejoining until no parent
-    appears within ``connect_timeout_s``), 1 when it never managed to
-    connect.
+    appears within ``connect_timeout_s``).
+
+    ``join_timeout_s`` bounds the *first* join: if the worker has never
+    connected within that window it raises :class:`CampaignError`
+    naming the address (or the announce file still being polled) so a
+    typo'd ``@PATH`` fails loudly instead of timing out in silence.
+    Without it, first-join expiry returns exit code 1, also with a
+    diagnostic on stderr.
     """
     loop = _WorkerLoop(
         name or f"{socket.gethostname()}-{os.getpid()}", hb_interval_s
     )
     connected_once = False
     deadline = time.monotonic() + connect_timeout_s
+    join_deadline = (
+        None if join_timeout_s is None else time.monotonic() + join_timeout_s
+    )
     while True:
         addr = _resolve_connect(connect)
         sock = None
@@ -555,8 +587,18 @@ def run_worker(
             except OSError:
                 sock = None
         if sock is None:
-            if time.monotonic() > deadline:
-                return 0 if connected_once else 1
+            now = time.monotonic()
+            if not connected_once:
+                expired = (
+                    join_deadline is not None and now > join_deadline
+                ) or now > deadline
+                if expired:
+                    waited = (
+                        join_timeout_s if join_deadline is not None else connect_timeout_s
+                    )
+                    raise CampaignError(_never_joined_message(connect, addr, waited))
+            elif now > deadline:
+                return 0
             time.sleep(0.2)
             continue
         connected_once = True

@@ -24,7 +24,7 @@ from typing import Any
 from repro.errors import ReproError
 from repro.obs.trace import SCHEMA_VERSION
 
-__all__ = ["Span", "Segment", "Trace", "load_trace", "render_report"]
+__all__ = ["Span", "Segment", "Trace", "load_trace", "render_report", "report_dict"]
 
 
 @dataclass
@@ -357,6 +357,65 @@ def _recovery_lines(segment: Segment) -> list[str]:
                     f"{point.get('error', 'unknown error')}"
                 )
     return lines
+
+
+def _span_dict(span: Span) -> dict[str, Any]:
+    return {
+        "span": span.span_id,
+        "name": span.name,
+        "t_open": span.t_open,
+        "t_close": span.t_close,
+        "duration_s": round(span.duration, 6),
+        "closed": span.closed,
+        "fields": span.fields,
+        "children": [_span_dict(c) for c in span.children],
+    }
+
+
+def report_dict(trace: Trace) -> dict[str, Any]:
+    """The ``repro report`` content as JSON-serializable data.
+
+    Backs ``repro report --json`` and the service's ``/report`` endpoint
+    — the same segments, span trees, critical path and per-stage
+    breakdown that :func:`render_report` prints, machine-readable.
+    """
+    segments = []
+    for segment in trace.segments:
+        roots = [_span_dict(r) for r in segment.roots]
+        critical = []
+        if segment.roots:
+            main_root = max(segment.roots, key=lambda s: s.duration)
+            critical = [
+                {"name": s.name, "duration_s": round(s.duration, 6), "closed": s.closed}
+                for s in _critical_path(main_root)
+            ]
+        segments.append(
+            {
+                "label": segment.label,
+                "schema": segment.schema,
+                "resumed": segment.resumed,
+                "ended": segment.ended,
+                "pid": segment.pid,
+                "n_spans": len(segment.spans),
+                "n_points": len(segment.points),
+                "n_heartbeats": len(segment.heartbeats),
+                "span_tree": roots,
+                "critical_path": critical,
+                "stages": [
+                    {"name": name, "count": count, "seconds": round(seconds, 6)}
+                    for name, count, seconds in _stage_breakdown(segment)
+                ],
+                "telemetry": segment.last_point("telemetry"),
+            }
+        )
+    return {
+        "path": trace.path,
+        "schema_version": SCHEMA_VERSION,
+        "malformed": trace.malformed,
+        "orphans": trace.orphans,
+        "resumed": trace.resumed,
+        "segments": segments,
+    }
 
 
 def render_report(trace: Trace) -> str:

@@ -1,0 +1,43 @@
+"""Campaign-as-a-service: an asyncio HTTP job server over the engine.
+
+``repro serve`` exposes the campaign engine to concurrent clients as a
+small HTTP API: jobs are validated sweep specs (:mod:`.schemas`),
+scheduled by a weighted-priority tenant-fair queue (:mod:`.queue`),
+executed as engine subprocesses with durable records (:mod:`.jobs`),
+observed live over SSE (:mod:`.sse`), and served in O(1) from the
+content-addressed result cache on repeats.  The engine stays pure; the
+service owns scheduling, quotas, and caching (:mod:`.app`).
+"""
+
+from repro.service.app import CampaignServer, ServiceConfig, run_server
+from repro.service.jobs import Job, JobState, JobStore, UnknownJob
+from repro.service.queue import (
+    DEFAULT_WEIGHTS,
+    PRIORITY_CLASSES,
+    JobQueue,
+    QueueFull,
+    QuotaPolicy,
+)
+from repro.service.schemas import JobSpec, SpecError, spec_from_json, validate_spec
+from repro.service.sse import format_event, stream_job_events
+
+__all__ = [
+    "CampaignServer",
+    "ServiceConfig",
+    "run_server",
+    "Job",
+    "JobState",
+    "JobStore",
+    "UnknownJob",
+    "JobQueue",
+    "QueueFull",
+    "QuotaPolicy",
+    "PRIORITY_CLASSES",
+    "DEFAULT_WEIGHTS",
+    "JobSpec",
+    "SpecError",
+    "spec_from_json",
+    "validate_spec",
+    "format_event",
+    "stream_job_events",
+]

@@ -1,0 +1,104 @@
+"""Server-sent events over the observability layer's JSONL traces.
+
+A running job's subprocess appends :mod:`repro.obs` span events to its
+trace file; :func:`stream_job_events` tails that file and forwards each
+line as one SSE ``trace`` event — the browser (or ``curl -N``) sees the
+same span stream ``repro report`` renders after the fact, live.  The
+stream is read-only over the trace: it can lag or disconnect without
+touching the job, in keeping with the obs layer's verdict-invariance
+contract.
+
+Event grammar (one blank-line-terminated block per event)::
+
+    event: trace          # one obs JSONL event, verbatim JSON
+    id: 17                # 1-based line number in the trace file
+    data: {"kind": ...}
+
+    event: heartbeat      # periodic liveness while the job is quiet
+    data: {"state": "running", "t": 12.3}
+
+    event: done           # terminal: the job reached a final state
+    data: {"state": "done", "verdict_sha256": ...}
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from typing import Any, AsyncIterator, Callable
+
+__all__ = ["format_event", "stream_job_events"]
+
+
+def format_event(event: str, data: Any, event_id: int | None = None) -> bytes:
+    """One wire-format SSE block (``data`` is JSON-encoded unless str)."""
+    payload = data if isinstance(data, str) else json.dumps(data)
+    lines = [f"event: {event}"]
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    # SSE forbids bare newlines inside a data value; JSONL lines never
+    # contain them, but split defensively so a multiline payload stays
+    # one well-formed event instead of corrupting the stream.
+    lines.extend(f"data: {chunk}" for chunk in payload.splitlines() or ["{}"])
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+async def stream_job_events(
+    trace_path: str,
+    job_state: Callable[[], dict[str, Any]],
+    *,
+    heartbeat_s: float = 1.0,
+    poll_s: float = 0.15,
+) -> AsyncIterator[bytes]:
+    """Yield SSE blocks tailing ``trace_path`` until the job finishes.
+
+    ``job_state`` is polled for the job's current public record; the
+    stream ends with a ``done`` event once ``state`` turns terminal
+    *and* the trace has been drained to EOF — a fast consumer misses
+    nothing.  A job served from the result cache never writes a trace;
+    its stream is a single ``done`` event.
+    """
+    from repro.service.jobs import JobState
+
+    offset = 0
+    line_no = 0
+    pending = b""
+    last_beat = asyncio.get_running_loop().time()
+    started = last_beat
+    while True:
+        sent_any = False
+        if os.path.exists(trace_path):
+            try:
+                with open(trace_path, "rb") as fh:
+                    fh.seek(offset)
+                    chunk = fh.read()
+            except OSError:
+                chunk = b""
+            if chunk:
+                offset += len(chunk)
+                pending += chunk
+                # Only complete lines are forwarded; a torn tail (the
+                # writer flushes per line, but reads can race) waits
+                # for its remainder.
+                *lines, pending = pending.split(b"\n")
+                for raw in lines:
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    line_no += 1
+                    yield format_event(
+                        "trace", raw.decode("utf-8", "replace"), event_id=line_no
+                    )
+                    sent_any = True
+        state = job_state()
+        if state.get("state") in JobState.TERMINAL and not sent_any:
+            yield format_event("done", state)
+            return
+        now = asyncio.get_running_loop().time()
+        if not sent_any and now - last_beat >= heartbeat_s:
+            beat = {"state": state.get("state"), "t": round(now - started, 3)}
+            yield format_event("heartbeat", beat)
+            last_beat = now
+        if not sent_any:
+            await asyncio.sleep(poll_s)

@@ -201,6 +201,84 @@ class TestResultCache:
         assert leftovers == []
 
 
+class TestConcurrentWriters:
+    """Racing writers on one key must never produce a torn read.
+
+    Writers are real processes (multiple ``repro serve`` jobs and TCP
+    workers share one cache directory) hammering the same key with
+    large, writer-tagged payloads while readers poll; every successful
+    ``get`` must be one writer's complete value, never an interleaving.
+    Threads of one process race too — the tmp suffix has to be unique
+    per writer, not per pid.
+    """
+
+    KEY = "ab" * 32
+
+    @staticmethod
+    def _hammer(root: str, key: str, tag: int, n: int) -> None:
+        store = ResultCache(root)
+        # Large enough that a write takes multiple syscall-visible
+        # steps; the payload is self-consistent per writer so a torn
+        # mix of two writers cannot masquerade as valid.
+        payload = {"tag": tag, "data": np.full(200_000, tag, dtype=np.int64)}
+        for _ in range(n):
+            store.put(key, payload)
+
+    def test_process_race_never_tears(self, tmp_path):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("spawn")
+        root = str(tmp_path)
+        writers = [
+            ctx.Process(target=self._hammer, args=(root, self.KEY, tag, 20))
+            for tag in (1, 2, 3)
+        ]
+        for proc in writers:
+            proc.start()
+        store = ResultCache(root)
+        observed = set()
+        try:
+            while any(proc.is_alive() for proc in writers):
+                value = store.get(self.KEY)
+                if value is None:
+                    continue  # not yet written, or mid-replace: a miss is fine
+                assert (value["data"] == value["tag"]).all(), "torn cache read"
+                observed.add(value["tag"])
+        finally:
+            for proc in writers:
+                proc.join(timeout=60)
+                assert proc.exitcode == 0
+        final = store.get(self.KEY)
+        assert final is not None and (final["data"] == final["tag"]).all()
+        assert observed  # the readers really did race the writers
+
+    def test_thread_race_on_one_pid_never_tears(self, tmp_path):
+        import threading
+
+        root = str(tmp_path)
+        threads = [
+            threading.Thread(target=self._hammer, args=(root, self.KEY, tag, 30))
+            for tag in (7, 8, 9)
+        ]
+        for t in threads:
+            t.start()
+        store = ResultCache(root)
+        while any(t.is_alive() for t in threads):
+            value = store.get(self.KEY)
+            if value is not None:
+                assert (value["data"] == value["tag"]).all(), "torn cache read"
+        for t in threads:
+            t.join()
+        final = store.get(self.KEY)
+        assert final is not None and (final["data"] == final["tag"]).all()
+        leftovers = [
+            p
+            for p in tmp_path.rglob("*")
+            if p.is_file() and not p.name.endswith(".pkl")
+        ]
+        assert leftovers == []
+
+
 class TestAmbientScopes:
     def test_result_cache_off_by_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)

@@ -312,3 +312,80 @@ class TestGoldenOverTcp:
         assert serial.n_failures == dist.n_failures
         assert serial.n_trials == dist.n_trials
         assert serial.failure_probability == dist.failure_probability
+
+
+class TestWorkerJoinTimeout:
+    """A worker that never finds a coordinator must fail loudly.
+
+    Regression: ``repro worker --connect @FILE`` used to poll a missing
+    announce file until the connect timeout and then exit 1 with no
+    message at all — a typo'd path looked like a hung worker.  Now the
+    first-join failure is a :class:`CampaignError` (exit 2) naming the
+    thing still missing, and ``--join-timeout`` bounds the wait
+    explicitly.
+    """
+
+    def _run_worker(self, *argv: str, timeout: float = 60.0):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "worker", *argv],
+            env=env, cwd=str(REPO), capture_output=True, text=True,
+            timeout=timeout,
+        )
+
+    def test_missing_announce_file_fails_with_named_path(self, tmp_path):
+        missing = tmp_path / "never-written"
+        proc = self._run_worker(
+            "--connect", f"@{missing}", "--join-timeout", "2"
+        )
+        assert proc.returncode == 2
+        assert str(missing) in proc.stderr
+        assert "--announce" in proc.stderr  # points at the likely fix
+
+    def test_connect_timeout_alone_also_reports(self, tmp_path):
+        """Without --join-timeout the old silent exit is gone too."""
+        missing = tmp_path / "also-never-written"
+        proc = self._run_worker(
+            "--connect", f"@{missing}", "--connect-timeout", "2"
+        )
+        assert proc.returncode == 2
+        assert str(missing) in proc.stderr
+
+    def test_unreachable_hostport_names_the_address(self):
+        # Port 1 on loopback: reliably refused, never silently absorbed.
+        proc = self._run_worker(
+            "--connect", "127.0.0.1:1", "--join-timeout", "2"
+        )
+        assert proc.returncode == 2
+        assert "127.0.0.1:1" in proc.stderr
+
+    def test_join_timeout_does_not_cut_short_a_real_join(self, tmp_path, mult_hw):
+        """A worker with a tight join timeout still serves a campaign
+        that is already announcing."""
+        announce = str(tmp_path / "addr")
+        policy = _tcp_policy(min_workers=1, announce=announce)
+        worker = None
+        result_box = {}
+
+        def run():
+            with executor_policy(policy):
+                result_box["result"] = run_campaign_parallel(mult_hw, CFG, jobs=2)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 30.0
+            while not os.path.exists(announce):
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            worker = _spawn_worker(f"@{announce}", "timed", "--join-timeout", "10")
+            thread.join(timeout=240.0)
+            assert not thread.is_alive()
+            assert_golden_verdicts("seu_verdicts", result_box["result"].verdicts)
+            assert worker.wait(timeout=30.0) == 0
+        finally:
+            if worker is not None and worker.poll() is None:
+                worker.kill()
+                worker.wait(timeout=5.0)
+            thread.join(timeout=5.0)

@@ -1,0 +1,202 @@
+"""Property tests for the service job queue's scheduling guarantees.
+
+The queue (:mod:`repro.service.queue`) promises: no job is ever lost or
+starved (a saturated drain finishes everything), per-tenant running
+quotas are never exceeded, jobs within one ``(tenant, priority)`` lane
+stay FIFO, and a fixed submission sequence drains in exactly one order.
+Hypothesis drives random priority/tenant mixes through submit/acquire/
+release to pin each of those as an invariant rather than an example.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.service.queue import (  # noqa: E402
+    DEFAULT_WEIGHTS,
+    PRIORITY_CLASSES,
+    JobQueue,
+    QueueFull,
+    QuotaPolicy,
+)
+
+TENANTS = ("alice", "bob", "carol", "dave")
+
+submissions = st.lists(
+    st.tuples(
+        st.sampled_from(TENANTS),
+        st.sampled_from(PRIORITY_CLASSES),
+    ),
+    min_size=0,
+    max_size=120,
+)
+
+
+def _submit_all(queue: JobQueue, subs) -> list[str]:
+    ids = []
+    for i, (tenant, priority) in enumerate(subs):
+        item = f"job-{i:03d}"
+        queue.submit(item, tenant=tenant, priority=priority)
+        ids.append(item)
+    return ids
+
+
+def _drain_serial(queue: JobQueue) -> list[tuple[str, str, str]]:
+    """Acquire/release one at a time until empty; the full drain order."""
+    order = []
+    while True:
+        got = queue.acquire()
+        if got is None:
+            break
+        tenant, priority, item = got
+        order.append((tenant, priority, item))
+        queue.release(tenant)
+    return order
+
+
+class TestNoStarvation:
+    @given(subs=submissions)
+    @settings(max_examples=60, deadline=None)
+    def test_every_submission_is_eventually_served(self, subs):
+        queue = JobQueue()
+        ids = _submit_all(queue, subs)
+        order = _drain_serial(queue)
+        assert sorted(item for _, _, item in order) == sorted(ids)
+        assert len(queue) == 0
+
+    @given(subs=submissions, max_running=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_drain_completes_with_concurrent_slots(self, subs, max_running):
+        """Acquire up to N slots before releasing: still drains fully."""
+        queue = JobQueue(quota=QuotaPolicy(max_running=max_running))
+        ids = _submit_all(queue, subs)
+        served = []
+        held: list[str] = []
+        while True:
+            got = queue.acquire()
+            if got is not None:
+                tenant, _priority, item = got
+                served.append(item)
+                held.append(tenant)
+                if len(held) < 3:
+                    continue
+            if not held:
+                break
+            queue.release(held.pop(0))
+        assert sorted(served) == sorted(ids)
+
+
+class TestQuotas:
+    @given(subs=submissions, max_running=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_running_quota_never_exceeded(self, subs, max_running):
+        queue = JobQueue(quota=QuotaPolicy(max_running=max_running))
+        _submit_all(queue, subs)
+        running: dict[str, int] = {}
+        held: list[str] = []
+        while True:
+            got = queue.acquire()
+            if got is None:
+                if not held:
+                    break
+                # Everything eligible is at quota: release the oldest.
+                tenant = held.pop(0)
+                running[tenant] -= 1
+                continue
+            tenant, _priority, _item = got
+            running[tenant] = running.get(tenant, 0) + 1
+            held.append(tenant)
+            assert running[tenant] <= max_running
+        assert all(v == 0 for v in running.values())
+
+    @given(n=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_max_queued_rejects_beyond_cap(self, n):
+        queue = JobQueue(quota=QuotaPolicy(max_running=1, max_queued=n))
+        for i in range(n):
+            queue.submit(i, tenant="t")
+        with pytest.raises(QueueFull):
+            queue.submit(n, tenant="t")
+        # Another tenant's backlog is unaffected by t's cap.
+        queue.submit("other", tenant="u")
+
+    def test_at_quota_tenant_does_not_block_others(self):
+        queue = JobQueue(quota=QuotaPolicy(max_running=1))
+        queue.submit("a1", tenant="a", priority="high")
+        queue.submit("a2", tenant="a", priority="high")
+        queue.submit("b1", tenant="b", priority="batch")
+        t1, _, i1 = queue.acquire()
+        assert (t1, i1) == ("a", "a1")
+        # "a" is at quota; its queued a2 must not stall b's work.
+        t2, _, i2 = queue.acquire()
+        assert (t2, i2) == ("b", "b1")
+        assert queue.acquire() is None  # only a2 left, tenant at cap
+        queue.release("a")
+        t3, _, i3 = queue.acquire()
+        assert (t3, i3) == ("a", "a2")
+
+
+class TestOrdering:
+    @given(subs=submissions)
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_within_tenant_priority_lane(self, subs):
+        queue = JobQueue()
+        _submit_all(queue, subs)
+        lane_expect: dict[tuple[str, str], list[str]] = {}
+        for i, (tenant, priority) in enumerate(subs):
+            lane_expect.setdefault((tenant, priority), []).append(f"job-{i:03d}")
+        lane_got: dict[tuple[str, str], list[str]] = {}
+        for tenant, priority, item in _drain_serial(queue):
+            lane_got.setdefault((tenant, priority), []).append(item)
+        assert lane_got == {k: v for k, v in lane_expect.items() if v}
+
+    @given(subs=submissions)
+    @settings(max_examples=40, deadline=None)
+    def test_drain_order_is_deterministic(self, subs):
+        q1, q2 = JobQueue(), JobQueue()
+        _submit_all(q1, subs)
+        _submit_all(q2, subs)
+        assert _drain_serial(q1) == _drain_serial(q2)
+
+    def test_saturated_drain_follows_weight_proportions(self):
+        """With every class saturated, one pattern cycle serves classes
+        in exact DEFAULT_WEIGHTS proportion."""
+        queue = JobQueue()
+        per_class = 20
+        for cls in PRIORITY_CLASSES:
+            for i in range(per_class):
+                queue.submit(f"{cls}-{i}", tenant="t", priority=cls)
+        cycle = sum(DEFAULT_WEIGHTS.values())
+        order = _drain_serial(queue)
+        # While all classes still have work, each full cycle is exactly
+        # weight-proportional.
+        window = [p for _, p, _ in order[:cycle]]
+        assert {cls: window.count(cls) for cls in PRIORITY_CLASSES} == DEFAULT_WEIGHTS
+
+    def test_tenant_round_robin_within_class(self):
+        queue = JobQueue()
+        for i in range(3):
+            queue.submit(f"a{i}", tenant="a", priority="normal")
+            queue.submit(f"b{i}", tenant="b", priority="normal")
+        items = [item for _, _, item in _drain_serial(queue)]
+        assert items == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+
+class TestCancel:
+    @given(subs=submissions, drop=st.integers(min_value=0, max_value=119))
+    @settings(max_examples=40, deadline=None)
+    def test_cancel_removes_exactly_the_matching_item(self, subs, drop):
+        queue = JobQueue()
+        ids = _submit_all(queue, subs)
+        target = f"job-{drop:03d}"
+        removed = queue.cancel(lambda item: item == target)
+        if target in ids:
+            assert removed == [target]
+        else:
+            assert removed == []
+        left = [item for _, _, item in _drain_serial(queue)]
+        assert sorted(left) == sorted(set(ids) - {target})
